@@ -1,0 +1,41 @@
+"""E3 — DSSS and CCK rate ladder vs SNR (claims C1, C3).
+
+Paper: 802.11b raised the rate from 2 to 11 Mbps (0.1 -> 0.5 bps/Hz) by
+replacing Barker spreading with CCK. The waterfall shows each rate's SNR
+cost: robustness decreases monotonically up the ladder, so 11 Mbps needs
+~8-10 dB more SNR than 1 Mbps.
+"""
+
+import numpy as np
+
+from repro.core.link import LinkSimulator
+
+PHYS = ["dsss-1", "dsss-2", "cck-5.5", "cck-11"]
+SNRS = [-2.0, 2.0, 6.0, 10.0, 14.0]
+
+
+def _waterfall():
+    table = {}
+    for phy in PHYS:
+        sim = LinkSimulator(phy, "awgn", rng=42)
+        table[phy] = [sim.run(snr, n_packets=25, payload_bytes=50).per
+                      for snr in SNRS]
+    return table
+
+
+def test_bench_dsss_cck_waterfall(benchmark, report):
+    table = benchmark.pedantic(_waterfall, rounds=1, iterations=1)
+    lines = ["SNR (dB):        " + "".join(f"{s:>8.0f}" for s in SNRS)]
+    for phy in PHYS:
+        lines.append(
+            f"{phy:<12} PER " + "".join(f"{p:>8.2f}" for p in table[phy])
+        )
+    lines.append("(higher rates need more SNR: the rate-vs-robustness trade)")
+    report("E3: 802.11/802.11b PER waterfalls (2 -> 11 Mbps ladder)", lines)
+    # Every PHY eventually works...
+    for phy in PHYS:
+        assert table[phy][-1] <= 0.1, phy
+    # ...and the most robust mode at harsh SNR is the slowest one.
+    assert table["dsss-1"][1] <= table["cck-11"][1]
+    benchmark.extra_info["per_table"] = {k: list(map(float, v))
+                                         for k, v in table.items()}

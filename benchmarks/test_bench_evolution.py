@@ -1,0 +1,29 @@
+"""E1 — the evolution table (claims C1-C6).
+
+Paper: 2 Mbps/0.1 bps/Hz (802.11) -> 11 Mbps/0.5 (802.11b) ->
+54 Mbps/2.7 (802.11a/g) -> 600 Mbps/15 (802.11n), a ~fivefold spectral
+efficiency step per generation.
+"""
+
+from repro.core.evolution import (
+    evolution_report,
+    fivefold_law,
+    format_evolution_table,
+)
+
+
+def test_bench_evolution_table(benchmark, report):
+    rows = benchmark(evolution_report)
+    ratio, effs = fivefold_law()
+    report(
+        "E1: WLAN evolution (paper: 0.1 -> 0.5 -> 2.7 -> 15 bps/Hz, ~5x/gen)",
+        [format_evolution_table(rows),
+         f"fitted per-generation multiplier: {ratio:.2f}x (paper: ~5x)"],
+    )
+    by_name = {r["standard"]: r for r in rows}
+    assert by_name["802.11"]["spectral_efficiency_bps_hz"] == 0.1
+    assert by_name["802.11n"]["spectral_efficiency_bps_hz"] == 15.0
+    assert by_name["802.11n"]["max_rate_mbps"] == 600.0
+    assert 4.5 < ratio < 6.0
+    benchmark.extra_info["fivefold_ratio"] = round(ratio, 3)
+    benchmark.extra_info["efficiencies"] = [round(e, 2) for e in effs]

@@ -1,0 +1,47 @@
+"""E10 — mesh coverage area (claim C11).
+
+Paper: "Mesh networks have the potential to dramatically increase the
+area served by a wireless network." Coverage fraction of a 240 m campus
+at >= 6 Mbps: one AP vs growing meshes with one wired portal.
+"""
+
+import numpy as np
+
+from repro.mesh.coverage import coverage_fraction, single_ap_radius_m
+from repro.mesh.topology import grid_positions
+
+AREA = 240.0
+
+
+def _coverage_vs_mesh_size():
+    results = {}
+    results[1] = coverage_fraction(
+        np.array([[AREA / 2, AREA / 2]]), AREA, n_samples=2500, rng=3
+    )
+    results[4] = coverage_fraction(
+        grid_positions(2, 55.0) + (AREA - 55.0) / 2, AREA,
+        n_samples=2500, rng=3,
+    )
+    results[9] = coverage_fraction(
+        grid_positions(3, 55.0) + (AREA - 110.0) / 2, AREA,
+        n_samples=2500, rng=3,
+    )
+    return results
+
+
+def test_bench_mesh_coverage(benchmark, report):
+    results = benchmark.pedantic(_coverage_vs_mesh_size, rounds=1,
+                                 iterations=1)
+    radius = single_ap_radius_m()
+    lines = [f"single-AP usable radius @6 Mbps: {radius:.1f} m"]
+    for n, frac in results.items():
+        lines.append(f"{n:>2} mesh point(s): {100 * frac:5.1f}% of the "
+                     f"{AREA:.0f} m x {AREA:.0f} m area covered "
+                     f"({frac * AREA ** 2:8.0f} m^2)")
+    lines.append(f"9-node mesh vs lone AP: "
+                 f"{results[9] / results[1]:.1f}x the served area")
+    report("E10: mesh coverage scaling", lines)
+    assert results[1] < results[4] < results[9]
+    assert results[9] / results[1] > 2.0  # "dramatically"
+    benchmark.extra_info["coverage"] = {str(k): round(v, 3)
+                                        for k, v in results.items()}

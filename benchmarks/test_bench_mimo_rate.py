@@ -1,0 +1,79 @@
+"""E5 — MIMO spatial-multiplexing rate scaling (claim C5).
+
+Paper: 802.11n will reach "potentially as high as 600 Mbps in a 40 MHz
+channel" at ~15 bps/Hz, a fivefold step over 802.11a/g, via MIMO spatial
+multiplexing. The bench walks the MCS table (1-4 streams, 20/40 MHz) and
+verifies the real transceiver moves bits at MCS indices across the range.
+"""
+
+import numpy as np
+
+from repro.phy.mimo.capacity import ergodic_capacity
+from repro.phy.mimo.ht import HtPhy
+from repro.standards.mcs import HT_MCS_TABLE, ht_data_rate_mbps
+
+
+def _rate_table():
+    rows = []
+    for streams in (1, 2, 3, 4):
+        mcs = 8 * streams - 1  # top MCS of each stream count
+        rows.append((
+            streams,
+            ht_data_rate_mbps(mcs, 20, "long"),
+            ht_data_rate_mbps(mcs, 40, "short"),
+        ))
+    return rows
+
+
+def _transceiver_check():
+    rng = np.random.default_rng(3)
+    msg = bytes(rng.integers(0, 256, 100, dtype=np.uint8).tolist())
+    ok = {}
+    for mcs in (7, 15, 31):
+        phy = HtPhy(mcs=mcs, bandwidth_mhz=40, n_rx=mcs // 8 + 1)
+        n_rx, n_tx = phy.n_rx, phy.n_tx
+        tx = phy.transmit(msg)
+        taps = (rng.normal(size=(n_rx, n_tx, 2))
+                + 1j * rng.normal(size=(n_rx, n_tx, 2))) / 2.0
+        y = np.zeros((n_rx, tx.shape[1]), dtype=complex)
+        for r in range(n_rx):
+            for t in range(n_tx):
+                y[r] += np.convolve(tx[t], taps[r, t])[: tx.shape[1]]
+        nv = 10 ** (-32 / 10)
+        y += np.sqrt(nv / 2) * (rng.normal(size=y.shape)
+                                + 1j * rng.normal(size=y.shape))
+        ok[mcs] = phy.receive(y, nv, psdu_bytes=len(msg)) == msg
+    return ok
+
+
+def test_bench_mimo_rate_scaling(benchmark, report):
+    rows = benchmark(_rate_table)
+    ok = _transceiver_check()
+    lines = ["streams | 20 MHz LGI | 40 MHz SGI"]
+    for streams, r20, r40 in rows:
+        lines.append(f"   {streams}    | {r20:7.1f}    | {r40:7.1f} Mbps")
+    lines.append(f"MCS31 @ 40 MHz SGI = {rows[-1][2]:.0f} Mbps "
+                 f"= {rows[-1][2] / 40:.1f} bps/Hz  (paper: 600 / 15)")
+    lines.append(f"waveform-level round trips (multipath): {ok}")
+    report("E5: 802.11n MIMO rate scaling to 600 Mbps", lines)
+    assert rows[-1][2] == 600.0
+    assert all(ok.values())
+    # Rate scales linearly with streams.
+    r1 = rows[0][2]
+    assert rows[3][2] == 4 * r1
+
+
+def test_bench_mimo_capacity_scaling(benchmark, report):
+    caps = benchmark.pedantic(
+        lambda: {n: ergodic_capacity(n, n, 21.0, n_draws=300, rng=1)
+                 for n in (1, 2, 4)},
+        rounds=1, iterations=1,
+    )
+    report(
+        "E5b: ergodic capacity at 21 dB (information-theoretic basis)",
+        [f"{n}x{n}: {c:5.1f} bps/Hz" for n, c in caps.items()]
+        + [f"4x4 / 1x1 ratio: {caps[4] / caps[1]:.1f}x "
+           "(linear min(Nt,Nr) scaling)"],
+    )
+    assert caps[4] > 15.0 > caps[1]
+    assert 3.0 < caps[4] / caps[1] < 5.0

@@ -1,0 +1,50 @@
+"""E4 — 802.11a OFDM rate set (claim C4).
+
+Paper: OFDM reached 54 Mbps / 2.7 bps/Hz, "essentially the best that
+could be achieved within the practical constraints of cost and range".
+The bench regenerates the 8-rate waterfall in AWGN and a multipath (TGn-C)
+check at the top rate.
+"""
+
+from repro.core.link import LinkSimulator
+from repro.phy.ofdm import OFDM_RATES
+
+SNRS = [4.0, 10.0, 16.0, 22.0, 28.0]
+
+
+def _waterfall():
+    table = {}
+    for rate in sorted(OFDM_RATES):
+        sim = LinkSimulator(f"ofdm-{rate}", "awgn", rng=17)
+        table[rate] = [sim.run(snr, n_packets=12, payload_bytes=60).per
+                       for snr in SNRS]
+    return table
+
+
+def test_bench_ofdm_waterfall(benchmark, report):
+    table = benchmark.pedantic(_waterfall, rounds=1, iterations=1)
+    lines = ["SNR (dB):      " + "".join(f"{s:>7.0f}" for s in SNRS)]
+    for rate, pers in table.items():
+        lines.append(f"{rate:>3} Mbps  PER " +
+                     "".join(f"{p:>7.2f}" for p in pers))
+    lines.append("54 Mbps in 20 MHz = 2.7 bps/Hz (paper's OFDM ceiling)")
+    report("E4: 802.11a OFDM PER waterfalls, 6-54 Mbps", lines)
+    assert table[6][-1] == 0.0
+    assert table[54][-1] <= 0.2
+    assert table[54][0] >= table[6][0]  # top rate dies first at low SNR
+    benchmark.extra_info["per_table"] = {str(k): list(map(float, v))
+                                         for k, v in table.items()}
+
+
+def test_bench_ofdm_multipath(benchmark, report):
+    sim = LinkSimulator("ofdm-24", "tgn-C", rng=5)
+    result = benchmark.pedantic(
+        lambda: sim.run(26.0, n_packets=20, payload_bytes=60),
+        rounds=1, iterations=1,
+    )
+    report(
+        "E4b: OFDM through TGn-C multipath (channel estimation + EQ)",
+        [f"24 Mbps @ 26 dB in TGn-C: PER = {result.per:.2f}, "
+         f"goodput = {result.goodput_mbps:.1f} Mbps"],
+    )
+    assert result.per < 0.6

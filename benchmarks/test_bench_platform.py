@@ -1,0 +1,33 @@
+"""E16 — platform power budget share (claim C19).
+
+Paper: "In computer notebooks, wireless power consumption represents only
+a fraction of the overall platform power budget. On the other hand,
+smaller form factor devices impose more stringent power requirements."
+"""
+
+from repro.power.chains import MimoPowerModel
+from repro.power.platform import PLATFORMS, wlan_power_share
+
+
+def _shares():
+    # A duty-cycled 2x2 client: 10% RX, 5% TX, 85% idle listen.
+    model = MimoPowerModel(2, 2)
+    avg = (0.10 * model.rx_power_w(130.0)
+           + 0.05 * model.tx_power_total_w(130.0)
+           + 0.85 * model.idle_listen_power_w())
+    return avg, {name: wlan_power_share(avg, name) for name in PLATFORMS}
+
+
+def test_bench_platform_share(benchmark, report):
+    avg, shares = benchmark(_shares)
+    lines = [f"modelled 2x2 WLAN average power: {1000 * avg:.0f} mW", ""]
+    for name, share in sorted(shares.items(), key=lambda kv: kv[1]):
+        bar = "#" * int(50 * min(share, 1.0))
+        lines.append(f"{name:<15} {100 * share:5.1f}% {bar}")
+    lines.append("paper: a fraction of a notebook, dominant in handhelds")
+    report("E16: WLAN share of the platform power budget", lines)
+    assert shares["notebook"] < 0.10
+    assert shares["pda"] > 0.30
+    assert shares["voip-handset"] > shares["pda"]
+    benchmark.extra_info["shares"] = {k: round(v, 3)
+                                      for k, v in shares.items()}

@@ -1,0 +1,62 @@
+"""E13 — MIMO chain power and adaptive chain switching (claims C14, C15).
+
+Paper: "Multiple transmit and receive RF chains ... significantly
+increase the power consumption over single antenna devices" and "MIMO
+systems could reduce power by switching off all but one receive chain
+until a packet is detected".
+"""
+
+from repro.power.adaptive import adaptive_rx_power_w
+from repro.power.chains import MimoPowerModel
+
+CONFIGS = [(1, 1, 54.0, 1.0), (2, 2, 130.0, 1.0), (3, 3, 195.0, 1.0),
+           (4, 4, 270.0, 1.0), (4, 4, 540.0, 2.0)]
+
+
+def _power_table():
+    rows = []
+    for n_tx, n_rx, rate, bw in CONFIGS:
+        model = MimoPowerModel(n_tx, n_rx, bandwidth_scale=bw)
+        rows.append((
+            f"{n_tx}x{n_rx}" + (" @40MHz" if bw > 1 else ""),
+            model.rx_power_w(rate),
+            model.tx_power_total_w(rate),
+            model.idle_listen_power_w(),
+            model.sniff_power_w(),
+        ))
+    return rows
+
+
+def test_bench_chain_power(benchmark, report):
+    rows = benchmark(_power_table)
+    lines = ["config      |   RX    |   TX    |  idle   | sniff(1ch)"]
+    for name, rx, tx, idle, sniff in rows:
+        lines.append(f"{name:<12}| {1000 * rx:6.0f}mW| {1000 * tx:6.0f}mW| "
+                     f"{1000 * idle:6.0f}mW| {1000 * sniff:6.0f}mW")
+    siso_rx = rows[0][1]
+    mimo_rx = rows[3][1]
+    lines.append(f"4x4 RX / 1x1 RX = {mimo_rx / siso_rx:.1f}x "
+                 "(paper: 'significantly increase')")
+    report("E13: device power vs MIMO chain count", lines)
+    assert mimo_rx / siso_rx > 2.5
+    assert rows[4][1] > rows[3][1]  # 40 MHz costs more still
+    benchmark.extra_info["rx_mw"] = {r[0]: round(1000 * r[1]) for r in rows}
+
+
+def test_bench_adaptive_chain_switching(benchmark, report):
+    model = MimoPowerModel(4, 4)
+
+    def sweep():
+        return {busy: adaptive_rx_power_w(model, busy, packets_per_s=50)
+                for busy in (0.01, 0.05, 0.2, 0.5)}
+
+    out = benchmark(sweep)
+    lines = ["busy fraction | static | adaptive | saving"]
+    for busy, r in out.items():
+        lines.append(f"    {busy:5.2f}     | {1000 * r['static_w']:5.0f}mW "
+                     f"| {1000 * r['adaptive_w']:5.0f}mW  "
+                     f"| {100 * r['saving_fraction']:4.1f}%")
+    lines.append("paper: sleep all but one RX chain until packet detect")
+    report("E13b: adaptive RX chain switching (4x4 device)", lines)
+    assert out[0.01]["saving_fraction"] > 0.5
+    assert out[0.01]["saving_fraction"] > out[0.5]["saving_fraction"]

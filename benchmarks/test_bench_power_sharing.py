@@ -1,0 +1,57 @@
+"""E14 — cooperative power sharing (claim C17).
+
+Paper: cooperative/mesh schemes "could 'share' some of the power burden
+with willing third party devices that are less power constrained, such as
+a device that is drawing power from an electrical outlet".
+
+A battery device's transmit energy per delivered bit: direct to the
+destination vs via a mains-powered relay at the midpoint.
+"""
+
+from repro.coop.power_sharing import cooperative_energy_per_bit
+from repro.power.energy import battery_life_hours
+
+DISTANCES = [30.0, 45.0, 60.0, 75.0, 100.0]
+
+
+def _sweep():
+    return {d: cooperative_energy_per_bit(d, relay_fraction=0.5)
+            for d in DISTANCES}
+
+
+def test_bench_power_sharing(benchmark, report):
+    results = benchmark(_sweep)
+    lines = ["distance | direct nJ/bit | via-relay nJ/bit | battery saving"]
+    for d, r in results.items():
+        direct = r["direct_j_per_bit"]
+        coop = r["cooperative_j_per_bit"]
+        direct_s = f"{direct * 1e9:8.1f}" if direct else " (no link)"
+        saving = (f"{r['saving_ratio']:.1f}x"
+                  if r["saving_ratio"] else "link rescued")
+        lines.append(f"  {d:4.0f} m |   {direct_s}   |     "
+                     f"{coop * 1e9:8.1f}     |  {saving}")
+    lines.append("the relay both saves battery energy and extends reach "
+                 "past the direct link's death")
+    report("E14: cooperative power sharing (mains-powered relay)", lines)
+    assert results[60.0]["saving_ratio"] > 1.5
+    assert results[100.0]["direct_j_per_bit"] is None
+    assert results[100.0]["cooperative_j_per_bit"] is not None
+
+
+def test_bench_battery_life_impact(benchmark, report):
+    def run():
+        # 5 Wh handheld battery, streaming 2 Mbps.
+        direct = cooperative_energy_per_bit(60.0, 0.5)
+        p_direct = direct["direct_j_per_bit"] * 2e6
+        p_coop = direct["cooperative_j_per_bit"] * 2e6
+        return (battery_life_hours(5.0, p_direct),
+                battery_life_hours(5.0, p_coop))
+
+    life_direct, life_coop = benchmark(run)
+    report(
+        "E14b: handheld battery life streaming 2 Mbps at 60 m",
+        [f"direct         : {life_direct:6.1f} h",
+         f"via mains relay: {life_coop:6.1f} h "
+         f"({life_coop / life_direct:.1f}x)"],
+    )
+    assert life_coop > life_direct

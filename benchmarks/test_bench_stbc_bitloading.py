@@ -1,0 +1,84 @@
+"""E21 (supplementary) — waveform-level transmit diversity and closed-loop
+bit loading.
+
+Two refinements of the paper's MIMO story measured on real waveforms:
+Alamouti-OFDM vs SISO OFDM packet survival in per-packet Rayleigh fading
+(the E6 range mechanism, now end to end), and per-subcarrier bit loading
+vs uniform modulation on frequency-selective channels.
+"""
+
+import numpy as np
+
+from repro.errors import DemodulationError
+from repro.channel.models import tgn_channel
+from repro.phy.mimo.bitloading import uniform_vs_loaded
+from repro.phy.mimo.stbc_ofdm import StbcOfdmPhy
+from repro.phy.ofdm import OfdmPhy
+
+
+def _stbc_vs_siso(snr_db=13.0, n_trials=20):
+    rng = np.random.default_rng(14)
+    msg = bytes(rng.integers(0, 256, 100, dtype=np.uint8).tolist())
+    nv = 10 ** (-snr_db / 10)
+    siso = OfdmPhy(6)
+    stbc = StbcOfdmPhy(6, n_rx=1)
+    fails = {"siso": 0, "stbc 2x1": 0}
+    for _ in range(n_trials):
+        h = (rng.normal() + 1j * rng.normal()) / np.sqrt(2)
+        wave = siso.transmit(msg)
+        y = h * wave + np.sqrt(nv / 2) * (
+            rng.normal(size=wave.size) + 1j * rng.normal(size=wave.size)
+        )
+        try:
+            fails["siso"] += siso.receive(y, nv) != msg
+        except DemodulationError:
+            fails["siso"] += 1
+        tx = stbc.transmit(msg)
+        h2 = (rng.normal(size=(1, 2)) + 1j * rng.normal(size=(1, 2)))
+        h2 /= np.sqrt(2)
+        y2 = h2 @ tx + np.sqrt(nv / 2) * (
+            rng.normal(size=(1, tx.shape[1]))
+            + 1j * rng.normal(size=(1, tx.shape[1]))
+        )
+        try:
+            fails["stbc 2x1"] += stbc.receive(y2, nv,
+                                              psdu_bytes=len(msg)) != msg
+        except DemodulationError:
+            fails["stbc 2x1"] += 1
+    return {k: v / n_trials for k, v in fails.items()}
+
+
+def _loading_study():
+    rng = np.random.default_rng(15)
+    gains = {}
+    for model in ("B", "D", "F"):
+        tdl = tgn_channel(model, rng=rng)
+        study = []
+        for _ in range(60):
+            freq = tdl.frequency_response(tdl.draw())[:, 0, 0]
+            snr_db = 22.0 + 20 * np.log10(np.maximum(np.abs(freq), 1e-6))
+            study.append(uniform_vs_loaded(snr_db[:48])["gain"])
+        gains[model] = float(np.mean(study))
+    return gains
+
+
+def test_bench_stbc_waveform(benchmark, report):
+    fails = benchmark.pedantic(_stbc_vs_siso, rounds=1, iterations=1)
+    report(
+        "E21a: Alamouti-OFDM vs SISO OFDM in per-packet Rayleigh (13 dB)",
+        [f"SISO OFDM 6 Mbps : PER {fails['siso']:.2f}",
+         f"2x1 STBC OFDM    : PER {fails['stbc 2x1']:.2f}",
+         "the E6 fade-margin collapse, demonstrated on full PPDUs"],
+    )
+    assert fails["stbc 2x1"] <= fails["siso"]
+
+
+def test_bench_bit_loading(benchmark, report):
+    gains = benchmark.pedantic(_loading_study, rounds=1, iterations=1)
+    report(
+        "E21b: per-subcarrier bit loading vs uniform modulation",
+        [f"TGn-{m}: loading carries {g:.2f}x the bits of worst-tone uniform"
+         for m, g in gains.items()]
+        + ["gain grows with frequency selectivity (delay spread B < D < F)"],
+    )
+    assert gains["F"] >= gains["B"] >= 1.0

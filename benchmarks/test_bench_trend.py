@@ -1,0 +1,41 @@
+"""E17 — the fivefold law and its extrapolation (claim C6).
+
+Paper: 15 bps/Hz "maintains the historical trend of fivefold increases
+with each new standard". The bench fits the geometric law and
+extrapolates one generation — a falsifiable prediction the 2005 author
+implicitly made (the real 802.11ac VHT160/8SS landed at ~43 bps/Hz,
+within the fitted law's ballpark).
+"""
+
+import numpy as np
+
+from repro.analysis.capacity import snr_required_db
+from repro.analysis.trends import fit_exponential_trend, predict_next_generation
+from repro.core.evolution import spectral_efficiency_series
+
+
+def _fit_and_predict():
+    names, effs = spectral_efficiency_series()
+    ratio, prefactor = fit_exponential_trend(np.arange(effs.size), effs)
+    nxt = predict_next_generation(effs)
+    return names, effs, ratio, nxt
+
+
+def test_bench_trend_extrapolation(benchmark, report):
+    names, effs, ratio, nxt = benchmark(_fit_and_predict)
+    lines = []
+    for name, eff in zip(names, effs):
+        lines.append(f"{name:<10} {eff:6.2f} bps/Hz")
+    lines.append(f"fitted multiplier: {ratio:.2f}x per generation "
+                 "(paper: ~5x)")
+    lines.append(f"extrapolated next generation: {nxt:.0f} bps/Hz "
+                 "(802.11ac eventually shipped ~43 bps/Hz)")
+    lines.append(
+        f"SISO Shannon SNR for 15 bps/Hz: {snr_required_db(15.0):.0f} dB "
+        "-- unreachable, hence MIMO (the paper's 'heretofore unreachable')"
+    )
+    report("E17: the fivefold spectral-efficiency law", lines)
+    assert 4.5 < ratio < 6.0
+    assert 40.0 < nxt < 120.0
+    benchmark.extra_info["ratio"] = round(ratio, 2)
+    benchmark.extra_info["next_gen_bps_hz"] = round(nxt, 1)

@@ -1,0 +1,62 @@
+"""Scenario: the paper's "future development" — cooperative diversity.
+
+A weak source-destination link recruits a third-party relay. The script
+runs the symbol-level decode-and-forward simulation, compares it with the
+closed-form outage theory, shows relay selection among several
+bystanders, and demonstrates the diversity-order change.
+
+    python examples/cooperative_relay_demo.py
+"""
+
+import numpy as np
+
+from repro.coop.outage import (
+    df_outage_probability,
+    direct_outage_probability,
+    diversity_order,
+)
+from repro.coop.relay import RelaySimulator
+from repro.coop.selection import best_relay_index
+
+
+def monte_carlo_story():
+    print("Decode-and-forward relaying, flat Rayleigh, BPSK blocks:\n")
+    print("SNR | direct BER -> coop BER | direct outage -> coop outage | "
+          "relay decoded")
+    sim = RelaySimulator("df", relay_gain_db=3.0, rng=11)
+    for snr in (8.0, 12.0, 16.0, 20.0):
+        r = sim.run(snr, n_blocks=400, block_bits=64)
+        print(f" {snr:4.0f} | {r.ber_direct:8.4f} -> {r.ber_cooperative:8.4f}"
+              f" | {r.outage_direct:8.3f}  -> {r.outage_cooperative:8.3f}  "
+              f" |   {100 * r.relay_decode_rate:4.0f}%")
+
+
+def theory_story():
+    snrs = np.array([10.0, 15.0, 20.0, 25.0, 30.0])
+    direct = direct_outage_probability(snrs)
+    coop = df_outage_probability(snrs)
+    print("\nClosed-form outage (R = 1 bps/Hz):")
+    print("  SNR:   " + "".join(f"{s:>10.0f}" for s in snrs))
+    print("  direct:" + "".join(f"{p:>10.1e}" for p in direct))
+    print("  DF:    " + "".join(f"{p:>10.1e}" for p in coop))
+    print(f"  diversity order: direct {diversity_order(snrs, direct):.1f}, "
+          f"cooperative {diversity_order(snrs, coop):.1f} "
+          "(the slope change is the whole story)")
+
+
+def selection_story():
+    rng = np.random.default_rng(6)
+    sr = 10 * np.log10(rng.exponential(10.0, 5))
+    rd = 10 * np.log10(rng.exponential(10.0, 5))
+    chosen = best_relay_index(sr, rd)
+    print("\nFive bystanders offer to relay (SNRs in dB):")
+    for i, (a, b) in enumerate(zip(sr, rd)):
+        marker = "  <- selected (max-min)" if i == chosen else ""
+        print(f"  relay {i}: source->relay {a:5.1f}, relay->dest {b:5.1f}"
+              f"{marker}")
+
+
+if __name__ == "__main__":
+    monte_carlo_story()
+    theory_story()
+    selection_story()

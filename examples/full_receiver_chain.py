@@ -1,0 +1,73 @@
+"""Scenario: everything a real receiver does, sample by sample.
+
+A weak, delayed, frequency-offset 802.11a packet arrives through a TGn-B
+channel. The script walks the complete receive chain the library
+provides: AGC settling, packet detection, CFO estimation and correction,
+fine timing, 8-bit digitisation, channel estimation and decoding —
+the machinery behind every PER number in the benchmarks.
+
+    python examples/full_receiver_chain.py
+"""
+
+import numpy as np
+
+from repro.channel.models import tgn_channel
+from repro.phy.agc import AutomaticGainControl
+from repro.phy.ofdm import OfdmPhy
+from repro.phy.quantization import quantization_snr_db, quantize
+from repro.phy.sync import apply_cfo, detect_packet, synchronise
+
+
+def main():
+    rng = np.random.default_rng(7)
+    message = b"the quick brown fox, 54 megabits at a time"
+    phy = OfdmPhy(24)
+
+    # --- the air -----------------------------------------------------------
+    wave = phy.transmit(message)
+    wave = apply_cfo(wave, 73e3)                      # oscillator mismatch
+    channel = tgn_channel("B", rng=rng)
+    faded = channel.apply(wave[None, :]).ravel()      # residential multipath
+    arrival = 0.002 * np.concatenate(                 # -54 dB of path loss,
+        [np.zeros(188, complex), faded]               # unknown start time
+    )
+    snr_db = 24.0
+    noise_var = float(np.mean(np.abs(arrival) ** 2)) / 10 ** (snr_db / 10)
+    arrival += np.sqrt(noise_var / 2) * (
+        rng.normal(size=arrival.size) + 1j * rng.normal(size=arrival.size)
+    )
+    print(f"on-air: {arrival.size} samples, "
+          f"RMS {np.sqrt(np.mean(np.abs(arrival)**2)):.4f}, "
+          f"CFO 73 kHz, delay 188 samples, TGn-B multipath, {snr_db:.0f} dB")
+
+    # --- the receiver ---------------------------------------------------------
+    hit = detect_packet(arrival)
+    print(f"1. detection      : energy+periodicity metric fires at sample "
+          f"{hit}")
+
+    agc = AutomaticGainControl(full_scale=1.0, backoff_db=11.0)
+    scaled, gain_db = agc.apply(arrival[hit:])
+    print(f"2. AGC            : +{gain_db:.1f} dB to sit 11 dB below full "
+          f"scale (clip fraction {agc.clip_fraction(arrival[hit:]):.4f})")
+
+    digitised = quantize(scaled, 8, clip_level=1.0)
+    sqnr = quantization_snr_db(scaled, 8, clip_level=1.0)
+    print(f"3. 8-bit ADC      : SQNR {sqnr:.1f} dB (comfortably above the "
+          f"{snr_db:.0f} dB channel)")
+
+    aligned, info = synchronise(digitised)
+    print(f"4. sync           : packet start {hit + info['packet_start']}, "
+          f"CFO estimate {info['total_cfo_hz'] / 1e3:.1f} kHz "
+          f"(true 73.0)")
+
+    # The AGC scaled the noise too; recompute its variance at the ADC.
+    nv_scaled = noise_var * 10 ** (gain_db / 10)
+    decoded = phy.receive(aligned, noise_var=nv_scaled)
+    print(f"5. decode         : channel estimated from the LTF, Viterbi, "
+          f"descramble ->")
+    print(f"\n   {decoded!r}")
+    print(f"\nround trip {'OK' if decoded == message else 'FAILED'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660 editable
+installs fail; this shim lets ``pip install -e . --no-build-isolation`` (and
+plain ``python setup.py develop``) work with the legacy code path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""Closed-form analysis: BER theory, link budgets, range, PER, trends.
+
+These are the yardsticks the Monte-Carlo simulations are validated
+against, and the machinery for the paper's range and evolution claims.
+"""
+
+from repro.analysis.ber_theory import (
+    ber_mqam_awgn,
+    ber_psk_awgn,
+    ber_rayleigh_bpsk,
+    ber_rayleigh_mrc,
+    q_function,
+)
+from repro.analysis.capacity import shannon_capacity_bps, snr_required_db
+from repro.analysis.linkbudget import LinkBudget
+from repro.analysis.per import (
+    per_from_ber,
+    per_from_snr,
+    throughput_mbps,
+)
+from repro.analysis.range import (
+    range_for_snr_m,
+    range_ratio_from_gain_db,
+    rate_vs_distance,
+)
+from repro.analysis.trends import (
+    fit_exponential_trend,
+    predict_next_generation,
+)
+
+__all__ = [
+    "ber_mqam_awgn",
+    "ber_psk_awgn",
+    "ber_rayleigh_bpsk",
+    "ber_rayleigh_mrc",
+    "q_function",
+    "shannon_capacity_bps",
+    "snr_required_db",
+    "LinkBudget",
+    "per_from_ber",
+    "per_from_snr",
+    "throughput_mbps",
+    "range_for_snr_m",
+    "range_ratio_from_gain_db",
+    "rate_vs_distance",
+    "fit_exponential_trend",
+    "predict_next_generation",
+]

@@ -1,0 +1,28 @@
+"""Shannon-capacity helpers for spectral-efficiency arguments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def shannon_capacity_bps(bandwidth_hz, snr_db):
+    """AWGN channel capacity ``B log2(1 + SNR)`` in bits/s."""
+    if bandwidth_hz <= 0:
+        raise ConfigurationError("bandwidth must be positive")
+    snr = 10.0 ** (np.asarray(snr_db, dtype=float) / 10.0)
+    return bandwidth_hz * np.log2(1.0 + snr)
+
+
+def snr_required_db(spectral_efficiency_bps_hz):
+    """Minimum SNR for a spectral efficiency on a SISO AWGN channel.
+
+    Inverts Shannon: ``SNR = 2^eta - 1``. At 15 bps/Hz this is ~45 dB —
+    the number that shows why the paper says SISO had hit its practical
+    ceiling and MIMO was needed.
+    """
+    eta = np.asarray(spectral_efficiency_bps_hz, dtype=float)
+    if np.any(eta <= 0):
+        raise ConfigurationError("spectral efficiency must be positive")
+    return 10.0 * np.log10(2.0 ** eta - 1.0)

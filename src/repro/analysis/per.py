@@ -1,0 +1,42 @@
+"""Packet error rate and throughput models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def per_from_ber(ber, n_bits):
+    """PER for independent bit errors: ``1 - (1 - BER)^n``."""
+    ber = np.asarray(ber, dtype=float)
+    if np.any((ber < 0) | (ber > 1)):
+        raise ConfigurationError("BER must lie in [0, 1]")
+    if n_bits <= 0:
+        raise ConfigurationError("n_bits must be positive")
+    # expm1 keeps precision for tiny BER.
+    return -np.expm1(n_bits * np.log1p(-np.minimum(ber, 1.0 - 1e-16)))
+
+
+def per_from_snr(snr_db, required_snr_db, steepness_db=1.5):
+    """Smooth link abstraction: PER vs SNR as a logistic waterfall.
+
+    System-level simulators commonly replace the full PHY with a logistic
+    PER curve centred on the rate's required SNR; ``steepness_db`` is the
+    10-90% transition half-width.
+    """
+    snr_db = np.asarray(snr_db, dtype=float)
+    if steepness_db <= 0:
+        raise ConfigurationError("steepness must be positive")
+    return 1.0 / (1.0 + np.exp((snr_db - required_snr_db) / steepness_db *
+                               np.log(9.0)))
+
+
+def throughput_mbps(rate_mbps, per, overhead_fraction=0.0):
+    """Goodput after packet loss and protocol overhead."""
+    per = np.asarray(per, dtype=float)
+    if np.any((per < 0) | (per > 1)):
+        raise ConfigurationError("PER must lie in [0, 1]")
+    if not 0 <= overhead_fraction < 1:
+        raise ConfigurationError("overhead fraction must be in [0, 1)")
+    return rate_mbps * (1.0 - per) * (1.0 - overhead_fraction)

@@ -1,0 +1,39 @@
+"""Range analysis: how far a rate reaches, and how gains stretch it.
+
+The paper claims MIMO extends range "several-fold". Mechanically, a
+diversity/beamforming gain of G dB multiplies range by
+``10^(G / (10 n))`` under a path-loss exponent n; fading-margin reduction
+from diversity adds to G. These helpers quantify that chain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.linkbudget import LinkBudget
+from repro.errors import ConfigurationError
+
+
+def range_for_snr_m(required_snr_db, budget=None):
+    """Range for a required SNR under a default (or given) link budget."""
+    budget = budget or LinkBudget()
+    return budget.range_for_snr(required_snr_db)
+
+
+def range_ratio_from_gain_db(gain_db, path_loss_exponent=3.5):
+    """Range multiplication from an SNR gain beyond the breakpoint."""
+    if path_loss_exponent <= 0:
+        raise ConfigurationError("exponent must be positive")
+    return 10.0 ** (np.asarray(gain_db, dtype=float)
+                    / (10.0 * path_loss_exponent))
+
+
+def rate_vs_distance(standard, distances_m, budget=None):
+    """Best sustainable rate at each distance (Mbps; 0 when out of range)."""
+    budget = budget or LinkBudget()
+    distances_m = np.atleast_1d(np.asarray(distances_m, dtype=float))
+    rates = np.zeros(distances_m.size)
+    for i, d in enumerate(distances_m):
+        entry = standard.rate_at_snr(budget.snr_at(d))
+        rates[i] = 0.0 if entry is None else entry.rate_mbps
+    return rates

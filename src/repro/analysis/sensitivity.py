@@ -1,0 +1,44 @@
+"""Receiver sensitivity: required SNR plus physics.
+
+Sensitivity = noise floor (kTB + NF) + required SNR. Inverting the
+registry's SNR table through this relation reproduces each standard's
+published sensitivity column, closing the loop between the link
+abstraction and the numbers vendors printed on data sheets.
+"""
+
+from __future__ import annotations
+
+from repro.channel.awgn import noise_floor_dbm
+from repro.errors import ConfigurationError
+from repro.standards.registry import get_standard
+
+
+def sensitivity_dbm(required_snr_db, bandwidth_hz=20e6, noise_figure_db=7.0):
+    """Minimum received power to hold ``required_snr_db``."""
+    return noise_floor_dbm(bandwidth_hz, noise_figure_db) + required_snr_db
+
+
+def sensitivity_table(standard, bandwidth_hz=20e6, noise_figure_db=7.0):
+    """Per-rate sensitivities of a generation.
+
+    Returns a list of (rate_mbps, sensitivity_dbm), sorted by rate.
+    """
+    std = get_standard(standard) if isinstance(standard, str) else standard
+    rows = []
+    for entry in sorted(std.rates, key=lambda r: (r.rate_mbps,
+                                                  r.required_snr_db)):
+        rows.append((
+            entry.rate_mbps,
+            sensitivity_dbm(entry.required_snr_db, bandwidth_hz,
+                            noise_figure_db),
+        ))
+    return rows
+
+
+def snr_from_sensitivity(sensitivity_dbm_value, bandwidth_hz=20e6,
+                         noise_figure_db=7.0):
+    """Back out the implied SNR requirement from a data-sheet sensitivity."""
+    if bandwidth_hz <= 0:
+        raise ConfigurationError("bandwidth must be positive")
+    return sensitivity_dbm_value - noise_floor_dbm(bandwidth_hz,
+                                                   noise_figure_db)

@@ -1,0 +1,42 @@
+"""Radio channel models: AWGN, flat fading, multipath, path loss.
+
+The paper's claims about range and diversity only show up in *fading*
+channels, so this package provides the statistical models the 802.11n task
+group itself used to evaluate proposals: i.i.d. Rayleigh/Ricean flat
+fading, exponential-power-delay-profile tapped delay lines parameterised
+like TGn models A-F, and the IEEE dual-slope breakpoint path loss.
+"""
+
+from repro.channel.awgn import add_awgn, awgn_noise, noise_floor_dbm
+from repro.channel.fading import (
+    jakes_process,
+    rayleigh_fading,
+    ricean_fading,
+)
+from repro.channel.multipath import TappedDelayLine
+from repro.channel.models import TGN_PROFILES, TgnProfile, tgn_channel
+from repro.channel.timevarying import TimeVaryingChannel
+from repro.channel.pathloss import (
+    breakpoint_path_loss_db,
+    free_space_path_loss_db,
+    log_distance_path_loss_db,
+    shadowing_db,
+)
+
+__all__ = [
+    "add_awgn",
+    "awgn_noise",
+    "noise_floor_dbm",
+    "jakes_process",
+    "rayleigh_fading",
+    "ricean_fading",
+    "TappedDelayLine",
+    "TimeVaryingChannel",
+    "TGN_PROFILES",
+    "TgnProfile",
+    "tgn_channel",
+    "breakpoint_path_loss_db",
+    "free_space_path_loss_db",
+    "log_distance_path_loss_db",
+    "shadowing_db",
+]

@@ -1,0 +1,49 @@
+"""Additive white Gaussian noise and thermal-noise bookkeeping."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import THERMAL_NOISE_DBM_PER_HZ
+from repro.errors import ConfigurationError
+from repro.utils.rng import as_generator
+
+
+def awgn_noise(shape, noise_var, rng=None):
+    """Complex circular Gaussian noise of total variance ``noise_var``."""
+    if noise_var < 0:
+        raise ConfigurationError(f"noise_var must be >= 0, got {noise_var}")
+    rng = as_generator(rng)
+    scale = np.sqrt(noise_var / 2.0)
+    return scale * (rng.normal(size=shape) + 1j * rng.normal(size=shape))
+
+
+def add_awgn(signal, snr_db, rng=None, measure_power=True):
+    """Add AWGN at the requested SNR.
+
+    Parameters
+    ----------
+    signal : complex array (any shape; rows treated jointly)
+    snr_db : float
+        Desired ratio of measured signal power to complex noise variance.
+    measure_power : bool
+        If True the signal power is measured; if False unit power is
+        assumed (useful when zero-padding would bias the estimate).
+
+    Returns
+    -------
+    (noisy, noise_var) : (numpy.ndarray, float)
+    """
+    signal = np.asarray(signal, dtype=np.complex128)
+    power = float(np.mean(np.abs(signal) ** 2)) if measure_power else 1.0
+    noise_var = power / 10.0 ** (snr_db / 10.0)
+    return signal + awgn_noise(signal.shape, noise_var, rng), noise_var
+
+
+def noise_floor_dbm(bandwidth_hz, noise_figure_db=7.0):
+    """Receiver noise floor: kTB plus the front-end noise figure."""
+    if bandwidth_hz <= 0:
+        raise ConfigurationError("bandwidth must be positive")
+    return (
+        THERMAL_NOISE_DBM_PER_HZ + 10.0 * np.log10(bandwidth_hz) + noise_figure_db
+    )

@@ -1,0 +1,64 @@
+"""IEEE TGn channel model profiles A-F (simplified).
+
+The TGn models define environments from a flat-fading office (A) through
+large open spaces (F). The full cluster structure is simplified here to a
+single exponential power delay profile with each model's RMS delay spread
+and breakpoint distance — the parameters that control frequency
+selectivity and range, which is what the reproduction experiments need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.channel.multipath import TappedDelayLine
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TgnProfile:
+    """Environment parameters of one TGn model."""
+
+    name: str
+    description: str
+    rms_delay_spread_ns: float
+    breakpoint_m: float
+    k_factor_db: float  # LOS K factor inside the breakpoint (dB)
+
+
+TGN_PROFILES = {
+    "A": TgnProfile("A", "flat fading reference", 0.0, 5.0, 0.0),
+    "B": TgnProfile("B", "residential", 15.0, 5.0, 0.0),
+    "C": TgnProfile("C", "small office", 30.0, 5.0, 0.0),
+    "D": TgnProfile("D", "typical office", 50.0, 10.0, 3.0),
+    "E": TgnProfile("E", "large office", 100.0, 20.0, 6.0),
+    "F": TgnProfile("F", "large open space", 150.0, 30.0, 6.0),
+}
+
+
+def tgn_channel(model, n_rx=1, n_tx=1, sample_rate_hz=20e6, los=False,
+                rng=None):
+    """Build a :class:`TappedDelayLine` for TGn model ``model``.
+
+    Parameters
+    ----------
+    model : str
+        One of "A".."F".
+    los : bool
+        Apply the model's Ricean K factor to the first tap (station within
+        the breakpoint distance).
+    """
+    key = str(model).upper()
+    if key not in TGN_PROFILES:
+        raise ConfigurationError(
+            f"unknown TGn model {model!r}; choose from {sorted(TGN_PROFILES)}"
+        )
+    profile = TGN_PROFILES[key]
+    return TappedDelayLine(
+        n_rx=n_rx,
+        n_tx=n_tx,
+        rms_delay_spread_s=profile.rms_delay_spread_ns * 1e-9,
+        sample_rate_hz=sample_rate_hz,
+        k_factor_db=profile.k_factor_db if los else None,
+        rng=rng,
+    )

@@ -1,0 +1,71 @@
+"""Large-scale path loss and shadowing.
+
+The IEEE 802.11 TGn channel models use a dual-slope law: free space
+(exponent 2) up to a breakpoint distance, exponent 3.5 beyond it, plus
+log-normal shadowing. Range claims in the benchmarks are all evaluated
+against this law.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import SPEED_OF_LIGHT
+from repro.errors import ConfigurationError
+from repro.utils.rng import as_generator
+
+
+def free_space_path_loss_db(distance_m, frequency_hz):
+    """Friis free-space path loss."""
+    distance_m = np.asarray(distance_m, dtype=float)
+    if np.any(distance_m <= 0) or frequency_hz <= 0:
+        raise ConfigurationError("distance and frequency must be positive")
+    wavelength = SPEED_OF_LIGHT / frequency_hz
+    return 20.0 * np.log10(4.0 * np.pi * distance_m / wavelength)
+
+
+def log_distance_path_loss_db(distance_m, frequency_hz, exponent=3.5,
+                              reference_m=1.0):
+    """Single-slope log-distance law anchored at free space @ reference."""
+    distance_m = np.asarray(distance_m, dtype=float)
+    if np.any(distance_m <= 0):
+        raise ConfigurationError("distance must be positive")
+    ref_loss = free_space_path_loss_db(reference_m, frequency_hz)
+    return ref_loss + 10.0 * exponent * np.log10(distance_m / reference_m)
+
+
+def breakpoint_path_loss_db(distance_m, frequency_hz, breakpoint_m=5.0,
+                            exponent_after=3.5):
+    """IEEE TGn dual-slope path loss.
+
+    Free space up to ``breakpoint_m``, then slope ``exponent_after``.
+    """
+    distance_m = np.asarray(distance_m, dtype=float)
+    if np.any(distance_m <= 0) or breakpoint_m <= 0:
+        raise ConfigurationError("distances must be positive")
+    fs = free_space_path_loss_db(np.minimum(distance_m, breakpoint_m),
+                                 frequency_hz)
+    beyond = np.maximum(distance_m / breakpoint_m, 1.0)
+    extra = 10.0 * exponent_after * np.log10(beyond)
+    result = fs + extra
+    return float(result) if np.isscalar(distance_m) or result.ndim == 0 \
+        else result
+
+
+def shadowing_db(shape=None, sigma_db=4.0, rng=None):
+    """Log-normal shadowing samples (zero-mean Gaussian in dB)."""
+    if sigma_db < 0:
+        raise ConfigurationError("sigma must be >= 0")
+    rng = as_generator(rng)
+    if shape is None:
+        return float(rng.normal(0.0, sigma_db))
+    return rng.normal(0.0, sigma_db, size=shape)
+
+
+def received_power_dbm(tx_power_dbm, distance_m, frequency_hz,
+                       breakpoint_m=5.0, exponent_after=3.5,
+                       antenna_gain_db=0.0, shadow_db=0.0):
+    """Link-budget received power under the dual-slope law."""
+    loss = breakpoint_path_loss_db(distance_m, frequency_hz,
+                                   breakpoint_m, exponent_after)
+    return tx_power_dbm + antenna_gain_db - loss - shadow_db

@@ -1,0 +1,100 @@
+"""Time-varying multipath: mobility inside a packet.
+
+The static tapped delay line assumes the channel holds still between the
+training field and the last data symbol. With motion it does not: each tap
+evolves as a Jakes process, the preamble-based channel estimate goes stale
+and long packets start failing — a real constraint on preamble-trained
+OFDM (and one of the reasons pilot tracking exists).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.channel.fading import jakes_process
+from repro.channel.multipath import exponential_pdp
+from repro.errors import ConfigurationError
+from repro.utils.rng import as_generator
+
+
+class TimeVaryingChannel:
+    """MIMO tapped delay line whose taps move (Jakes Doppler).
+
+    Parameters
+    ----------
+    n_rx, n_tx : int
+    rms_delay_spread_s : float
+    sample_rate_hz : float
+    doppler_hz : float
+        Maximum Doppler shift (v/c * f_c); 0 reduces to the static TDL.
+    rng : seed or Generator
+
+    Examples
+    --------
+    >>> ch = TimeVaryingChannel(1, 1, 50e-9, 20e6, doppler_hz=200.0, rng=0)
+    >>> y = ch.apply(tx_wave)          # tx_wave: (n_tx, N) -> (n_rx, N)
+    """
+
+    def __init__(self, n_rx, n_tx, rms_delay_spread_s, sample_rate_hz,
+                 doppler_hz=0.0, rng=None):
+        if n_rx < 1 or n_tx < 1:
+            raise ConfigurationError("antenna counts must be >= 1")
+        if doppler_hz < 0:
+            raise ConfigurationError("doppler must be >= 0")
+        self.n_rx = int(n_rx)
+        self.n_tx = int(n_tx)
+        self.sample_rate = float(sample_rate_hz)
+        self.doppler_hz = float(doppler_hz)
+        self.pdp = exponential_pdp(rms_delay_spread_s, 1.0 / sample_rate_hz)
+        self.rng = as_generator(rng)
+
+    @property
+    def n_taps(self):
+        """Number of delay taps."""
+        return self.pdp.size
+
+    def coherence_time_s(self):
+        """Clarke's rule-of-thumb coherence time 0.423 / f_d (inf if static)."""
+        if self.doppler_hz == 0:
+            return float("inf")
+        return 0.423 / self.doppler_hz
+
+    def tap_processes(self, n_samples):
+        """Draw (n_rx, n_tx, n_taps, n_samples) evolving tap gains."""
+        gains = np.empty((self.n_rx, self.n_tx, self.n_taps, n_samples),
+                         dtype=np.complex128)
+        for r in range(self.n_rx):
+            for t in range(self.n_tx):
+                for l in range(self.n_taps):
+                    gains[r, t, l] = np.sqrt(self.pdp[l]) * jakes_process(
+                        n_samples, self.doppler_hz, self.sample_rate,
+                        rng=self.rng,
+                    )
+        return gains
+
+    def apply(self, signal, gains=None):
+        """Pass an (n_tx, N) waveform through the moving channel.
+
+        Returns (n_rx, N); supply ``gains`` (from :meth:`tap_processes`)
+        to reuse one realisation.
+        """
+        signal = np.atleast_2d(np.asarray(signal, dtype=np.complex128))
+        if signal.shape[0] != self.n_tx:
+            raise ConfigurationError(
+                f"signal has {signal.shape[0]} streams, channel expects "
+                f"{self.n_tx}"
+            )
+        n = signal.shape[1]
+        if gains is None:
+            gains = self.tap_processes(n)
+        out = np.zeros((self.n_rx, n), dtype=np.complex128)
+        for l in range(self.n_taps):
+            delayed = np.zeros_like(signal)
+            if l == 0:
+                delayed[:] = signal
+            else:
+                delayed[:, l:] = signal[:, :-l]
+            for r in range(self.n_rx):
+                for t in range(self.n_tx):
+                    out[r] += gains[r, t, l, :n] * delayed[t]
+        return out

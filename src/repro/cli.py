@@ -1,0 +1,150 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+evolution
+    Print the paper's generation table and the fitted fivefold law.
+link PHY CHANNEL SNR
+    Run a quick link simulation (e.g. ``link ofdm-54 rayleigh 28``).
+mac N_STATIONS
+    DCF saturation throughput vs the Bianchi model.
+regulatory
+    The regulatory narrative with measured processing gains.
+rates [STANDARD]
+    Dump a generation's rate table (default 802.11a).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.evolution import fivefold_law, format_evolution_table
+from repro.core.link import LinkSimulator
+from repro.mac.bianchi import bianchi_saturation_throughput
+from repro.mac.dcf import DcfSimulator
+from repro.standards.registry import GENERATIONS, get_standard
+from repro.standards.regulatory import regulatory_report
+
+
+def _cmd_evolution(_args):
+    print(format_evolution_table())
+    ratio, _ = fivefold_law()
+    print(f"\nfitted per-generation multiplier: {ratio:.2f}x (paper: ~5x)")
+    return 0
+
+
+def _cmd_link(args):
+    sim = LinkSimulator(args.phy, args.channel, rng=args.seed)
+    result = sim.run(args.snr, n_packets=args.packets,
+                     payload_bytes=args.bytes)
+    print(f"{args.phy} over {args.channel} @ {args.snr:.1f} dB "
+          f"({args.packets} x {args.bytes} B):")
+    print(f"  PER     : {result.per:.3f}")
+    print(f"  BER     : {result.ber:.2e}")
+    print(f"  goodput : {result.goodput_mbps:.2f} Mbps "
+          f"(PHY rate {result.rate_mbps:.1f})")
+    return 0
+
+
+def _cmd_mac(args):
+    sim = DcfSimulator(args.stations, "802.11a", 54, 1500, rng=args.seed)
+    result = sim.run(args.duration)
+    model = bianchi_saturation_throughput(args.stations, "802.11a", 54, 1500)
+    print(f"{args.stations} saturated stations, 802.11a @ 54 Mbps, 1500 B:")
+    print(f"  simulated goodput : {result.throughput_mbps:.1f} Mbps")
+    print(f"  Bianchi model     : {model:.1f} Mbps")
+    print(f"  P(collision)      : {result.collision_probability:.2f}")
+    print(f"  Jain fairness     : {result.jain_fairness:.3f}")
+    return 0
+
+
+def _cmd_regulatory(_args):
+    for row in regulatory_report():
+        gain = row["processing_gain_db"]
+        gain_s = f"{gain:5.1f} dB" if gain is not None else "   --   "
+        print(f"{row['standard']:<18} {gain_s}  {row['mechanism']}")
+        print(f"{'':<28}{row['status']}")
+    return 0
+
+
+def _cmd_experiment(args):
+    from repro.core.experiments import list_experiments, run_experiment
+
+    if args.id is None:
+        print("available quick experiments (full versions: pytest "
+              "benchmarks/ --benchmark-only):")
+        for key, desc in list_experiments():
+            print(f"  {key:<4} {desc}")
+        return 0
+    for line in run_experiment(args.id):
+        print(line)
+    return 0
+
+
+def _cmd_rates(args):
+    std = get_standard(args.standard)
+    print(f"{std.name} ({std.year}, {std.phy_type}, "
+          f"{std.bandwidth_mhz:.0f} MHz):")
+    for entry in sorted(std.rates, key=lambda r: (r.rate_mbps,
+                                                  r.required_snr_db)):
+        print(f"  {entry.rate_mbps:7.1f} Mbps  needs {entry.required_snr_db:5.1f} dB"
+              f"  ({entry.modulation}, r={entry.code_rate})")
+    return 0
+
+
+def build_parser():
+    """The argparse tree (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Wireless LAN: Past, Present, and Future — reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("evolution", help="the paper's generation table")
+
+    p_link = sub.add_parser("link", help="run a link simulation")
+    p_link.add_argument("phy", help="e.g. ofdm-54, cck-11, ht-12")
+    p_link.add_argument("channel", nargs="?", default="awgn",
+                        help="awgn | rayleigh | tgn-A..F")
+    p_link.add_argument("snr", nargs="?", type=float, default=25.0)
+    p_link.add_argument("--packets", type=int, default=50)
+    p_link.add_argument("--bytes", type=int, default=200)
+    p_link.add_argument("--seed", type=int, default=0)
+
+    p_mac = sub.add_parser("mac", help="DCF contention study")
+    p_mac.add_argument("stations", type=int)
+    p_mac.add_argument("--duration", type=float, default=0.5)
+    p_mac.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("regulatory", help="the regulatory narrative")
+
+    p_exp = sub.add_parser("experiment",
+                           help="run a quick paper experiment (E1..)")
+    p_exp.add_argument("id", nargs="?", default=None,
+                       help="experiment id, e.g. E6; omit to list")
+
+    p_rates = sub.add_parser("rates", help="dump a rate table")
+    p_rates.add_argument("standard", nargs="?", default="802.11a",
+                         choices=sorted(GENERATIONS))
+    return parser
+
+
+_HANDLERS = {
+    "evolution": _cmd_evolution,
+    "link": _cmd_link,
+    "mac": _cmd_mac,
+    "regulatory": _cmd_regulatory,
+    "experiment": _cmd_experiment,
+    "rates": _cmd_rates,
+}
+
+
+def main(argv=None):
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,90 @@
+"""Physical and 802.11 protocol constants used across the library.
+
+Values follow the base 802.11-1999 standard and its a/b/g amendments, plus
+the High Throughput (802.11n) parameters the paper anticipates.
+"""
+
+# -- physics ---------------------------------------------------------------
+
+SPEED_OF_LIGHT = 299_792_458.0
+"""Speed of light in vacuum [m/s]."""
+
+BOLTZMANN = 1.380_649e-23
+"""Boltzmann constant [J/K]."""
+
+ROOM_TEMPERATURE_K = 290.0
+"""Reference noise temperature [K] used for thermal-noise floors."""
+
+THERMAL_NOISE_DBM_PER_HZ = -173.977
+"""kT at 290 K expressed in dBm/Hz."""
+
+# -- carrier frequencies ---------------------------------------------------
+
+BAND_2_4_GHZ = 2.412e9
+"""Centre frequency of 2.4 GHz channel 1 [Hz]."""
+
+BAND_5_GHZ = 5.18e9
+"""Centre frequency of 5 GHz channel 36 [Hz]."""
+
+# -- channelisation --------------------------------------------------------
+
+CHANNEL_BANDWIDTH_HZ = 20e6
+"""Nominal 802.11 channel bandwidth [Hz]."""
+
+WIDE_CHANNEL_BANDWIDTH_HZ = 40e6
+"""802.11n 40 MHz bonded channel bandwidth [Hz]."""
+
+# -- DSSS / HR-DSSS PHY (802.11 / 802.11b) ----------------------------------
+
+BARKER_SEQUENCE = (1, -1, 1, 1, -1, 1, 1, 1, -1, -1, -1)
+"""The 11-chip Barker code used by the 802.11 DSSS PHY."""
+
+DSSS_CHIP_RATE_HZ = 11e6
+"""802.11 DSSS chip rate [chips/s]."""
+
+FCC_PROCESSING_GAIN_DB = 10.0
+"""Minimum processing gain mandated by the original FCC part-15 rules [dB]."""
+
+# -- OFDM PHY (802.11a/g) ----------------------------------------------------
+
+OFDM_FFT_SIZE = 64
+OFDM_DATA_SUBCARRIERS = 48
+OFDM_PILOT_SUBCARRIERS = 4
+OFDM_CP_LENGTH = 16
+OFDM_SYMBOL_SAMPLES = OFDM_FFT_SIZE + OFDM_CP_LENGTH
+OFDM_SAMPLE_RATE_HZ = 20e6
+OFDM_SYMBOL_DURATION_S = OFDM_SYMBOL_SAMPLES / OFDM_SAMPLE_RATE_HZ  # 4 us
+OFDM_SUBCARRIER_SPACING_HZ = OFDM_SAMPLE_RATE_HZ / OFDM_FFT_SIZE  # 312.5 kHz
+
+OFDM_PILOT_INDICES = (-21, -7, 7, 21)
+"""Logical subcarrier indices carrying pilots in 802.11a."""
+
+OFDM_PILOT_POLARITY = (1, 1, 1, -1)
+"""First-symbol pilot values on the pilot subcarriers, in index order."""
+
+# -- HT PHY (802.11n) --------------------------------------------------------
+
+HT_MAX_SPATIAL_STREAMS = 4
+HT_DATA_SUBCARRIERS_20MHZ = 52
+HT_DATA_SUBCARRIERS_40MHZ = 108
+HT_GI_LONG_S = 0.8e-6
+HT_GI_SHORT_S = 0.4e-6
+
+# -- MAC timing (per PHY generation) -----------------------------------------
+
+SIFS_DSSS_S = 10e-6
+SIFS_OFDM_S = 16e-6
+SLOT_DSSS_S = 20e-6
+SLOT_OFDM_S = 9e-6
+
+CW_MIN_DSSS = 31
+CW_MIN_OFDM = 15
+CW_MAX = 1023
+
+MAC_HEADER_BYTES = 24
+"""Three-address data MAC header (no QoS field)."""
+
+FCS_BYTES = 4
+ACK_BYTES = 14
+RTS_BYTES = 20
+CTS_BYTES = 14

@@ -1,0 +1,38 @@
+"""Cooperative diversity — the paper's "future developments" section.
+
+"Third parties which can successfully decode an on-going exchange will
+effectively regenerate and relay, with appropriate coding, the original
+transmission in order to improve the effective link quality between the
+intended parties." Modules:
+
+outage
+    Closed-form outage probabilities for direct, decode-and-forward and
+    selection cooperation (diversity order 1 vs 2).
+relay
+    Symbol-level Monte-Carlo of DF and AF relaying with MRC combining.
+selection
+    Best-relay selection among candidate third parties.
+power_sharing
+    The paper's energy angle: a mains-powered relay "shares the power
+    burden" of a battery device.
+"""
+
+from repro.coop.coded import CodedCooperationSimulator
+from repro.coop.outage import (
+    df_outage_probability,
+    direct_outage_probability,
+    selection_outage_probability,
+)
+from repro.coop.power_sharing import cooperative_energy_per_bit
+from repro.coop.relay import RelaySimulator
+from repro.coop.selection import best_relay_index
+
+__all__ = [
+    "CodedCooperationSimulator",
+    "df_outage_probability",
+    "direct_outage_probability",
+    "selection_outage_probability",
+    "cooperative_energy_per_bit",
+    "RelaySimulator",
+    "best_relay_index",
+]

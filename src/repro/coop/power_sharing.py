@@ -1,0 +1,92 @@
+"""Cooperative power sharing: offloading TX energy onto mains-powered
+third parties.
+
+"Mesh or cooperative diversity schemes could 'share' some of the power
+burden with willing third party devices that are less power constrained,
+such as a device that is drawing power from an electrical outlet rather
+than a battery."
+
+Model: a battery device must deliver data to a destination at distance d.
+Directly, it transmits with enough power to close the whole link. With a
+relay at fractional position f along the path, the battery device only
+closes the (f*d) hop; the relay (mains powered) closes the rest. Required
+TX power scales as distance^n (path-loss exponent), and each hop transmits
+for 1/rate of the time per bit.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.linkbudget import LinkBudget
+from repro.errors import ConfigurationError
+from repro.standards.registry import get_standard
+
+
+def _tx_energy_per_bit_j(budget, standard, distance_m, tx_power_w,
+                         overhead_power_w=0.0):
+    """Battery energy per bit for one hop at the rate the link supports."""
+    snr = budget.snr_at(distance_m)
+    entry = standard.rate_at_snr(snr)
+    if entry is None:
+        return None
+    return (tx_power_w + overhead_power_w) / (entry.rate_mbps * 1e6)
+
+
+def cooperative_energy_per_bit(distance_m, relay_fraction=0.5,
+                               standard="802.11a", budget=None,
+                               tx_power_w=0.1, overhead_power_w=0.8):
+    """Battery-side energy per delivered bit, direct vs via a relay.
+
+    Parameters
+    ----------
+    distance_m : float
+        Source-destination distance.
+    relay_fraction : float
+        Relay position along the path (0-1); the battery device only
+        transmits over ``relay_fraction * distance_m``.
+    tx_power_w : float
+        RF transmit power (drawn while transmitting).
+    overhead_power_w : float
+        Rest-of-chain power while transmitting (PA overhead, baseband).
+
+    Returns
+    -------
+    dict
+        ``direct_j_per_bit``, ``cooperative_j_per_bit``, ``saving_ratio``
+        (direct / cooperative; > 1 means the relay saves battery energy),
+        and the rates of each segment. Entries are None when a segment is
+        out of range — note the *direct* link dying first is precisely the
+        regime where cooperation shines.
+    """
+    if not 0 < relay_fraction < 1:
+        raise ConfigurationError("relay_fraction must be in (0, 1)")
+    budget = budget or LinkBudget(tx_power_dbm=10 * _log10_mw(tx_power_w))
+    std = get_standard(standard) if isinstance(standard, str) else standard
+
+    direct = _tx_energy_per_bit_j(budget, std, distance_m, tx_power_w,
+                                  overhead_power_w)
+    battery_hop = _tx_energy_per_bit_j(
+        budget, std, relay_fraction * distance_m, tx_power_w,
+        overhead_power_w,
+    )
+    relay_rate = std.rate_at_snr(
+        budget.snr_at((1.0 - relay_fraction) * distance_m)
+    )
+    result = {
+        "direct_j_per_bit": direct,
+        "cooperative_j_per_bit": battery_hop,
+        "relay_hop_rate_mbps": None if relay_rate is None
+        else relay_rate.rate_mbps,
+        "saving_ratio": None,
+    }
+    if direct is not None and battery_hop is not None and battery_hop > 0:
+        result["saving_ratio"] = direct / battery_hop
+    return result
+
+
+def _log10_mw(power_w):
+    """log10 of power in milliwatts (helper for dBm conversion)."""
+    import numpy as np
+
+    if power_w <= 0:
+        raise ConfigurationError("power must be positive")
+    return float(np.log10(power_w * 1e3))

@@ -1,0 +1,40 @@
+"""Relay selection: choosing the best third party to cooperate with."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def best_relay_index(snr_sr_db, snr_rd_db):
+    """Max-min relay selection.
+
+    The end-to-end quality of a DF relay path is limited by its weaker
+    hop; the standard criterion picks the relay maximising
+    ``min(SNR_sr, SNR_rd)``.
+
+    Parameters
+    ----------
+    snr_sr_db, snr_rd_db : arrays of per-candidate link SNRs (dB).
+
+    Returns
+    -------
+    int
+        Index of the selected relay.
+    """
+    sr = np.atleast_1d(np.asarray(snr_sr_db, dtype=float))
+    rd = np.atleast_1d(np.asarray(snr_rd_db, dtype=float))
+    if sr.shape != rd.shape or sr.size == 0:
+        raise ConfigurationError("need matching non-empty SNR arrays")
+    return int(np.argmax(np.minimum(sr, rd)))
+
+
+def selection_gain_db(snr_sr_db, snr_rd_db):
+    """Bottleneck-SNR gain of best-relay over random-relay selection."""
+    sr = np.atleast_1d(np.asarray(snr_sr_db, dtype=float))
+    rd = np.atleast_1d(np.asarray(snr_rd_db, dtype=float))
+    if sr.shape != rd.shape or sr.size == 0:
+        raise ConfigurationError("need matching non-empty SNR arrays")
+    bottlenecks = np.minimum(sr, rd)
+    return float(bottlenecks.max() - bottlenecks.mean())

@@ -1,0 +1,23 @@
+"""The reproduction's core: end-to-end links and the evolution framework.
+
+``repro.core.link`` runs any generation's PHY over any channel model and
+measures BER/PER/throughput — the workhorse behind most experiments.
+``repro.core.evolution`` encodes the paper's narrative: the generation
+timeline, the fivefold spectral-efficiency law, and cross-generation
+comparisons of rate, range and power.
+"""
+
+from repro.core.evolution import (
+    evolution_report,
+    format_evolution_table,
+    spectral_efficiency_series,
+)
+from repro.core.link import LinkResult, LinkSimulator
+
+__all__ = [
+    "evolution_report",
+    "format_evolution_table",
+    "spectral_efficiency_series",
+    "LinkResult",
+    "LinkSimulator",
+]

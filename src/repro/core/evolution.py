@@ -1,0 +1,90 @@
+"""The paper's core narrative as an executable framework.
+
+Builds the generation-by-generation comparison the paper walks through —
+rate, spectral efficiency, the fivefold law, range, and the regulatory
+regime that shaped each step — combining the standards registry with
+link-budget analysis and (optionally) measured link simulations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.linkbudget import LinkBudget
+from repro.analysis.trends import fit_exponential_trend
+from repro.standards.registry import GENERATIONS, evolution_table
+
+#: Regulatory regime the paper associates with each generation.
+REGULATORY_NOTES = {
+    "802.11": "FCC 10 dB processing-gain mandate (spread spectrum required)",
+    "802.11b": "Mandate relaxed: DSSS-like signature suffices (CCK)",
+    "802.11a": "5 GHz opened without spreading rules: OFDM allowed",
+    "802.11g": "OFDM permitted into 2.4 GHz",
+    "802.11n": "No regulatory barrier: limited by technology (MIMO)",
+}
+
+
+def spectral_efficiency_series():
+    """(generation names, spectral efficiencies) along the paper's chain.
+
+    The chain is 802.11 -> 802.11b -> 802.11a/g -> 802.11n; a and g share
+    a PHY so only one entry represents the OFDM step.
+    """
+    names = ["802.11", "802.11b", "802.11a", "802.11n"]
+    effs = [GENERATIONS[n].spectral_efficiency for n in names]
+    return names, np.array(effs)
+
+
+def evolution_report(budget=None):
+    """Rows of the full evolution table plus derived quantities.
+
+    Each row extends :func:`repro.standards.evolution_table` with the
+    regulatory note and the computed range of the generation's lowest and
+    highest rate under a common link budget.
+    """
+    budget = budget or LinkBudget()
+    rows = evolution_table()
+    for row in rows:
+        std = GENERATIONS[row["standard"]]
+        row["regulation"] = REGULATORY_NOTES[row["standard"]]
+        lowest = min(std.rates, key=lambda r: r.rate_mbps)
+        highest = max(std.rates, key=lambda r: r.rate_mbps)
+        row["range_at_min_rate_m"] = budget.range_for_snr(
+            lowest.required_snr_db
+        )
+        row["range_at_max_rate_m"] = budget.range_for_snr(
+            highest.required_snr_db
+        )
+    return rows
+
+
+def fivefold_law():
+    """Fit the per-generation spectral-efficiency multiplier.
+
+    Returns
+    -------
+    (ratio, efficiencies) : (float, numpy.ndarray)
+        The paper's claim is ratio ~ 5.
+    """
+    _, effs = spectral_efficiency_series()
+    ratio, _ = fit_exponential_trend(np.arange(effs.size), effs)
+    return ratio, effs
+
+
+def format_evolution_table(rows=None):
+    """Render the evolution report as an aligned text table."""
+    rows = rows or evolution_report()
+    header = (
+        f"{'standard':<10} {'year':>5} {'PHY':<10} {'Mbps':>6} "
+        f"{'MHz':>5} {'bps/Hz':>7} {'xprev':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        ratio = row["ratio_to_previous"]
+        lines.append(
+            f"{row['standard']:<10} {row['year']:>5} {row['phy']:<10} "
+            f"{row['max_rate_mbps']:>6.0f} {row['bandwidth_mhz']:>5.0f} "
+            f"{row['spectral_efficiency_bps_hz']:>7.2f} "
+            f"{'-' if ratio is None else f'{ratio:>5.1f}x'}"
+        )
+    return "\n".join(lines)

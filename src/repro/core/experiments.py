@@ -1,0 +1,204 @@
+"""Quick-running versions of the reproduction experiments.
+
+The authoritative experiment harness is ``benchmarks/`` (pytest-benchmark,
+full sample counts). This registry exposes *fast* variants of the same
+computations for interactive use — ``python -m repro experiment E6`` — so
+a user can regenerate any paper claim in seconds without pytest.
+
+Each experiment function returns printable lines; ``run_experiment``
+dispatches by id.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def _e1_evolution():
+    from repro.core.evolution import fivefold_law, format_evolution_table
+
+    ratio, _ = fivefold_law()
+    return [format_evolution_table(),
+            f"fitted multiplier: {ratio:.2f}x per generation (paper: ~5x)"]
+
+
+def _e2_processing_gain():
+    from repro.phy.dsss import measure_processing_gain, processing_gain_db
+
+    measured = measure_processing_gain(n_symbols=1500, rng=0)
+    return [f"theory 10*log10(11) = {processing_gain_db():.2f} dB",
+            f"measured            = {measured:.2f} dB (FCC mandate: 10 dB)"]
+
+
+def _e3_dsss_cck():
+    from repro.core.link import LinkSimulator
+
+    lines = ["PER at 6 dB SNR (AWGN), 20 x 50 B packets:"]
+    for phy in ("dsss-1", "dsss-2", "cck-5.5", "cck-11"):
+        per = LinkSimulator(phy, "awgn", rng=1).run(6.0, 20, 50).per
+        lines.append(f"  {phy:<9}: {per:.2f}")
+    return lines
+
+
+def _e4_ofdm():
+    from repro.core.link import LinkSimulator
+
+    lines = ["PER at 20 dB SNR (AWGN), 10 x 60 B packets:"]
+    for rate in (6, 24, 54):
+        per = LinkSimulator(f"ofdm-{rate}", "awgn", rng=1).run(20.0, 10, 60).per
+        lines.append(f"  {rate:>2} Mbps: {per:.2f}")
+    return lines
+
+
+def _e5_mimo_rate():
+    from repro.standards.mcs import ht_data_rate_mbps
+
+    return [f"{s} stream(s): {ht_data_rate_mbps(8 * s - 1, 40, 'short'):5.0f}"
+            f" Mbps @ 40 MHz SGI" for s in (1, 2, 3, 4)]
+
+
+def _e6_mimo_range():
+    from repro.analysis.range import range_ratio_from_gain_db
+    from repro.phy.mimo.capacity import rayleigh_channel
+
+    rng = np.random.default_rng(0)
+    lines = []
+    siso = None
+    for n_tx, n_rx in ((1, 1), (2, 2), (4, 4)):
+        gains = np.array([
+            np.sum(np.abs(rayleigh_channel(n_rx, n_tx, rng)) ** 2) / n_tx
+            for _ in range(1500)
+        ])
+        margin = -10 * np.log10(np.quantile(gains, 0.01))
+        siso = margin if siso is None else siso
+        ratio = float(range_ratio_from_gain_db(siso - margin))
+        lines.append(f"{n_tx}x{n_rx}: 1%-outage margin {margin:5.1f} dB "
+                     f"-> range x{ratio:.2f}")
+    return lines
+
+
+def _e7_ldpc():
+    from repro.phy.ldpc import LdpcCode
+
+    code = LdpcCode.from_standard(648, "1/2")
+    rng = np.random.default_rng(0)
+    lines = []
+    for ebn0 in (1.5, 2.5, 3.5):
+        sigma2 = 1.0 / (2 * code.rate * 10 ** (ebn0 / 10))
+        errs = 0
+        for _ in range(6):
+            info = rng.integers(0, 2, code.k).astype(np.int8)
+            cw = code.encode(info)
+            y = (1 - 2.0 * cw) + rng.normal(0, np.sqrt(sigma2), code.n)
+            dec, _, _ = code.decode(2 * y / sigma2)
+            errs += int((code.extract_info(dec) != info).sum())
+        lines.append(f"Eb/N0 {ebn0:.1f} dB: LDPC BER {errs / (6 * code.k):.4f}")
+    return lines
+
+
+def _e9_mesh():
+    from repro.mesh.network import MeshNetwork
+    from repro.mesh.topology import line_positions
+
+    lines = []
+    for span in (20.0, 40.0, 56.0):
+        net = MeshNetwork(line_positions(3, span / 2))
+        direct = net.link_rate_mbps(0, 2) or 0.0
+        routed = net.end_to_end_throughput_mbps(0, 2)
+        lines.append(f"{span:4.0f} m: direct {direct:5.1f} vs "
+                     f"routed {routed:5.1f} Mbps")
+    return lines
+
+
+def _e11_coop():
+    from repro.coop.outage import (df_outage_probability,
+                                   direct_outage_probability)
+
+    snrs = np.array([10.0, 20.0, 30.0])
+    d = direct_outage_probability(snrs)
+    c = df_outage_probability(snrs)
+    return [f"SNR {s:.0f} dB: direct {a:.1e}, DF relay {b:.1e}"
+            for s, a, b in zip(snrs, d, c)]
+
+
+def _e12_papr():
+    from repro.phy.dsss import DsssPhy
+    from repro.phy.ofdm import OfdmPhy
+    from repro.power.pa import pa_efficiency
+    from repro.power.papr import papr_at_probability, papr_db
+    from repro.utils.bits import random_bits
+
+    rng = np.random.default_rng(0)
+    msg = bytes(rng.integers(0, 256, 300, dtype=np.uint8).tolist())
+    dsss = papr_db(DsssPhy(2).modulate(random_bits(1000, rng)))
+    ofdm = papr_at_probability(OfdmPhy(54).transmit(msg), 0.01)
+    return [
+        f"DSSS PAPR {dsss:.1f} dB -> class-AB eta {pa_efficiency(dsss):.0%}",
+        f"OFDM PAPR {ofdm:.1f} dB -> class-AB eta {pa_efficiency(ofdm):.0%}",
+    ]
+
+
+def _e13_chains():
+    from repro.power.chains import MimoPowerModel
+
+    return [f"{n}x{n} RX: {1000 * MimoPowerModel(n, n).rx_power_w(54.0 * n):.0f} mW"
+            for n in (1, 2, 4)]
+
+
+def _e15_mac():
+    from repro.mac.bianchi import bianchi_saturation_throughput
+    from repro.mac.dcf import DcfSimulator
+
+    lines = []
+    for n in (1, 10, 30):
+        sim = DcfSimulator(n, "802.11a", 54, 1500, rng=0).run(0.2)
+        model = bianchi_saturation_throughput(n, "802.11a", 54, 1500)
+        lines.append(f"n={n:2d}: sim {sim.throughput_mbps:5.1f}, "
+                     f"Bianchi {model:5.1f} Mbps")
+    return lines
+
+
+def _e17_trend():
+    from repro.analysis.trends import predict_next_generation
+    from repro.core.evolution import spectral_efficiency_series
+
+    _, effs = spectral_efficiency_series()
+    return [f"next generation extrapolates to "
+            f"{predict_next_generation(effs):.0f} bps/Hz "
+            "(802.11ac shipped ~43)"]
+
+
+_REGISTRY = {
+    "E1": ("evolution table (0.1 -> 15 bps/Hz)", _e1_evolution),
+    "E2": ("DSSS processing gain", _e2_processing_gain),
+    "E3": ("DSSS/CCK rate ladder", _e3_dsss_cck),
+    "E4": ("802.11a OFDM waterfall points", _e4_ofdm),
+    "E5": ("MIMO rate scaling to 600 Mbps", _e5_mimo_rate),
+    "E6": ("MIMO diversity range extension", _e6_mimo_range),
+    "E7": ("LDPC waterfall", _e7_ldpc),
+    "E9": ("mesh multi-hop vs direct", _e9_mesh),
+    "E11": ("cooperative diversity outage", _e11_coop),
+    "E12": ("PAPR and PA efficiency", _e12_papr),
+    "E13": ("MIMO chain power", _e13_chains),
+    "E15": ("DCF vs Bianchi", _e15_mac),
+    "E17": ("fivefold-law extrapolation", _e17_trend),
+}
+
+
+def list_experiments():
+    """(id, description) pairs for every quick experiment."""
+    return [(key, desc) for key, (desc, _) in _REGISTRY.items()]
+
+
+def run_experiment(experiment_id):
+    """Run one quick experiment; returns its printable lines."""
+    key = experiment_id.upper()
+    if key not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; available: "
+            f"{', '.join(_REGISTRY)} (full versions live in benchmarks/)"
+        )
+    description, func = _REGISTRY[key]
+    return [f"{key}: {description}", "-" * 40] + list(func())

@@ -1,0 +1,284 @@
+"""End-to-end link simulation for every 802.11 generation.
+
+A :class:`LinkSimulator` wires one PHY configuration to one channel model
+and measures bit/packet error rates and goodput at given SNRs. PHY
+configurations are named strings:
+
+====================  =====================================================
+name                  meaning
+====================  =====================================================
+``dsss-1, dsss-2``    802.11 Barker DSSS at 1 / 2 Mbps
+``cck-5.5, cck-11``   802.11b CCK
+``fhss-1, fhss-2``    802.11 FHSS (GFSK)
+``ofdm-R``            802.11a/g OFDM, R in {6,9,12,18,24,36,48,54}
+``ht-M``              802.11n HT MCS M (0-31), 20 MHz
+``ht40-M``            802.11n HT MCS M, 40 MHz
+====================  =====================================================
+
+Channels: ``awgn``, ``rayleigh`` (flat, per-packet) or ``tgn-X`` with X in
+A-F (frequency-selective tapped delay line). SNR convention: average
+received signal power per RX antenna over complex noise variance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.channel.awgn import awgn_noise
+from repro.channel.models import TGN_PROFILES, tgn_channel
+from repro.channel.multipath import TappedDelayLine
+from repro.errors import ConfigurationError, ReproError
+from repro.phy.cck import CckPhy
+from repro.phy.dsss import DsssPhy
+from repro.phy.fhss import GfskModem
+from repro.phy.mimo.ht import HtPhy
+from repro.phy.ofdm import OfdmPhy
+from repro.utils.bits import bits_from_bytes, count_bit_errors
+from repro.utils.rng import as_generator
+
+
+@dataclass
+class LinkResult:
+    """Outcome of a batch of packet transmissions at one operating point."""
+
+    phy: str
+    channel: str
+    snr_db: float
+    n_packets: int
+    n_packet_errors: int
+    n_bits: int
+    n_bit_errors: int
+    payload_bytes: int
+    rate_mbps: float
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def per(self):
+        """Packet error rate."""
+        return self.n_packet_errors / self.n_packets if self.n_packets else 0.0
+
+    @property
+    def ber(self):
+        """Raw payload bit error rate."""
+        return self.n_bit_errors / self.n_bits if self.n_bits else 0.0
+
+    @property
+    def goodput_mbps(self):
+        """PHY rate discounted by packet loss."""
+        return self.rate_mbps * (1.0 - self.per)
+
+
+class LinkSimulator:
+    """Monte-Carlo link-level simulator.
+
+    Parameters
+    ----------
+    phy : str
+        PHY configuration name (see module docstring).
+    channel : str
+        "awgn", "rayleigh", or "tgn-A".."tgn-F".
+    n_rx : int or None
+        Receive antennas (defaults to the stream count; >1 enables receive
+        diversity for HT PHYs).
+    detector : str
+        HT detector ("mmse", "zf", "ml").
+    rng : seed or Generator
+
+    Examples
+    --------
+    >>> sim = LinkSimulator("ofdm-24", "awgn", rng=1)
+    >>> result = sim.run(snr_db=20.0, n_packets=50, payload_bytes=100)
+    >>> result.per <= 1.0
+    True
+    """
+
+    def __init__(self, phy, channel="awgn", n_rx=None, detector="mmse",
+                 rng=None):
+        self.phy_name = phy
+        self.channel_name = channel
+        self.rng = as_generator(rng)
+        self._detector = detector
+        self._make_phy(phy, n_rx, detector)
+        self._validate_channel(channel)
+
+    # -- construction -------------------------------------------------------
+
+    def _make_phy(self, name, n_rx, detector):
+        parts = name.split("-")
+        kind = parts[0]
+        if kind == "dsss":
+            self._phy = DsssPhy(int(parts[1]))
+            self._kind = "chips"
+            self.n_tx = 1
+            self.n_rx = 1
+            self.rate_mbps = float(parts[1])
+            self.sample_rate = self._phy.chip_rate_hz
+        elif kind == "cck":
+            self._phy = CckPhy(float(parts[1]))
+            self._kind = "chips"
+            self.n_tx = 1
+            self.n_rx = 1
+            self.rate_mbps = float(parts[1])
+            self.sample_rate = 11e6
+        elif kind == "fhss":
+            rate = int(parts[1])
+            self._phy = GfskModem(levels=2 if rate == 1 else 4,
+                                  modulation_index=0.32 if rate == 1 else 0.45)
+            self._kind = "fhss"
+            self.n_tx = 1
+            self.n_rx = 1
+            self.rate_mbps = float(rate)
+            self.sample_rate = 1e6 * self._phy.sps
+        elif kind == "ofdm":
+            self._phy = OfdmPhy(int(parts[1]))
+            self._kind = "ofdm"
+            self.n_tx = 1
+            self.n_rx = 1
+            self.rate_mbps = float(parts[1])
+            self.sample_rate = 20e6
+        elif kind in ("ht", "ht40"):
+            bw = 40 if kind == "ht40" else 20
+            mcs = int(parts[1])
+            streams = mcs // 8 + 1
+            self._phy = HtPhy(mcs=mcs, bandwidth_mhz=bw,
+                              n_rx=n_rx or streams, detector=detector)
+            self._kind = "ht"
+            self.n_tx = streams
+            self.n_rx = n_rx or streams
+            self.rate_mbps = self._phy.data_rate_mbps()
+            self.sample_rate = self._phy.sample_rate
+        else:
+            raise ConfigurationError(f"unknown PHY configuration {name!r}")
+
+    def _validate_channel(self, channel):
+        if channel in ("awgn", "rayleigh"):
+            return
+        if channel.startswith("tgn-") and channel[4:].upper() in TGN_PROFILES:
+            return
+        raise ConfigurationError(
+            f"unknown channel {channel!r}; use 'awgn', 'rayleigh' or 'tgn-A'..'tgn-F'"
+        )
+
+    # -- channel application --------------------------------------------------
+
+    def _apply_channel(self, tx):
+        """Propagate an (n_tx, N) waveform; returns (n_rx, N)."""
+        tx = np.atleast_2d(tx)
+        if self.channel_name == "awgn":
+            if self.n_rx == self.n_tx:
+                return tx.copy()
+            # Receive diversity in AWGN: repeat the signal on each antenna.
+            return np.tile(tx.sum(axis=0), (self.n_rx, 1))
+        if self.channel_name == "rayleigh":
+            h = (self.rng.normal(size=(self.n_rx, self.n_tx))
+                 + 1j * self.rng.normal(size=(self.n_rx, self.n_tx))) / np.sqrt(2)
+            return h @ tx
+        model = self.channel_name[4:].upper()
+        tdl = tgn_channel(model, self.n_rx, self.n_tx,
+                          sample_rate_hz=self.sample_rate, rng=self.rng)
+        return tdl.apply(tx)
+
+    # -- one packet -------------------------------------------------------------
+
+    def _send_packet(self, payload, snr_db):
+        """Returns (bit_errors, packet_error) for one payload transmission."""
+        sent_bits = bits_from_bytes(payload)
+        if self._kind == "chips":
+            tx = self._phy.modulate(sent_bits)
+        elif self._kind == "fhss":
+            tx = self._phy.modulate(sent_bits)
+        elif self._kind == "ofdm":
+            tx = self._phy.transmit(payload)
+        else:
+            tx = self._phy.transmit(payload)
+        rx = self._apply_channel(tx)
+        # SNR convention: *average* received SNR. Channels have unit mean
+        # gain per antenna pair, so the expected receive power per antenna
+        # equals the total transmit power; scaling noise to that average
+        # (not to the instantaneous packet power) preserves per-packet
+        # fades — the whole point of diversity experiments.
+        tx2d = np.atleast_2d(tx)
+        total_tx_power = float(np.mean(np.abs(tx2d) ** 2)) * tx2d.shape[0]
+        noise_var = total_tx_power / 10.0 ** (snr_db / 10.0)
+        rx = rx + awgn_noise(rx.shape, noise_var, self.rng)
+
+        try:
+            if self._kind == "chips":
+                got_bits = self._phy.demodulate(rx.ravel())
+                bit_errs = count_bit_errors(sent_bits, got_bits)
+            elif self._kind == "fhss":
+                got_bits = self._phy.demodulate(rx.ravel(), sent_bits.size)
+                bit_errs = count_bit_errors(sent_bits, got_bits)
+            elif self._kind == "ofdm":
+                got = self._phy.receive(rx.ravel(), noise_var)
+                bit_errs = self._byte_errors(payload, got)
+            else:
+                got = self._phy.receive(rx, noise_var,
+                                        psdu_bytes=len(payload))
+                bit_errs = self._byte_errors(payload, got)
+        except ReproError:
+            # Undecodable frame: all payload bits counted in error.
+            return sent_bits.size, True
+        return bit_errs, bit_errs > 0
+
+    @staticmethod
+    def _byte_errors(sent, got):
+        if len(got) != len(sent):
+            return 8 * len(sent)
+        return count_bit_errors(bits_from_bytes(sent), bits_from_bytes(got))
+
+    # -- batches ------------------------------------------------------------------
+
+    def run(self, snr_db, n_packets=100, payload_bytes=100):
+        """Send ``n_packets`` random payloads at one SNR."""
+        if n_packets < 1 or payload_bytes < 1:
+            raise ConfigurationError("need >= 1 packet and >= 1 byte")
+        n_bits = 8 * payload_bytes
+        packet_errors = 0
+        bit_errors = 0
+        for _ in range(int(n_packets)):
+            payload = bytes(self.rng.integers(0, 256, payload_bytes,
+                                              dtype=np.uint8).tolist())
+            errs, bad = self._send_packet(payload, snr_db)
+            bit_errors += errs
+            packet_errors += int(bad)
+        return LinkResult(
+            phy=self.phy_name,
+            channel=self.channel_name,
+            snr_db=float(snr_db),
+            n_packets=int(n_packets),
+            n_packet_errors=packet_errors,
+            n_bits=n_bits * int(n_packets),
+            n_bit_errors=bit_errors,
+            payload_bytes=payload_bytes,
+            rate_mbps=self.rate_mbps,
+        )
+
+    def waterfall(self, snr_values_db, n_packets=100, payload_bytes=100):
+        """Run a PER/BER sweep across SNR values; returns list of results."""
+        return [self.run(snr, n_packets, payload_bytes)
+                for snr in np.atleast_1d(snr_values_db)]
+
+    def snr_for_per(self, target_per=0.1, lo_db=-5.0, hi_db=45.0,
+                    n_packets=100, payload_bytes=100, tolerance_db=0.5):
+        """Bisect the SNR at which PER crosses ``target_per``.
+
+        Monte-Carlo noise makes this approximate; increase ``n_packets``
+        for tighter answers.
+        """
+        if not 0 < target_per < 1:
+            raise ConfigurationError("target PER must be in (0, 1)")
+        lo, hi = float(lo_db), float(hi_db)
+        if self.run(hi, n_packets, payload_bytes).per > target_per:
+            raise ConfigurationError(
+                f"PER target {target_per} not met even at {hi} dB"
+            )
+        while hi - lo > tolerance_db:
+            mid = 0.5 * (lo + hi)
+            if self.run(mid, n_packets, payload_bytes).per > target_per:
+                lo = mid
+            else:
+                hi = mid
+        return 0.5 * (lo + hi)

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to distinguish configuration mistakes from runtime
+simulation failures.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A simulation object was configured with invalid parameters."""
+
+
+class DemodulationError(ReproError):
+    """A receiver could not make sense of the waveform it was given."""
+
+
+class CodingError(ReproError):
+    """An encoder/decoder was driven with inconsistent block sizes."""
+
+
+class SimulationError(ReproError):
+    """A discrete-event or Monte-Carlo simulation reached an invalid state."""
+
+
+class LinkBudgetError(ReproError):
+    """A link-budget computation was asked for an unachievable operating point."""

@@ -1,0 +1,58 @@
+"""802.11 MAC layer: DCF contention, analytical models, power save.
+
+The MAC is where protocol overhead eats PHY rate (why 54 Mbps yields
+~30 Mbps of goodput) and where the paper's power-management critique
+lives. Contents:
+
+events
+    A generic discrete-event kernel (heapq-based).
+timing
+    Per-generation MAC/PHY timing: slots, IFS, airtimes.
+frames
+    Frame descriptors and sizes.
+traffic
+    Saturated and Poisson traffic sources.
+dcf
+    Event-driven CSMA/CA with binary exponential backoff, optional
+    RTS/CTS, per-station statistics.
+bianchi
+    Bianchi's analytical saturation-throughput model (validation yardstick
+    for the DCF simulator).
+powersave
+    802.11 power-save mode (PSM) vs constantly-awake (CAM) energy model.
+rate_adaptation
+    ARF and SNR-threshold rate selection over the generations' ladders.
+"""
+
+from repro.mac.bianchi import bianchi_saturation_throughput, bianchi_tau
+from repro.mac.dcf import DcfResult, DcfSimulator
+from repro.mac.events import EventScheduler
+from repro.mac.frames import Frame, FrameType
+from repro.mac.hidden import HiddenTerminalSimulator
+from repro.mac.powersave import PowerSaveModel, PsmResult
+from repro.mac.rate_adaptation import (
+    ArfController,
+    SnrRateController,
+    simulate_rate_adaptation,
+)
+from repro.mac.timing import MacTiming
+from repro.mac.traffic import PoissonSource, SaturatedSource
+
+__all__ = [
+    "ArfController",
+    "SnrRateController",
+    "simulate_rate_adaptation",
+    "bianchi_saturation_throughput",
+    "bianchi_tau",
+    "DcfResult",
+    "DcfSimulator",
+    "EventScheduler",
+    "Frame",
+    "FrameType",
+    "HiddenTerminalSimulator",
+    "PowerSaveModel",
+    "PsmResult",
+    "MacTiming",
+    "PoissonSource",
+    "SaturatedSource",
+]

@@ -1,0 +1,84 @@
+"""A minimal discrete-event simulation kernel.
+
+Events are (time, sequence, callback, args) tuples on a heap; the sequence
+number breaks ties deterministically in insertion order. Used by the
+power-save model and available for any time-driven simulation built on the
+library.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.errors import SimulationError
+
+
+class EventScheduler:
+    """Priority-queue event loop.
+
+    Examples
+    --------
+    >>> sched = EventScheduler()
+    >>> hits = []
+    >>> sched.schedule(1.0, hits.append, "a")
+    >>> sched.schedule(0.5, hits.append, "b")
+    >>> sched.run()
+    >>> hits
+    ['b', 'a']
+    """
+
+    def __init__(self):
+        self._queue = []
+        self._sequence = 0
+        self.now = 0.0
+        self._running = False
+
+    def schedule(self, at_time, callback, *args):
+        """Schedule ``callback(*args)`` at absolute time ``at_time``."""
+        if at_time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {at_time} before current time {self.now}"
+            )
+        heapq.heappush(self._queue, (float(at_time), self._sequence,
+                                     callback, args))
+        self._sequence += 1
+
+    def schedule_in(self, delay, callback, *args):
+        """Schedule ``callback(*args)`` after a relative ``delay``."""
+        self.schedule(self.now + delay, callback, *args)
+
+    def run(self, until=None, max_events=None):
+        """Process events in time order.
+
+        Parameters
+        ----------
+        until : float, optional
+            Stop once the next event is beyond this time (the clock is
+            left at ``until``).
+        max_events : int, optional
+            Safety cap on processed events.
+        """
+        processed = 0
+        self._running = True
+        while self._queue and self._running:
+            if max_events is not None and processed >= max_events:
+                break
+            at_time, _, callback, args = self._queue[0]
+            if until is not None and at_time > until:
+                self.now = until
+                break
+            heapq.heappop(self._queue)
+            self.now = at_time
+            callback(*args)
+            processed += 1
+        self._running = False
+        return processed
+
+    def stop(self):
+        """Stop the loop after the current event (call from a callback)."""
+        self._running = False
+
+    @property
+    def pending(self):
+        """Number of events still queued."""
+        return len(self._queue)

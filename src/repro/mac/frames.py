@@ -1,0 +1,55 @@
+"""MAC frame descriptors."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.constants import ACK_BYTES, CTS_BYTES, FCS_BYTES, MAC_HEADER_BYTES, RTS_BYTES
+from repro.errors import ConfigurationError
+
+
+class FrameType(enum.Enum):
+    """The frame kinds the simulators exchange."""
+
+    DATA = "data"
+    ACK = "ack"
+    RTS = "rts"
+    CTS = "cts"
+    BEACON = "beacon"
+
+
+_FIXED_SIZES = {
+    FrameType.ACK: ACK_BYTES,
+    FrameType.RTS: RTS_BYTES,
+    FrameType.CTS: CTS_BYTES,
+}
+
+
+@dataclass
+class Frame:
+    """One MAC frame in flight.
+
+    ``payload_bytes`` applies to DATA/BEACON frames; control frames have
+    fixed sizes.
+    """
+
+    frame_type: FrameType
+    source: int
+    destination: int
+    payload_bytes: int = 0
+    sequence: int = 0
+    retries: int = 0
+    created_at: float = 0.0
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.payload_bytes < 0:
+            raise ConfigurationError("payload_bytes must be >= 0")
+
+    @property
+    def total_bytes(self):
+        """On-air MPDU size including header and FCS."""
+        if self.frame_type in _FIXED_SIZES:
+            return _FIXED_SIZES[self.frame_type]
+        return MAC_HEADER_BYTES + self.payload_bytes + FCS_BYTES

@@ -1,0 +1,170 @@
+"""Hidden-terminal simulation: carrier sense with spatial limits.
+
+The single-cell DCF simulator assumes everyone hears everyone. In real
+deployments two stations can both reach the AP yet not hear each other —
+the *hidden terminal* problem, the scenario RTS/CTS exists for (and a
+preview of the coordination problems mesh networking multiplies).
+
+The model: stations at positions transmit to a common AP. A station's
+carrier sense only sees transmitters within ``carrier_sense_range_m``.
+Transmissions overlap in time; a frame is lost when a hidden transmitter
+overlaps it at the AP. With RTS/CTS, the CTS (heard by *everyone* in the
+cell, since all stations hear the AP) reserves the medium, so only the
+short RTS is vulnerable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.mac.timing import MacTiming
+from repro.utils.rng import as_generator
+
+
+@dataclass
+class HiddenResult:
+    """Outcome of a hidden-terminal run."""
+
+    n_stations: int
+    duration_s: float
+    attempts: int
+    successes: int
+    collisions: int
+    hidden_pairs: int
+
+    @property
+    def success_ratio(self):
+        """Fraction of attempts that were delivered."""
+        return self.successes / self.attempts if self.attempts else 0.0
+
+    def throughput_mbps(self, payload_bytes, _rate=None):
+        """Delivered goodput."""
+        return (8.0 * payload_bytes * self.successes
+                / self.duration_s / 1e6 if self.duration_s else 0.0)
+
+
+class HiddenTerminalSimulator:
+    """Two-or-more stations around an AP with limited carrier sense.
+
+    Parameters
+    ----------
+    positions : (N, 2) array
+        Station positions; the AP sits at the origin.
+    carrier_sense_range_m : float
+        Maximum distance at which one station's transmission is audible to
+        another.
+    standard, rate_mbps, payload_bytes : PHY configuration.
+    attempt_rate_per_s : float
+        Each station starts a transmission attempt at this Poisson rate
+        whenever it senses the medium idle.
+    rts_cts : bool
+    rng : seed or Generator
+    """
+
+    def __init__(self, positions, carrier_sense_range_m=80.0,
+                 standard="802.11b", rate_mbps=11.0, payload_bytes=1000,
+                 attempt_rate_per_s=100.0, rts_cts=False, rng=None):
+        self.positions = np.asarray(positions, dtype=float)
+        if self.positions.ndim != 2 or self.positions.shape[1] != 2:
+            raise ConfigurationError("positions must be (N, 2)")
+        if attempt_rate_per_s <= 0:
+            raise ConfigurationError("attempt rate must be positive")
+        self.n = self.positions.shape[0]
+        self.cs_range = float(carrier_sense_range_m)
+        self.timing = MacTiming.for_standard(standard)
+        self.rate_mbps = float(rate_mbps)
+        self.payload_bytes = int(payload_bytes)
+        self.attempt_rate = float(attempt_rate_per_s)
+        self.rts_cts = bool(rts_cts)
+        self.rng = as_generator(rng)
+        deltas = self.positions[:, None, :] - self.positions[None, :, :]
+        self._audible = np.sqrt((deltas ** 2).sum(axis=2)) <= self.cs_range
+
+    def hidden_pair_count(self):
+        """Number of station pairs that cannot hear each other."""
+        hidden = ~self._audible
+        np.fill_diagonal(hidden, False)
+        return int(hidden.sum() // 2)
+
+    def run(self, duration_s=1.0):
+        """Simulate; returns a :class:`HiddenResult`.
+
+        Time advances event by event: each station draws Poisson attempt
+        times; an attempt defers (is re-drawn) if the station currently
+        *hears* an ongoing transmission, and the vulnerable window of an
+        in-flight frame is the whole frame (basic) or just the RTS
+        handshake (RTS/CTS) — once the CTS is out, everyone defers.
+        """
+        if duration_s <= 0:
+            raise ConfigurationError("duration must be positive")
+        frame_s = self.timing.data_airtime_s(self.payload_bytes,
+                                             self.rate_mbps)
+        rts_s = self.timing.control_airtime_s(20)
+        cts_s = self.timing.control_airtime_s(14)
+        vulnerable_s = (rts_s + self.timing.sifs_s + cts_s if self.rts_cts
+                        else frame_s)
+        exchange_s = self.timing.success_duration_s(
+            self.payload_bytes, self.rate_mbps, self.rts_cts
+        )
+
+        next_attempt = self.rng.exponential(
+            1.0 / self.attempt_rate, size=self.n
+        )
+        # In-flight transmissions: (station, start, end, protected_from).
+        # A frame is credited as a success only when it *ends* uncollided.
+        ongoing = []
+        attempts = successes = collisions = 0
+        now = 0.0
+        while True:
+            station = int(np.argmin(next_attempt))
+            now = float(next_attempt[station])
+            if now >= duration_s:
+                break
+            finished = [tx for tx in ongoing if tx[2] <= now]
+            successes += len(finished)
+            ongoing = [tx for tx in ongoing if tx[2] > now]
+            # Carrier sense: defer if an audible transmission is on air, or
+            # if any protected (post-CTS) exchange is running.
+            audible_busy = any(
+                self._audible[station, other] for other, _, end, prot in
+                ongoing
+            )
+            protected_busy = any(prot <= now < end
+                                 for _, _, end, prot in ongoing)
+            if audible_busy or protected_busy:
+                busy_until = max(end for _, _, end, _ in ongoing)
+                next_attempt[station] = busy_until + self.rng.exponential(
+                    1.0 / self.attempt_rate
+                )
+                continue
+            attempts += 1
+            # A hidden transmitter still inside its vulnerable window when
+            # we start destroys both frames.
+            victims = [
+                tx for tx in ongoing
+                if not self._audible[station, tx[0]] and tx[3] > now
+            ]
+            end = now + exchange_s
+            protected_from = now + vulnerable_s
+            if victims:
+                collisions += 1  # the new frame dies...
+                for victim in victims:  # ...and so do the overlapped ones
+                    ongoing.remove(victim)
+                    collisions += 1
+            else:
+                ongoing.append((station, now, end, protected_from))
+            next_attempt[station] = end + self.rng.exponential(
+                1.0 / self.attempt_rate
+            )
+        successes += sum(1 for tx in ongoing if tx[2] <= duration_s)
+        return HiddenResult(
+            n_stations=self.n,
+            duration_s=duration_s,
+            attempts=attempts,
+            successes=successes,
+            collisions=collisions,
+            hidden_pairs=self.hidden_pair_count(),
+        )

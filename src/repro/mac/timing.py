@@ -1,0 +1,133 @@
+"""MAC/PHY timing: interframe spaces, slots, and frame airtimes.
+
+Airtime formulas follow each generation's PLCP rules: long-preamble
+DSSS/CCK (192 us header then payload at the data rate) and OFDM (20 us
+preamble+SIGNAL then 4 us symbols of N_DBPS bits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import ACK_BYTES, CTS_BYTES, FCS_BYTES, MAC_HEADER_BYTES, RTS_BYTES
+from repro.errors import ConfigurationError
+from repro.standards.registry import Standard, get_standard
+
+_OFDM_NDBPS = {6: 24, 9: 36, 12: 48, 18: 72, 24: 96, 36: 144, 48: 192, 54: 216}
+
+
+@dataclass(frozen=True)
+class MacTiming:
+    """Timing parameters for one PHY generation.
+
+    Build via :meth:`for_standard`; durations are in seconds.
+    """
+
+    phy_type: str
+    slot_s: float
+    sifs_s: float
+    cw_min: int
+    cw_max: int
+    preamble_s: float
+    basic_rate_mbps: float
+
+    @classmethod
+    def for_standard(cls, standard):
+        """Timing for a :class:`Standard` or a standard name."""
+        if isinstance(standard, str):
+            standard = get_standard(standard)
+        if not isinstance(standard, Standard):
+            raise ConfigurationError("expected a Standard or its name")
+        basic = min(r.rate_mbps for r in standard.rates)
+        return cls(
+            phy_type=standard.phy_type,
+            slot_s=standard.slot_time_s,
+            sifs_s=standard.sifs_s,
+            cw_min=standard.cw_min,
+            cw_max=1023,
+            preamble_s=standard.preamble_s,
+            basic_rate_mbps=basic,
+        )
+
+    @property
+    def difs_s(self):
+        """DIFS = SIFS + 2 slots."""
+        return self.sifs_s + 2.0 * self.slot_s
+
+    @property
+    def eifs_s(self):
+        """EIFS = SIFS + ACK-at-basic-rate + DIFS."""
+        return self.sifs_s + self.control_airtime_s(ACK_BYTES) + self.difs_s
+
+    # -- airtimes ----------------------------------------------------------
+
+    def data_airtime_s(self, payload_bytes, rate_mbps):
+        """Airtime of a data MPDU (MAC header + payload + FCS).
+
+        OFDM PHYs round up to whole 4 us symbols; DSSS/CCK PHYs transmit
+        the long PLCP preamble then the MPDU at the data rate.
+        """
+        if payload_bytes < 0:
+            raise ConfigurationError("payload must be >= 0 bytes")
+        mpdu_bits = 8 * (MAC_HEADER_BYTES + payload_bytes + FCS_BYTES)
+        return self._ppdu_airtime_s(mpdu_bits, rate_mbps)
+
+    def control_airtime_s(self, frame_bytes, rate_mbps=None):
+        """Airtime of a control frame (ACK/RTS/CTS) at the basic rate."""
+        rate = rate_mbps or self.basic_rate_mbps
+        return self._ppdu_airtime_s(8 * frame_bytes, rate)
+
+    def _ppdu_airtime_s(self, n_bits, rate_mbps):
+        if rate_mbps <= 0:
+            raise ConfigurationError("rate must be positive")
+        if self.phy_type in ("OFDM", "MIMO-OFDM"):
+            ndbps = _OFDM_NDBPS.get(int(rate_mbps), None)
+            if ndbps is None:
+                # HT or non-tabulated rate: bits per 4 us symbol.
+                ndbps = rate_mbps * 4.0
+            n_sym = int(np.ceil((16 + n_bits + 6) / ndbps))
+            return self.preamble_s + n_sym * 4e-6
+        return self.preamble_s + n_bits / (rate_mbps * 1e6)
+
+    # -- exchange durations ---------------------------------------------------
+
+    def success_duration_s(self, payload_bytes, rate_mbps, rts_cts=False):
+        """Busy time of one successful exchange, including trailing DIFS."""
+        t = (self.data_airtime_s(payload_bytes, rate_mbps)
+             + self.sifs_s + self.control_airtime_s(ACK_BYTES) + self.difs_s)
+        if rts_cts:
+            t += (self.control_airtime_s(RTS_BYTES) + self.sifs_s
+                  + self.control_airtime_s(CTS_BYTES) + self.sifs_s)
+        return t
+
+    def collision_duration_s(self, payload_bytes, rate_mbps, rts_cts=False):
+        """Busy time wasted by a collision (EIFS recovery)."""
+        if rts_cts:
+            return self.control_airtime_s(RTS_BYTES) + self.eifs_s
+        return self.data_airtime_s(payload_bytes, rate_mbps) + self.eifs_s
+
+    def overhead_breakdown(self, payload_bytes, rate_mbps):
+        """Where one successful exchange's airtime goes.
+
+        Returns a dict of fractions (summing to 1): ``payload`` (the user
+        bits at the data rate), ``preamble`` (PLCP), ``headers`` (MAC
+        header+FCS at the data rate), ``ack`` (SIFS + ACK) and ``ifs``
+        (DIFS + mean backoff at CWmin/2). This is the arithmetic behind
+        "54 Mbps sells, ~30 Mbps delivers".
+        """
+        payload_s = 8.0 * payload_bytes / (rate_mbps * 1e6)
+        data_s = self.data_airtime_s(payload_bytes, rate_mbps)
+        preamble_s = self.preamble_s
+        header_s = max(data_s - preamble_s - payload_s, 0.0)
+        ack_s = self.sifs_s + self.control_airtime_s(ACK_BYTES)
+        ifs_s = self.difs_s + self.cw_min / 2.0 * self.slot_s
+        total = data_s + ack_s + ifs_s
+        return {
+            "payload": payload_s / total,
+            "preamble": preamble_s / total,
+            "headers": header_s / total,
+            "ack": ack_s / total,
+            "ifs": ifs_s / total,
+        }

@@ -1,0 +1,68 @@
+"""Traffic sources for MAC simulations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import as_generator
+
+
+class SaturatedSource:
+    """Always has a packet ready — Bianchi's saturation assumption."""
+
+    def __init__(self, payload_bytes=1500):
+        if payload_bytes <= 0:
+            raise ConfigurationError("payload must be positive")
+        self.payload_bytes = payload_bytes
+
+    def has_packet(self, now):
+        """A saturated queue is never empty."""
+        return True
+
+    def next_payload(self, now):
+        """Pop the head-of-line packet size."""
+        return self.payload_bytes
+
+
+class PoissonSource:
+    """Poisson arrivals at a fixed packet size.
+
+    Maintains an arrival backlog so the MAC can ask "is a packet waiting at
+    time t?" without global coordination.
+    """
+
+    def __init__(self, rate_pkts_per_s, payload_bytes=1500, rng=None):
+        if rate_pkts_per_s <= 0 or payload_bytes <= 0:
+            raise ConfigurationError("rate and payload must be positive")
+        self.rate = float(rate_pkts_per_s)
+        self.payload_bytes = payload_bytes
+        self.rng = as_generator(rng)
+        self._next_arrival = self._draw()
+        self.backlog = 0
+
+    def _draw(self):
+        return self.rng.exponential(1.0 / self.rate)
+
+    def _advance(self, now):
+        while self._next_arrival <= now:
+            self.backlog += 1
+            self._next_arrival += self._draw()
+
+    def has_packet(self, now):
+        """True if at least one arrival happened by ``now``."""
+        self._advance(now)
+        return self.backlog > 0
+
+    def next_payload(self, now):
+        """Pop one queued packet (call only after has_packet is True)."""
+        self._advance(now)
+        if self.backlog <= 0:
+            raise ConfigurationError("no packet queued at this time")
+        self.backlog -= 1
+        return self.payload_bytes
+
+    def next_arrival_time(self, now):
+        """Time of the next future arrival (for idle fast-forwarding)."""
+        self._advance(now)
+        return self._next_arrival

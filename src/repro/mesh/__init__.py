@@ -1,0 +1,36 @@
+"""Mesh networking (the paper's 802.11s discussion).
+
+"Mesh networks have the potential to dramatically increase the area served
+... even to boost overall spectral efficiencies ... by selecting multiple
+hops over high capacity links rather than single hops over low capacity
+links." This package models exactly that: geometric topologies whose link
+rates come from the standards' SNR tables, the 802.11s airtime link
+metric, routing, shared-medium end-to-end throughput, and coverage-area
+analysis.
+"""
+
+from repro.mesh.coverage import coverage_area_m2, coverage_fraction
+from repro.mesh.hwmp import HwmpRouter
+from repro.mesh.metrics import airtime_metric_s, hop_count_metric
+from repro.mesh.network import MeshNetwork
+from repro.mesh.spectrum import assign_channels, deployment_capacity
+from repro.mesh.routing import (
+    best_path,
+    path_throughput_mbps,
+)
+from repro.mesh.topology import grid_positions, random_positions
+
+__all__ = [
+    "coverage_area_m2",
+    "coverage_fraction",
+    "HwmpRouter",
+    "assign_channels",
+    "deployment_capacity",
+    "airtime_metric_s",
+    "hop_count_metric",
+    "MeshNetwork",
+    "best_path",
+    "path_throughput_mbps",
+    "grid_positions",
+    "random_positions",
+]

@@ -1,0 +1,39 @@
+"""Routing link metrics.
+
+The airtime metric is what 802.11s standardised for its default routing
+protocol (HWMP): the expected channel time to move a test frame across a
+link,
+
+    c_a = (O + B_t / r) * 1 / (1 - e_f)
+
+with O the protocol overhead time, B_t the test frame size (8192 bits),
+r the link rate and e_f the frame error rate. Choosing paths by summed
+airtime is exactly "multiple hops over high capacity links rather than
+single hops over low capacity links".
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+TEST_FRAME_BITS = 8192
+DEFAULT_OVERHEAD_S = 1.25e-4  # preamble + MAC overhead + IFS, OFDM-class
+
+
+def airtime_metric_s(rate_mbps, frame_error_rate=0.0,
+                     overhead_s=DEFAULT_OVERHEAD_S,
+                     test_frame_bits=TEST_FRAME_BITS):
+    """The 802.11s airtime cost of one link, in seconds."""
+    if rate_mbps is None or rate_mbps <= 0:
+        raise ConfigurationError("link rate must be positive")
+    if not 0 <= frame_error_rate < 1:
+        raise ConfigurationError("frame error rate must be in [0, 1)")
+    transmit_s = overhead_s + test_frame_bits / (rate_mbps * 1e6)
+    return transmit_s / (1.0 - frame_error_rate)
+
+
+def hop_count_metric(rate_mbps, frame_error_rate=0.0):
+    """Naive metric: every usable link costs 1."""
+    if rate_mbps is None or rate_mbps <= 0:
+        raise ConfigurationError("link rate must be positive")
+    return 1.0

@@ -1,0 +1,132 @@
+"""The mesh network object: positions + link budget -> routed throughput."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.analysis.linkbudget import LinkBudget
+from repro.errors import ConfigurationError
+from repro.mesh.metrics import airtime_metric_s, hop_count_metric
+from repro.mesh.topology import pairwise_distances
+from repro.standards.registry import get_standard
+
+
+class MeshNetwork:
+    """A mesh of WLAN nodes over a distance-based link abstraction.
+
+    Parameters
+    ----------
+    positions : (N, 2) array
+        Node coordinates in metres.
+    standard : str
+        Which generation's rate table links use (default "802.11a").
+    budget : LinkBudget, optional
+        Radio parameters shared by all nodes.
+
+    Examples
+    --------
+    >>> from repro.mesh.topology import line_positions
+    >>> net = MeshNetwork(line_positions(3, 30.0))
+    >>> path = net.best_path(0, 2)
+    >>> net.path_throughput_mbps(path) > 0
+    True
+    """
+
+    def __init__(self, positions, standard="802.11a", budget=None):
+        self.positions = np.asarray(positions, dtype=float)
+        if self.positions.ndim != 2 or self.positions.shape[1] != 2:
+            raise ConfigurationError("positions must be (N, 2)")
+        self.standard = get_standard(standard) if isinstance(standard, str) \
+            else standard
+        self.budget = budget or LinkBudget()
+        self.n_nodes = self.positions.shape[0]
+        self._build_graph()
+
+    def _build_graph(self):
+        distances = pairwise_distances(self.positions)
+        self.graph = nx.Graph()
+        self.graph.add_nodes_from(range(self.n_nodes))
+        for i in range(self.n_nodes):
+            for j in range(i + 1, self.n_nodes):
+                snr = self.budget.snr_at(max(distances[i, j], 0.1))
+                entry = self.standard.rate_at_snr(snr)
+                if entry is None:
+                    continue
+                self.graph.add_edge(
+                    i, j,
+                    distance_m=float(distances[i, j]),
+                    snr_db=float(snr),
+                    rate_mbps=entry.rate_mbps,
+                    airtime_s=airtime_metric_s(entry.rate_mbps),
+                    hops=hop_count_metric(entry.rate_mbps),
+                )
+
+    def link_rate_mbps(self, i, j):
+        """Rate of the direct link i-j (None if out of range)."""
+        if not self.graph.has_edge(i, j):
+            return None
+        return self.graph.edges[i, j]["rate_mbps"]
+
+    def best_path(self, source, destination, metric="airtime"):
+        """Minimum-cost path under the chosen metric.
+
+        ``metric`` is "airtime" (the 802.11s intelligent-routing metric) or
+        "hops" (naive shortest hop count). Returns the node list, or None
+        when disconnected.
+        """
+        weight = {"airtime": "airtime_s", "hops": "hops"}.get(metric)
+        if weight is None:
+            raise ConfigurationError(
+                f"metric must be 'airtime' or 'hops', got {metric!r}"
+            )
+        try:
+            return nx.shortest_path(self.graph, source, destination,
+                                    weight=weight)
+        except nx.NetworkXNoPath:
+            return None
+
+    def path_rates(self, path):
+        """Per-hop link rates along a node path."""
+        if path is None or len(path) < 2:
+            raise ConfigurationError("path must contain at least two nodes")
+        return [self.graph.edges[a, b]["rate_mbps"]
+                for a, b in zip(path[:-1], path[1:])]
+
+    def path_throughput_mbps(self, path):
+        """End-to-end goodput over a shared half-duplex medium.
+
+        Hops of one flow cannot transmit simultaneously (single radio,
+        single channel), so moving one bit end to end costs the *sum* of
+        per-hop airtimes: throughput = 1 / sum_i (1 / r_i).
+        """
+        rates = self.path_rates(path)
+        return 1.0 / sum(1.0 / r for r in rates)
+
+    def path_airtime_per_bit(self, path):
+        """Channel seconds consumed per delivered bit (spectral-efficiency
+        proxy: lower is better)."""
+        rates = self.path_rates(path)
+        return sum(1.0 / (r * 1e6) for r in rates)
+
+    def end_to_end_throughput_mbps(self, source, destination,
+                                   metric="airtime"):
+        """Best-path goodput between two nodes (0 when disconnected)."""
+        path = self.best_path(source, destination, metric)
+        if path is None or len(path) < 2:
+            return 0.0
+        return self.path_throughput_mbps(path)
+
+    def is_connected(self):
+        """True if every node can reach every other node."""
+        return nx.is_connected(self.graph) if self.n_nodes > 0 else True
+
+    def average_throughput_matrix(self, metric="airtime"):
+        """Mean end-to-end goodput over all ordered node pairs."""
+        totals = []
+        for s in range(self.n_nodes):
+            for d in range(self.n_nodes):
+                if s == d:
+                    continue
+                totals.append(self.end_to_end_throughput_mbps(s, d, metric))
+        return float(np.mean(totals)) if totals else 0.0

@@ -1,0 +1,38 @@
+"""Functional routing helpers over a :class:`MeshNetwork`."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+def best_path(network, source, destination, metric="airtime"):
+    """Minimum-cost path on a mesh network (see MeshNetwork.best_path)."""
+    return network.best_path(source, destination, metric)
+
+
+def path_throughput_mbps(network, path):
+    """Shared-medium end-to-end goodput of a path."""
+    return network.path_throughput_mbps(path)
+
+
+def compare_direct_vs_relay(network, source, destination):
+    """The paper's core mesh comparison for one node pair.
+
+    Returns a dict with the direct-link rate (or None), the airtime-routed
+    path, its per-hop rates, and both end-to-end throughputs.
+    """
+    direct_rate = network.link_rate_mbps(source, destination)
+    path = network.best_path(source, destination, metric="airtime")
+    if path is None:
+        raise ConfigurationError(
+            f"nodes {source} and {destination} are disconnected"
+        )
+    routed = network.path_throughput_mbps(path)
+    return {
+        "direct_rate_mbps": direct_rate,
+        "direct_throughput_mbps": direct_rate or 0.0,
+        "routed_path": path,
+        "routed_hop_rates": network.path_rates(path),
+        "routed_throughput_mbps": routed,
+        "multihop_wins": routed > (direct_rate or 0.0),
+    }

@@ -1,0 +1,40 @@
+"""Mesh node placement helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import as_generator
+
+
+def random_positions(n_nodes, area_side_m, rng=None):
+    """Uniform random (x, y) positions in a square area."""
+    if n_nodes < 1 or area_side_m <= 0:
+        raise ConfigurationError("need >= 1 node and a positive area side")
+    rng = as_generator(rng)
+    return rng.uniform(0.0, area_side_m, size=(int(n_nodes), 2))
+
+
+def grid_positions(n_per_side, spacing_m):
+    """Regular square grid of n_per_side^2 nodes."""
+    if n_per_side < 1 or spacing_m <= 0:
+        raise ConfigurationError("need >= 1 per side and positive spacing")
+    coords = np.arange(n_per_side) * spacing_m
+    xx, yy = np.meshgrid(coords, coords)
+    return np.column_stack([xx.ravel(), yy.ravel()])
+
+
+def line_positions(n_nodes, spacing_m):
+    """Nodes on a line — the canonical multi-hop-vs-single-hop geometry."""
+    if n_nodes < 2 or spacing_m <= 0:
+        raise ConfigurationError("need >= 2 nodes and positive spacing")
+    x = np.arange(n_nodes) * spacing_m
+    return np.column_stack([x, np.zeros(n_nodes)])
+
+
+def pairwise_distances(positions):
+    """Dense distance matrix between node positions."""
+    positions = np.asarray(positions, dtype=float)
+    deltas = positions[:, None, :] - positions[None, :, :]
+    return np.sqrt((deltas ** 2).sum(axis=2))

@@ -1,0 +1,27 @@
+"""Physical-layer building blocks for every 802.11 generation.
+
+Submodules
+----------
+modulation
+    Gray-mapped BPSK/QPSK/16-QAM/64-QAM with hard and soft (LLR) demapping.
+scrambler
+    The 802.11 x^7 + x^4 + 1 self-synchronising scrambler.
+convolutional
+    The K=7 (133, 171) convolutional code with Viterbi decoding and the
+    802.11a puncturing patterns.
+interleaver
+    The 802.11a two-permutation block interleaver.
+ldpc
+    Gallager/QC LDPC construction, systematic encoding and BP decoding
+    (the 802.11n optional advanced code the paper highlights).
+dsss
+    802.11 Barker-spread DBPSK/DQPSK (1 and 2 Mbps).
+fhss
+    802.11 frequency hopping with 2/4-GFSK.
+cck
+    802.11b complementary code keying (5.5 and 11 Mbps).
+ofdm
+    802.11a/g OFDM transceiver (6 to 54 Mbps).
+mimo
+    802.11n MIMO: STBC, spatial multiplexing, detection, beamforming.
+"""

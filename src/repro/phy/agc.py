@@ -1,0 +1,69 @@
+"""Automatic gain control: scaling the waveform into the ADC's window.
+
+The front-end piece between the antenna and :mod:`repro.phy.quantization`:
+measure power over the STF (that is what the short training field is for),
+apply a gain that puts the signal at the chosen back-off below the ADC's
+full scale, and report the settled gain. Together with the quantiser this
+completes a realistic receive front end for the OFDM PHYs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DemodulationError
+
+
+class AutomaticGainControl:
+    """One-shot (preamble-settled) AGC.
+
+    Parameters
+    ----------
+    full_scale : float
+        The ADC's per-rail full-scale amplitude.
+    backoff_db : float
+        Target RMS this many dB below full scale (headroom for PAPR;
+        9-12 dB suits OFDM, ~3 dB suits constant-envelope signals).
+    measure_samples : int
+        Samples used for the power estimate (the 160-sample STF default).
+    """
+
+    def __init__(self, full_scale=1.0, backoff_db=10.0,
+                 measure_samples=160):
+        if full_scale <= 0:
+            raise ConfigurationError("full scale must be positive")
+        if measure_samples < 8:
+            raise ConfigurationError("need at least 8 measure samples")
+        self.full_scale = float(full_scale)
+        self.backoff_db = float(backoff_db)
+        self.measure_samples = int(measure_samples)
+
+    def settle(self, samples):
+        """Measure the leading samples; returns the linear gain to apply."""
+        samples = np.asarray(samples, dtype=np.complex128).ravel()
+        if samples.size < self.measure_samples:
+            raise DemodulationError("waveform shorter than the AGC window")
+        power = float(np.mean(
+            np.abs(samples[: self.measure_samples]) ** 2
+        ))
+        if power <= 0:
+            raise DemodulationError("no signal power in the AGC window")
+        target_rms = self.full_scale * 10.0 ** (-self.backoff_db / 20.0)
+        return target_rms / np.sqrt(power)
+
+    def apply(self, samples):
+        """Settle on the preamble and scale the whole waveform.
+
+        Returns
+        -------
+        (scaled, gain_db) : (numpy.ndarray, float)
+        """
+        gain = self.settle(samples)
+        return np.asarray(samples) * gain, float(20.0 * np.log10(gain))
+
+    def clip_fraction(self, samples):
+        """Fraction of rail samples that would clip after this AGC."""
+        scaled, _ = self.apply(samples)
+        over = ((np.abs(scaled.real) > self.full_scale)
+                | (np.abs(scaled.imag) > self.full_scale))
+        return float(np.mean(over))

@@ -1,0 +1,181 @@
+"""Full 802.11b PPDU framing: PLCP preamble + header + payload.
+
+The DSSS/CCK modems in :mod:`repro.phy.dsss` / :mod:`repro.phy.cck` move
+raw bits; real frames wrap them in the PLCP protocol:
+
+* **long preamble** — 128 scrambled ones (SYNC) + the 16-bit SFD
+  ``0xF3A0``, all at 1 Mbps DBPSK/Barker (192 us with the header);
+* **PLCP header** — SIGNAL (rate in 100 kbps units), SERVICE, LENGTH
+  (microseconds of payload) and a CCITT CRC-16, also at 1 Mbps;
+* **PSDU** — at the header-announced rate: 1/2 Mbps Barker or
+  5.5/11 Mbps CCK.
+
+This mid-frame rate switch is why every 802.11b frame pays ~192 us of
+1 Mbps overhead — the inefficiency the MAC benchmarks (E15d) quantify.
+The receiver locates the SFD, parses and CRC-checks the header, then
+demodulates the payload with the announced modem.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DemodulationError
+from repro.phy.cck import CckPhy
+from repro.phy.dsss import CHIPS_PER_SYMBOL, DsssPhy
+from repro.phy.scrambler import scramble
+from repro.utils.bits import bits_from_bytes, bytes_from_bits
+
+SYNC_BITS = 128
+SFD_PATTERN = 0xF3A0
+HEADER_BITS = 48
+
+_RATE_CODES = {1: 0x0A, 2: 0x14, 5.5: 0x37, 11: 0x6E}
+_CODE_RATES = {v: k for k, v in _RATE_CODES.items()}
+
+
+def crc16_ccitt(bits):
+    """CCITT CRC-16 over a bit array (as the PLCP header uses)."""
+    bits = np.asarray(bits).astype(int).ravel()
+    crc = 0xFFFF
+    for bit in bits:
+        msb = (crc >> 15) & 1
+        crc = ((crc << 1) & 0xFFFF) | int(bit)
+        if msb:
+            crc ^= 0x1021
+    # Standard closing: ones complement.
+    return crc ^ 0xFFFF
+
+
+def _int_bits_msb(value, width):
+    return np.array([(value >> (width - 1 - i)) & 1 for i in range(width)],
+                    dtype=np.int8)
+
+
+def _bits_int_msb(bits):
+    return int(sum(int(b) << (len(bits) - 1 - i)
+                   for i, b in enumerate(bits)))
+
+
+class HrDsssPpdu:
+    """802.11b long-preamble PPDU transceiver.
+
+    Parameters
+    ----------
+    rate_mbps : float
+        Payload rate: 1, 2, 5.5 or 11.
+
+    Examples
+    --------
+    >>> ppdu = HrDsssPpdu(11)
+    >>> wave = ppdu.transmit(b"data")
+    >>> ppdu.receive(wave)
+    b'data'
+    """
+
+    def __init__(self, rate_mbps=11):
+        if rate_mbps not in _RATE_CODES:
+            raise ConfigurationError(
+                f"802.11b rate must be one of {sorted(_RATE_CODES)}"
+            )
+        self.rate_mbps = rate_mbps
+        self._header_modem = DsssPhy(1)
+        if rate_mbps in (1, 2):
+            self._payload_modem = DsssPhy(int(rate_mbps))
+        else:
+            self._payload_modem = CckPhy(rate_mbps)
+
+    # -- framing -----------------------------------------------------------
+
+    def _preamble_and_header_bits(self, psdu_bytes):
+        sync = np.ones(SYNC_BITS, dtype=np.int8)
+        sfd = _int_bits_msb(SFD_PATTERN, 16)
+        signal = _int_bits_msb(_RATE_CODES[self.rate_mbps], 8)
+        service = np.zeros(8, dtype=np.int8)
+        length_us = int(np.ceil(8 * psdu_bytes / self.rate_mbps))
+        if length_us >= 1 << 16:
+            raise ConfigurationError("PSDU too long for the LENGTH field")
+        # Length-extension (clause 18.2.3.5): at 11 Mbps a microsecond can
+        # hold more than one byte, so ceil() can overshoot by one byte;
+        # service bit 7 disambiguates.
+        overshoot = int(length_us * self.rate_mbps // 8) - psdu_bytes
+        if overshoot not in (0, 1):
+            raise ConfigurationError("LENGTH field cannot encode this size")
+        service[7] = overshoot
+        length = _int_bits_msb(length_us, 16)
+        head = np.concatenate([signal, service, length])
+        crc = _int_bits_msb(crc16_ccitt(head), 16)
+        return np.concatenate([sync, sfd, head, crc])
+
+    def preamble_header_duration_s(self):
+        """The long preamble + header cost: 192 us at 1 Mbps."""
+        return (SYNC_BITS + 16 + HEADER_BITS) / 1e6
+
+    def frame_duration_s(self, psdu_bytes):
+        """Total air time of the PPDU."""
+        return (self.preamble_header_duration_s()
+                + 8 * psdu_bytes / (self.rate_mbps * 1e6))
+
+    # -- TX ------------------------------------------------------------------
+
+    def transmit(self, psdu):
+        """Build the full PPDU chip waveform (11 Mchip/s)."""
+        psdu = bytes(psdu)
+        plcp_bits = scramble(self._preamble_and_header_bits(len(psdu)))
+        payload_bits = scramble(bits_from_bytes(psdu))
+        head_wave = self._header_modem.modulate(plcp_bits)
+        payload_wave = self._payload_modem.modulate(payload_bits)
+        return np.concatenate([head_wave, payload_wave])
+
+    # -- RX ------------------------------------------------------------------
+
+    def receive(self, chips):
+        """Parse and demodulate a PPDU; returns the PSDU bytes.
+
+        Raises
+        ------
+        DemodulationError
+            If the SFD cannot be found or the header CRC fails.
+        """
+        chips = np.asarray(chips, dtype=np.complex128).ravel()
+        n_plcp_bits = SYNC_BITS + 16 + HEADER_BITS
+        n_plcp_chips = (n_plcp_bits + 1) * CHIPS_PER_SYMBOL  # + reference
+        if chips.size < n_plcp_chips:
+            raise DemodulationError("waveform shorter than the PLCP")
+        plcp_bits = scramble(
+            self._header_modem.demodulate(chips[:n_plcp_chips])
+        )
+        sfd = plcp_bits[SYNC_BITS : SYNC_BITS + 16]
+        if _bits_int_msb(sfd) != SFD_PATTERN:
+            raise DemodulationError("SFD not found (preamble sync failed)")
+        header = plcp_bits[SYNC_BITS + 16 :]
+        head, crc_bits = header[:32], header[32:]
+        if crc16_ccitt(head) != _bits_int_msb(crc_bits):
+            raise DemodulationError("PLCP header CRC failed")
+        rate_code = _bits_int_msb(head[:8])
+        if rate_code not in _CODE_RATES:
+            raise DemodulationError(f"unknown SIGNAL rate code {rate_code:#x}")
+        rate = _CODE_RATES[rate_code]
+        if rate != self.rate_mbps:
+            raise DemodulationError(
+                f"header announces {rate} Mbps, receiver set for "
+                f"{self.rate_mbps} Mbps"
+            )
+        length_us = _bits_int_msb(head[16:32])
+        length_extension = int(head[15])  # service bit 7
+        n_bytes = int(length_us * self.rate_mbps // 8) - length_extension
+        n_bits = 8 * n_bytes
+        n_payload_chips = self._n_payload_chips(n_bits)
+        payload_chips = chips[n_plcp_chips : n_plcp_chips + n_payload_chips]
+        if payload_chips.size < n_payload_chips:
+            raise DemodulationError("payload truncated")
+        payload_bits = scramble(
+            self._payload_modem.demodulate(payload_chips)[:n_bits]
+        )
+        return bytes_from_bits(payload_bits)
+
+    def _n_payload_chips(self, n_bits):
+        modem = self._payload_modem
+        if isinstance(modem, DsssPhy):
+            return modem.n_chips(n_bits)
+        return modem.n_chips(n_bits)

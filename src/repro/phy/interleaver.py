@@ -1,0 +1,99 @@
+"""The 802.11a block interleaver (clause 17.3.5.6).
+
+Operates on one OFDM symbol's worth of coded bits (``n_cbps``). Two
+permutations: the first spreads adjacent coded bits onto non-adjacent
+subcarriers; the second rotates bits within a subcarrier's constellation
+label so adjacent bits alternate between more and less reliable positions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CodingError
+
+
+def interleave_permutation(n_cbps, n_bpsc):
+    """Return the permutation ``k -> j`` (write index for each input bit)."""
+    s = max(n_bpsc // 2, 1)
+    k = np.arange(n_cbps)
+    i = (n_cbps // 16) * (k % 16) + k // 16
+    j = s * (i // s) + (i + n_cbps - (16 * i) // n_cbps) % s
+    return j
+
+
+def interleave(bits, n_cbps, n_bpsc):
+    """Interleave one or more OFDM symbols' coded bits."""
+    bits = np.asarray(bits)
+    if bits.size % n_cbps != 0:
+        raise CodingError(
+            f"{bits.size} bits is not a whole number of {n_cbps}-bit symbols"
+        )
+    perm = interleave_permutation(n_cbps, n_bpsc)
+    out = np.empty_like(bits)
+    for start in range(0, bits.size, n_cbps):
+        block = bits[start : start + n_cbps]
+        dest = out[start : start + n_cbps]
+        dest[perm] = block
+    return out
+
+
+def ht_interleave_permutation(n_bpsc, bandwidth_mhz=20):
+    """The 802.11n per-stream interleaver permutation.
+
+    Same two permutations as 802.11a but on a 13-column (20 MHz) or
+    18-column (40 MHz) array, matching the 52/108 data-subcarrier counts.
+    """
+    n_col = 13 if bandwidth_mhz == 20 else 18
+    n_row = (4 if bandwidth_mhz == 20 else 6) * n_bpsc
+    n_cbpss = n_col * n_row
+    s = max(n_bpsc // 2, 1)
+    k = np.arange(n_cbpss)
+    i = n_row * (k % n_col) + k // n_col
+    j = s * (i // s) + (i + n_cbpss - (n_col * i) // n_cbpss) % s
+    return j
+
+
+def ht_interleave(bits, n_bpsc, bandwidth_mhz=20):
+    """Interleave one or more HT symbols' worth of one stream's coded bits."""
+    bits = np.asarray(bits)
+    perm = ht_interleave_permutation(n_bpsc, bandwidth_mhz)
+    n_cbpss = perm.size
+    if bits.size % n_cbpss != 0:
+        raise CodingError(
+            f"{bits.size} bits is not a whole number of {n_cbpss}-bit symbols"
+        )
+    out = np.empty_like(bits)
+    for start in range(0, bits.size, n_cbpss):
+        out[start : start + n_cbpss][perm] = bits[start : start + n_cbpss]
+    return out
+
+
+def ht_deinterleave(bits, n_bpsc, bandwidth_mhz=20):
+    """Inverse of :func:`ht_interleave` (works on soft values too)."""
+    bits = np.asarray(bits)
+    perm = ht_interleave_permutation(n_bpsc, bandwidth_mhz)
+    n_cbpss = perm.size
+    if bits.size % n_cbpss != 0:
+        raise CodingError(
+            f"{bits.size} bits is not a whole number of {n_cbpss}-bit symbols"
+        )
+    out = np.empty_like(bits)
+    for start in range(0, bits.size, n_cbpss):
+        out[start : start + n_cbpss] = bits[start : start + n_cbpss][perm]
+    return out
+
+
+def deinterleave(bits, n_cbps, n_bpsc):
+    """Inverse of :func:`interleave` (works on soft values too)."""
+    bits = np.asarray(bits)
+    if bits.size % n_cbps != 0:
+        raise CodingError(
+            f"{bits.size} bits is not a whole number of {n_cbps}-bit symbols"
+        )
+    perm = interleave_permutation(n_cbps, n_bpsc)
+    out = np.empty_like(bits)
+    for start in range(0, bits.size, n_cbps):
+        block = bits[start : start + n_cbps]
+        out[start : start + n_cbps] = block[perm]
+    return out

@@ -1,0 +1,54 @@
+"""802.11n MIMO physical layer.
+
+The paper identifies MIMO as *the* emerging technology for 802.11: spatial
+multiplexing multiplies rate (up to 600 Mbps / 15 bps/Hz), spatial
+diversity extends range "several-fold", and closed-loop beamforming
+improves both. Each mechanism lives in its own module:
+
+stbc
+    Alamouti space-time block coding (transmit diversity).
+detection
+    Zero-forcing, MMSE and maximum-likelihood spatial-multiplexing
+    detectors, plus maximum-ratio combining for receive diversity.
+beamforming
+    SVD eigen-beamforming with optional water-filling power allocation —
+    the closed-loop scheme the paper expects 802.11n to specify.
+capacity
+    Deterministic, ergodic and outage MIMO channel capacity.
+ht
+    A complete HT (802.11n-class) MIMO-OFDM transceiver built on the
+    clause-17 OFDM engine with per-stream training symbols.
+"""
+
+from repro.phy.mimo.beamforming import (
+    svd_beamformer,
+    water_filling,
+)
+from repro.phy.mimo.capacity import (
+    capacity_bps_hz,
+    ergodic_capacity,
+    outage_capacity,
+)
+from repro.phy.mimo.detection import (
+    detect_ml,
+    detect_mmse,
+    detect_zero_forcing,
+    maximum_ratio_combine,
+)
+from repro.phy.mimo.ht import HtPhy
+from repro.phy.mimo.stbc import alamouti_decode, alamouti_encode
+
+__all__ = [
+    "svd_beamformer",
+    "water_filling",
+    "capacity_bps_hz",
+    "ergodic_capacity",
+    "outage_capacity",
+    "detect_ml",
+    "detect_mmse",
+    "detect_zero_forcing",
+    "maximum_ratio_combine",
+    "HtPhy",
+    "alamouti_decode",
+    "alamouti_encode",
+]

@@ -1,0 +1,108 @@
+"""Adaptive per-subcarrier bit loading.
+
+A closed-loop refinement in the spirit of the paper's beamforming
+discussion: with channel knowledge at the transmitter, each subcarrier
+(or eigen-channel) carries the densest constellation its SNR supports,
+instead of one uniform modulation chosen for the worst tone. Classic
+Hughes-Hartogs greedy loading plus a simple threshold loader.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: SNR (dB) each constellation needs for ~1e-5 raw symbol errors.
+CONSTELLATION_SNR_DB = {0: -np.inf, 1: 9.6, 2: 12.6, 4: 19.5, 6: 26.5}
+
+_SUPPORTED_BITS = (0, 1, 2, 4, 6)
+
+
+def threshold_loading(subcarrier_snr_db, margin_db=0.0):
+    """Bits per subcarrier: the densest constellation each tone supports."""
+    snrs = np.asarray(subcarrier_snr_db, dtype=float).ravel()
+    bits = np.zeros(snrs.size, dtype=int)
+    for b in _SUPPORTED_BITS[1:]:
+        bits[snrs >= CONSTELLATION_SNR_DB[b] + margin_db] = b
+    return bits
+
+
+def greedy_loading(subcarrier_gains, total_power, target_bits,
+                   noise_var=1.0):
+    """Hughes-Hartogs greedy bit loading.
+
+    Repeatedly grants one more bit to the subcarrier where that bit is
+    cheapest in power, until ``target_bits`` are placed or the budget is
+    exhausted.
+
+    Parameters
+    ----------
+    subcarrier_gains : array of float
+        Amplitude gains |H_k|.
+    total_power : float
+        Power budget to distribute.
+    target_bits : int
+        Bits to place per OFDM symbol.
+    noise_var : float
+
+    Returns
+    -------
+    (bits, powers) : (int array, float array)
+        Per-subcarrier constellation sizes and transmit powers. When the
+        budget runs out early, fewer than ``target_bits`` are placed.
+    """
+    gains = np.asarray(subcarrier_gains, dtype=float).ravel()
+    if np.any(gains < 0) or total_power <= 0 or target_bits < 0:
+        raise ConfigurationError("gains >= 0, power > 0, bits >= 0 required")
+    n = gains.size
+    bits = np.zeros(n, dtype=int)
+    powers = np.zeros(n)
+    # Power needed on subcarrier k for b bits: SNR_req(b) * nv / |H_k|^2.
+    snr_req = {b: 10 ** (CONSTELLATION_SNR_DB[b] / 10.0)
+               for b in _SUPPORTED_BITS[1:]}
+    next_step = {0: 1, 1: 2, 2: 4, 4: 6, 6: None}
+    spent = 0.0
+    placed = 0
+    while placed < target_bits:
+        best_cost = np.inf
+        best_k = -1
+        for k in range(n):
+            nxt = next_step[bits[k]]
+            if nxt is None or gains[k] <= 0:
+                continue
+            need = snr_req[nxt] * noise_var / gains[k] ** 2
+            cost = need - powers[k]
+            if cost < best_cost:
+                best_cost = cost
+                best_k = k
+        if best_k < 0 or spent + best_cost > total_power:
+            break
+        nxt = next_step[bits[best_k]]
+        placed += nxt - bits[best_k]
+        spent += best_cost
+        powers[best_k] += best_cost
+        bits[best_k] = nxt
+    return bits, powers
+
+
+def loaded_rate_mbps(bits, symbol_duration_s=4e-6, code_rate=0.75):
+    """Data rate of a loading pattern."""
+    bits = np.asarray(bits)
+    return float(bits.sum() * code_rate / symbol_duration_s / 1e6)
+
+
+def uniform_vs_loaded(subcarrier_snr_db, margin_db=0.0):
+    """Compare uniform (worst-tone) modulation with per-tone loading.
+
+    Returns a dict with bits/symbol under both policies; the gap is the
+    frequency-selectivity loss the closed loop recovers.
+    """
+    snrs = np.asarray(subcarrier_snr_db, dtype=float).ravel()
+    loaded = threshold_loading(snrs, margin_db)
+    worst = threshold_loading(np.array([snrs.min()]), margin_db)[0]
+    return {
+        "loaded_bits_per_symbol": int(loaded.sum()),
+        "uniform_bits_per_symbol": int(worst * snrs.size),
+        "gain": float(loaded.sum() / max(worst * snrs.size, 1)),
+    }

@@ -1,0 +1,385 @@
+"""HT (802.11n-class) MIMO-OFDM transceiver.
+
+Implements the High-Throughput PHY as the paper anticipated it: 1-4
+spatial streams, 20 or 40 MHz channels, the HT MCS table, per-stream
+orthogonal training (the P-matrix HT-LTFs), and linear MMSE/ZF or exact ML
+detection. Closed-loop SVD eigen-beamforming is supported by supplying
+per-subcarrier precoders; channel estimation transparently learns the
+*effective* precoded channel, exactly as real closed-loop 11n does.
+(Alamouti transmit diversity lives in :mod:`repro.phy.mimo.stbc` and is
+exercised at symbol level by the link engine.)
+
+Simplifications vs the full standard (see DESIGN.md): the legacy and
+HT-SIG header symbols are omitted (both ends are configured with the MCS),
+pilots are transmitted but not used for phase tracking (the simulation has
+no oscillator impairments), and the short guard interval is handled
+analytically in the rate table rather than at waveform level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DemodulationError
+from repro.phy import convolutional as cc
+from repro.phy.interleaver import ht_deinterleave, ht_interleave
+from repro.phy.mimo.detection import detect_ml, detect_mmse, detect_zero_forcing
+from repro.phy.modulation import Modulator
+from repro.phy.scrambler import scramble
+from repro.standards.mcs import HT_MCS_TABLE
+from repro.utils.bits import bits_from_bytes, bytes_from_bits
+
+#: Number of HT-LTF symbols per spatial-stream count.
+N_LTF = {1: 1, 2: 2, 3: 4, 4: 4}
+
+#: The HT-LTF mapping matrix (rows = streams, columns = LTF symbols).
+P_HTLTF = np.array(
+    [
+        [1, -1, 1, 1],
+        [1, 1, -1, 1],
+        [1, 1, 1, -1],
+        [-1, 1, 1, 1],
+    ],
+    dtype=float,
+)
+
+_GEOMETRY = {
+    20: {
+        "fft": 64,
+        "cp": 16,
+        "sample_rate": 20e6,
+        "pilots": (-21, -7, 7, 21),
+        "used": [k for k in range(-28, 29) if k != 0],
+    },
+    40: {
+        "fft": 128,
+        "cp": 32,
+        "sample_rate": 40e6,
+        "pilots": (-53, -25, -11, 11, 25, 53),
+        "used": [k for k in range(-58, 59) if k not in (-1, 0, 1)],
+    },
+}
+
+
+class HtPhy:
+    """802.11n HT MIMO-OFDM transceiver.
+
+    Parameters
+    ----------
+    mcs : int
+        HT MCS index 0-31 (index // 8 + 1 spatial streams).
+    bandwidth_mhz : int
+        20 or 40.
+    n_rx : int
+        Receive antennas (>= spatial streams for linear detection).
+    detector : str
+        "mmse" (default), "zf" or "ml".
+    scrambler_seed : int
+
+    Examples
+    --------
+    >>> phy = HtPhy(mcs=8, n_rx=2)         # 2-stream QPSK 1/2
+    >>> tx = phy.transmit(b"data")          # (2, n_samples)
+    >>> h = np.eye(2)[:, :, None] * np.ones(phy.n_data_sc)  # flat channel
+    >>> # apply channel externally, then:   phy.receive(rx, noise_var)
+    """
+
+    def __init__(self, mcs=0, bandwidth_mhz=20, n_rx=None, detector="mmse",
+                 scrambler_seed=0x5D):
+        if mcs not in HT_MCS_TABLE:
+            raise ConfigurationError(f"MCS index must be 0-31, got {mcs}")
+        if bandwidth_mhz not in _GEOMETRY:
+            raise ConfigurationError(
+                f"bandwidth must be 20 or 40 MHz, got {bandwidth_mhz}"
+            )
+        if detector not in ("mmse", "zf", "ml"):
+            raise ConfigurationError(f"unknown detector {detector!r}")
+        self.mcs = HT_MCS_TABLE[mcs]
+        self.n_ss = self.mcs.spatial_streams
+        self.n_tx = self.n_ss
+        self.n_rx = self.n_ss if n_rx is None else int(n_rx)
+        if detector in ("mmse", "zf") and self.n_rx < self.n_ss:
+            raise ConfigurationError(
+                f"linear detection of {self.n_ss} streams needs >= {self.n_ss}"
+                f" RX antennas, got {self.n_rx}"
+            )
+        self.detector = detector
+        self.bandwidth_mhz = bandwidth_mhz
+        geo = _GEOMETRY[bandwidth_mhz]
+        self.fft_size = geo["fft"]
+        self.cp = geo["cp"]
+        self.sample_rate = geo["sample_rate"]
+        self.symbol_samples = self.fft_size + self.cp
+        used = geo["used"]
+        pilots = geo["pilots"]
+        self.data_indices = np.array([k for k in used if k not in pilots])
+        self.pilot_indices = np.array(pilots)
+        self.n_data_sc = len(self.data_indices)
+        self.n_used = len(used)
+        self._data_bins = np.array([k % self.fft_size for k in self.data_indices])
+        self._pilot_bins = np.array([k % self.fft_size for k in self.pilot_indices])
+        self._used_bins = np.array([k % self.fft_size for k in used])
+        # LTF values: reuse the legacy +/-1 pattern extended cyclically.
+        rng = np.random.default_rng(0x11AC)
+        self._ltf_freq = 1.0 - 2.0 * rng.integers(0, 2, self.n_used).astype(float)
+        self.modulator = Modulator(self.mcs.bits_per_subcarrier)
+        self.scrambler_seed = scrambler_seed
+        self.n_cbpss = self.n_data_sc * self.mcs.bits_per_subcarrier  # per stream
+        self.n_cbps = self.n_cbpss * self.n_ss
+        self.n_dbps = self.mcs.n_dbps(bandwidth_mhz)
+        self._n_ltf = N_LTF[self.n_ss]
+        self._p = P_HTLTF[: self.n_ss, : self._n_ltf]
+
+    # -- sizing ------------------------------------------------------------
+
+    def n_symbols(self, psdu_bytes):
+        """DATA OFDM symbols for a PSDU of ``psdu_bytes`` bytes."""
+        n_bits = 16 + 8 * psdu_bytes + 6
+        return int(np.ceil(n_bits / self.n_dbps))
+
+    def n_samples(self, psdu_bytes):
+        """Per-antenna waveform length for a PSDU."""
+        return (self._n_ltf + self.n_symbols(psdu_bytes)) * self.symbol_samples
+
+    def frame_duration_s(self, psdu_bytes, guard_interval="long"):
+        """Air time including the standard's full preamble overhead."""
+        # L-STF + L-LTF + L-SIG + HT-SIG + HT-STF = 8+8+4+8+4 us, then LTFs.
+        preamble_us = 32.0 + 4.0 * self._n_ltf
+        sym_us = 4.0 if guard_interval == "long" else 3.6
+        return (preamble_us + sym_us * self.n_symbols(psdu_bytes)) * 1e-6
+
+    # -- waveform building ---------------------------------------------------
+
+    def _freq_to_time(self, bins):
+        return np.fft.ifft(bins) * (self.fft_size / np.sqrt(self.n_used))
+
+    def _time_to_freq(self, samples):
+        return np.fft.fft(samples) * (np.sqrt(self.n_used) / self.fft_size)
+
+    def _ofdm_symbol(self, data_carriers):
+        """One stream's OFDM symbol (data carriers already scaled)."""
+        bins = np.zeros(self.fft_size, dtype=np.complex128)
+        bins[self._data_bins] = data_carriers
+        bins[self._pilot_bins] = 1.0 / np.sqrt(self.n_ss)
+        symbol = self._freq_to_time(bins)
+        return np.concatenate([symbol[-self.cp :], symbol])
+
+    def _ltf_symbols(self, precoders=None):
+        """(n_tx, n_ltf * symbol_samples) per-antenna training waveforms.
+
+        When ``precoders`` are supplied (data-subcarrier spatial maps),
+        they are applied to the training tones on those subcarriers too,
+        so the receiver estimates the *effective* channel H V — exactly
+        how closed-loop 11n sounding behaves. Pilot subcarriers keep the
+        direct (identity) mapping.
+        """
+        out = np.zeros(
+            (self.n_tx, self._n_ltf * self.symbol_samples), dtype=np.complex128
+        )
+        # Per-used-subcarrier spatial map: identity except on data bins.
+        maps = np.tile(np.eye(self.n_tx, self.n_ss, dtype=np.complex128),
+                       (self.n_used, 1, 1))
+        if precoders is not None:
+            used_pos = {b: i for i, b in enumerate(self._used_bins)}
+            for c, b in enumerate(self._data_bins):
+                maps[used_pos[b]] = precoders[c]
+        for n in range(self._n_ltf):
+            # Per-subcarrier TX vector: map @ (P column), scaled by LTF tone.
+            tx_vec = np.einsum("uts,s->ut", maps, self._p[:, n])
+            tx_vec = tx_vec * (self._ltf_freq / np.sqrt(self.n_ss))[:, None]
+            for t in range(self.n_tx):
+                bins = np.zeros(self.fft_size, dtype=np.complex128)
+                bins[self._used_bins] = tx_vec[:, t]
+                sym = self._freq_to_time(bins)
+                start = n * self.symbol_samples
+                out[t, start + self.cp : start + self.symbol_samples] = sym
+                out[t, start : start + self.cp] = sym[-self.cp :]
+        return out
+
+    # -- stream parser -------------------------------------------------------
+
+    def _parse_streams(self, coded_bits):
+        """Round-robin s-bit groups across streams (802.11n stream parser)."""
+        s = max(self.mcs.bits_per_subcarrier // 2, 1)
+        groups = coded_bits.reshape(-1, s)
+        n_groups_per_stream = groups.shape[0] // self.n_ss
+        streams = np.empty((self.n_ss, n_groups_per_stream * s),
+                           dtype=coded_bits.dtype)
+        for k in range(self.n_ss):
+            streams[k] = groups[k :: self.n_ss].ravel()
+        return streams
+
+    def _deparse_streams(self, streams):
+        """Inverse of :meth:`_parse_streams` (operates on soft values too)."""
+        s = max(self.mcs.bits_per_subcarrier // 2, 1)
+        n_groups_per_stream = streams.shape[1] // s
+        out = np.empty(streams.size, dtype=streams.dtype)
+        groups = out.reshape(-1, s)
+        for k in range(self.n_ss):
+            groups[k :: self.n_ss] = streams[k].reshape(n_groups_per_stream, s)
+        return out
+
+    # -- TX -------------------------------------------------------------------
+
+    def transmit(self, psdu, precoders=None):
+        """Build the (n_tx, n_samples) HT waveform for a PSDU.
+
+        Parameters
+        ----------
+        psdu : bytes-like
+        precoders : array (n_data_sc, n_tx, n_ss), optional
+            Per-data-subcarrier spatial mapping (e.g. SVD beamformers).
+            Training symbols are precoded identically so the receiver's
+            channel estimate covers the effective channel. Identity
+            (direct mapping) when omitted.
+        """
+        psdu = bytes(psdu)
+        n_sym = self.n_symbols(len(psdu))
+        n_data_bits = n_sym * self.n_dbps
+        payload = bits_from_bytes(psdu)
+        data = np.concatenate([
+            np.zeros(16, dtype=np.int8),
+            payload,
+            np.zeros(6 + n_data_bits - 16 - payload.size - 6, dtype=np.int8),
+        ])
+        scrambled = scramble(data, seed=self.scrambler_seed)
+        scrambled[16 + payload.size : 22 + payload.size] = 0
+        coded = cc.puncture(
+            cc.encode(scrambled, terminate=False), rate=self.mcs.code_rate
+        )
+        streams = self._parse_streams(coded)
+        waves = [self._ltf_symbols(precoders)]
+        amp = 1.0 / np.sqrt(self.n_ss)
+        for i in range(n_sym):
+            sym_block = np.empty(
+                (self.n_ss, self.symbol_samples), dtype=np.complex128
+            )
+            carrier_rows = np.empty(
+                (self.n_ss, self.n_data_sc), dtype=np.complex128
+            )
+            for k in range(self.n_ss):
+                seg = streams[k, i * self.n_cbpss : (i + 1) * self.n_cbpss]
+                inter = ht_interleave(
+                    seg, self.mcs.bits_per_subcarrier, self.bandwidth_mhz
+                )
+                carrier_rows[k] = self.modulator.modulate(inter) * amp
+            if precoders is not None:
+                carrier_rows = np.einsum("cts,sc->tc", precoders, carrier_rows)
+            for k in range(self.n_ss):
+                sym_block[k] = self._ofdm_symbol(carrier_rows[k])
+            waves.append(sym_block)
+        return np.concatenate(waves, axis=1)
+
+    # -- RX -------------------------------------------------------------------
+
+    def estimate_channel(self, ltf_block):
+        """Per-used-subcarrier MIMO channel from the HT-LTFs.
+
+        Parameters
+        ----------
+        ltf_block : array (n_rx, n_ltf * symbol_samples)
+
+        Returns
+        -------
+        numpy.ndarray of shape (n_used, n_rx, n_ss)
+        """
+        ltf_block = np.atleast_2d(ltf_block)
+        obs = np.empty(
+            (self.n_used, self.n_rx, self._n_ltf), dtype=np.complex128
+        )
+        for n in range(self._n_ltf):
+            start = n * self.symbol_samples + self.cp
+            for r in range(self.n_rx):
+                freq = self._time_to_freq(
+                    ltf_block[r, start : start + self.fft_size]
+                )
+                obs[:, r, n] = freq[self._used_bins] / self._ltf_freq
+        # obs = H_eff * P  (per subcarrier);  P P^H = n_ltf I
+        h = obs @ self._p.T.conj() / self._n_ltf  # (n_used, n_rx, n_ss)
+        return h * np.sqrt(self.n_ss)  # undo the LTF amplitude split
+
+    def receive(self, samples, noise_var, psdu_bytes=None,
+                return_details=False):
+        """Demodulate an (n_rx, n_samples) waveform back into PSDU bytes.
+
+        Without an HT-SIG header the payload length is inferred from the
+        waveform length, which includes the pad region; pass ``psdu_bytes``
+        (carried by HT-SIG in the real standard) to truncate exactly.
+        """
+        samples = np.atleast_2d(np.asarray(samples, dtype=np.complex128))
+        if samples.shape[0] != self.n_rx:
+            raise DemodulationError(
+                f"expected {self.n_rx} receive streams, got {samples.shape[0]}"
+            )
+        min_len = (self._n_ltf + 1) * self.symbol_samples
+        if samples.shape[1] < min_len:
+            raise DemodulationError("waveform shorter than training + 1 symbol")
+        h_all = self.estimate_channel(
+            samples[:, : self._n_ltf * self.symbol_samples]
+        )
+        # Map estimates onto data bins. The estimate includes the 1/sqrt(nss)
+        # data amplitude via the sqrt undo above, so fold it back in.
+        used_pos = {k: i for i, k in enumerate(self._used_bins)}
+        data_rows = np.array([used_pos[b] for b in self._data_bins])
+        h_data = h_all[data_rows] / np.sqrt(self.n_ss)  # (n_data_sc, nr, nss)
+
+        n_sym = (samples.shape[1] // self.symbol_samples) - self._n_ltf
+        carrier_nv = noise_var * self.n_used / self.fft_size
+        cursor = self._n_ltf * self.symbol_samples
+        soft_streams = np.empty((self.n_ss, n_sym * self.n_cbpss))
+        for i in range(n_sym):
+            freq = np.empty((self.n_rx, self.fft_size), dtype=np.complex128)
+            for r in range(self.n_rx):
+                freq[r] = self._time_to_freq(
+                    samples[r, cursor + self.cp : cursor + self.symbol_samples]
+                )
+            cursor += self.symbol_samples
+            llr_sym = np.empty((self.n_ss, self.n_cbpss))
+            for c in range(self.n_data_sc):
+                y_c = freq[:, self._data_bins[c]][:, None]
+                h_c = h_data[c]
+                if self.detector == "mmse":
+                    est, sinr = detect_mmse(y_c, h_c, carrier_nv)
+                    nv_eff = 1.0 / np.maximum(sinr, 1e-12)
+                elif self.detector == "zf":
+                    est, sinr = detect_zero_forcing(y_c, h_c, carrier_nv)
+                    nv_eff = 1.0 / np.maximum(sinr, 1e-12)
+                else:
+                    est = detect_ml(y_c, h_c, self.modulator.constellation)
+                    sinr = np.full(self.n_ss, 1e6)
+                    nv_eff = np.full(self.n_ss, 1e-3)
+                for k in range(self.n_ss):
+                    bpsc = self.mcs.bits_per_subcarrier
+                    llr_sym[
+                        k, c * bpsc : (c + 1) * bpsc
+                    ] = self.modulator.demodulate_soft(est[k], nv_eff[k])
+            for k in range(self.n_ss):
+                soft_streams[k, i * self.n_cbpss : (i + 1) * self.n_cbpss] = (
+                    ht_deinterleave(
+                        llr_sym[k], self.mcs.bits_per_subcarrier,
+                        self.bandwidth_mhz,
+                    )
+                )
+        soft = self._deparse_streams(soft_streams)
+        decoded = cc.viterbi_decode(
+            soft, n_sym * self.n_dbps, rate=self.mcs.code_rate,
+            terminated=False,
+        )
+        descrambled = scramble(decoded, seed=self.scrambler_seed)
+        payload_bits = descrambled[16:]
+        n_bytes = (payload_bits.size - 6) // 8
+        if psdu_bytes is not None:
+            if psdu_bytes > n_bytes:
+                raise DemodulationError(
+                    f"waveform carries at most {n_bytes} bytes, "
+                    f"{psdu_bytes} requested"
+                )
+            n_bytes = psdu_bytes
+        psdu = bytes_from_bits(payload_bits[: 8 * n_bytes])
+        if return_details:
+            return psdu, {"channel": h_data, "n_symbols": n_sym}
+        return psdu
+
+    def data_rate_mbps(self, guard_interval="long"):
+        """PHY rate for this configuration."""
+        return self.mcs.data_rate_mbps(self.bandwidth_mhz, guard_interval)

@@ -1,0 +1,251 @@
+"""Alamouti space-time block coding over OFDM (2 TX antennas).
+
+The waveform-level embodiment of the paper's transmit-diversity claim:
+"through the availability of spatial diversity provided by multiple
+antennas, the range ... is extended several-fold". Symbols are Alamouti-
+encoded **per subcarrier across pairs of OFDM symbols** (space-time, as in
+802.11n's STBC mode):
+
+    symbol 2t   : antenna1 -> S1_k,    antenna2 -> S2_k
+    symbol 2t+1 : antenna1 -> -S2_k*,  antenna2 -> S1_k*
+
+The receiver estimates the two per-subcarrier channels from P-matrix
+training symbols and combines linearly, collecting full 2 x Nr diversity
+with no rate loss. The data chain (scrambler, Viterbi, interleaver)
+matches the clause-17 OFDM PHY so results compare directly with
+:class:`repro.phy.ofdm.OfdmPhy`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import (
+    OFDM_CP_LENGTH,
+    OFDM_DATA_SUBCARRIERS,
+    OFDM_FFT_SIZE,
+    OFDM_SYMBOL_SAMPLES,
+)
+from repro.errors import ConfigurationError, DemodulationError
+from repro.phy import convolutional as cc
+from repro.phy.interleaver import deinterleave, interleave
+from repro.phy.modulation import Modulator
+from repro.phy.ofdm import (
+    OFDM_RATES,
+    _DATA_BINS,
+    _PILOT_BINS,
+    _USED_BINS,
+    _LTF_FREQ,
+    _PILOT_BASE,
+    pilot_polarity,
+)
+from repro.phy.scrambler import scramble
+from repro.utils.bits import bits_from_bytes, bytes_from_bits
+
+_N_LTF = 2
+_P = np.array([[1.0, -1.0], [1.0, 1.0]])  # 2x2 orthogonal training map
+
+
+class StbcOfdmPhy:
+    """2-TX Alamouti OFDM transceiver (802.11a rate set, Nr >= 1).
+
+    Parameters
+    ----------
+    rate_mbps : int
+        One of the 802.11a rates (6..54).
+    n_rx : int
+        Receive antennas.
+    scrambler_seed : int
+
+    Notes
+    -----
+    Rate-relevant parameters (n_cbps, code rate) are taken from the
+    clause-17 tables; the PPDU is two training symbols followed by an even
+    number of data symbols (zero-padded), with total TX power split across
+    the two antennas.
+    """
+
+    def __init__(self, rate_mbps=6, n_rx=1, scrambler_seed=0x5D):
+        if rate_mbps not in OFDM_RATES:
+            raise ConfigurationError(
+                f"rate must be one of {sorted(OFDM_RATES)}, got {rate_mbps}"
+            )
+        if n_rx < 1:
+            raise ConfigurationError("need at least one RX antenna")
+        self.rate = OFDM_RATES[rate_mbps]
+        self.rate_mbps = rate_mbps
+        self.n_rx = int(n_rx)
+        self.modulator = Modulator(self.rate.bits_per_subcarrier)
+        self.scrambler_seed = scrambler_seed
+
+    # -- sizing -----------------------------------------------------------
+
+    def n_symbols(self, psdu_bytes):
+        """Data OFDM symbols (rounded up to an even count for ST pairs)."""
+        n_bits = 16 + 8 * psdu_bytes + 6
+        n_sym = int(np.ceil(n_bits / self.rate.n_dbps))
+        return n_sym + (n_sym % 2)
+
+    def n_samples(self, psdu_bytes):
+        """Per-antenna waveform length."""
+        return (_N_LTF + self.n_symbols(psdu_bytes)) * OFDM_SYMBOL_SAMPLES
+
+    # -- waveform helpers ---------------------------------------------------
+
+    @staticmethod
+    def _freq_to_time(bins):
+        return np.fft.ifft(bins) * (OFDM_FFT_SIZE / np.sqrt(len(_USED_BINS)))
+
+    @staticmethod
+    def _time_to_freq(samples):
+        return np.fft.fft(samples) * (np.sqrt(len(_USED_BINS)) / OFDM_FFT_SIZE)
+
+    def _symbol(self, data_carriers, symbol_index):
+        bins = np.zeros(OFDM_FFT_SIZE, dtype=np.complex128)
+        bins[_DATA_BINS] = data_carriers
+        bins[_PILOT_BINS] = (_PILOT_BASE * pilot_polarity(symbol_index)
+                             / np.sqrt(2.0))
+        sym = self._freq_to_time(bins)
+        return np.concatenate([sym[-OFDM_CP_LENGTH:], sym])
+
+    def _training(self):
+        """(2, 2*symbol_samples) orthogonal per-antenna training."""
+        out = np.zeros((2, _N_LTF * OFDM_SYMBOL_SAMPLES), dtype=np.complex128)
+        for n in range(_N_LTF):
+            for antenna in range(2):
+                bins = np.zeros(OFDM_FFT_SIZE, dtype=np.complex128)
+                bins[_USED_BINS] = _P[antenna, n] * _LTF_FREQ / np.sqrt(2.0)
+                sym = self._freq_to_time(bins)
+                start = n * OFDM_SYMBOL_SAMPLES
+                out[antenna, start : start + OFDM_CP_LENGTH] = (
+                    sym[-OFDM_CP_LENGTH:]
+                )
+                out[antenna, start + OFDM_CP_LENGTH :
+                    start + OFDM_SYMBOL_SAMPLES] = sym
+        return out
+
+    # -- TX -------------------------------------------------------------------
+
+    def transmit(self, psdu):
+        """Build the (2, n_samples) Alamouti-OFDM waveform."""
+        psdu = bytes(psdu)
+        n_sym = self.n_symbols(len(psdu))
+        n_data_bits = n_sym * self.rate.n_dbps
+        payload = bits_from_bytes(psdu)
+        data = np.concatenate([
+            np.zeros(16, dtype=np.int8), payload,
+            np.zeros(n_data_bits - 16 - payload.size, dtype=np.int8),
+        ])
+        scrambled = scramble(data, seed=self.scrambler_seed)
+        scrambled[16 + payload.size : 22 + payload.size] = 0
+        coded = cc.puncture(cc.encode(scrambled, terminate=False),
+                            rate=self.rate.code_rate)
+        interleaved = interleave(coded, self.rate.n_cbps,
+                                 self.rate.bits_per_subcarrier)
+        symbols = self.modulator.modulate(interleaved).reshape(
+            n_sym, OFDM_DATA_SUBCARRIERS
+        )
+        wave = np.zeros((2, self.n_samples(len(psdu))), dtype=np.complex128)
+        wave[:, : _N_LTF * OFDM_SYMBOL_SAMPLES] = self._training()
+        cursor = _N_LTF * OFDM_SYMBOL_SAMPLES
+        amp = 1.0 / np.sqrt(2.0)
+        for pair in range(n_sym // 2):
+            s1 = symbols[2 * pair]
+            s2 = symbols[2 * pair + 1]
+            # Space-time mapping per subcarrier.
+            wave[0, cursor : cursor + OFDM_SYMBOL_SAMPLES] = self._symbol(
+                amp * s1, 2 * pair + 1
+            )
+            wave[1, cursor : cursor + OFDM_SYMBOL_SAMPLES] = self._symbol(
+                amp * s2, 2 * pair + 1
+            )
+            cursor += OFDM_SYMBOL_SAMPLES
+            wave[0, cursor : cursor + OFDM_SYMBOL_SAMPLES] = self._symbol(
+                -amp * np.conj(s2), 2 * pair + 2
+            )
+            wave[1, cursor : cursor + OFDM_SYMBOL_SAMPLES] = self._symbol(
+                amp * np.conj(s1), 2 * pair + 2
+            )
+            cursor += OFDM_SYMBOL_SAMPLES
+        return wave
+
+    # -- RX -------------------------------------------------------------------
+
+    def estimate_channel(self, training_block):
+        """(n_used, n_rx, 2) channel estimate from the training symbols."""
+        training_block = np.atleast_2d(training_block)
+        obs = np.empty((len(_USED_BINS), self.n_rx, _N_LTF),
+                       dtype=np.complex128)
+        for n in range(_N_LTF):
+            start = n * OFDM_SYMBOL_SAMPLES + OFDM_CP_LENGTH
+            for r in range(self.n_rx):
+                freq = self._time_to_freq(
+                    training_block[r, start : start + OFDM_FFT_SIZE]
+                )
+                obs[:, r, n] = freq[_USED_BINS] / _LTF_FREQ
+        return obs @ _P.T / _N_LTF * np.sqrt(2.0)
+
+    def receive(self, samples, noise_var, psdu_bytes=None):
+        """Demodulate an (n_rx, n_samples) waveform into PSDU bytes."""
+        samples = np.atleast_2d(np.asarray(samples, dtype=np.complex128))
+        if samples.shape[0] != self.n_rx:
+            raise DemodulationError(
+                f"expected {self.n_rx} RX streams, got {samples.shape[0]}"
+            )
+        min_len = (_N_LTF + 2) * OFDM_SYMBOL_SAMPLES
+        if samples.shape[1] < min_len:
+            raise DemodulationError("waveform shorter than training + pair")
+        h_used = self.estimate_channel(
+            samples[:, : _N_LTF * OFDM_SYMBOL_SAMPLES]
+        )
+        used_pos = {b: i for i, b in enumerate(_USED_BINS)}
+        data_rows = np.array([used_pos[b] for b in _DATA_BINS])
+        h = h_used[data_rows] / np.sqrt(2.0)  # fold in the TX power split
+
+        n_sym = (samples.shape[1] // OFDM_SYMBOL_SAMPLES) - _N_LTF
+        n_sym -= n_sym % 2
+        cursor = _N_LTF * OFDM_SYMBOL_SAMPLES
+        carrier_nv = noise_var * len(_USED_BINS) / OFDM_FFT_SIZE
+        soft = np.empty(n_sym * self.rate.n_cbps)
+        norm = np.sum(np.abs(h) ** 2, axis=(1, 2))  # per-subcarrier ||H||^2
+        if np.any(norm < 1e-18):
+            raise DemodulationError("channel has a spatial null")
+        for pair in range(n_sym // 2):
+            freq = np.empty((self.n_rx, 2, OFDM_FFT_SIZE),
+                            dtype=np.complex128)
+            for t in range(2):
+                for r in range(self.n_rx):
+                    freq[r, t] = self._time_to_freq(
+                        samples[r, cursor + OFDM_CP_LENGTH :
+                                cursor + OFDM_SYMBOL_SAMPLES]
+                    )
+                cursor += OFDM_SYMBOL_SAMPLES
+            y1 = freq[:, 0, :][:, _DATA_BINS]  # (n_rx, n_sc) at time 1
+            y2 = freq[:, 1, :][:, _DATA_BINS]
+            h1 = h[:, :, 0].T  # (n_rx, n_sc): antenna-1 channel
+            h2 = h[:, :, 1].T
+            s1_hat = (np.conj(h1) * y1 + h2 * np.conj(y2)).sum(axis=0)
+            s2_hat = (np.conj(h2) * y1 - h1 * np.conj(y2)).sum(axis=0)
+            s1_hat = s1_hat / norm
+            s2_hat = s2_hat / norm
+            nv_eff = carrier_nv / norm
+            base = pair * 2 * self.rate.n_cbps
+            for idx, est in ((0, s1_hat), (1, s2_hat)):
+                llr = self.modulator.demodulate_soft(est, nv_eff)
+                start = base + idx * self.rate.n_cbps
+                soft[start : start + self.rate.n_cbps] = deinterleave(
+                    llr, self.rate.n_cbps, self.rate.bits_per_subcarrier
+                )
+        decoded = cc.viterbi_decode(
+            soft, n_sym * self.rate.n_dbps, rate=self.rate.code_rate,
+            terminated=False,
+        )
+        descrambled = scramble(decoded, seed=self.scrambler_seed)
+        payload_bits = descrambled[16:]
+        max_bytes = (payload_bits.size - 6) // 8
+        n_bytes = max_bytes if psdu_bytes is None else int(psdu_bytes)
+        if n_bytes > max_bytes:
+            raise DemodulationError(
+                f"waveform carries at most {max_bytes} bytes"
+            )
+        return bytes_from_bits(payload_bits[: 8 * n_bytes])

@@ -1,0 +1,175 @@
+"""Gray-coded linear modulation used by every 802.11 OFDM rate.
+
+The constellations follow the 802.11a mapping tables (clause 17.3.5.7):
+unit *average* energy, Gray coding per I/Q rail, with the first half of a
+symbol's bits selecting I and the second half selecting Q.
+
+Both hard-decision demapping and max-log-MAP soft LLRs are provided; the
+Viterbi and LDPC decoders consume the soft outputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DemodulationError
+
+#: Per-rail amplitude normalisation so the constellation has unit mean power.
+_KMOD = {1: 1.0, 2: 1.0 / np.sqrt(2.0), 4: 1.0 / np.sqrt(10.0), 6: 1.0 / np.sqrt(42.0)}
+
+#: Gray-coded PAM levels per rail, indexed by bits-per-rail.
+_PAM_LEVELS = {
+    0: np.array([0.0]),  # BPSK has no Q rail
+    1: np.array([-1.0, 1.0]),
+    2: np.array([-3.0, -1.0, 1.0, 3.0]),
+    3: np.array([-7.0, -5.0, -3.0, -1.0, 1.0, 3.0, 5.0, 7.0]),
+}
+
+#: Gray code order for each rail size: bits value -> level index.
+_GRAY_TO_LEVEL = {
+    1: np.array([0, 1]),
+    2: np.array([0, 1, 3, 2]),
+    3: np.array([0, 1, 3, 2, 7, 6, 4, 5]),
+}
+
+
+class Modulator:
+    """Gray-mapped square QAM/PSK modulator-demodulator.
+
+    Parameters
+    ----------
+    bits_per_symbol : int
+        1 (BPSK), 2 (QPSK), 4 (16-QAM) or 6 (64-QAM).
+
+    Examples
+    --------
+    >>> mod = Modulator(2)
+    >>> symbols = mod.modulate(np.array([0, 0, 1, 1], dtype=np.int8))
+    >>> mod.demodulate_hard(symbols).tolist()
+    [0, 0, 1, 1]
+    """
+
+    SUPPORTED = (1, 2, 4, 6)
+
+    def __init__(self, bits_per_symbol):
+        if bits_per_symbol not in self.SUPPORTED:
+            raise ConfigurationError(
+                f"bits_per_symbol must be one of {self.SUPPORTED}, "
+                f"got {bits_per_symbol}"
+            )
+        self.bits_per_symbol = bits_per_symbol
+        self.kmod = _KMOD[bits_per_symbol]
+        if bits_per_symbol == 1:
+            self._bits_i, self._bits_q = 1, 0
+        else:
+            self._bits_i = self._bits_q = bits_per_symbol // 2
+        self._constellation = self._build_constellation()
+        self._labels = self._build_labels()
+
+    # -- construction --------------------------------------------------
+
+    def _rail_level(self, bits_value, bits_on_rail):
+        """PAM level for the Gray-labelled ``bits_value`` on one rail."""
+        if bits_on_rail == 0:
+            return 0.0
+        index = _GRAY_TO_LEVEL[bits_on_rail][bits_value]
+        return _PAM_LEVELS[bits_on_rail][index]
+
+    def _build_constellation(self):
+        m = 1 << self.bits_per_symbol
+        points = np.empty(m, dtype=np.complex128)
+        for value in range(m):
+            i_bits = value & ((1 << self._bits_i) - 1)
+            q_bits = value >> self._bits_i
+            points[value] = self.kmod * complex(
+                self._rail_level(i_bits, self._bits_i),
+                self._rail_level(q_bits, self._bits_q),
+            )
+        return points
+
+    def _build_labels(self):
+        m = 1 << self.bits_per_symbol
+        labels = np.zeros((m, self.bits_per_symbol), dtype=np.int8)
+        for value in range(m):
+            for bit in range(self.bits_per_symbol):
+                labels[value, bit] = (value >> bit) & 1
+        return labels
+
+    @property
+    def constellation(self):
+        """All 2**bits_per_symbol constellation points (copy)."""
+        return self._constellation.copy()
+
+    # -- modulation ------------------------------------------------------
+
+    def modulate(self, bits):
+        """Map a bit array (length divisible by bits_per_symbol) to symbols."""
+        bits = np.asarray(bits).astype(np.int64)
+        if bits.size % self.bits_per_symbol != 0:
+            raise ConfigurationError(
+                f"{bits.size} bits is not a multiple of {self.bits_per_symbol}"
+            )
+        groups = bits.reshape(-1, self.bits_per_symbol)
+        values = (groups << np.arange(self.bits_per_symbol)).sum(axis=1)
+        return self._constellation[values]
+
+    # -- demodulation ----------------------------------------------------
+
+    def demodulate_hard(self, symbols):
+        """Minimum-distance hard decisions, returned as a bit array."""
+        symbols = np.asarray(symbols, dtype=np.complex128).ravel()
+        distances = np.abs(symbols[:, None] - self._constellation[None, :])
+        nearest = np.argmin(distances, axis=1)
+        return self._labels[nearest].ravel()
+
+    def demodulate_soft(self, symbols, noise_var):
+        """Max-log-MAP bit LLRs.
+
+        Positive LLR means bit = 0 is more likely, matching the convention
+        ``LLR = log P(b=0|y) - log P(b=1|y)`` consumed by the decoders.
+
+        Parameters
+        ----------
+        symbols : array of complex
+            Received (equalised) symbols.
+        noise_var : float or array
+            Per-symbol complex noise variance after equalisation. May be a
+            scalar or an array broadcastable to ``symbols``.
+        """
+        symbols = np.asarray(symbols, dtype=np.complex128).ravel()
+        noise_var = np.broadcast_to(
+            np.maximum(np.asarray(noise_var, dtype=float), 1e-12), symbols.shape
+        )
+        # metric[n, m] = -|y_n - c_m|^2 / sigma_n^2
+        sq = np.abs(symbols[:, None] - self._constellation[None, :]) ** 2
+        metric = -sq / noise_var[:, None]
+        llrs = np.empty((symbols.size, self.bits_per_symbol))
+        for bit in range(self.bits_per_symbol):
+            mask0 = self._labels[:, bit] == 0
+            llrs[:, bit] = metric[:, mask0].max(axis=1) - metric[:, ~mask0].max(axis=1)
+        return llrs.ravel()
+
+    def symbol_error_positions(self, sent_symbols, received_symbols):
+        """Boolean array marking which hard-decided symbols are wrong."""
+        sent_symbols = np.asarray(sent_symbols).ravel()
+        received_symbols = np.asarray(received_symbols).ravel()
+        if sent_symbols.shape != received_symbols.shape:
+            raise DemodulationError("symbol arrays must have equal length")
+        d_sent = np.argmin(
+            np.abs(sent_symbols[:, None] - self._constellation[None, :]), axis=1
+        )
+        d_recv = np.argmin(
+            np.abs(received_symbols[:, None] - self._constellation[None, :]), axis=1
+        )
+        return d_sent != d_recv
+
+
+def modulation_name(bits_per_symbol):
+    """Human-readable name for a bits-per-symbol value."""
+    names = {1: "BPSK", 2: "QPSK", 4: "16-QAM", 6: "64-QAM"}
+    try:
+        return names[bits_per_symbol]
+    except KeyError:
+        raise ConfigurationError(
+            f"no 802.11 modulation uses {bits_per_symbol} bits/symbol"
+        ) from None

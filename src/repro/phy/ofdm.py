@@ -1,0 +1,379 @@
+"""The 802.11a/g OFDM PHY — 6 to 54 Mbps in a 20 MHz channel.
+
+OFDM is the technology the paper credits with reaching 2.7 bps/Hz once the
+regulators dropped the spreading mandate. This module implements the full
+clause-17 baseband chain:
+
+TX: scramble -> convolutional encode (+tail) -> puncture -> interleave ->
+map -> insert pilots -> 64-point IFFT -> cyclic prefix, preceded by the
+legacy short/long training fields and the SIGNAL symbol.
+
+RX: LS channel estimation from the long training field, per-subcarrier
+equalisation, pilot-driven common-phase-error correction, soft demapping,
+deinterleaving, Viterbi decoding, descrambling.
+
+The implementation is self-contained at one sample per 50 ns (20 Msps) and
+feeds per-subcarrier noise variances to the soft demapper so fading
+channels are handled correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import (
+    OFDM_CP_LENGTH,
+    OFDM_DATA_SUBCARRIERS,
+    OFDM_FFT_SIZE,
+    OFDM_PILOT_INDICES,
+    OFDM_SYMBOL_SAMPLES,
+)
+from repro.errors import ConfigurationError, DemodulationError
+from repro.phy import convolutional as cc
+from repro.phy.interleaver import deinterleave, interleave
+from repro.phy.modulation import Modulator
+from repro.phy.scrambler import scramble, scrambler_sequence
+from repro.utils.bits import bits_from_bytes, bytes_from_bits
+
+# ---------------------------------------------------------------------------
+# Rate set
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OfdmRate:
+    """One 802.11a rate-dependent parameter set (clause 17 table 78)."""
+
+    rate_mbps: int
+    bits_per_subcarrier: int
+    code_rate: str
+    signal_rate_bits: int  # the 4-bit RATE field value
+
+    @property
+    def n_cbps(self):
+        """Coded bits per OFDM symbol."""
+        return OFDM_DATA_SUBCARRIERS * self.bits_per_subcarrier
+
+    @property
+    def n_dbps(self):
+        """Data bits per OFDM symbol."""
+        return int(self.n_cbps * cc.CODE_RATES[self.code_rate])
+
+
+OFDM_RATES = {
+    6: OfdmRate(6, 1, "1/2", 0b1101),
+    9: OfdmRate(9, 1, "3/4", 0b1111),
+    12: OfdmRate(12, 2, "1/2", 0b0101),
+    18: OfdmRate(18, 2, "3/4", 0b0111),
+    24: OfdmRate(24, 4, "1/2", 0b1001),
+    36: OfdmRate(36, 4, "3/4", 0b1011),
+    48: OfdmRate(48, 6, "2/3", 0b0001),
+    54: OfdmRate(54, 6, "3/4", 0b0011),
+}
+
+_RATE_FROM_SIGNAL = {r.signal_rate_bits: r for r in OFDM_RATES.values()}
+
+# ---------------------------------------------------------------------------
+# Subcarrier geometry
+# ---------------------------------------------------------------------------
+
+_ALL_USED = [k for k in range(-26, 27) if k != 0]
+DATA_INDICES = np.array([k for k in _ALL_USED if k not in OFDM_PILOT_INDICES])
+PILOT_INDICES = np.array(OFDM_PILOT_INDICES)
+
+#: Pilot polarity per OFDM symbol: the 127-periodic scrambler PRBS, 0 -> +1.
+_POLARITY = 1.0 - 2.0 * scrambler_sequence(127, seed=0x7F).astype(float)
+
+#: Pilot values (before polarity): +1 on -21, -7, +7 and -1 on +21.
+_PILOT_BASE = np.array([1.0, 1.0, 1.0, -1.0])
+
+
+def pilot_polarity(symbol_index):
+    """Polarity p_n applied to all four pilots of symbol ``n``."""
+    return _POLARITY[symbol_index % 127]
+
+
+def _bin_of(logical_index):
+    """FFT bin for a logical subcarrier index (-26..26)."""
+    return logical_index % OFDM_FFT_SIZE
+
+
+_DATA_BINS = np.array([_bin_of(k) for k in DATA_INDICES])
+_PILOT_BINS = np.array([_bin_of(k) for k in PILOT_INDICES])
+_USED_BINS = np.array([_bin_of(k) for k in _ALL_USED])
+
+# ---------------------------------------------------------------------------
+# Training fields (clause 17.3.3)
+# ---------------------------------------------------------------------------
+
+_STF_VALUES = {
+    -24: 1 + 1j, -20: -1 - 1j, -16: 1 + 1j, -12: -1 - 1j, -8: -1 - 1j,
+    -4: 1 + 1j, 4: -1 - 1j, 8: -1 - 1j, 12: 1 + 1j, 16: 1 + 1j,
+    20: 1 + 1j, 24: 1 + 1j,
+}
+
+_LTF_POS = [1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1,
+            1, -1, 1, -1, 1, 1, 1, 1]  # subcarriers 1..26
+_LTF_NEG = [1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1,
+            -1, 1, -1, 1, 1, 1, 1]  # subcarriers -26..-1
+
+LTF_SEQUENCE = {}
+for _i, _k in enumerate(range(-26, 0)):
+    LTF_SEQUENCE[_k] = float(_LTF_NEG[_i])
+for _i, _k in enumerate(range(1, 27)):
+    LTF_SEQUENCE[_k] = float(_LTF_POS[_i])
+
+
+def _freq_to_time(freq_bins):
+    """IFFT scaled so used-subcarrier power maps to unit sample power."""
+    return np.fft.ifft(freq_bins) * (OFDM_FFT_SIZE / np.sqrt(len(_USED_BINS)))
+
+
+def short_training_field():
+    """The 8 us legacy STF: ten repetitions of a 16-sample pattern."""
+    bins = np.zeros(OFDM_FFT_SIZE, dtype=np.complex128)
+    for k, v in _STF_VALUES.items():
+        bins[_bin_of(k)] = np.sqrt(13.0 / 6.0) * v
+    symbol = _freq_to_time(bins)
+    # The 64-sample IFFT output is itself 4 repetitions of the 16-sample
+    # short symbol; 2.5 repetitions give the standard's 160-sample STF.
+    return np.tile(symbol, 3)[:160]
+
+
+def long_training_field():
+    """The 8 us legacy LTF: 32-sample CP then two 64-sample symbols."""
+    bins = np.zeros(OFDM_FFT_SIZE, dtype=np.complex128)
+    for k, v in LTF_SEQUENCE.items():
+        bins[_bin_of(k)] = v
+    symbol = _freq_to_time(bins)
+    return np.concatenate([symbol[-32:], symbol, symbol])  # 160 samples
+
+
+PREAMBLE_SAMPLES = 320  # STF + LTF
+_LTF_FREQ = np.array([LTF_SEQUENCE[k] for k in _ALL_USED])
+
+
+# ---------------------------------------------------------------------------
+# The transceiver
+# ---------------------------------------------------------------------------
+
+class OfdmPhy:
+    """Complete 802.11a/g OFDM transceiver.
+
+    Parameters
+    ----------
+    rate_mbps : int
+        One of 6, 9, 12, 18, 24, 36, 48, 54.
+    scrambler_seed : int
+        7-bit nonzero initial scrambler state.
+
+    Examples
+    --------
+    >>> phy = OfdmPhy(54)
+    >>> wave = phy.transmit(b"hello world")
+    >>> phy.receive(wave, noise_var=1e-9)
+    b'hello world'
+    """
+
+    def __init__(self, rate_mbps=6, scrambler_seed=0x5D):
+        if rate_mbps not in OFDM_RATES:
+            raise ConfigurationError(
+                f"OFDM rate must be one of {sorted(OFDM_RATES)}, got {rate_mbps}"
+            )
+        self.rate = OFDM_RATES[rate_mbps]
+        self.rate_mbps = rate_mbps
+        self.scrambler_seed = scrambler_seed
+        self.modulator = Modulator(self.rate.bits_per_subcarrier)
+        self._signal_modulator = Modulator(1)
+
+    # -- helpers -----------------------------------------------------------
+
+    def n_symbols(self, psdu_bytes):
+        """Number of DATA OFDM symbols for a PSDU of ``psdu_bytes`` bytes."""
+        n_bits = 16 + 8 * psdu_bytes + 6  # SERVICE + PSDU + tail
+        return int(np.ceil(n_bits / self.rate.n_dbps))
+
+    def frame_duration_s(self, psdu_bytes):
+        """Air time of the PPDU: preamble + SIGNAL + data symbols."""
+        n_sym = self.n_symbols(psdu_bytes) + 1  # + SIGNAL
+        return (PREAMBLE_SAMPLES + n_sym * OFDM_SYMBOL_SAMPLES) / 20e6
+
+    def _assemble_symbol(self, data_carriers, symbol_index):
+        bins = np.zeros(OFDM_FFT_SIZE, dtype=np.complex128)
+        bins[_DATA_BINS] = data_carriers
+        bins[_PILOT_BINS] = _PILOT_BASE * pilot_polarity(symbol_index)
+        symbol = _freq_to_time(bins)
+        return np.concatenate([symbol[-OFDM_CP_LENGTH:], symbol])
+
+    # -- SIGNAL field --------------------------------------------------------
+
+    def _signal_bits(self, psdu_bytes):
+        rate_bits = [(self.rate.signal_rate_bits >> (3 - i)) & 1 for i in range(4)]
+        length_bits = [(psdu_bytes >> i) & 1 for i in range(12)]
+        header = rate_bits + [0] + length_bits
+        parity = [int(sum(header) % 2)]
+        return np.array(header + parity + [0] * 6, dtype=np.int8)
+
+    @staticmethod
+    def _parse_signal(bits):
+        bits = np.asarray(bits).astype(int)
+        header = bits[:17]
+        if int(header.sum() + bits[17]) % 2 != 0:
+            raise DemodulationError("SIGNAL parity check failed")
+        rate_bits = (bits[0] << 3) | (bits[1] << 2) | (bits[2] << 1) | bits[3]
+        if rate_bits not in _RATE_FROM_SIGNAL:
+            raise DemodulationError(f"invalid SIGNAL rate bits {rate_bits:04b}")
+        length = int(sum(bits[5 + i] << i for i in range(12)))
+        return _RATE_FROM_SIGNAL[rate_bits], length
+
+    def _encode_signal_symbol(self, psdu_bytes):
+        coded = cc.encode(self._signal_bits(psdu_bytes), terminate=False)
+        inter = interleave(coded, 48, 1)
+        return self._assemble_symbol(self._signal_modulator.modulate(inter), 0)
+
+    # -- TX -----------------------------------------------------------------
+
+    def transmit(self, psdu):
+        """Build the full PPDU waveform for a PSDU (bytes-like).
+
+        Returns complex baseband samples at 20 Msps with unit average power
+        in the data portion.
+        """
+        psdu = bytes(psdu)
+        n_sym = self.n_symbols(len(psdu))
+        n_data_bits = n_sym * self.rate.n_dbps
+        service = np.zeros(16, dtype=np.int8)
+        payload = bits_from_bytes(psdu)
+        n_pad = n_data_bits - 16 - payload.size - 6
+        data = np.concatenate([
+            service, payload, np.zeros(6 + n_pad, dtype=np.int8),
+        ])
+        scrambled = scramble(data, seed=self.scrambler_seed)
+        tail_start = 16 + payload.size
+        scrambled[tail_start : tail_start + 6] = 0  # tail bits stay zero
+        coded = cc.puncture(
+            cc.encode(scrambled, terminate=False), rate=self.rate.code_rate
+        )
+        interleaved = interleave(coded, self.rate.n_cbps,
+                                 self.rate.bits_per_subcarrier)
+        symbols = self.modulator.modulate(interleaved)
+        blocks = [
+            short_training_field(),
+            long_training_field(),
+            self._encode_signal_symbol(len(psdu)),
+        ]
+        per_symbol = symbols.reshape(n_sym, OFDM_DATA_SUBCARRIERS)
+        for i in range(n_sym):
+            blocks.append(self._assemble_symbol(per_symbol[i], i + 1))
+        return np.concatenate(blocks)
+
+    # -- RX -----------------------------------------------------------------
+
+    def _fft_symbol(self, samples):
+        body = samples[OFDM_CP_LENGTH:OFDM_SYMBOL_SAMPLES]
+        return np.fft.fft(body) * (np.sqrt(len(_USED_BINS)) / OFDM_FFT_SIZE)
+
+    def estimate_channel(self, ltf_samples):
+        """LS channel estimate on the 52 used subcarriers from the LTF."""
+        sym1 = ltf_samples[32 : 32 + 64]
+        sym2 = ltf_samples[96 : 96 + 64]
+        scale = np.sqrt(len(_USED_BINS)) / OFDM_FFT_SIZE
+        f1 = np.fft.fft(sym1) * scale
+        f2 = np.fft.fft(sym2) * scale
+        avg = 0.5 * (f1 + f2)
+        h = np.zeros(OFDM_FFT_SIZE, dtype=np.complex128)
+        h[_USED_BINS] = avg[_USED_BINS] / _LTF_FREQ
+        return h
+
+    def receive(self, samples, noise_var, return_details=False):
+        """Demodulate a PPDU waveform back into the PSDU bytes.
+
+        Parameters
+        ----------
+        samples : array of complex
+            Received baseband at 20 Msps, aligned to the PPDU start.
+        noise_var : float
+            Complex noise variance per sample (used to weight soft bits).
+        return_details : bool
+            If True, also return a dict of intermediate results.
+
+        Raises
+        ------
+        DemodulationError
+            If the SIGNAL field is unparseable (analogous to a missed
+            preamble in hardware).
+        """
+        samples = np.asarray(samples, dtype=np.complex128).ravel()
+        if samples.size < PREAMBLE_SAMPLES + OFDM_SYMBOL_SAMPLES:
+            raise DemodulationError("waveform shorter than preamble + SIGNAL")
+        h = self.estimate_channel(samples[160:320])
+        h_used = h[_USED_BINS]
+        if np.any(np.abs(h_used) < 1e-12):
+            raise DemodulationError("channel estimate has a null on a used bin")
+
+        # Per-subcarrier noise variance after the scaled FFT.
+        carrier_nv = noise_var * len(_USED_BINS) / OFDM_FFT_SIZE
+
+        cursor = PREAMBLE_SAMPLES
+        signal_freq = self._fft_symbol(samples[cursor : cursor + OFDM_SYMBOL_SAMPLES])
+        cursor += OFDM_SYMBOL_SAMPLES
+        eq = signal_freq[_DATA_BINS] / h[_DATA_BINS]
+        nv = carrier_nv / np.abs(h[_DATA_BINS]) ** 2
+        llr = self._signal_modulator.demodulate_soft(eq, nv)
+        sig_soft = deinterleave(llr, 48, 1)
+        sig_bits = cc.viterbi_decode(sig_soft, 18, rate="1/2", terminated=True)
+        rate, psdu_len = self._parse_signal(
+            np.concatenate([sig_bits, np.zeros(6, dtype=np.int8)])
+        )
+        if rate.rate_mbps != self.rate_mbps:
+            raise DemodulationError(
+                f"SIGNAL advertises {rate.rate_mbps} Mbps but this receiver "
+                f"is configured for {self.rate_mbps} Mbps"
+            )
+
+        n_sym = self.n_symbols(psdu_len)
+        needed = cursor + n_sym * OFDM_SYMBOL_SAMPLES
+        if samples.size < needed:
+            raise DemodulationError(
+                f"waveform truncated: need {needed} samples, got {samples.size}"
+            )
+        soft = np.empty(n_sym * self.rate.n_cbps)
+        for i in range(n_sym):
+            block = samples[cursor : cursor + OFDM_SYMBOL_SAMPLES]
+            cursor += OFDM_SYMBOL_SAMPLES
+            freq = self._fft_symbol(block)
+            # Common phase error from the four pilots.
+            expected = _PILOT_BASE * pilot_polarity(i + 1) * h[_PILOT_BINS]
+            cpe = np.angle(np.sum(freq[_PILOT_BINS] * np.conj(expected)))
+            freq = freq * np.exp(-1j * cpe)
+            eq = freq[_DATA_BINS] / h[_DATA_BINS]
+            nv = carrier_nv / np.abs(h[_DATA_BINS]) ** 2
+            llr = self.modulator.demodulate_soft(eq, nv)
+            soft[i * self.rate.n_cbps : (i + 1) * self.rate.n_cbps] = (
+                deinterleave(llr, self.rate.n_cbps,
+                             self.rate.bits_per_subcarrier)
+            )
+        # The tail sits between PSDU and pad, so the trellis does not end in
+        # state zero: decode the whole field unterminated (still ML over the
+        # payload region).
+        decoded = cc.viterbi_decode(
+            soft, n_sym * self.rate.n_dbps,
+            rate=self.rate.code_rate, terminated=False,
+        )
+        descrambled = scramble(decoded, seed=self.scrambler_seed)
+        payload_bits = descrambled[16 : 16 + 8 * psdu_len]
+        psdu = bytes_from_bits(payload_bits)
+        if return_details:
+            return psdu, {
+                "channel_estimate": h_used,
+                "n_symbols": n_sym,
+                "advertised_rate_mbps": rate.rate_mbps,
+                "psdu_length": psdu_len,
+            }
+        return psdu
+
+    def spectral_efficiency(self, bandwidth_hz=20e6):
+        """Peak spectral efficiency in bps/Hz (2.7 for 54 Mbps in 20 MHz)."""
+        return self.rate_mbps * 1e6 / bandwidth_hz

@@ -1,0 +1,176 @@
+"""OFDM with LDPC coding — the 802.11n advanced coding option at waveform
+level.
+
+The paper expects LDPC to extend range over the mandatory convolutional
+code. :class:`LdpcOfdmPhy` keeps the clause-17 OFDM air interface
+(preambles, 48 data subcarriers, pilots, channel estimation) but carries
+LDPC codewords (n = 648/1296/1944) instead of the convolutional stream, so
+the two code families can be compared on identical waveforms
+(benchmark E7 runs the coded-BER comparison; this class closes the loop at
+PPDU level).
+
+Framing: the PSDU is scrambled, split into k-bit blocks (zero-padded at
+the tail), each encoded to an n-bit codeword, and the codeword stream is
+mapped across OFDM symbols. No SIGNAL field — both ends share the
+configuration, and the true PSDU length is passed to ``receive`` (or
+inferred as the maximum that fits).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import OFDM_DATA_SUBCARRIERS, OFDM_SYMBOL_SAMPLES
+from repro.errors import ConfigurationError, DemodulationError
+from repro.phy.ldpc import LdpcCode
+from repro.phy.modulation import Modulator
+from repro.phy.ofdm import (
+    PREAMBLE_SAMPLES,
+    _DATA_BINS,
+    _USED_BINS,
+    long_training_field,
+    short_training_field,
+)
+from repro.phy.ofdm import OfdmPhy as _LegacyOfdm
+from repro.phy.scrambler import scramble
+from repro.utils.bits import bits_from_bytes, bytes_from_bits
+
+
+class LdpcOfdmPhy:
+    """802.11a-style OFDM carrying LDPC codewords.
+
+    Parameters
+    ----------
+    bits_per_subcarrier : int
+        1, 2, 4 or 6.
+    block_length : int
+        LDPC n: 648, 1296 or 1944.
+    code_rate : str
+        "1/2", "2/3", "3/4" or "5/6".
+    decoder : str
+        "min-sum" or "sum-product".
+    max_iterations : int
+        BP iteration cap.
+    scrambler_seed : int
+    """
+
+    def __init__(self, bits_per_subcarrier=2, block_length=648,
+                 code_rate="1/2", decoder="min-sum", max_iterations=40,
+                 scrambler_seed=0x5D, rng=0):
+        self.modulator = Modulator(bits_per_subcarrier)
+        self.code = LdpcCode.from_standard(block_length, code_rate, rng=rng)
+        self.decoder = decoder
+        self.max_iterations = int(max_iterations)
+        self.scrambler_seed = scrambler_seed
+        self.n_cbps = OFDM_DATA_SUBCARRIERS * bits_per_subcarrier
+        # Shared helpers from the legacy PHY (symbol assembly, FFT scaling).
+        self._legacy = _LegacyOfdm(
+            {1: 6, 2: 12, 4: 24, 6: 48}[bits_per_subcarrier]
+        )
+
+    # -- sizing ---------------------------------------------------------
+
+    def n_blocks(self, psdu_bytes):
+        """LDPC codewords needed for a PSDU."""
+        return int(np.ceil(max(8 * psdu_bytes, 1) / self.code.k))
+
+    def n_symbols(self, psdu_bytes):
+        """OFDM symbols needed for a PSDU."""
+        coded_bits = self.n_blocks(psdu_bytes) * self.code.n
+        return int(np.ceil(coded_bits / self.n_cbps))
+
+    def data_rate_mbps(self):
+        """Nominal PHY rate of this configuration."""
+        return (self.n_cbps * self.code.rate) / 4.0  # bits per 4 us symbol
+
+    def frame_duration_s(self, psdu_bytes):
+        """PPDU air time (preamble + data symbols)."""
+        n_samples = (PREAMBLE_SAMPLES
+                     + self.n_symbols(psdu_bytes) * OFDM_SYMBOL_SAMPLES)
+        return n_samples / 20e6
+
+    # -- TX ---------------------------------------------------------------
+
+    def transmit(self, psdu):
+        """Build the PPDU waveform for a PSDU (bytes-like)."""
+        psdu = bytes(psdu)
+        if not psdu:
+            raise ConfigurationError("PSDU must be non-empty")
+        payload = scramble(bits_from_bytes(psdu), seed=self.scrambler_seed)
+        n_blocks = self.n_blocks(len(psdu))
+        padded = np.zeros(n_blocks * self.code.k, dtype=np.int8)
+        padded[: payload.size] = payload
+        coded = np.concatenate([
+            self.code.encode(padded[i * self.code.k : (i + 1) * self.code.k])
+            for i in range(n_blocks)
+        ])
+        n_sym = self.n_symbols(len(psdu))
+        stream = np.zeros(n_sym * self.n_cbps, dtype=np.int8)
+        stream[: coded.size] = coded
+        symbols = self.modulator.modulate(stream)
+        blocks = [short_training_field(), long_training_field()]
+        per_symbol = symbols.reshape(n_sym, OFDM_DATA_SUBCARRIERS)
+        for i in range(n_sym):
+            blocks.append(self._legacy._assemble_symbol(per_symbol[i], i + 1))
+        return np.concatenate(blocks)
+
+    # -- RX ---------------------------------------------------------------
+
+    def receive(self, samples, noise_var, psdu_bytes=None,
+                return_details=False):
+        """Demodulate a PPDU back into PSDU bytes.
+
+        ``psdu_bytes`` bounds the payload (otherwise the maximum carried by
+        the waveform is returned, including pad bytes).
+        """
+        samples = np.asarray(samples, dtype=np.complex128).ravel()
+        if samples.size < PREAMBLE_SAMPLES + OFDM_SYMBOL_SAMPLES:
+            raise DemodulationError("waveform shorter than preamble + 1 sym")
+        h = self._legacy.estimate_channel(samples[160:320])
+        if np.any(np.abs(h[_USED_BINS]) < 1e-12):
+            raise DemodulationError("channel estimate has a null")
+        carrier_nv = noise_var * len(_USED_BINS) / 64
+        n_sym = (samples.size - PREAMBLE_SAMPLES) // OFDM_SYMBOL_SAMPLES
+        cursor = PREAMBLE_SAMPLES
+        llrs = np.empty(n_sym * self.n_cbps)
+        for i in range(n_sym):
+            freq = self._legacy._fft_symbol(
+                samples[cursor : cursor + OFDM_SYMBOL_SAMPLES]
+            )
+            cursor += OFDM_SYMBOL_SAMPLES
+            eq = freq[_DATA_BINS] / h[_DATA_BINS]
+            nv = carrier_nv / np.abs(h[_DATA_BINS]) ** 2
+            llrs[i * self.n_cbps : (i + 1) * self.n_cbps] = (
+                self.modulator.demodulate_soft(eq, nv)
+            )
+        n_blocks = (n_sym * self.n_cbps) // self.code.n
+        if n_blocks < 1:
+            raise DemodulationError("waveform carries no complete codeword")
+        info_bits = []
+        converged_all = True
+        iterations = []
+        for b in range(n_blocks):
+            block_llrs = llrs[b * self.code.n : (b + 1) * self.code.n]
+            decoded, converged, iters = self.code.decode(
+                block_llrs, max_iterations=self.max_iterations,
+                algorithm=self.decoder,
+            )
+            converged_all &= converged
+            iterations.append(iters)
+            info_bits.append(self.code.extract_info(decoded))
+        bits = scramble(np.concatenate(info_bits),
+                        seed=self.scrambler_seed)
+        max_bytes = bits.size // 8
+        n_bytes = max_bytes if psdu_bytes is None else int(psdu_bytes)
+        if n_bytes > max_bytes:
+            raise DemodulationError(
+                f"waveform carries at most {max_bytes} bytes"
+            )
+        psdu = bytes_from_bits(bits[: 8 * n_bytes])
+        if return_details:
+            return psdu, {
+                "converged": converged_all,
+                "iterations": iterations,
+                "n_blocks": n_blocks,
+            }
+        return psdu

@@ -1,0 +1,89 @@
+"""ADC quantisation and clipping: where PAPR meets converter power.
+
+The low-power chain the paper describes runs through the data converters:
+ADC power scales as ``2^bits x sample_rate`` (see
+:func:`repro.power.components.adc_power_w`), so every extra bit of
+resolution — and every extra dB of PAPR headroom the waveform demands —
+costs energy. This module models a uniform mid-rise quantiser with a
+clipping ceiling and measures the resulting signal-to-quantisation-noise
+ratio on real waveforms, closing the PAPR -> resolution -> power loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def quantize(waveform, bits, clip_level=None):
+    """Quantise a complex waveform with a ``bits``-bit uniform ADC per rail.
+
+    Parameters
+    ----------
+    waveform : complex array
+    bits : int
+        Resolution per I/Q rail (1-16).
+    clip_level : float, optional
+        Full-scale amplitude per rail; samples beyond it clip. Defaults to
+        3x the waveform's RMS (a typical AGC target).
+
+    Returns
+    -------
+    numpy.ndarray
+        The quantised waveform.
+    """
+    if not 1 <= int(bits) <= 16:
+        raise ConfigurationError(f"bits must be 1..16, got {bits}")
+    waveform = np.asarray(waveform, dtype=np.complex128)
+    rms = np.sqrt(np.mean(np.abs(waveform) ** 2))
+    if rms == 0:
+        raise ConfigurationError("waveform has zero power")
+    full_scale = float(clip_level) if clip_level is not None else 3.0 * rms
+    if full_scale <= 0:
+        raise ConfigurationError("clip level must be positive")
+    n_levels = 2 ** int(bits)
+    step = 2.0 * full_scale / n_levels
+
+    def _rail(x):
+        clipped = np.clip(x, -full_scale, full_scale - step / 2)
+        return (np.floor(clipped / step) + 0.5) * step
+
+    return _rail(waveform.real) + 1j * _rail(waveform.imag)
+
+
+def quantization_snr_db(waveform, bits, clip_level=None):
+    """Signal-to-(quantisation+clipping)-noise ratio in dB."""
+    waveform = np.asarray(waveform, dtype=np.complex128)
+    quantised = quantize(waveform, bits, clip_level)
+    error = quantised - waveform
+    signal_power = np.mean(np.abs(waveform) ** 2)
+    noise_power = np.mean(np.abs(error) ** 2)
+    if noise_power <= 0:
+        return float("inf")
+    return float(10.0 * np.log10(signal_power / noise_power))
+
+
+def required_bits(waveform, target_snr_db, clip_level=None, max_bits=14):
+    """Smallest ADC resolution achieving ``target_snr_db`` on a waveform.
+
+    Returns
+    -------
+    int or None
+        Bits needed, or None when even ``max_bits`` falls short (e.g. the
+        clip level is set inside the waveform's peaks).
+    """
+    for bits in range(1, int(max_bits) + 1):
+        if quantization_snr_db(waveform, bits, clip_level) >= target_snr_db:
+            return bits
+    return None
+
+
+def quantized_link_penalty_db(waveform, bits, clip_level=None):
+    """Effective SNR ceiling the ADC imposes on an otherwise clean link.
+
+    An ADC with SQNR q caps the link SNR at q no matter how strong the
+    signal; this helper returns that ceiling so link budgets can include
+    the converter.
+    """
+    return quantization_snr_db(waveform, bits, clip_level)

@@ -1,0 +1,46 @@
+"""The 802.11 frame-synchronous scrambler (clause 17.3.5.4).
+
+Generator polynomial ``S(x) = x^7 + x^4 + 1``. The same operation both
+scrambles and descrambles: XOR the data with the PRBS produced by the
+seeded 7-bit LFSR. 802.11a transmits a 7-bit nonzero seed in the SERVICE
+field; the all-ones seed is the customary default.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def scrambler_sequence(length, seed=0x7F):
+    """Return ``length`` bits of the x^7+x^4+1 PRBS for a 7-bit ``seed``."""
+    if not 0 < seed < 128:
+        raise ConfigurationError(f"scrambler seed must be 1..127, got {seed}")
+    state = [(seed >> i) & 1 for i in range(7)]  # state[0] = x^1 ... state[6] = x^7
+    out = np.empty(int(length), dtype=np.int8)
+    for i in range(int(length)):
+        feedback = state[6] ^ state[3]  # x^7 xor x^4
+        out[i] = feedback
+        state = [feedback] + state[:6]
+    return out
+
+
+def scramble(bits, seed=0x7F):
+    """Scramble (or descramble) a bit array with the 802.11 PRBS."""
+    bits = np.asarray(bits).astype(np.int8)
+    return bits ^ scrambler_sequence(bits.size, seed=seed)
+
+
+def descramble(bits, seed=0x7F):
+    """Alias of :func:`scramble`; the operation is an involution."""
+    return scramble(bits, seed=seed)
+
+
+def sequence_period(seed=0x7F):
+    """Period of the PRBS (127 for any nonzero seed; useful for tests)."""
+    seq = scrambler_sequence(4 * 127, seed=seed)
+    for period in range(1, 2 * 127 + 1):
+        if np.array_equal(seq[:-period], seq[period:]):
+            return period
+    return -1

@@ -1,0 +1,47 @@
+"""Power modelling — the paper's "Low Power" section as code.
+
+papr
+    Peak-to-average power ratio measurement and CCDF (why OFDM hurts).
+pa
+    Power-amplifier efficiency vs back-off (class A / class AB), and the
+    back-off a waveform's PAPR demands.
+components
+    2005-era per-component RF chain power numbers.
+chains
+    MIMO device power: multiple RF chains + baseband scaling.
+adaptive
+    The paper's mitigation: sleep all but one RX chain until a packet is
+    detected.
+energy
+    Energy-per-bit and battery-life calculators.
+platform
+    Platform power budgets: WLAN share in notebooks vs handhelds.
+"""
+
+from repro.power.adaptive import adaptive_rx_power_w
+from repro.power.chains import MimoPowerModel
+from repro.power.components import RF_CHAIN_RX_W, RF_CHAIN_TX_OVERHEAD_W
+from repro.power.energy import battery_life_hours, energy_per_bit_j
+from repro.power.pa import (
+    backoff_required_db,
+    pa_efficiency,
+    pa_power_draw_w,
+)
+from repro.power.papr import papr_ccdf, papr_db
+from repro.power.platform import PLATFORMS, wlan_power_share
+
+__all__ = [
+    "adaptive_rx_power_w",
+    "MimoPowerModel",
+    "RF_CHAIN_RX_W",
+    "RF_CHAIN_TX_OVERHEAD_W",
+    "battery_life_hours",
+    "energy_per_bit_j",
+    "backoff_required_db",
+    "pa_efficiency",
+    "pa_power_draw_w",
+    "papr_ccdf",
+    "papr_db",
+    "PLATFORMS",
+    "wlan_power_share",
+]

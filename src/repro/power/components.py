@@ -1,0 +1,60 @@
+"""Per-component RF chain power, 2005-era CMOS/SiGe WLAN silicon.
+
+Representative values from the product generation the paper's author was
+shipping (absolute numbers matter less than their structure: every extra
+MIMO chain replicates the whole RX line-up and most of the TX line-up).
+All values in watts.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+#: One receive chain: LNA + mixer + filters + VGA + ADC pair.
+RX_COMPONENTS_W = {
+    "lna": 0.020,
+    "mixer": 0.030,
+    "baseband_filter": 0.025,
+    "vga": 0.020,
+    "adc_pair": 0.060,
+}
+
+#: One transmit chain, excluding the PA itself: DAC pair + mixer + driver.
+TX_COMPONENTS_W = {
+    "dac_pair": 0.040,
+    "mixer": 0.030,
+    "driver_amp": 0.050,
+}
+
+#: Shared across chains: synthesizer/VCO + clocking.
+SHARED_COMPONENTS_W = {
+    "synthesizer": 0.060,
+    "clocking": 0.015,
+}
+
+RF_CHAIN_RX_W = sum(RX_COMPONENTS_W.values())
+RF_CHAIN_TX_OVERHEAD_W = sum(TX_COMPONENTS_W.values())
+SHARED_W = sum(SHARED_COMPONENTS_W.values())
+
+#: Baseband digital power for a SISO 54 Mbps OFDM modem (FFT + Viterbi +
+#: control), 130/90 nm class.
+BASEBAND_SISO_W = 0.180
+
+
+def adc_power_w(sample_rate_hz, effective_bits, fom_j_per_step=0.5e-12):
+    """ADC power from the classic figure-of-merit ``P = FoM * 2^ENOB * fs``.
+
+    The default FoM (0.5 pJ/step) is typical of the era; doubling either
+    bandwidth (40 MHz channels) or resolution (64-QAM -> higher) shows up
+    directly, one of the hidden costs of the rate race.
+    """
+    if sample_rate_hz <= 0 or effective_bits <= 0:
+        raise ConfigurationError("sample rate and bits must be positive")
+    return fom_j_per_step * (2.0 ** effective_bits) * sample_rate_hz
+
+
+def viterbi_power_w(bit_rate_mbps, energy_per_bit_nj=1.2):
+    """Viterbi decoder power scaling linearly with decoded bit rate."""
+    if bit_rate_mbps < 0:
+        raise ConfigurationError("bit rate must be >= 0")
+    return energy_per_bit_nj * 1e-9 * bit_rate_mbps * 1e6

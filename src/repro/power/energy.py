@@ -1,0 +1,21 @@
+"""Energy-per-bit and battery-life calculators."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+def energy_per_bit_j(power_w, throughput_mbps):
+    """Joules consumed per delivered bit."""
+    if power_w < 0:
+        raise ConfigurationError("power must be >= 0")
+    if throughput_mbps <= 0:
+        raise ConfigurationError("throughput must be positive")
+    return power_w / (throughput_mbps * 1e6)
+
+
+def battery_life_hours(battery_wh, average_power_w):
+    """Runtime of a battery at an average power draw."""
+    if battery_wh <= 0 or average_power_w <= 0:
+        raise ConfigurationError("battery and power must be positive")
+    return battery_wh / average_power_w

@@ -1,0 +1,51 @@
+"""Power-amplifier efficiency vs output back-off.
+
+A linear PA must keep the waveform's peaks below its saturation point, so
+the *average* output sits PAPR dB below saturation ("back-off"). Drain
+efficiency then collapses:
+
+* class A:  eta = eta_max * (P_avg / P_sat)          (linear in back-off)
+* class AB: eta = eta_max * sqrt(P_avg / P_sat)      (between A and B)
+
+with eta_max = 0.5 (class A) / ~0.65 (class AB idealised). This is the
+mechanism behind the paper's "low power efficiency of the power
+amplifier ... to achieve the necessary high linearity".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+PA_CLASSES = {
+    "A": {"eta_max": 0.5, "exponent": 1.0},
+    "AB": {"eta_max": 0.65, "exponent": 0.5},
+}
+
+
+def backoff_required_db(papr_db, headroom_db=0.0):
+    """Output back-off a waveform demands: its PAPR plus extra headroom."""
+    papr_db = float(papr_db)
+    if papr_db < 0:
+        raise ConfigurationError("PAPR cannot be negative")
+    return papr_db + headroom_db
+
+
+def pa_efficiency(backoff_db, pa_class="AB"):
+    """Drain efficiency at ``backoff_db`` of output back-off."""
+    if pa_class not in PA_CLASSES:
+        raise ConfigurationError(
+            f"pa_class must be one of {sorted(PA_CLASSES)}, got {pa_class!r}"
+        )
+    params = PA_CLASSES[pa_class]
+    ratio = 10.0 ** (-np.asarray(backoff_db, dtype=float) / 10.0)
+    return params["eta_max"] * ratio ** params["exponent"]
+
+
+def pa_power_draw_w(tx_power_w, backoff_db, pa_class="AB"):
+    """DC power the PA consumes to emit ``tx_power_w`` at this back-off."""
+    if tx_power_w <= 0:
+        raise ConfigurationError("tx power must be positive")
+    eta = pa_efficiency(backoff_db, pa_class)
+    return tx_power_w / eta

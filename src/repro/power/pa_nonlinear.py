@@ -1,0 +1,120 @@
+"""Behavioural PA nonlinearity (Rapp model) and its waveform damage.
+
+E12 assumes the PA must be backed off by the waveform's PAPR; this module
+shows *why*. The Rapp solid-state PA model compresses amplitudes
+smoothly toward saturation:
+
+    g(a) = a / (1 + (a / A_sat)^(2 p))^(1 / (2 p))
+
+Driving an OFDM waveform closer to saturation raises efficiency but
+creates in-band distortion (EVM) and spectral regrowth that violates the
+transmit mask — the linearity/efficiency tension at the heart of the
+paper's low-power section.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class RappPa:
+    """Rapp-model power amplifier.
+
+    Parameters
+    ----------
+    saturation_amplitude : float
+        Output amplitude ceiling A_sat.
+    smoothness : float
+        Rapp p parameter (2-3 typical for solid-state PAs; higher =
+        sharper knee).
+    """
+
+    def __init__(self, saturation_amplitude=1.0, smoothness=2.0):
+        if saturation_amplitude <= 0 or smoothness <= 0:
+            raise ConfigurationError("saturation and smoothness must be > 0")
+        self.a_sat = float(saturation_amplitude)
+        self.p = float(smoothness)
+
+    def amplify(self, waveform, backoff_db=0.0):
+        """Pass a waveform through the PA at the given input back-off.
+
+        The waveform is scaled so its RMS sits ``backoff_db`` below
+        saturation, amplified, then normalised back to unit RMS drive for
+        easy comparison (the distortion stays).
+        """
+        waveform = np.asarray(waveform, dtype=np.complex128).ravel()
+        rms = np.sqrt(np.mean(np.abs(waveform) ** 2))
+        if rms == 0:
+            raise ConfigurationError("waveform has zero power")
+        drive = waveform / rms * self.a_sat * 10.0 ** (-backoff_db / 20.0)
+        amps = np.abs(drive)
+        gain = 1.0 / (1.0 + (amps / self.a_sat) ** (2 * self.p)) ** (
+            1.0 / (2 * self.p)
+        )
+        return drive * gain
+
+    def am_am(self, input_amplitudes):
+        """The AM/AM curve: output amplitude for each input amplitude."""
+        a = np.asarray(input_amplitudes, dtype=float)
+        return a / (1.0 + (a / self.a_sat) ** (2 * self.p)) ** (
+            1.0 / (2 * self.p)
+        )
+
+
+def error_vector_magnitude(reference, distorted):
+    """RMS EVM (as a fraction) between a reference and a distorted signal.
+
+    The distorted signal is first matched in complex gain (least squares),
+    as a receiver's equaliser would, so pure scaling does not count as
+    error.
+    """
+    reference = np.asarray(reference, dtype=np.complex128).ravel()
+    distorted = np.asarray(distorted, dtype=np.complex128).ravel()
+    if reference.shape != distorted.shape:
+        raise ConfigurationError("signals must have equal length")
+    ref_power = np.vdot(reference, reference).real
+    if ref_power <= 0:
+        raise ConfigurationError("reference has zero power")
+    gain = np.vdot(reference, distorted) / ref_power
+    error = distorted - gain * reference
+    return float(np.sqrt(
+        np.vdot(error, error).real / (np.abs(gain) ** 2 * ref_power)
+    ))
+
+
+def evm_db(reference, distorted):
+    """EVM expressed in dB (20 log10 of the fraction)."""
+    return float(20.0 * np.log10(
+        max(error_vector_magnitude(reference, distorted), 1e-12)
+    ))
+
+
+#: EVM the standard requires per constellation (clause 17.3.9.6.3), in dB.
+REQUIRED_EVM_DB = {6: -5.0, 9: -8.0, 12: -10.0, 18: -13.0, 24: -16.0,
+                   36: -19.0, 48: -22.0, 54: -25.0}
+
+
+def max_rate_for_evm(evm_db_value):
+    """Highest 802.11a rate whose TX-EVM requirement the PA still meets."""
+    usable = [rate for rate, limit in REQUIRED_EVM_DB.items()
+              if evm_db_value <= limit]
+    return max(usable) if usable else None
+
+
+def backoff_for_rate(waveform, rate_mbps, pa=None, backoffs_db=None):
+    """Smallest back-off at which the PA's EVM supports ``rate_mbps``.
+
+    Returns None when even the largest candidate back-off fails.
+    """
+    if rate_mbps not in REQUIRED_EVM_DB:
+        raise ConfigurationError(f"no EVM requirement for {rate_mbps} Mbps")
+    pa = pa or RappPa()
+    if backoffs_db is None:
+        backoffs_db = np.arange(0.0, 13.0, 0.5)
+    for backoff in backoffs_db:
+        distorted = pa.amplify(waveform, backoff_db=backoff)
+        if evm_db(waveform, distorted) <= REQUIRED_EVM_DB[rate_mbps]:
+            return float(backoff)
+    return None

@@ -1,0 +1,42 @@
+"""Platform power budgets.
+
+"In computer notebooks, wireless power consumption represents only a
+fraction of the overall platform power budget. On the other hand, smaller
+form factor devices impose more stringent power requirements."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A host platform's power envelope (era-typical watts)."""
+
+    name: str
+    total_power_w: float
+    description: str
+
+
+PLATFORMS = {
+    "notebook": Platform("notebook", 25.0, "mainstream 2005 laptop, display on"),
+    "thin-notebook": Platform("thin-notebook", 12.0, "ultraportable"),
+    "pda": Platform("pda", 1.5, "handheld organiser / early smartphone"),
+    "voip-handset": Platform("voip-handset", 0.8, "Wi-Fi phone"),
+}
+
+
+def wlan_power_share(wlan_power_w, platform="notebook"):
+    """Fraction of the platform budget the WLAN subsystem consumes."""
+    if isinstance(platform, str):
+        if platform not in PLATFORMS:
+            raise ConfigurationError(
+                f"unknown platform {platform!r}; choose from {sorted(PLATFORMS)}"
+            )
+        platform = PLATFORMS[platform]
+    if wlan_power_w < 0:
+        raise ConfigurationError("WLAN power must be >= 0")
+    return wlan_power_w / platform.total_power_w

@@ -1,0 +1,27 @@
+"""Parameter registry for every 802.11 generation the paper discusses.
+
+This package is pure data + small helpers: PHY rate tables, MAC timing
+constants and spectral-efficiency bookkeeping for 802.11 (DSSS/FHSS),
+802.11b (CCK), 802.11a/g (OFDM) and 802.11n (MIMO-OFDM, as the paper
+anticipated it and as eventually standardised).
+"""
+
+from repro.standards.mcs import HT_MCS_TABLE, HtMcs, ht_data_rate_mbps
+from repro.standards.registry import (
+    GENERATIONS,
+    Standard,
+    evolution_table,
+    get_standard,
+    rate_at_snr,
+)
+
+__all__ = [
+    "HT_MCS_TABLE",
+    "HtMcs",
+    "ht_data_rate_mbps",
+    "GENERATIONS",
+    "Standard",
+    "evolution_table",
+    "get_standard",
+    "rate_at_snr",
+]

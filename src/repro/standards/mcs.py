@@ -1,0 +1,97 @@
+"""The 802.11n HT modulation-and-coding-scheme (MCS) table.
+
+Equal-modulation MCS 0-31: index mod 8 selects modulation + code rate,
+index // 8 + 1 is the number of spatial streams. Data rate:
+
+    R = Nss * Nbpsc * Rcode * Nsd / Tsym
+
+with Nsd = 52 data subcarriers at 20 MHz, 108 at 40 MHz; Tsym = 4 us for
+the 800 ns long guard interval, 3.6 us for the optional 400 ns short GI.
+MCS 31 at 40 MHz / short GI is the famous 600 Mbps headline rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+DATA_SUBCARRIERS = {20: 52, 40: 108}
+SYMBOL_TIME_US = {"long": 4.0, "short": 3.6}
+
+_BASE_SCHEMES = (
+    # (modulation name, bits per subcarrier, code rate string, numeric rate)
+    ("BPSK", 1, "1/2", 0.5),
+    ("QPSK", 2, "1/2", 0.5),
+    ("QPSK", 2, "3/4", 0.75),
+    ("16-QAM", 4, "1/2", 0.5),
+    ("16-QAM", 4, "3/4", 0.75),
+    ("64-QAM", 6, "2/3", 2.0 / 3.0),
+    ("64-QAM", 6, "3/4", 0.75),
+    ("64-QAM", 6, "5/6", 5.0 / 6.0),
+)
+
+
+@dataclass(frozen=True)
+class HtMcs:
+    """One row of the HT MCS table."""
+
+    index: int
+    spatial_streams: int
+    modulation: str
+    bits_per_subcarrier: int
+    code_rate: str
+    code_rate_value: float
+
+    def n_cbps(self, bandwidth_mhz=20):
+        """Coded bits per OFDM symbol across all streams."""
+        return (
+            self.spatial_streams
+            * self.bits_per_subcarrier
+            * DATA_SUBCARRIERS[bandwidth_mhz]
+        )
+
+    def n_dbps(self, bandwidth_mhz=20):
+        """Data bits per OFDM symbol across all streams."""
+        return int(round(self.n_cbps(bandwidth_mhz) * self.code_rate_value))
+
+    def data_rate_mbps(self, bandwidth_mhz=20, guard_interval="long"):
+        """PHY data rate in Mbps."""
+        if bandwidth_mhz not in DATA_SUBCARRIERS:
+            raise ConfigurationError(
+                f"bandwidth must be 20 or 40 MHz, got {bandwidth_mhz}"
+            )
+        if guard_interval not in SYMBOL_TIME_US:
+            raise ConfigurationError(
+                f"guard_interval must be 'long' or 'short', got {guard_interval!r}"
+            )
+        return self.n_dbps(bandwidth_mhz) / SYMBOL_TIME_US[guard_interval]
+
+    def spectral_efficiency(self, bandwidth_mhz=20, guard_interval="long"):
+        """Spectral efficiency in bps/Hz."""
+        return self.data_rate_mbps(bandwidth_mhz, guard_interval) / bandwidth_mhz
+
+
+def _build_table():
+    table = {}
+    for index in range(32):
+        name, bpsc, rate_str, rate_val = _BASE_SCHEMES[index % 8]
+        table[index] = HtMcs(
+            index=index,
+            spatial_streams=index // 8 + 1,
+            modulation=name,
+            bits_per_subcarrier=bpsc,
+            code_rate=rate_str,
+            code_rate_value=rate_val,
+        )
+    return table
+
+
+HT_MCS_TABLE = _build_table()
+
+
+def ht_data_rate_mbps(mcs_index, bandwidth_mhz=20, guard_interval="long"):
+    """Data rate for an MCS index (0-31)."""
+    if mcs_index not in HT_MCS_TABLE:
+        raise ConfigurationError(f"MCS index must be 0-31, got {mcs_index}")
+    return HT_MCS_TABLE[mcs_index].data_rate_mbps(bandwidth_mhz, guard_interval)

@@ -1,0 +1,233 @@
+"""Registry of 802.11 generations: rates, timing, required SNR, history.
+
+The required-SNR figures are derived from each standard's minimum receiver
+sensitivity and a -94 dBm effective noise floor (kTB over 20 MHz plus a
+7 dB noise figure) — the conventional link-abstraction used by system-level
+simulators. They drive rate adaptation in the mesh and MAC layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.standards.mcs import HT_MCS_TABLE
+
+NOISE_FLOOR_DBM_20MHZ = -94.0
+
+
+@dataclass(frozen=True)
+class RateEntry:
+    """One operating mode of a PHY generation."""
+
+    rate_mbps: float
+    required_snr_db: float
+    modulation: str
+    code_rate: str = "none"
+
+
+@dataclass(frozen=True)
+class Standard:
+    """One 802.11 generation's system-level parameters."""
+
+    name: str
+    year: int
+    phy_type: str
+    band_ghz: float
+    bandwidth_mhz: float
+    rates: tuple = field(default_factory=tuple)
+    slot_time_s: float = 20e-6
+    sifs_s: float = 10e-6
+    cw_min: int = 31
+    preamble_s: float = 192e-6
+    mandatory_spreading: bool = False
+
+    @property
+    def max_rate_mbps(self):
+        """Highest PHY rate of the generation."""
+        return max(r.rate_mbps for r in self.rates)
+
+    @property
+    def spectral_efficiency(self):
+        """Peak spectral efficiency in bps/Hz."""
+        return self.max_rate_mbps / self.bandwidth_mhz
+
+    def rate_at_snr(self, snr_db):
+        """Highest rate decodable at ``snr_db`` (None if below all)."""
+        usable = [r for r in self.rates if r.required_snr_db <= snr_db]
+        if not usable:
+            return None
+        return max(usable, key=lambda r: r.rate_mbps)
+
+
+def _ht_rates(bandwidth_mhz, guard_interval="long"):
+    """HT MCS 0-31 as RateEntry tuples at the given channelisation."""
+    base_snr = {0: 12.0, 1: 15.0, 2: 17.0, 3: 20.0, 4: 24.0, 5: 28.0,
+                6: 29.0, 7: 31.0}
+    entries = []
+    for index, mcs in HT_MCS_TABLE.items():
+        # Spatial multiplexing with a linear receiver needs extra SNR per
+        # added stream (inter-stream interference); 3 dB/stream is the
+        # customary system-level assumption.
+        snr = base_snr[index % 8] + 3.0 * (mcs.spatial_streams - 1)
+        entries.append(
+            RateEntry(
+                rate_mbps=mcs.data_rate_mbps(bandwidth_mhz, guard_interval),
+                required_snr_db=snr,
+                modulation=f"{mcs.modulation} x{mcs.spatial_streams}",
+                code_rate=mcs.code_rate,
+            )
+        )
+    return tuple(entries)
+
+
+GENERATIONS = {
+    "802.11": Standard(
+        name="802.11",
+        year=1997,
+        phy_type="DSSS/FHSS",
+        band_ghz=2.4,
+        bandwidth_mhz=20.0,
+        rates=(
+            RateEntry(1.0, 0.0, "DBPSK+Barker"),
+            RateEntry(2.0, 3.0, "DQPSK+Barker"),
+        ),
+        slot_time_s=20e-6,
+        sifs_s=10e-6,
+        cw_min=31,
+        preamble_s=192e-6,
+        mandatory_spreading=True,
+    ),
+    "802.11b": Standard(
+        name="802.11b",
+        year=1999,
+        phy_type="CCK",
+        band_ghz=2.4,
+        bandwidth_mhz=20.0,
+        rates=(
+            RateEntry(1.0, 0.0, "DBPSK+Barker"),
+            RateEntry(2.0, 3.0, "DQPSK+Barker"),
+            RateEntry(5.5, 7.0, "CCK"),
+            RateEntry(11.0, 10.0, "CCK"),
+        ),
+        slot_time_s=20e-6,
+        sifs_s=10e-6,
+        cw_min=31,
+        preamble_s=192e-6,
+    ),
+    "802.11a": Standard(
+        name="802.11a",
+        year=1999,
+        phy_type="OFDM",
+        band_ghz=5.0,
+        bandwidth_mhz=20.0,
+        rates=(
+            RateEntry(6.0, 12.0, "BPSK", "1/2"),
+            RateEntry(9.0, 13.0, "BPSK", "3/4"),
+            RateEntry(12.0, 15.0, "QPSK", "1/2"),
+            RateEntry(18.0, 17.0, "QPSK", "3/4"),
+            RateEntry(24.0, 20.0, "16-QAM", "1/2"),
+            RateEntry(36.0, 24.0, "16-QAM", "3/4"),
+            RateEntry(48.0, 28.0, "64-QAM", "2/3"),
+            RateEntry(54.0, 29.0, "64-QAM", "3/4"),
+        ),
+        slot_time_s=9e-6,
+        sifs_s=16e-6,
+        cw_min=15,
+        preamble_s=20e-6,
+    ),
+    "802.11g": Standard(
+        name="802.11g",
+        year=2003,
+        phy_type="OFDM",
+        band_ghz=2.4,
+        bandwidth_mhz=20.0,
+        rates=(
+            RateEntry(6.0, 12.0, "BPSK", "1/2"),
+            RateEntry(9.0, 13.0, "BPSK", "3/4"),
+            RateEntry(12.0, 15.0, "QPSK", "1/2"),
+            RateEntry(18.0, 17.0, "QPSK", "3/4"),
+            RateEntry(24.0, 20.0, "16-QAM", "1/2"),
+            RateEntry(36.0, 24.0, "16-QAM", "3/4"),
+            RateEntry(48.0, 28.0, "64-QAM", "2/3"),
+            RateEntry(54.0, 29.0, "64-QAM", "3/4"),
+        ),
+        slot_time_s=9e-6,
+        sifs_s=10e-6,
+        cw_min=15,
+        preamble_s=20e-6,
+    ),
+    "802.11n": Standard(
+        name="802.11n",
+        year=2009,  # the paper (2005) anticipates it; ratified 2009
+        phy_type="MIMO-OFDM",
+        band_ghz=5.0,
+        bandwidth_mhz=40.0,
+        rates=_ht_rates(40, "short"),
+        slot_time_s=9e-6,
+        sifs_s=16e-6,
+        cw_min=15,
+        preamble_s=36e-6,
+    ),
+}
+
+#: 802.11n at legacy 20 MHz channelisation, for like-for-like comparisons.
+DOT11N_20MHZ = Standard(
+    name="802.11n (20 MHz)",
+    year=2009,
+    phy_type="MIMO-OFDM",
+    band_ghz=5.0,
+    bandwidth_mhz=20.0,
+    rates=_ht_rates(20, "long"),
+    slot_time_s=9e-6,
+    sifs_s=16e-6,
+    cw_min=15,
+    preamble_s=36e-6,
+)
+
+
+def get_standard(name):
+    """Look up a generation by name ('802.11', '802.11b', ...)."""
+    if name not in GENERATIONS:
+        raise ConfigurationError(
+            f"unknown standard {name!r}; choose from {sorted(GENERATIONS)}"
+        )
+    return GENERATIONS[name]
+
+
+def rate_at_snr(name, snr_db):
+    """Highest rate of standard ``name`` usable at ``snr_db`` (Mbps or None)."""
+    entry = get_standard(name).rate_at_snr(snr_db)
+    return None if entry is None else entry.rate_mbps
+
+
+def evolution_table():
+    """The paper's historical-trend table: one row per generation.
+
+    Returns a list of dicts with name, year, max rate, bandwidth, spectral
+    efficiency, and the ratio to the previous generation (the paper's
+    "fivefold increase with each new standard").
+    """
+    order = ["802.11", "802.11b", "802.11a", "802.11g", "802.11n"]
+    rows = []
+    previous_eff = None
+    for name in order:
+        std = GENERATIONS[name]
+        eff = std.spectral_efficiency
+        ratio = None if previous_eff is None else eff / previous_eff
+        rows.append(
+            {
+                "standard": name,
+                "year": std.year,
+                "phy": std.phy_type,
+                "max_rate_mbps": std.max_rate_mbps,
+                "bandwidth_mhz": std.bandwidth_mhz,
+                "spectral_efficiency_bps_hz": eff,
+                "ratio_to_previous": ratio,
+            }
+        )
+        # 802.11a and 802.11g share a PHY; the paper's 5x chain is
+        # 802.11 -> 802.11b -> 802.11a/g -> 802.11n.
+        if name != "802.11a":
+            previous_eff = eff
+    return rows

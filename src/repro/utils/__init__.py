@@ -1,0 +1,45 @@
+"""Shared low-level utilities: bit manipulation, unit conversion, RNG, CRC."""
+
+from repro.utils.bits import (
+    bits_from_bytes,
+    bits_to_int,
+    bytes_from_bits,
+    count_bit_errors,
+    int_to_bits,
+    random_bits,
+)
+from repro.utils.conversion import (
+    db_to_linear,
+    dbm_to_watts,
+    ebn0_to_snr_db,
+    linear_to_db,
+    snr_db_to_ebn0,
+    watts_to_dbm,
+)
+from repro.utils.crc import crc32
+from repro.utils.rng import as_generator
+from repro.utils.validation import (
+    require_in,
+    require_positive,
+    require_power_of_two,
+)
+
+__all__ = [
+    "bits_from_bytes",
+    "bits_to_int",
+    "bytes_from_bits",
+    "count_bit_errors",
+    "int_to_bits",
+    "random_bits",
+    "db_to_linear",
+    "dbm_to_watts",
+    "ebn0_to_snr_db",
+    "linear_to_db",
+    "snr_db_to_ebn0",
+    "watts_to_dbm",
+    "crc32",
+    "as_generator",
+    "require_in",
+    "require_positive",
+    "require_power_of_two",
+]

@@ -1,0 +1,69 @@
+"""Bit-vector helpers.
+
+Throughout the library, "bits" means a 1-D :class:`numpy.ndarray` of dtype
+``int8`` (or any integer dtype) holding values 0/1, transmitted LSB-first
+within each byte as 802.11 specifies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CodingError
+
+
+def random_bits(n, rng):
+    """Return ``n`` uniformly random bits as an int8 array.
+
+    Parameters
+    ----------
+    n : int
+        Number of bits.
+    rng : numpy.random.Generator
+        Source of randomness.
+    """
+    return rng.integers(0, 2, size=int(n), dtype=np.int8)
+
+
+def bits_from_bytes(data):
+    """Expand ``bytes`` (or an iterable of ints 0..255) to bits, LSB first."""
+    arr = np.frombuffer(bytes(data), dtype=np.uint8)
+    return np.unpackbits(arr, bitorder="little").astype(np.int8)
+
+
+def bytes_from_bits(bits):
+    """Pack a bit array (LSB first per byte) back into ``bytes``.
+
+    Raises
+    ------
+    CodingError
+        If the bit count is not a multiple of 8.
+    """
+    bits = np.asarray(bits)
+    if bits.size % 8 != 0:
+        raise CodingError(f"cannot pack {bits.size} bits into whole bytes")
+    return np.packbits(bits.astype(np.uint8), bitorder="little").tobytes()
+
+
+def int_to_bits(value, width):
+    """Little-endian bit expansion of ``value`` into ``width`` bits."""
+    if value < 0 or value >= (1 << width):
+        raise CodingError(f"value {value} does not fit in {width} bits")
+    return np.array([(value >> i) & 1 for i in range(width)], dtype=np.int8)
+
+
+def bits_to_int(bits):
+    """Inverse of :func:`int_to_bits`."""
+    bits = np.asarray(bits).astype(np.int64)
+    return int((bits << np.arange(bits.size)).sum())
+
+
+def count_bit_errors(sent, received):
+    """Number of positions where two equal-length bit arrays differ."""
+    sent = np.asarray(sent)
+    received = np.asarray(received)
+    if sent.shape != received.shape:
+        raise CodingError(
+            f"bit arrays differ in shape: {sent.shape} vs {received.shape}"
+        )
+    return int(np.count_nonzero(sent != received))

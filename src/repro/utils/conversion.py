@@ -1,0 +1,42 @@
+"""Decibel and power unit conversions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def db_to_linear(db):
+    """Convert a power ratio from dB to linear scale."""
+    return 10.0 ** (np.asarray(db, dtype=float) / 10.0)
+
+
+def linear_to_db(linear):
+    """Convert a linear power ratio to dB."""
+    return 10.0 * np.log10(np.asarray(linear, dtype=float))
+
+
+def dbm_to_watts(dbm):
+    """Convert dBm to watts."""
+    return 10.0 ** ((np.asarray(dbm, dtype=float) - 30.0) / 10.0)
+
+
+def watts_to_dbm(watts):
+    """Convert watts to dBm."""
+    return 10.0 * np.log10(np.asarray(watts, dtype=float)) + 30.0
+
+
+def ebn0_to_snr_db(ebn0_db, bits_per_symbol, code_rate=1.0, samples_per_symbol=1):
+    """Convert Eb/N0 [dB] to per-sample SNR [dB].
+
+    SNR = Eb/N0 * (information bits per symbol) / (samples per symbol), i.e.
+    ``SNR_dB = EbN0_dB + 10 log10(bits_per_symbol * code_rate /
+    samples_per_symbol)``.
+    """
+    factor = bits_per_symbol * code_rate / samples_per_symbol
+    return np.asarray(ebn0_db, dtype=float) + 10.0 * np.log10(factor)
+
+
+def snr_db_to_ebn0(snr_db, bits_per_symbol, code_rate=1.0, samples_per_symbol=1):
+    """Inverse of :func:`ebn0_to_snr_db`."""
+    factor = bits_per_symbol * code_rate / samples_per_symbol
+    return np.asarray(snr_db, dtype=float) - 10.0 * np.log10(factor)

@@ -1,0 +1,27 @@
+"""Random-number-generator plumbing.
+
+Every stochastic entry point in the library accepts an ``rng`` argument
+that may be ``None`` (fresh default generator), an integer seed, or an
+existing :class:`numpy.random.Generator`. :func:`as_generator` normalises
+all three, so simulations are reproducible whenever a seed is supplied.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def as_generator(rng=None):
+    """Coerce ``rng`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    rng : None, int, or numpy.random.Generator
+        ``None`` yields a freshly seeded generator; an int is used as the
+        seed; a Generator is passed through unchanged.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)

@@ -1,0 +1,28 @@
+"""Small argument-validation helpers that raise :class:`ConfigurationError`."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+def require_positive(name, value):
+    """Raise unless ``value`` is a positive number; returns the value."""
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def require_in(name, value, allowed):
+    """Raise unless ``value`` is one of ``allowed``; returns the value."""
+    if value not in allowed:
+        raise ConfigurationError(
+            f"{name} must be one of {sorted(allowed, key=str)}, got {value!r}"
+        )
+    return value
+
+
+def require_power_of_two(name, value):
+    """Raise unless ``value`` is a positive power of two; returns the value."""
+    if value <= 0 or (value & (value - 1)) != 0:
+        raise ConfigurationError(f"{name} must be a power of two, got {value!r}")
+    return value

@@ -1,0 +1,18 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG so every test run is reproducible."""
+    return np.random.default_rng(0xDA7E2005)
+
+
+@pytest.fixture
+def rng_factory():
+    """Factory for independent deterministic generators."""
+    def make(seed=0):
+        return np.random.default_rng(seed)
+    return make

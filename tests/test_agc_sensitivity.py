@@ -1,0 +1,95 @@
+"""Tests for AGC and the sensitivity analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sensitivity import (
+    sensitivity_dbm,
+    sensitivity_table,
+    snr_from_sensitivity,
+)
+from repro.errors import ConfigurationError, DemodulationError
+from repro.phy.agc import AutomaticGainControl
+from repro.phy.ofdm import OfdmPhy
+from repro.phy.quantization import quantize
+
+
+@pytest.fixture(scope="module")
+def ofdm_wave():
+    rng = np.random.default_rng(52)
+    return OfdmPhy(24).transmit(
+        bytes(rng.integers(0, 256, 150, dtype=np.uint8).tolist())
+    )
+
+
+class TestAgc:
+    def test_hits_target_rms(self, ofdm_wave):
+        agc = AutomaticGainControl(full_scale=1.0, backoff_db=10.0)
+        scaled, _ = agc.apply(0.01 * ofdm_wave)
+        rms = np.sqrt(np.mean(np.abs(scaled[:160]) ** 2))
+        assert 20 * np.log10(1.0 / rms) == pytest.approx(10.0, abs=0.5)
+
+    def test_gain_inversely_tracks_input_level(self, ofdm_wave):
+        agc = AutomaticGainControl()
+        _, g_weak = agc.apply(0.001 * ofdm_wave)
+        _, g_strong = agc.apply(0.1 * ofdm_wave)
+        assert g_weak - g_strong == pytest.approx(40.0, abs=0.1)
+
+    def test_ofdm_backoff_prevents_clipping(self, ofdm_wave):
+        generous = AutomaticGainControl(backoff_db=12.0)
+        assert generous.clip_fraction(ofdm_wave) < 0.001
+        greedy = AutomaticGainControl(backoff_db=0.0)
+        assert greedy.clip_fraction(ofdm_wave) > generous.clip_fraction(
+            ofdm_wave
+        )
+
+    def test_agc_plus_adc_plus_decode(self, ofdm_wave):
+        """Full front end: attenuated input -> AGC -> 8-bit ADC -> decode."""
+        rng = np.random.default_rng(5)
+        msg = bytes(rng.integers(0, 256, 150, dtype=np.uint8).tolist())
+        phy = OfdmPhy(24)
+        wave = 0.003 * phy.transmit(msg)  # weak arrival
+        agc = AutomaticGainControl(full_scale=1.0, backoff_db=11.0)
+        scaled, _ = agc.apply(wave)
+        digitised = quantize(scaled, 8, clip_level=1.0)
+        assert phy.receive(digitised, noise_var=1e-4) == msg
+
+    def test_short_input_rejected(self):
+        agc = AutomaticGainControl()
+        with pytest.raises(DemodulationError):
+            agc.settle(np.ones(10, complex))
+
+    def test_silence_rejected(self):
+        agc = AutomaticGainControl()
+        with pytest.raises(DemodulationError):
+            agc.settle(np.zeros(200, complex))
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AutomaticGainControl(full_scale=0.0)
+
+
+class TestSensitivity:
+    def test_formula(self):
+        # -94 dBm floor + 12 dB requirement = -82 dBm (802.11a 6 Mbps).
+        assert sensitivity_dbm(12.0) == pytest.approx(-82.0, abs=0.1)
+
+    def test_matches_standard_minima(self):
+        """Our SNR table inverts to the 802.11a sensitivity column."""
+        table = dict(sensitivity_table("802.11a"))
+        assert table[6.0] == pytest.approx(-82.0, abs=0.5)
+        assert table[54.0] == pytest.approx(-65.0, abs=0.5)
+
+    def test_monotone_in_rate(self):
+        table = sensitivity_table("802.11b")
+        values = [s for _, s in table]
+        assert values == sorted(values)
+
+    def test_round_trip(self):
+        snr = snr_from_sensitivity(sensitivity_dbm(17.5))
+        assert snr == pytest.approx(17.5)
+
+    def test_40mhz_costs_3db(self):
+        narrow = sensitivity_dbm(20.0, bandwidth_hz=20e6)
+        wide = sensitivity_dbm(20.0, bandwidth_hz=40e6)
+        assert wide - narrow == pytest.approx(3.0, abs=0.1)

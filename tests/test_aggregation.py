@@ -1,0 +1,70 @@
+"""Tests for frame aggregation and the MAC throughput ceiling."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mac.aggregation import (
+    aggregation_study,
+    ampdu_efficiency,
+    single_frame_efficiency,
+    throughput_ceiling_mbps,
+)
+
+
+class TestCeiling:
+    def test_single_frame_saturates(self):
+        """Doubling the PHY rate stops doubling the goodput."""
+        g54 = single_frame_efficiency(54.0)
+        g600 = single_frame_efficiency(600.0)
+        assert g600 < 2.2 * g54  # nowhere near 600/54 = 11x
+
+    def test_ceiling_bounds_all_rates(self):
+        ceiling = throughput_ceiling_mbps()
+        for rate in (54.0, 300.0, 600.0, 6000.0):
+            assert single_frame_efficiency(rate) <= ceiling + 1e-9
+
+    def test_ceiling_approached_asymptotically(self):
+        ceiling = throughput_ceiling_mbps()
+        assert single_frame_efficiency(1e5) == pytest.approx(ceiling,
+                                                             rel=0.05)
+
+    def test_bigger_frames_higher_ceiling(self):
+        assert throughput_ceiling_mbps(2304) > throughput_ceiling_mbps(500)
+
+
+class TestAmpdu:
+    def test_aggregation_beats_single(self):
+        assert ampdu_efficiency(300.0, 16) > single_frame_efficiency(300.0)
+
+    def test_more_mpdus_more_goodput(self):
+        assert ampdu_efficiency(300.0, 32) > ampdu_efficiency(300.0, 4)
+
+    def test_aggregated_efficiency_scales_with_rate(self):
+        """With the overhead amortised, goodput tracks the PHY rate again
+        — the change that made 600 Mbps meaningful."""
+        e54 = ampdu_efficiency(54.0, 32)
+        e600 = ampdu_efficiency(600.0, 32)
+        assert e600 / e54 > 5.0
+
+    def test_size_cap_enforced(self):
+        with pytest.raises(ConfigurationError):
+            ampdu_efficiency(300.0, 64, payload_bytes=1500)
+
+    def test_zero_mpdus_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ampdu_efficiency(300.0, 0)
+
+
+class TestStudy:
+    def test_rows_and_monotonicity(self):
+        rows = aggregation_study()
+        assert len(rows) == 4
+        single_effs = [r[4] for r in rows]
+        assert single_effs == sorted(single_effs, reverse=True)
+        for rate, single, agg8, agg32, _ in rows:
+            assert agg32 >= agg8 >= single
+
+    def test_600mbps_single_frame_is_dismal(self):
+        rows = {r[0]: r for r in aggregation_study()}
+        assert rows[600.0][4] < 0.15  # ~10% efficiency
+        assert rows[600.0][3] > 400.0  # aggregation rescues it

@@ -1,0 +1,104 @@
+"""Tests for closed-form BER and their agreement with simulation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ber_theory import (
+    ber_mqam_awgn,
+    ber_psk_awgn,
+    ber_rayleigh_bpsk,
+    ber_rayleigh_mrc,
+    diversity_order_estimate,
+    q_function,
+)
+from repro.errors import ConfigurationError
+from repro.phy.modulation import Modulator
+from repro.utils.bits import random_bits
+
+
+class TestQFunction:
+    def test_symmetry(self):
+        assert q_function(0.0) == pytest.approx(0.5)
+        assert q_function(1.0) + q_function(-1.0) == pytest.approx(1.0)
+
+    def test_known_point(self):
+        assert q_function(3.0) == pytest.approx(1.35e-3, rel=0.01)
+
+
+class TestAwgnFormulas:
+    def test_bpsk_reference_point(self):
+        assert ber_psk_awgn(9.6) == pytest.approx(1e-5, rel=0.05)
+
+    def test_qpsk_equals_bpsk_per_bit(self):
+        assert ber_psk_awgn(6.0, 2) == pytest.approx(ber_psk_awgn(6.0, 1))
+
+    def test_higher_order_needs_more_ebn0(self):
+        assert ber_mqam_awgn(10.0, 4) > ber_psk_awgn(10.0)
+        assert ber_mqam_awgn(10.0, 6) > ber_mqam_awgn(10.0, 4)
+
+    def test_odd_order_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ber_mqam_awgn(10.0, 3)
+
+    def test_matches_simulation_bpsk(self, rng):
+        """Monte-Carlo BPSK BER tracks the closed form within noise."""
+        ebn0_db = 6.0
+        mod = Modulator(1)
+        bits = random_bits(200000, rng)
+        x = mod.modulate(bits)
+        nv = 10 ** (-ebn0_db / 10.0)
+        y = x + np.sqrt(nv / 2) * (rng.normal(size=x.size)
+                                   + 1j * rng.normal(size=x.size))
+        sim = (mod.demodulate_hard(y) != bits).mean()
+        assert sim == pytest.approx(ber_psk_awgn(ebn0_db), rel=0.2)
+
+    def test_matches_simulation_16qam(self, rng):
+        ebn0_db = 10.0
+        mod = Modulator(4)
+        bits = random_bits(400000, rng)
+        x = mod.modulate(bits)
+        # Es = 4 Eb for a unit-power 16-QAM constellation, so
+        # N0 = Es / (4 * Eb/N0) = 1 / (4 * 10^(EbN0/10)).
+        nv = 10 ** (-ebn0_db / 10.0) / 4.0
+        y = x + np.sqrt(nv / 2) * (rng.normal(size=x.size)
+                                   + 1j * rng.normal(size=x.size))
+        sim = (mod.demodulate_hard(y) != bits).mean()
+        assert sim == pytest.approx(ber_mqam_awgn(ebn0_db, 4), rel=0.25)
+
+
+class TestRayleighFormulas:
+    def test_high_snr_asymptote(self):
+        # Rayleigh BPSK ~ 1/(4 g) at high SNR.
+        g_db = 30.0
+        g = 10 ** (g_db / 10)
+        assert ber_rayleigh_bpsk(g_db) == pytest.approx(1 / (4 * g), rel=0.05)
+
+    def test_mrc_one_branch_equals_rayleigh(self):
+        assert ber_rayleigh_mrc(15.0, 1) == pytest.approx(
+            ber_rayleigh_bpsk(15.0)
+        )
+
+    def test_mrc_diversity_order(self):
+        snrs = np.array([20.0, 30.0])
+        for branches in (1, 2, 4):
+            ber = ber_rayleigh_mrc(snrs, branches)
+            order = diversity_order_estimate(snrs, ber)
+            assert order == pytest.approx(branches, rel=0.1)
+
+    def test_invalid_branches_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ber_rayleigh_mrc(10.0, 0)
+
+    def test_matches_simulation(self, rng):
+        """Flat-Rayleigh BPSK Monte-Carlo agrees with the exact formula."""
+        g_db = 10.0
+        mod = Modulator(1)
+        n = 200000
+        bits = random_bits(n, rng)
+        x = mod.modulate(bits)
+        h = (rng.normal(size=n) + 1j * rng.normal(size=n)) / np.sqrt(2)
+        nv = 10 ** (-g_db / 10)
+        y = h * x + np.sqrt(nv / 2) * (rng.normal(size=n)
+                                       + 1j * rng.normal(size=n))
+        sim = (mod.demodulate_hard(y / h) != bits).mean()
+        assert sim == pytest.approx(ber_rayleigh_bpsk(g_db), rel=0.1)

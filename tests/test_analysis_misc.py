@@ -1,0 +1,101 @@
+"""Tests for PER models, range helpers, capacity helpers and trends."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.capacity import shannon_capacity_bps, snr_required_db
+from repro.analysis.per import per_from_ber, per_from_snr, throughput_mbps
+from repro.analysis.range import (
+    range_ratio_from_gain_db,
+    rate_vs_distance,
+)
+from repro.analysis.trends import (
+    fit_exponential_trend,
+    predict_next_generation,
+)
+from repro.errors import ConfigurationError
+from repro.standards.registry import get_standard
+
+
+class TestPer:
+    def test_zero_ber_zero_per(self):
+        assert per_from_ber(0.0, 8000) == 0.0
+
+    def test_small_ber_approximation(self):
+        # PER ~ n * BER for tiny BER.
+        assert per_from_ber(1e-8, 1000) == pytest.approx(1e-5, rel=0.01)
+
+    def test_high_ber_saturates(self):
+        assert per_from_ber(0.5, 10000) == pytest.approx(1.0)
+
+    def test_invalid_ber_rejected(self):
+        with pytest.raises(ConfigurationError):
+            per_from_ber(1.5, 100)
+
+    def test_logistic_half_at_threshold(self):
+        assert per_from_snr(20.0, 20.0) == pytest.approx(0.5)
+
+    def test_logistic_limits(self):
+        assert per_from_snr(40.0, 20.0) < 0.01
+        assert per_from_snr(0.0, 20.0) > 0.99
+
+    def test_throughput_discounting(self):
+        assert throughput_mbps(54.0, 0.5) == pytest.approx(27.0)
+        assert throughput_mbps(54.0, 0.0, overhead_fraction=0.5) == (
+            pytest.approx(27.0)
+        )
+
+
+class TestShannon:
+    def test_snr_for_15bps_hz_is_about_45db(self):
+        """The number behind 'SISO had hit its ceiling'."""
+        assert snr_required_db(15.0) == pytest.approx(45.0, abs=0.5)
+
+    def test_capacity_at_0db(self):
+        assert shannon_capacity_bps(1e6, 0.0) == pytest.approx(1e6)
+
+    def test_roundtrip(self):
+        eta = 4.2
+        snr = snr_required_db(eta)
+        assert shannon_capacity_bps(1.0, snr) == pytest.approx(eta)
+
+
+class TestRangeHelpers:
+    def test_gain_to_range_ratio(self):
+        # 3.5 exponent: 35 dB per decade of distance.
+        assert range_ratio_from_gain_db(35.0) == pytest.approx(10.0)
+        assert range_ratio_from_gain_db(0.0) == pytest.approx(1.0)
+
+    def test_rate_vs_distance_monotone(self):
+        rates = rate_vs_distance(get_standard("802.11a"),
+                                 [5.0, 20.0, 40.0, 80.0, 200.0])
+        assert np.all(np.diff(rates) <= 0)
+
+    def test_out_of_range_is_zero(self):
+        rates = rate_vs_distance(get_standard("802.11a"), [5000.0])
+        assert rates[0] == 0.0
+
+
+class TestTrends:
+    def test_recovers_exact_geometric(self):
+        values = 0.1 * 5.0 ** np.arange(4)
+        ratio, prefactor = fit_exponential_trend(np.arange(4), values)
+        assert ratio == pytest.approx(5.0)
+        assert prefactor == pytest.approx(0.1)
+
+    def test_paper_series_fivefold(self):
+        effs = [0.1, 0.55, 2.7, 15.0]
+        ratio, _ = fit_exponential_trend(range(4), effs)
+        assert 4.5 < ratio < 6.0
+
+    def test_prediction_extends_series(self):
+        effs = [0.1, 0.5, 2.5, 12.5]
+        assert predict_next_generation(effs) == pytest.approx(62.5, rel=0.05)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_exponential_trend([0], [1.0])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_exponential_trend([0, 1], [1.0, 0.0])

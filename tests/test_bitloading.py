@@ -1,0 +1,77 @@
+"""Tests for adaptive bit loading."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.mimo.bitloading import (
+    CONSTELLATION_SNR_DB,
+    greedy_loading,
+    loaded_rate_mbps,
+    threshold_loading,
+    uniform_vs_loaded,
+)
+
+
+class TestThresholdLoading:
+    def test_low_snr_gets_zero_bits(self):
+        assert threshold_loading([0.0])[0] == 0
+
+    def test_high_snr_gets_64qam(self):
+        assert threshold_loading([40.0])[0] == 6
+
+    def test_monotone_in_snr(self):
+        bits = threshold_loading([5.0, 11.0, 15.0, 21.0, 30.0])
+        assert list(bits) == sorted(bits)
+
+    def test_margin_is_conservative(self):
+        snr = CONSTELLATION_SNR_DB[4] + 1.0
+        assert threshold_loading([snr], margin_db=0.0)[0] == 4
+        assert threshold_loading([snr], margin_db=3.0)[0] < 4
+
+
+class TestGreedyLoading:
+    def test_respects_power_budget(self, rng):
+        gains = rng.uniform(0.3, 2.0, 16)
+        bits, powers = greedy_loading(gains, total_power=10.0,
+                                      target_bits=64)
+        assert powers.sum() <= 10.0 + 1e-9
+        assert np.all(powers >= 0)
+
+    def test_strong_tones_loaded_first(self):
+        gains = np.array([2.0, 0.1])
+        bits, _ = greedy_loading(gains, total_power=5.0, target_bits=4)
+        assert bits[0] >= bits[1]
+
+    def test_hits_target_when_budget_ample(self):
+        gains = np.ones(8)
+        bits, _ = greedy_loading(gains, total_power=1e6, target_bits=24)
+        assert bits.sum() == 24
+
+    def test_zero_gain_tone_skipped(self):
+        gains = np.array([1.0, 0.0])
+        bits, _ = greedy_loading(gains, total_power=1e6, target_bits=8)
+        assert bits[1] == 0
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            greedy_loading(np.array([1.0]), total_power=0.0, target_bits=2)
+
+
+class TestComparisons:
+    def test_loading_beats_uniform_on_selective_channel(self, rng):
+        """The closed-loop payoff only exists when the channel is
+        frequency selective."""
+        selective = rng.uniform(5.0, 30.0, 48)
+        out = uniform_vs_loaded(selective)
+        assert out["gain"] >= 1.0
+        assert out["loaded_bits_per_symbol"] >= out["uniform_bits_per_symbol"]
+
+    def test_flat_channel_no_gain(self):
+        out = uniform_vs_loaded(np.full(48, 20.0))
+        assert out["gain"] == pytest.approx(1.0)
+
+    def test_rate_formula(self):
+        bits = np.full(48, 6)
+        # 288 coded bits * 3/4 over 4 us = 54 Mbps.
+        assert loaded_rate_mbps(bits) == pytest.approx(54.0)

@@ -1,0 +1,88 @@
+"""Tests for the 802.11b CCK PHY."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DemodulationError
+from repro.phy.cck import CckPhy, cck_codeword
+from repro.utils.bits import random_bits
+
+
+class TestCodewords:
+    def test_unit_modulus_chips(self):
+        cw = cck_codeword(0.3, 1.1, -0.5, 2.0)
+        assert np.allclose(np.abs(cw), 1.0)
+
+    def test_last_chip_carries_p1(self):
+        cw = cck_codeword(0.7, 0.1, 0.2, 0.3)
+        assert np.angle(cw[-1]) == pytest.approx(0.7)
+
+    def test_complementary_pairs_low_cross_correlation(self):
+        """Distinct 11 Mbps base codewords correlate well below the peak."""
+        phy = CckPhy(11)
+        book = phy.codebook
+        gram = np.abs(book @ book.conj().T)
+        off_peak = gram - 8.0 * np.eye(book.shape[0])
+        assert gram.max() == pytest.approx(8.0)
+        assert off_peak.max() <= 8.0 - 1.0
+
+    def test_codebook_sizes(self):
+        assert CckPhy(11).codebook.shape == (64, 8)
+        assert CckPhy(5.5).codebook.shape == (4, 8)
+
+
+class TestCckPhy:
+    @pytest.mark.parametrize("rate", [5.5, 11])
+    def test_clean_round_trip(self, rate, rng):
+        phy = CckPhy(rate)
+        bits = random_bits(phy.bits_per_symbol * 150, rng)
+        assert np.array_equal(phy.demodulate(phy.modulate(bits)), bits)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CckPhy(22)
+
+    def test_phase_rotation_invariance(self, rng):
+        phy = CckPhy(11)
+        bits = random_bits(8 * 100, rng)
+        rotated = phy.modulate(bits) * np.exp(-1j * 0.77)
+        assert np.array_equal(phy.demodulate(rotated), bits)
+
+    @pytest.mark.parametrize("rate", [5.5, 11])
+    def test_moderate_noise(self, rate, rng):
+        phy = CckPhy(rate)
+        bits = random_bits(phy.bits_per_symbol * 200, rng)
+        chips = phy.modulate(bits)
+        # 10 dB chip SNR.
+        noisy = chips + np.sqrt(0.05) * (
+            rng.normal(size=chips.size) + 1j * rng.normal(size=chips.size)
+        )
+        errors = int((phy.demodulate(noisy) != bits).sum())
+        assert errors / bits.size < 0.02
+
+    def test_55_more_robust_than_11(self, rng):
+        """Fewer bits per symbol buys noise margin (rate adaptation basis)."""
+        results = {}
+        for rate in (5.5, 11):
+            phy = CckPhy(rate)
+            bits = random_bits(phy.bits_per_symbol * 400, rng)
+            chips = phy.modulate(bits)
+            noisy = chips + np.sqrt(0.25) * (
+                rng.normal(size=chips.size) + 1j * rng.normal(size=chips.size)
+            )
+            results[rate] = (phy.demodulate(noisy) != bits).mean()
+        assert results[5.5] <= results[11]
+
+    def test_spectral_efficiency_claim(self):
+        """The paper: ~0.5 bps/Hz, a fivefold step over 802.11."""
+        eff = CckPhy(11).spectral_efficiency()
+        assert eff == pytest.approx(0.55)
+        assert 4.0 < eff / 0.1 < 7.0
+
+    def test_partial_symbol_rejected(self):
+        with pytest.raises(DemodulationError):
+            CckPhy(11).demodulate(np.ones(12, dtype=complex))
+
+    def test_wrong_bit_multiple_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CckPhy(11).modulate(np.zeros(7, dtype=np.int8))

@@ -1,0 +1,62 @@
+"""Tests for repro.channel.awgn."""
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import add_awgn, awgn_noise, noise_floor_dbm
+from repro.errors import ConfigurationError
+
+
+class TestAwgnNoise:
+    def test_variance(self, rng):
+        noise = awgn_noise(100000, 0.5, rng)
+        assert np.mean(np.abs(noise) ** 2) == pytest.approx(0.5, rel=0.05)
+
+    def test_circular(self, rng):
+        noise = awgn_noise(100000, 1.0, rng)
+        assert abs(np.mean(noise)) < 0.02
+        assert np.var(noise.real) == pytest.approx(np.var(noise.imag),
+                                                   rel=0.05)
+
+    def test_shape(self, rng):
+        assert awgn_noise((3, 7), 1.0, rng).shape == (3, 7)
+
+    def test_negative_variance_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            awgn_noise(10, -1.0, rng)
+
+    def test_zero_variance(self, rng):
+        assert not awgn_noise(10, 0.0, rng).any()
+
+
+class TestAddAwgn:
+    def test_achieves_target_snr(self, rng):
+        signal = np.exp(1j * rng.uniform(0, 2 * np.pi, 50000))
+        noisy, nv = add_awgn(signal, 7.0, rng)
+        measured = 10 * np.log10(1.0 / np.mean(np.abs(noisy - signal) ** 2))
+        assert measured == pytest.approx(7.0, abs=0.3)
+
+    def test_returns_noise_variance(self, rng):
+        signal = np.ones(1000, dtype=complex)
+        _, nv = add_awgn(signal, 10.0, rng)
+        assert nv == pytest.approx(0.1)
+
+    def test_unit_power_assumption(self, rng):
+        signal = 2.0 * np.ones(100, dtype=complex)
+        _, nv = add_awgn(signal, 0.0, rng, measure_power=False)
+        assert nv == pytest.approx(1.0)
+
+
+class TestNoiseFloor:
+    def test_20mhz_floor(self):
+        # kTB(20 MHz) ~ -101 dBm + 7 dB NF = -94 dBm.
+        assert noise_floor_dbm(20e6) == pytest.approx(-94.0, abs=0.1)
+
+    def test_40mhz_is_3db_higher(self):
+        assert noise_floor_dbm(40e6) - noise_floor_dbm(20e6) == pytest.approx(
+            10 * np.log10(2.0), abs=0.01
+        )
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            noise_floor_dbm(0)

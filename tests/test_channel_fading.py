@@ -1,0 +1,59 @@
+"""Tests for repro.channel.fading."""
+
+import numpy as np
+import pytest
+
+from repro.channel.fading import jakes_process, rayleigh_fading, ricean_fading
+from repro.errors import ConfigurationError
+
+
+class TestRayleigh:
+    def test_unit_power(self, rng):
+        h = rayleigh_fading(200000, rng)
+        assert np.mean(np.abs(h) ** 2) == pytest.approx(1.0, rel=0.02)
+
+    def test_shape_tuple(self, rng):
+        assert rayleigh_fading((4, 5), rng).shape == (4, 5)
+
+    def test_envelope_is_rayleigh(self, rng):
+        """Mean envelope of unit-power Rayleigh is sqrt(pi)/2."""
+        h = rayleigh_fading(200000, rng)
+        assert np.mean(np.abs(h)) == pytest.approx(np.sqrt(np.pi) / 2,
+                                                   rel=0.02)
+
+
+class TestRicean:
+    def test_unit_power(self, rng):
+        h = ricean_fading(200000, 6.0, rng)
+        assert np.mean(np.abs(h) ** 2) == pytest.approx(1.0, rel=0.02)
+
+    def test_high_k_approaches_los(self, rng):
+        h = ricean_fading(10000, 30.0, rng)
+        assert np.std(np.abs(h)) < 0.1
+
+    def test_low_k_approaches_rayleigh(self, rng):
+        h = ricean_fading(100000, -20.0, rng)
+        assert np.mean(np.abs(h)) == pytest.approx(np.sqrt(np.pi) / 2,
+                                                   rel=0.05)
+
+
+class TestJakes:
+    def test_unit_power(self, rng):
+        powers = [np.mean(np.abs(jakes_process(3000, 20.0, 1000.0,
+                                               rng=rng)) ** 2)
+                  for _ in range(30)]
+        assert np.mean(powers) == pytest.approx(1.0, rel=0.1)
+
+    def test_time_correlation_decays(self, rng):
+        h = jakes_process(20000, 50.0, 10000.0, rng=rng)
+        corr0 = np.abs(np.mean(h[:-1000] * np.conj(h[:-1000])))
+        corr_far = np.abs(np.mean(h[:-1000] * np.conj(h[1000:])))
+        assert corr_far < corr0
+
+    def test_zero_doppler_is_static(self, rng):
+        h = jakes_process(100, 0.0, 1000.0, rng=rng)
+        assert np.allclose(h, h[0])
+
+    def test_invalid_params_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            jakes_process(10, -1.0, 100.0, rng=rng)

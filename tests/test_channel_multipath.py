@@ -1,0 +1,105 @@
+"""Tests for the tapped-delay-line multipath channel."""
+
+import numpy as np
+import pytest
+
+from repro.channel.models import TGN_PROFILES, tgn_channel
+from repro.channel.multipath import TappedDelayLine, exponential_pdp
+from repro.errors import ConfigurationError
+
+
+class TestPdp:
+    def test_sums_to_one(self):
+        pdp = exponential_pdp(50e-9, 50e-9)
+        assert pdp.sum() == pytest.approx(1.0)
+
+    def test_zero_spread_is_flat(self):
+        assert exponential_pdp(0.0, 50e-9).tolist() == [1.0]
+
+    def test_monotone_decay(self):
+        pdp = exponential_pdp(100e-9, 50e-9)
+        assert np.all(np.diff(pdp) < 0)
+
+    def test_measured_rms_delay_spread(self):
+        """The sampled PDP's RMS delay spread approximates the target."""
+        target = 100e-9
+        period = 10e-9
+        pdp = exponential_pdp(target, period, cutoff_db=40)
+        delays = np.arange(pdp.size) * period
+        mean = np.sum(pdp * delays)
+        rms = np.sqrt(np.sum(pdp * (delays - mean) ** 2))
+        assert rms == pytest.approx(target, rel=0.15)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            exponential_pdp(-1.0, 1e-9)
+
+
+class TestTappedDelayLine:
+    def test_draw_shape(self, rng):
+        tdl = TappedDelayLine(2, 3, 50e-9, 20e6, rng=rng)
+        assert tdl.draw().shape == (2, 3, tdl.n_taps)
+
+    def test_unit_average_energy(self, rng):
+        tdl = TappedDelayLine(1, 1, 50e-9, 20e6, rng=rng)
+        energies = [np.sum(np.abs(tdl.draw()) ** 2) for _ in range(2000)]
+        assert np.mean(energies) == pytest.approx(1.0, rel=0.1)
+
+    def test_ricean_first_tap_has_bias(self, rng):
+        tdl = TappedDelayLine(1, 1, 50e-9, 20e6, k_factor_db=20.0, rng=rng)
+        first_taps = np.array([tdl.draw()[0, 0, 0] for _ in range(500)])
+        assert abs(np.mean(first_taps)) > 0.5
+
+    def test_apply_output_shape(self, rng):
+        tdl = TappedDelayLine(3, 2, 30e-9, 20e6, rng=rng)
+        out = tdl.apply(np.ones((2, 100), dtype=complex))
+        assert out.shape == (3, 100)
+
+    def test_apply_flat_channel_is_scaling(self, rng):
+        tdl = TappedDelayLine(1, 1, 0.0, 20e6, rng=rng)
+        taps = tdl.draw()
+        x = np.exp(1j * rng.uniform(0, 6.28, 50))[None, :]
+        y = tdl.apply(x, taps)
+        assert np.allclose(y, taps[0, 0, 0] * x)
+
+    def test_wrong_stream_count_rejected(self, rng):
+        tdl = TappedDelayLine(1, 2, 0.0, 20e6, rng=rng)
+        with pytest.raises(ConfigurationError):
+            tdl.apply(np.ones((3, 10), dtype=complex))
+
+    def test_frequency_response_shape(self, rng):
+        tdl = TappedDelayLine(2, 2, 50e-9, 20e6, rng=rng)
+        freq = tdl.frequency_response(tdl.draw(), n_fft=64)
+        assert freq.shape == (64, 2, 2)
+
+    def test_selectivity_grows_with_delay_spread(self, rng):
+        """Larger RMS delay spread means more frequency variation."""
+        def selectivity(spread):
+            tdl = TappedDelayLine(1, 1, spread, 20e6, rng=rng)
+            stds = []
+            for _ in range(100):
+                f = tdl.frequency_response(tdl.draw())[:, 0, 0]
+                stds.append(np.std(np.abs(f)))
+            return np.mean(stds)
+
+        assert selectivity(150e-9) > selectivity(10e-9)
+
+
+class TestTgnModels:
+    def test_profiles_ordered_by_delay_spread(self):
+        spreads = [TGN_PROFILES[m].rms_delay_spread_ns for m in "ABCDEF"]
+        assert spreads == sorted(spreads)
+
+    def test_model_a_is_flat(self, rng):
+        tdl = tgn_channel("A", rng=rng)
+        assert tdl.n_taps == 1
+
+    def test_model_f_is_selective(self, rng):
+        assert tgn_channel("F", rng=rng).n_taps > 5
+
+    def test_unknown_model_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            tgn_channel("Z", rng=rng)
+
+    def test_lowercase_accepted(self, rng):
+        assert tgn_channel("d", rng=rng).n_taps >= 1

@@ -1,0 +1,93 @@
+"""Tests for path loss and shadowing."""
+
+import numpy as np
+import pytest
+
+from repro.channel.pathloss import (
+    breakpoint_path_loss_db,
+    free_space_path_loss_db,
+    log_distance_path_loss_db,
+    received_power_dbm,
+    shadowing_db,
+)
+from repro.errors import ConfigurationError
+
+
+class TestFreeSpace:
+    def test_known_value(self):
+        # FSPL at 1 m, 2.4 GHz ~ 40.05 dB.
+        assert free_space_path_loss_db(1.0, 2.4e9) == pytest.approx(40.05,
+                                                                    abs=0.1)
+
+    def test_20db_per_decade(self):
+        l10 = free_space_path_loss_db(10.0, 5.18e9)
+        l100 = free_space_path_loss_db(100.0, 5.18e9)
+        assert l100 - l10 == pytest.approx(20.0)
+
+    def test_higher_frequency_more_loss(self):
+        assert free_space_path_loss_db(10, 5.18e9) > free_space_path_loss_db(
+            10, 2.4e9
+        )
+
+    def test_invalid_distance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            free_space_path_loss_db(0.0, 2.4e9)
+
+
+class TestLogDistance:
+    def test_35db_per_decade(self):
+        l10 = log_distance_path_loss_db(10.0, 5.18e9, exponent=3.5)
+        l100 = log_distance_path_loss_db(100.0, 5.18e9, exponent=3.5)
+        assert l100 - l10 == pytest.approx(35.0)
+
+    def test_anchored_at_reference(self):
+        assert log_distance_path_loss_db(1.0, 5.18e9) == pytest.approx(
+            free_space_path_loss_db(1.0, 5.18e9)
+        )
+
+
+class TestBreakpoint:
+    def test_free_space_inside_breakpoint(self):
+        assert breakpoint_path_loss_db(3.0, 5.18e9, 5.0) == pytest.approx(
+            free_space_path_loss_db(3.0, 5.18e9)
+        )
+
+    def test_continuous_at_breakpoint(self):
+        just_in = breakpoint_path_loss_db(4.999, 5.18e9, 5.0)
+        just_out = breakpoint_path_loss_db(5.001, 5.18e9, 5.0)
+        assert just_out - just_in < 0.1
+
+    def test_steeper_beyond_breakpoint(self):
+        l10 = breakpoint_path_loss_db(10.0, 5.18e9, 5.0)
+        l100 = breakpoint_path_loss_db(100.0, 5.18e9, 5.0)
+        assert l100 - l10 == pytest.approx(35.0)
+
+    def test_vectorised(self):
+        out = breakpoint_path_loss_db(np.array([1.0, 10.0]), 5.18e9)
+        assert out.shape == (2,)
+
+
+class TestShadowing:
+    def test_zero_mean(self, rng):
+        samples = shadowing_db(20000, sigma_db=6.0, rng=rng)
+        assert abs(np.mean(samples)) < 0.2
+        assert np.std(samples) == pytest.approx(6.0, rel=0.05)
+
+    def test_scalar_output(self, rng):
+        assert isinstance(shadowing_db(rng=rng), float)
+
+    def test_negative_sigma_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            shadowing_db(10, sigma_db=-1.0, rng=rng)
+
+
+class TestReceivedPower:
+    def test_decreases_with_distance(self):
+        p5 = received_power_dbm(17.0, 5.0, 5.18e9)
+        p50 = received_power_dbm(17.0, 50.0, 5.18e9)
+        assert p50 < p5
+
+    def test_gain_helps(self):
+        base = received_power_dbm(17.0, 20.0, 5.18e9)
+        with_gain = received_power_dbm(17.0, 20.0, 5.18e9, antenna_gain_db=6.0)
+        assert with_gain - base == pytest.approx(6.0)

@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_link_defaults(self):
+        args = build_parser().parse_args(["link", "ofdm-6"])
+        assert args.channel == "awgn"
+        assert args.snr == 25.0
+
+    def test_rates_rejects_unknown_standard(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["rates", "802.11ax"])
+
+
+class TestCommands:
+    def test_evolution(self, capsys):
+        assert main(["evolution"]) == 0
+        out = capsys.readouterr().out
+        assert "802.11n" in out
+        assert "multiplier" in out
+
+    def test_link(self, capsys):
+        code = main(["link", "ofdm-6", "awgn", "20",
+                     "--packets", "3", "--bytes", "40"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PER" in out
+        assert "goodput" in out
+
+    def test_mac(self, capsys):
+        assert main(["mac", "3", "--duration", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "Bianchi" in out
+
+    def test_regulatory(self, capsys):
+        assert main(["regulatory"]) == 0
+        assert "Barker" in capsys.readouterr().out
+
+    def test_rates(self, capsys):
+        assert main(["rates", "802.11b"]) == 0
+        out = capsys.readouterr().out
+        assert "11.0 Mbps" in out

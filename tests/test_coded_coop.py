@@ -1,0 +1,55 @@
+"""Tests for coded cooperation (incremental-redundancy relaying)."""
+
+import pytest
+
+from repro.coop.coded import CodedCooperationSimulator
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def results():
+    sim = CodedCooperationSimulator(info_bits=96, relay_gain_db=3.0, rng=5)
+    return {snr: sim.run(snr, n_blocks=250) for snr in (6.0, 12.0)}
+
+
+class TestCooperationGains:
+    def test_repetition_beats_direct(self, results):
+        for snr, r in results.items():
+            assert r.bler_repetition <= r.bler_direct, snr
+
+    def test_coded_beats_direct(self, results):
+        """The paper's 'with appropriate coding' relay improves on no
+        cooperation at all."""
+        for snr, r in results.items():
+            assert r.bler_coded <= r.bler_direct, snr
+
+    def test_relay_decode_rate_rises_with_snr(self, results):
+        assert results[12.0].relay_decode_rate >= results[6.0].relay_decode_rate
+
+    def test_all_rates_are_probabilities(self, results):
+        for r in results.values():
+            for value in (r.bler_direct, r.bler_repetition, r.bler_coded,
+                          r.relay_decode_rate):
+                assert 0.0 <= value <= 1.0
+
+    def test_errors_vanish_at_high_snr(self):
+        sim = CodedCooperationSimulator(rng=9)
+        r = sim.run(25.0, n_blocks=100)
+        assert r.bler_repetition <= 0.02
+        assert r.bler_coded <= 0.05
+
+
+class TestConfiguration:
+    def test_sweep_returns_per_snr(self):
+        sim = CodedCooperationSimulator(rng=1)
+        out = sim.sweep([8.0, 16.0], n_blocks=40)
+        assert [r.snr_db for r in out] == [8.0, 16.0]
+
+    def test_tiny_blocks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CodedCooperationSimulator(info_bits=4)
+
+    def test_mask_partition(self):
+        sim = CodedCooperationSimulator(info_bits=96)
+        assert (sim._mask1 | sim._mask2).all()
+        assert not (sim._mask1 & sim._mask2).any()

@@ -1,0 +1,133 @@
+"""Tests for the (133, 171) convolutional code and Viterbi decoder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CodingError, ConfigurationError
+from repro.phy import convolutional as cc
+from repro.utils.bits import random_bits
+
+ALL_RATES = ["1/2", "2/3", "3/4", "5/6"]
+
+
+class TestEncoder:
+    def test_known_impulse_response(self):
+        # A single 1 followed by zeros exposes the generator taps.
+        coded = cc.encode(np.array([1, 0, 0, 0, 0, 0, 0]), terminate=False)
+        a = coded[0::2]
+        b = coded[1::2]
+        # g0 = 133o: taps at x_t, x_{t-2}, x_{t-3}, x_{t-5}, x_{t-6}
+        assert a.tolist() == [1, 0, 1, 1, 0, 1, 1]
+        # g1 = 171o: taps at x_t, x_{t-1}, x_{t-2}, x_{t-3}, x_{t-6}
+        assert b.tolist() == [1, 1, 1, 1, 0, 0, 1]
+
+    def test_rate_half_length(self):
+        coded = cc.encode(np.zeros(10, dtype=np.int8), terminate=True)
+        assert coded.size == 2 * 16  # 10 info + 6 tail
+
+    def test_linearity(self, rng):
+        a = random_bits(64, rng)
+        b = random_bits(64, rng)
+        ca = cc.encode(a, terminate=False)
+        cb = cc.encode(b, terminate=False)
+        cab = cc.encode(a ^ b, terminate=False)
+        assert np.array_equal(ca ^ cb, cab)
+
+    def test_termination_returns_to_zero(self, rng):
+        # Terminated stream decoded with terminated=True must round trip.
+        bits = random_bits(50, rng)
+        coded = cc.encode(bits, terminate=True)
+        out = cc.viterbi_decode(cc.hard_to_soft(coded), 50, terminated=True)
+        assert np.array_equal(out, bits)
+
+
+class TestPuncturing:
+    @pytest.mark.parametrize("rate", ALL_RATES)
+    def test_coded_length_matches_rate(self, rate):
+        n_info = 120
+        length = cc.coded_length(n_info, rate=rate, terminate=False)
+        assert length == pytest.approx(n_info / cc.CODE_RATES[rate], abs=1)
+
+    def test_unknown_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cc.puncture(np.zeros(8), rate="7/8")
+
+    def test_depuncture_restores_positions(self, rng):
+        coded = cc.encode(random_bits(30, rng), terminate=False)
+        punct = cc.puncture(coded, rate="3/4")
+        restored = cc.depuncture_llrs(
+            cc.hard_to_soft(punct), rate="3/4", n_mother_bits=coded.size
+        )
+        kept = restored != 0
+        assert np.array_equal(
+            (restored[kept] < 0).astype(np.int8), coded[kept]
+        )
+
+    def test_depuncture_wrong_count_raises(self):
+        with pytest.raises(CodingError):
+            cc.depuncture_llrs(np.ones(5), rate="3/4", n_mother_bits=12)
+
+
+class TestViterbi:
+    @pytest.mark.parametrize("rate", ALL_RATES)
+    def test_clean_round_trip(self, rate, rng):
+        bits = random_bits(240, rng)
+        coded = cc.encode_punctured(bits, rate=rate)
+        decoded = cc.viterbi_decode(cc.hard_to_soft(coded), 240, rate=rate)
+        assert np.array_equal(decoded, bits)
+
+    def test_corrects_isolated_hard_errors(self, rng):
+        bits = random_bits(100, rng)
+        coded = cc.encode(bits)
+        soft = cc.hard_to_soft(coded)
+        soft[10] = -soft[10]
+        soft[60] = -soft[60]
+        soft[150] = -soft[150]
+        assert np.array_equal(cc.viterbi_decode(soft, 100), bits)
+
+    def test_soft_beats_hard(self, rng):
+        """At moderate noise, soft-decision BER must be below hard-decision."""
+        n_info = 500
+        trials = 30
+        sigma = 0.9
+        hard_errs = soft_errs = 0
+        for _ in range(trials):
+            bits = random_bits(n_info, rng)
+            coded = cc.encode(bits)
+            noisy = cc.hard_to_soft(coded) + rng.normal(0, sigma, coded.size)
+            soft_dec = cc.viterbi_decode(noisy, n_info)
+            hard_dec = cc.viterbi_decode(
+                cc.hard_to_soft((noisy < 0).astype(np.int8)), n_info
+            )
+            soft_errs += int((soft_dec != bits).sum())
+            hard_errs += int((hard_dec != bits).sum())
+        assert soft_errs < hard_errs
+
+    def test_wrong_length_raises(self):
+        with pytest.raises(CodingError):
+            cc.viterbi_decode(np.ones(100), 60)
+
+    def test_unterminated_decode(self, rng):
+        bits = random_bits(80, rng)
+        coded = cc.encode(bits, terminate=False)
+        out = cc.viterbi_decode(cc.hard_to_soft(coded), 80, terminated=False)
+        assert np.array_equal(out, bits)
+
+    @pytest.mark.parametrize("rate", ALL_RATES)
+    def test_punctured_noise_resilience(self, rate, rng):
+        """Lower code rates must tolerate at least as much noise."""
+        bits = random_bits(300, rng)
+        coded = cc.encode_punctured(bits, rate=rate)
+        noisy = cc.hard_to_soft(coded) * 2.0 + rng.normal(0, 1.0, coded.size)
+        decoded = cc.viterbi_decode(noisy, 300, rate=rate)
+        # All rates decode at this comfortable SNR.
+        assert (decoded != bits).mean() < 0.05
+
+
+class TestFreeDistance:
+    def test_monotone_in_rate(self):
+        ds = [cc.free_distance(r) for r in ALL_RATES]
+        assert ds == sorted(ds, reverse=True)
+
+    def test_mother_code_value(self):
+        assert cc.free_distance("1/2") == 10

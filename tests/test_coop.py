@@ -1,0 +1,141 @@
+"""Tests for cooperative diversity: outage theory, relay sim, selection,
+power sharing."""
+
+import numpy as np
+import pytest
+
+from repro.coop.outage import (
+    df_outage_probability,
+    direct_outage_probability,
+    diversity_order,
+    selection_outage_probability,
+)
+from repro.coop.power_sharing import cooperative_energy_per_bit
+from repro.coop.relay import RelaySimulator
+from repro.coop.selection import best_relay_index, selection_gain_db
+from repro.errors import ConfigurationError
+
+SNRS = np.array([10.0, 15.0, 20.0, 25.0, 30.0])
+
+
+class TestOutageTheory:
+    def test_direct_matches_exponential_cdf(self):
+        g = 10.0
+        expected = 1 - np.exp(-1.0 / g)  # R=1 -> threshold 1
+        assert direct_outage_probability(10.0) == pytest.approx(expected)
+
+    def test_df_beats_direct_at_high_snr(self):
+        assert df_outage_probability(25.0) < direct_outage_probability(25.0)
+
+    def test_df_diversity_order_two(self):
+        order = diversity_order(SNRS, df_outage_probability(SNRS))
+        assert order == pytest.approx(2.0, abs=0.2)
+
+    def test_direct_diversity_order_one(self):
+        order = diversity_order(SNRS, direct_outage_probability(SNRS))
+        assert order == pytest.approx(1.0, abs=0.1)
+
+    def test_selection_diversity_order_n_plus_one(self):
+        order = diversity_order(
+            SNRS, selection_outage_probability(SNRS, n_relays=2)
+        )
+        assert order == pytest.approx(3.0, abs=0.3)
+
+    def test_asymmetric_links(self):
+        # A strong relay-destination link lowers outage.
+        weak = df_outage_probability(15.0, 15.0, 15.0)
+        strong = df_outage_probability(15.0, 15.0, 30.0)
+        assert strong < weak
+
+    def test_invalid_relay_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            selection_outage_probability(10.0, -1)
+
+
+class TestRelaySimulator:
+    def test_df_improves_link_quality(self, rng):
+        """The paper's core claim, measured at symbol level."""
+        sim = RelaySimulator("df", rng=rng)
+        result = sim.run(15.0, n_blocks=400, block_bits=64)
+        assert result.ber_cooperative < result.ber_direct
+        assert result.outage_cooperative < result.outage_direct
+
+    def test_af_improves_link_quality(self, rng):
+        sim = RelaySimulator("af", rng=rng)
+        result = sim.run(15.0, n_blocks=400, block_bits=64)
+        assert result.ber_cooperative < result.ber_direct
+
+    def test_relay_gain_helps(self, rng):
+        base = RelaySimulator("df", rng=1).run(12.0, 400, 64)
+        boosted = RelaySimulator("df", relay_gain_db=10.0, rng=1).run(
+            12.0, 400, 64
+        )
+        assert boosted.relay_decode_rate > base.relay_decode_rate
+        assert boosted.outage_cooperative <= base.outage_cooperative * 1.1
+
+    def test_decode_rate_rises_with_snr(self, rng):
+        sim = RelaySimulator("df", rng=rng)
+        low = sim.run(5.0, 200, 64).relay_decode_rate
+        high = sim.run(25.0, 200, 64).relay_decode_rate
+        assert high > low
+
+    def test_simulated_diversity_slope(self, rng):
+        """Cooperative outage falls at least quadratically vs direct."""
+        sim = RelaySimulator("df", rng=rng)
+        results = sim.sweep([10.0, 20.0], n_blocks=600, block_bits=32)
+        direct_ratio = results[0].outage_direct / max(
+            results[1].outage_direct, 1e-4
+        )
+        coop_ratio = results[0].outage_cooperative / max(
+            results[1].outage_cooperative, 1e-4
+        )
+        assert coop_ratio > direct_ratio
+
+    def test_invalid_protocol_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RelaySimulator("xyz")
+
+    def test_block_size_must_divide(self):
+        sim = RelaySimulator("df", bits_per_symbol=2)
+        with pytest.raises(ConfigurationError):
+            sim.run(10.0, 10, block_bits=33)
+
+
+class TestSelection:
+    def test_picks_max_min(self):
+        idx = best_relay_index([10.0, 20.0, 30.0], [25.0, 18.0, 5.0])
+        assert idx == 1  # min(20,18)=18 beats min(10,25)=10 and min(30,5)=5
+
+    def test_single_candidate(self):
+        assert best_relay_index([7.0], [9.0]) == 0
+
+    def test_gain_nonnegative(self, rng):
+        sr = rng.uniform(0, 30, 10)
+        rd = rng.uniform(0, 30, 10)
+        assert selection_gain_db(sr, rd) >= 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            best_relay_index([], [])
+
+
+class TestPowerSharing:
+    def test_relay_saves_battery_energy(self):
+        result = cooperative_energy_per_bit(60.0, 0.5)
+        assert result["saving_ratio"] is not None
+        assert result["saving_ratio"] > 1.0
+
+    def test_closer_relay_saves_more(self):
+        near = cooperative_energy_per_bit(60.0, 0.25)
+        far = cooperative_energy_per_bit(60.0, 0.75)
+        assert near["cooperative_j_per_bit"] <= far["cooperative_j_per_bit"]
+
+    def test_extends_reach_beyond_direct_range(self):
+        """Where the direct link dies, the relayed battery hop survives."""
+        result = cooperative_energy_per_bit(110.0, 0.5)
+        assert result["direct_j_per_bit"] is None
+        assert result["cooperative_j_per_bit"] is not None
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cooperative_energy_per_bit(50.0, 1.5)

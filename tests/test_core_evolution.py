@@ -1,0 +1,59 @@
+"""Tests for the evolution framework — the paper's core table."""
+
+import pytest
+
+from repro.core.evolution import (
+    REGULATORY_NOTES,
+    evolution_report,
+    fivefold_law,
+    format_evolution_table,
+    spectral_efficiency_series,
+)
+
+
+class TestSeries:
+    def test_paper_chain(self):
+        names, effs = spectral_efficiency_series()
+        assert names == ["802.11", "802.11b", "802.11a", "802.11n"]
+        assert effs[0] == pytest.approx(0.1)
+        assert effs[-1] == pytest.approx(15.0)
+
+    def test_strictly_increasing(self):
+        _, effs = spectral_efficiency_series()
+        assert all(b > a for a, b in zip(effs, effs[1:]))
+
+
+class TestFivefoldLaw:
+    def test_ratio_near_five(self):
+        """The paper's headline: 'fivefold increases with each new
+        standard'."""
+        ratio, _ = fivefold_law()
+        assert 4.5 < ratio < 6.0
+
+
+class TestReport:
+    def test_every_generation_has_regulation_note(self):
+        rows = evolution_report()
+        assert all(row["regulation"] for row in rows)
+        assert set(REGULATORY_NOTES) == {row["standard"] for row in rows}
+
+    def test_ranges_computed(self):
+        for row in evolution_report():
+            assert row["range_at_min_rate_m"] > row["range_at_max_rate_m"]
+
+    def test_max_rates_ladder(self):
+        rows = {r["standard"]: r["max_rate_mbps"] for r in evolution_report()}
+        assert rows["802.11"] == 2
+        assert rows["802.11b"] == 11
+        assert rows["802.11a"] == 54
+        assert rows["802.11n"] == pytest.approx(600)
+
+
+class TestFormatting:
+    def test_table_renders_all_rows(self):
+        text = format_evolution_table()
+        for name in ("802.11b", "802.11n", "MIMO-OFDM"):
+            assert name in text
+
+    def test_header_present(self):
+        assert "bps/Hz" in format_evolution_table()

@@ -1,0 +1,101 @@
+"""Tests for the link-level simulation engine."""
+
+import pytest
+
+from repro.core.link import LinkResult, LinkSimulator
+from repro.errors import ConfigurationError
+
+
+class TestConfiguration:
+    @pytest.mark.parametrize("phy", [
+        "dsss-1", "dsss-2", "cck-5.5", "cck-11", "fhss-1",
+        "ofdm-6", "ofdm-54", "ht-0", "ht-8", "ht40-3",
+    ])
+    def test_all_phys_construct(self, phy):
+        sim = LinkSimulator(phy, "awgn", rng=0)
+        assert sim.rate_mbps > 0
+
+    def test_unknown_phy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinkSimulator("wimax-10")
+
+    def test_unknown_channel_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinkSimulator("ofdm-6", "tgn-Z")
+
+    def test_ht_stream_count(self):
+        sim = LinkSimulator("ht-12", rng=0)
+        assert sim.n_tx == 2
+
+
+class TestAwgnRuns:
+    @pytest.mark.parametrize("phy,snr", [
+        ("dsss-1", 8.0), ("cck-11", 15.0), ("ofdm-24", 24.0), ("ht-0", 10.0),
+    ])
+    def test_high_snr_error_free(self, phy, snr):
+        result = LinkSimulator(phy, "awgn", rng=1).run(snr, 15, 60)
+        assert result.per == 0.0
+        assert result.ber == 0.0
+
+    def test_low_snr_fails(self):
+        result = LinkSimulator("ofdm-54", "awgn", rng=2).run(5.0, 10, 60)
+        assert result.per == 1.0
+
+    def test_waterfall_monotone_overall(self):
+        sim = LinkSimulator("ofdm-24", "awgn", rng=3)
+        results = sim.waterfall([10.0, 30.0], n_packets=15, payload_bytes=60)
+        assert results[0].per >= results[-1].per
+
+    def test_result_bookkeeping(self):
+        result = LinkSimulator("ofdm-6", "awgn", rng=4).run(20.0, 5, 40)
+        assert result.n_packets == 5
+        assert result.n_bits == 5 * 40 * 8
+        assert result.goodput_mbps == pytest.approx(
+            result.rate_mbps * (1 - result.per)
+        )
+
+
+class TestFadingRuns:
+    def test_rayleigh_worse_than_awgn(self):
+        """Fading is the whole reason diversity matters."""
+        awgn = LinkSimulator("ofdm-24", "awgn", rng=5).run(24.0, 25, 60)
+        fade = LinkSimulator("ofdm-24", "rayleigh", rng=5).run(24.0, 25, 60)
+        assert fade.per > awgn.per
+
+    def test_tgn_channel_runs(self):
+        result = LinkSimulator("ofdm-6", "tgn-C", rng=6).run(20.0, 10, 60)
+        assert 0.0 <= result.per <= 1.0
+
+    def test_ht_rayleigh_with_rx_diversity(self):
+        r2 = LinkSimulator("ht-0", "rayleigh", n_rx=2, rng=7).run(15.0, 20, 60)
+        r1 = LinkSimulator("ht-0", "rayleigh", n_rx=1, rng=7).run(15.0, 20, 60)
+        assert r2.per <= r1.per
+
+
+class TestSnrForPer:
+    def test_finds_waterfall_region(self):
+        sim = LinkSimulator("ofdm-12", "awgn", rng=8)
+        snr = sim.snr_for_per(0.5, lo_db=0.0, hi_db=20.0,
+                              n_packets=20, payload_bytes=40)
+        assert 0.0 < snr < 15.0
+
+    def test_impossible_target_raises(self):
+        sim = LinkSimulator("ofdm-12", "awgn", rng=9)
+        with pytest.raises(ConfigurationError):
+            sim.snr_for_per(0.5, lo_db=-30.0, hi_db=-20.0,
+                            n_packets=10, payload_bytes=40)
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinkSimulator("ofdm-6", rng=10).snr_for_per(1.5)
+
+
+class TestValidation:
+    def test_zero_packets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinkSimulator("ofdm-6", rng=11).run(10.0, 0, 100)
+
+    def test_result_properties_empty_safe(self):
+        r = LinkResult("x", "awgn", 0.0, 0, 0, 0, 0, 10, 6.0)
+        assert r.per == 0.0
+        assert r.ber == 0.0

@@ -1,0 +1,85 @@
+"""Tests for the 802.11 Barker DSSS PHY."""
+
+import numpy as np
+import pytest
+
+from repro.constants import FCC_PROCESSING_GAIN_DB
+from repro.errors import ConfigurationError, DemodulationError
+from repro.phy.dsss import (
+    BARKER,
+    CHIPS_PER_SYMBOL,
+    DsssPhy,
+    measure_processing_gain,
+    processing_gain_db,
+)
+from repro.utils.bits import random_bits
+
+
+class TestBarker:
+    def test_length_eleven(self):
+        assert CHIPS_PER_SYMBOL == 11
+
+    def test_ideal_autocorrelation(self):
+        """Barker codes have off-peak aperiodic autocorrelation <= 1."""
+        for shift in range(1, 11):
+            corr = np.sum(BARKER[: 11 - shift] * BARKER[shift:])
+            assert abs(corr) <= 1
+
+    def test_processing_gain_exceeds_fcc_mandate(self):
+        assert processing_gain_db() >= FCC_PROCESSING_GAIN_DB
+
+    def test_measured_gain_matches_theory(self, rng):
+        measured = measure_processing_gain(n_symbols=4000, rng=rng)
+        assert measured == pytest.approx(processing_gain_db(), abs=0.8)
+
+
+class TestDsssPhy:
+    @pytest.mark.parametrize("rate", [1, 2])
+    def test_clean_round_trip(self, rate, rng):
+        phy = DsssPhy(rate)
+        bits = random_bits(rate * 300, rng)
+        assert np.array_equal(phy.demodulate(phy.modulate(bits)), bits)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DsssPhy(5)
+
+    @pytest.mark.parametrize("rate", [1, 2])
+    def test_chip_count(self, rate, rng):
+        phy = DsssPhy(rate)
+        bits = random_bits(rate * 100, rng)
+        assert phy.modulate(bits).size == phy.n_chips(bits.size)
+
+    def test_unit_chip_power(self, rng):
+        chips = DsssPhy(1).modulate(random_bits(50, rng))
+        assert np.mean(np.abs(chips) ** 2) == pytest.approx(1.0)
+
+    def test_phase_rotation_invariance(self, rng):
+        """Differential detection shrugs off an unknown carrier phase."""
+        phy = DsssPhy(2)
+        bits = random_bits(200, rng)
+        rotated = phy.modulate(bits) * np.exp(1j * 1.234)
+        assert np.array_equal(phy.demodulate(rotated), bits)
+
+    def test_noise_resilience_at_0db_chip_snr(self, rng):
+        """Processing gain makes 0 dB chip SNR an easy operating point."""
+        phy = DsssPhy(1)
+        bits = random_bits(500, rng)
+        chips = phy.modulate(bits)
+        noisy = chips + np.sqrt(0.5) * (
+            rng.normal(size=chips.size) + 1j * rng.normal(size=chips.size)
+        )
+        errors = int((phy.demodulate(noisy) != bits).sum())
+        assert errors / bits.size < 0.01
+
+    def test_spectral_efficiency_claim(self):
+        """The paper: 0.1 bps/Hz at 2 Mbps in 20 MHz."""
+        assert DsssPhy(2).spectral_efficiency() == pytest.approx(0.1)
+
+    def test_partial_chip_stream_rejected(self):
+        with pytest.raises(DemodulationError):
+            DsssPhy(1).despread(np.ones(15, dtype=complex))
+
+    def test_wrong_bit_multiple_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DsssPhy(2).modulate(np.zeros(3, dtype=np.int8))

@@ -1,0 +1,98 @@
+"""Tests for 802.11b PLCP framing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DemodulationError
+from repro.phy.dsss_ppdu import HrDsssPpdu, crc16_ccitt
+
+
+@pytest.fixture(scope="module")
+def message():
+    rng = np.random.default_rng(31)
+    return bytes(rng.integers(0, 256, 100, dtype=np.uint8).tolist())
+
+
+class TestCrc16:
+    def test_deterministic(self):
+        bits = np.array([1, 0, 1, 1, 0, 0, 1, 0])
+        assert crc16_ccitt(bits) == crc16_ccitt(bits)
+
+    def test_detects_flip(self):
+        bits = np.zeros(32, dtype=np.int8)
+        flipped = bits.copy()
+        flipped[5] = 1
+        assert crc16_ccitt(bits) != crc16_ccitt(flipped)
+
+    def test_16_bit_range(self):
+        assert 0 <= crc16_ccitt(np.ones(32)) < 1 << 16
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("rate", [1, 2, 5.5, 11])
+    def test_clean(self, rate, message):
+        ppdu = HrDsssPpdu(rate)
+        assert ppdu.receive(ppdu.transmit(message)) == message
+
+    @pytest.mark.parametrize("n_bytes", [1, 3, 7, 10, 11, 13, 100])
+    def test_length_extension_cases(self, n_bytes):
+        """Every byte count must survive the us-quantised LENGTH field."""
+        rng = np.random.default_rng(n_bytes)
+        msg = bytes(rng.integers(0, 256, n_bytes, dtype=np.uint8).tolist())
+        ppdu = HrDsssPpdu(11)
+        assert ppdu.receive(ppdu.transmit(msg)) == msg
+
+    def test_noise_resilience(self, message, rng):
+        ppdu = HrDsssPpdu(11)
+        wave = ppdu.transmit(message)
+        noisy = wave + np.sqrt(0.05) * (
+            rng.normal(size=wave.size) + 1j * rng.normal(size=wave.size)
+        )
+        assert ppdu.receive(noisy) == message
+
+    def test_phase_rotation_tolerated(self, message):
+        ppdu = HrDsssPpdu(5.5)
+        wave = ppdu.transmit(message) * np.exp(1j * 0.9)
+        assert ppdu.receive(wave) == message
+
+
+class TestFraming:
+    def test_header_always_192us(self):
+        assert HrDsssPpdu(11).preamble_header_duration_s() == pytest.approx(
+            192e-6
+        )
+
+    def test_1000_bytes_at_11mbps_duration(self):
+        """The textbook figure: ~919 us for 1000 B at '11 Mbps'."""
+        assert HrDsssPpdu(11).frame_duration_s(1000) == pytest.approx(
+            919e-6, abs=2e-6
+        )
+
+    def test_preamble_dominates_small_frames(self):
+        ppdu = HrDsssPpdu(11)
+        assert (ppdu.preamble_header_duration_s()
+                / ppdu.frame_duration_s(50) > 0.8)
+
+    def test_rate_mismatch_detected(self, message):
+        wave = HrDsssPpdu(11).transmit(message)
+        with pytest.raises(DemodulationError, match="announces"):
+            HrDsssPpdu(5.5).receive(wave)
+
+    def test_header_corruption_detected(self, message, rng):
+        ppdu = HrDsssPpdu(11)
+        wave = ppdu.transmit(message)
+        # Blast the header region (bits 144..192 -> chips ~1600..2100).
+        bad = wave.copy()
+        bad[1650:1900] = -bad[1650:1900]
+        with pytest.raises(DemodulationError):
+            ppdu.receive(bad)
+
+    def test_truncated_waveform_rejected(self, message):
+        ppdu = HrDsssPpdu(11)
+        wave = ppdu.transmit(message)
+        with pytest.raises(DemodulationError):
+            ppdu.receive(wave[: wave.size // 2])
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HrDsssPpdu(22)

@@ -1,0 +1,26 @@
+"""Smoke tests: every example script must run cleanly.
+
+Examples are a deliverable; these tests keep them from rotting. Each is
+executed in-process with a stubbed ``__main__`` guard via runpy.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", ALL_EXAMPLES)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 50  # every example narrates its scenario
+
+
+def test_expected_examples_present():
+    assert "quickstart.py" in ALL_EXAMPLES
+    assert len(ALL_EXAMPLES) >= 6

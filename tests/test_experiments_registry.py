@@ -1,0 +1,38 @@
+"""Tests for the quick-experiment registry and its CLI command."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.experiments import list_experiments, run_experiment
+from repro.errors import ConfigurationError
+
+
+class TestRegistry:
+    def test_lists_cover_core_experiments(self):
+        ids = {key for key, _ in list_experiments()}
+        for required in ("E1", "E2", "E5", "E6", "E11", "E15", "E17"):
+            assert required in ids
+
+    @pytest.mark.parametrize("exp_id", [key for key, _ in list_experiments()])
+    def test_every_experiment_runs(self, exp_id):
+        lines = run_experiment(exp_id)
+        assert len(lines) >= 3
+        assert lines[0].startswith(exp_id)
+
+    def test_lowercase_accepted(self):
+        assert run_experiment("e1")[0].startswith("E1")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment("E99")
+
+
+class TestCli:
+    def test_listing(self, capsys):
+        assert main(["experiment"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "E17" in out
+
+    def test_run_one(self, capsys):
+        assert main(["experiment", "E5"]) == 0
+        assert "600" in capsys.readouterr().out

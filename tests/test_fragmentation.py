@@ -1,0 +1,66 @@
+"""Tests for MAC fragmentation analysis."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mac.fragmentation import (
+    effective_throughput_mbps,
+    fragment_sizes,
+    fragmentation_study,
+    optimal_fragment_size,
+)
+
+
+class TestFragmentSizes:
+    def test_exact_division(self):
+        assert fragment_sizes(1024, 256) == [256, 256, 256, 256]
+
+    def test_remainder(self):
+        assert fragment_sizes(1500, 512) == [512, 512, 476]
+
+    def test_threshold_above_msdu(self):
+        assert fragment_sizes(300, 1500) == [300]
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fragment_sizes(0, 256)
+
+
+class TestThroughput:
+    def test_clean_channel_prefers_whole_frames(self):
+        """At negligible BER, fragmentation is pure overhead."""
+        whole = effective_throughput_mbps(1500, 1500, 1e-9)
+        small = effective_throughput_mbps(1500, 128, 1e-9)
+        assert whole > small
+
+    def test_dirty_channel_prefers_fragments(self):
+        """At high BER, small fragments limit the retransmission cost."""
+        whole = effective_throughput_mbps(1500, 1500, 3e-4)
+        frag = effective_throughput_mbps(1500, 256, 3e-4)
+        assert frag > whole
+
+    def test_throughput_below_phy_rate(self):
+        assert effective_throughput_mbps(1500, 1500, 0.0) < 54.0
+
+    def test_worse_ber_lower_throughput(self):
+        good = effective_throughput_mbps(1500, 512, 1e-6)
+        bad = effective_throughput_mbps(1500, 512, 1e-4)
+        assert bad < good
+
+
+class TestOptimum:
+    def test_optimal_size_shrinks_with_ber(self):
+        clean_thr, _ = optimal_fragment_size(1500, 1e-7)
+        dirty_thr, _ = optimal_fragment_size(1500, 3e-4)
+        assert dirty_thr < clean_thr
+
+    def test_study_rows(self):
+        rows = fragmentation_study()
+        assert len(rows) == 5
+        # The best choice never loses to the unfragmented baseline.
+        for ber, thr, best, whole in rows:
+            assert best >= whole - 1e-9
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            optimal_fragment_size(1500, 1e-5, candidates=[])

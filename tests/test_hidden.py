@@ -1,0 +1,77 @@
+"""Tests for the hidden-terminal simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mac.hidden import HiddenTerminalSimulator
+
+HIDDEN_PAIR = np.array([[70.0, 0.0], [-70.0, 0.0]])
+AUDIBLE_PAIR = np.array([[20.0, 0.0], [-20.0, 0.0]])
+
+
+class TestGeometry:
+    def test_hidden_pair_detected(self):
+        sim = HiddenTerminalSimulator(HIDDEN_PAIR, carrier_sense_range_m=80.0)
+        assert sim.hidden_pair_count() == 1
+
+    def test_audible_pair_not_hidden(self):
+        sim = HiddenTerminalSimulator(AUDIBLE_PAIR,
+                                      carrier_sense_range_m=80.0)
+        assert sim.hidden_pair_count() == 0
+
+    def test_bad_positions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HiddenTerminalSimulator(np.zeros(3))
+
+
+class TestCollisions:
+    def test_audible_stations_never_collide(self):
+        sim = HiddenTerminalSimulator(AUDIBLE_PAIR,
+                                      carrier_sense_range_m=80.0, rng=1)
+        result = sim.run(2.0)
+        assert result.collisions == 0
+        assert result.successes > 0
+
+    def test_hidden_stations_collide(self):
+        sim = HiddenTerminalSimulator(HIDDEN_PAIR,
+                                      carrier_sense_range_m=80.0,
+                                      attempt_rate_per_s=200.0, rng=2)
+        result = sim.run(2.0)
+        assert result.collisions > 0
+        assert result.success_ratio < 1.0
+
+    def test_rts_cts_reduces_hidden_losses(self):
+        """The mechanism RTS/CTS exists for."""
+        losses = {}
+        for rts in (False, True):
+            sim = HiddenTerminalSimulator(
+                HIDDEN_PAIR, carrier_sense_range_m=80.0,
+                attempt_rate_per_s=300.0, rts_cts=rts, rng=3,
+            )
+            result = sim.run(3.0)
+            losses[rts] = 1.0 - result.success_ratio
+        assert losses[True] < losses[False]
+
+    def test_more_attempts_more_collisions(self):
+        slow = HiddenTerminalSimulator(HIDDEN_PAIR, 80.0,
+                                       attempt_rate_per_s=50.0, rng=4).run(2.0)
+        fast = HiddenTerminalSimulator(HIDDEN_PAIR, 80.0,
+                                       attempt_rate_per_s=500.0, rng=4).run(2.0)
+        assert fast.success_ratio < slow.success_ratio
+
+
+class TestBookkeeping:
+    def test_attempts_accounted(self):
+        sim = HiddenTerminalSimulator(HIDDEN_PAIR, 80.0, rng=5)
+        result = sim.run(1.0)
+        assert result.successes + result.collisions <= result.attempts + 2
+
+    def test_throughput_positive(self):
+        sim = HiddenTerminalSimulator(AUDIBLE_PAIR, 80.0, rng=6)
+        assert sim.run(1.0).throughput_mbps(1000) > 0
+
+    def test_invalid_duration_rejected(self):
+        sim = HiddenTerminalSimulator(AUDIBLE_PAIR, 80.0)
+        with pytest.raises(ConfigurationError):
+            sim.run(0.0)

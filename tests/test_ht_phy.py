@@ -1,0 +1,160 @@
+"""Tests for the HT (802.11n) MIMO-OFDM transceiver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DemodulationError
+from repro.phy.mimo.beamforming import svd_beamformer
+from repro.phy.mimo.ht import HtPhy, N_LTF, P_HTLTF
+
+
+@pytest.fixture(scope="module")
+def message():
+    rng = np.random.default_rng(321)
+    return bytes(rng.integers(0, 256, 150, dtype=np.uint8).tolist())
+
+
+def _multipath(tx, n_rx, n_tx, rng, n_taps=3):
+    taps = (rng.normal(size=(n_rx, n_tx, n_taps))
+            + 1j * rng.normal(size=(n_rx, n_tx, n_taps)))
+    taps /= np.sqrt(2 * n_taps)
+    y = np.zeros((n_rx, tx.shape[1]), dtype=complex)
+    for r in range(n_rx):
+        for t in range(n_tx):
+            y[r] += np.convolve(tx[t], taps[r, t])[: tx.shape[1]]
+    return y
+
+
+class TestConfiguration:
+    def test_p_matrix_rows_orthogonal(self):
+        assert np.allclose(P_HTLTF @ P_HTLTF.T, 4 * np.eye(4))
+
+    def test_three_streams_use_four_ltfs(self):
+        assert N_LTF[3] == 4
+
+    def test_invalid_mcs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HtPhy(mcs=32)
+
+    def test_insufficient_rx_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HtPhy(mcs=8, n_rx=1)  # 2 streams, 1 antenna, linear RX
+
+    def test_rate_formula_matches_mcs_table(self):
+        phy = HtPhy(mcs=15, bandwidth_mhz=20, n_rx=2)
+        assert phy.data_rate_mbps() == pytest.approx(130.0)
+        assert phy.data_rate_mbps("short") == pytest.approx(144.4, abs=0.1)
+
+    def test_600mbps_headline(self):
+        phy = HtPhy(mcs=31, bandwidth_mhz=40, n_rx=4)
+        assert phy.data_rate_mbps("short") == pytest.approx(600.0)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("mcs,n_rx", [(0, 1), (5, 1), (8, 2), (15, 2)])
+    def test_clean_20mhz(self, mcs, n_rx, message):
+        phy = HtPhy(mcs=mcs, n_rx=n_rx)
+        tx = phy.transmit(message)
+        # Identity channel: route stream k to antenna k.
+        out = phy.receive(tx, 1e-10, psdu_bytes=len(message))
+        assert out == message
+
+    def test_clean_40mhz(self, message):
+        phy = HtPhy(mcs=11, bandwidth_mhz=40, n_rx=2)
+        out = phy.receive(phy.transmit(message), 1e-10,
+                          psdu_bytes=len(message))
+        assert out == message
+
+    @pytest.mark.parametrize("mcs,n_rx", [(8, 2), (16, 3)])
+    def test_multipath_mimo(self, mcs, n_rx, message, rng):
+        phy = HtPhy(mcs=mcs, n_rx=n_rx)
+        tx = phy.transmit(message)
+        y = _multipath(tx, n_rx, phy.n_tx, rng)
+        nv = 1e-3
+        y = y + np.sqrt(nv / 2) * (rng.normal(size=y.shape)
+                                   + 1j * rng.normal(size=y.shape))
+        assert phy.receive(y, nv, psdu_bytes=len(message)) == message
+
+    def test_extra_rx_antennas_help(self, message, rng):
+        """Receive diversity: 2 streams on 4 antennas beats 2-on-2 at low
+        SNR."""
+        failures = {}
+        for n_rx in (2, 4):
+            phy = HtPhy(mcs=12, n_rx=n_rx)
+            fails = 0
+            for trial in range(8):
+                local = np.random.default_rng(100 + trial)
+                tx = phy.transmit(message)
+                y = _multipath(tx, n_rx, 2, local, n_taps=1)
+                nv = 10 ** (-14 / 10)
+                y = y + np.sqrt(nv / 2) * (
+                    local.normal(size=y.shape) + 1j * local.normal(size=y.shape)
+                )
+                try:
+                    fails += phy.receive(y, nv, psdu_bytes=len(message)) != message
+                except DemodulationError:
+                    fails += 1
+            failures[n_rx] = fails
+        assert failures[4] <= failures[2]
+
+    def test_detector_zf_roundtrip(self, message, rng):
+        phy = HtPhy(mcs=8, n_rx=2, detector="zf")
+        tx = phy.transmit(message)
+        y = _multipath(tx, 2, 2, rng)
+        assert phy.receive(y, 1e-9, psdu_bytes=len(message)) == message
+
+    def test_detector_ml_roundtrip(self, message, rng):
+        phy = HtPhy(mcs=8, n_rx=2, detector="ml")
+        tx = phy.transmit(message)
+        y = _multipath(tx, 2, 2, rng)
+        assert phy.receive(y, 1e-9, psdu_bytes=len(message)) == message
+
+
+class TestBeamforming:
+    def test_svd_precoding_roundtrip(self, message, rng):
+        """Per-subcarrier SVD precoding passes transparently through the
+        effective-channel estimation."""
+        phy = HtPhy(mcs=8, n_rx=2)
+        h = (rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))) / np.sqrt(2)
+        bf = svd_beamformer(h)
+        precoders = np.tile(bf["precoder"], (phy.n_data_sc, 1, 1))
+        tx = phy.transmit(message, precoders=precoders)
+        y = h @ tx
+        nv = 1e-6
+        y = y + np.sqrt(nv / 2) * (rng.normal(size=y.shape)
+                                   + 1j * rng.normal(size=y.shape))
+        assert phy.receive(y, nv, psdu_bytes=len(message)) == message
+
+
+class TestChannelEstimation:
+    @pytest.mark.parametrize("mcs,n_rx", [(0, 1), (8, 2), (24, 4)])
+    def test_estimates_known_flat_channel(self, mcs, n_rx, rng, message):
+        phy = HtPhy(mcs=mcs, n_rx=n_rx)
+        n_tx = phy.n_tx
+        h = (rng.normal(size=(n_rx, n_tx))
+             + 1j * rng.normal(size=(n_rx, n_tx))) / np.sqrt(2)
+        tx = phy.transmit(message)
+        y = h @ tx
+        ltf = y[:, : N_LTF[phy.n_ss] * phy.symbol_samples]
+        est = phy.estimate_channel(ltf)
+        # Every used subcarrier sees the same flat channel.
+        assert np.allclose(est[0], h, atol=1e-8)
+        assert np.allclose(est[est.shape[0] // 2], h, atol=1e-8)
+
+
+class TestSizing:
+    def test_waveform_length_matches_n_samples(self, message):
+        phy = HtPhy(mcs=8, n_rx=2)
+        assert phy.transmit(message).shape == (
+            2, phy.n_samples(len(message))
+        )
+
+    def test_frame_duration_includes_preamble(self):
+        phy = HtPhy(mcs=0)
+        assert phy.frame_duration_s(100) > phy.n_symbols(100) * 4e-6
+
+    def test_psdu_too_long_rejected(self, message):
+        phy = HtPhy(mcs=0)
+        tx = phy.transmit(message)
+        with pytest.raises(DemodulationError):
+            phy.receive(tx, 1e-10, psdu_bytes=10 * len(message))

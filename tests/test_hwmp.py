@@ -1,0 +1,80 @@
+"""Tests for HWMP-style distributed route discovery."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.mesh.hwmp import HwmpRouter
+from repro.mesh.network import MeshNetwork
+from repro.mesh.topology import grid_positions, line_positions
+
+
+@pytest.fixture(scope="module")
+def line_router():
+    return HwmpRouter(MeshNetwork(line_positions(4, 28.0)))
+
+
+class TestDiscovery:
+    def test_finds_multihop_route(self, line_router):
+        result = line_router.discover(0, 3)
+        assert result.path[0] == 0
+        assert result.path[-1] == 3
+        assert result.hop_count >= 2
+
+    def test_matches_centralised_dijkstra(self):
+        """Distributed flooding converges to the same airtime-optimal path
+        as the omniscient graph search."""
+        net = MeshNetwork(line_positions(4, 28.0))
+        router = HwmpRouter(net)
+        for src, dst in [(0, 3), (1, 3), (3, 0)]:
+            flooded = router.discover(src, dst)
+            central = net.best_path(src, dst, metric="airtime")
+            assert flooded.path == central, (src, dst)
+
+    def test_metric_equals_path_sum(self):
+        net = MeshNetwork(line_positions(3, 28.0))
+        result = HwmpRouter(net).discover(0, 2)
+        expected = sum(
+            net.graph.edges[a, b]["airtime_s"]
+            for a, b in zip(result.path[:-1], result.path[1:])
+        )
+        assert result.metric_s == pytest.approx(expected)
+
+    def test_grid_topology(self):
+        net = MeshNetwork(grid_positions(3, 40.0))
+        result = HwmpRouter(net).discover(0, 8)
+        assert result.path[0] == 0 and result.path[-1] == 8
+
+    def test_unreachable_raises(self):
+        net = MeshNetwork(np.array([[0.0, 0.0], [5000.0, 0.0]]))
+        with pytest.raises(SimulationError):
+            HwmpRouter(net).discover(0, 1)
+
+    def test_same_node_rejected(self, line_router):
+        with pytest.raises(ConfigurationError):
+            line_router.discover(1, 1)
+
+
+class TestProtocolBehaviour:
+    def test_discovery_time_scales_with_hops(self, line_router):
+        near = line_router.discover(0, 1)
+        far = line_router.discover(0, 3)
+        assert far.discovery_time_s > near.discovery_time_s
+
+    def test_broadcast_count_bounded(self):
+        """Sequence numbers suppress re-floods: broadcasts stay polynomial
+        in the node count."""
+        net = MeshNetwork(grid_positions(3, 40.0))
+        result = HwmpRouter(net).discover(0, 8)
+        assert result.preq_broadcasts <= 5 * net.n_nodes ** 2
+
+    def test_discover_all_from(self):
+        net = MeshNetwork(line_positions(4, 28.0))
+        routes = HwmpRouter(net).discover_all_from(0)
+        assert set(routes) == {1, 2, 3}
+        assert all(r.path[0] == 0 for r in routes.values())
+
+    def test_invalid_hop_delay_rejected(self):
+        net = MeshNetwork(line_positions(2, 10.0))
+        with pytest.raises(ConfigurationError):
+            HwmpRouter(net, hop_delay_s=0.0)

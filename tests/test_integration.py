@@ -1,0 +1,120 @@
+"""Cross-layer integration tests.
+
+Each test wires several subsystems together the way the examples and
+benchmarks do, pinning the end-to-end behaviours a downstream user relies
+on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.linkbudget import LinkBudget
+from repro.channel.models import tgn_channel
+from repro.core.link import LinkSimulator
+from repro.mac.dcf import DcfSimulator
+from repro.mac.timing import MacTiming
+from repro.mesh.network import MeshNetwork
+from repro.mesh.topology import line_positions
+from repro.phy.mimo.ht import HtPhy
+from repro.phy.ofdm import OfdmPhy
+from repro.phy.sync import apply_cfo, synchronise
+from repro.standards.registry import get_standard
+
+
+class TestWaveformThroughChannelObjects:
+    """PHY waveforms through the channel package's objects (not ad-hoc
+    convolutions)."""
+
+    def test_ofdm_through_tgn_tdl(self, rng):
+        msg = bytes(rng.integers(0, 256, 120, dtype=np.uint8).tolist())
+        phy = OfdmPhy(18)
+        tdl = tgn_channel("D", n_rx=1, n_tx=1, rng=rng)
+        rx = tdl.apply(phy.transmit(msg)[None, :])
+        nv = 1e-3
+        rx = rx + np.sqrt(nv / 2) * (
+            rng.normal(size=rx.shape) + 1j * rng.normal(size=rx.shape)
+        )
+        assert phy.receive(rx.ravel(), nv) == msg
+
+    def test_ht_through_tgn_tdl(self, rng):
+        msg = bytes(rng.integers(0, 256, 120, dtype=np.uint8).tolist())
+        phy = HtPhy(mcs=9, n_rx=2)
+        tdl = tgn_channel("C", n_rx=2, n_tx=2, rng=rng)
+        rx = tdl.apply(phy.transmit(msg))
+        nv = 1e-3
+        rx = rx + np.sqrt(nv / 2) * (
+            rng.normal(size=rx.shape) + 1j * rng.normal(size=rx.shape)
+        )
+        assert phy.receive(rx, nv, psdu_bytes=len(msg)) == msg
+
+    def test_sync_plus_tdl_plus_decode(self, rng):
+        """Full receiver chain: unknown delay + CFO + multipath."""
+        msg = bytes(rng.integers(0, 256, 80, dtype=np.uint8).tolist())
+        phy = OfdmPhy(12)
+        wave = apply_cfo(phy.transmit(msg), 60e3)
+        tdl = tgn_channel("B", rng=rng)
+        faded = tdl.apply(wave[None, :]).ravel()
+        rx = np.concatenate([np.zeros(211, complex), faded])
+        nv = float(np.mean(np.abs(faded) ** 2)) / 10 ** (22 / 10)
+        rx = rx + np.sqrt(nv / 2) * (
+            rng.normal(size=rx.size) + 1j * rng.normal(size=rx.size)
+        )
+        aligned, info = synchronise(rx)
+        assert abs(info["total_cfo_hz"] - 60e3) < 5e3
+        assert phy.receive(aligned, nv) == msg
+
+
+class TestBudgetDrivenConsistency:
+    """Link budget, registry and mesh agree with the link simulator."""
+
+    def test_registry_thresholds_are_achievable_on_waveforms(self):
+        """At (threshold + 4 dB) every 802.11a rate's real transceiver
+        should decode reliably — the registry is a conservative
+        abstraction of the waveform PHY."""
+        std = get_standard("802.11a")
+        for entry in std.rates:
+            sim = LinkSimulator(f"ofdm-{int(entry.rate_mbps)}", "awgn",
+                                rng=3)
+            result = sim.run(entry.required_snr_db + 4.0, n_packets=8,
+                             payload_bytes=60)
+            assert result.per <= 0.25, entry.rate_mbps
+
+    def test_mesh_link_rates_match_budget_snr(self):
+        budget = LinkBudget()
+        net = MeshNetwork(line_positions(2, 25.0), budget=budget)
+        snr = budget.snr_at(25.0)
+        expected = get_standard("802.11a").rate_at_snr(snr).rate_mbps
+        assert net.link_rate_mbps(0, 1) == expected
+
+    def test_range_and_coverage_agree(self):
+        budget = LinkBudget()
+        radius = budget.range_for_snr(12.0)  # 6 Mbps threshold
+        net = MeshNetwork(line_positions(2, radius * 0.95), budget=budget)
+        assert net.link_rate_mbps(0, 1) is not None
+        net_far = MeshNetwork(line_positions(2, radius * 1.05),
+                              budget=budget)
+        assert net_far.link_rate_mbps(0, 1) is None
+
+
+class TestMacPhyConsistency:
+    def test_mac_airtime_matches_phy_duration(self):
+        """MAC timing's OFDM airtime equals the waveform PHY's duration
+        (minus the MAC-header bytes it adds)."""
+        timing = MacTiming.for_standard("802.11a")
+        phy = OfdmPhy(24)
+        psdu = 500 + 28  # payload + MAC header + FCS
+        assert timing.data_airtime_s(500, 24) == pytest.approx(
+            phy.frame_duration_s(psdu)
+        )
+
+    def test_dcf_never_exceeds_airtime_bound(self):
+        """Goodput can't beat payload/(success exchange time)."""
+        timing = MacTiming.for_standard("802.11a")
+        bound = 8 * 1500 / timing.success_duration_s(1500, 54) / 1e6
+        result = DcfSimulator(1, "802.11a", 54, 1500, rng=1).run(0.3)
+        assert result.throughput_mbps <= bound * 1.01
+
+    def test_faster_phy_generation_more_mac_throughput(self):
+        r11b = DcfSimulator(5, "802.11b", 11, 1500, rng=2).run(0.3)
+        r11a = DcfSimulator(5, "802.11a", 54, 1500, rng=2).run(0.3)
+        assert r11a.throughput_mbps > 2 * r11b.throughput_mbps

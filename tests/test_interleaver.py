@@ -1,0 +1,77 @@
+"""Tests for the 802.11a and 802.11n interleavers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CodingError
+from repro.phy.interleaver import (
+    deinterleave,
+    ht_deinterleave,
+    ht_interleave,
+    ht_interleave_permutation,
+    interleave,
+    interleave_permutation,
+)
+from repro.utils.bits import random_bits
+
+LEGACY_CASES = [(48, 1), (96, 2), (192, 4), (288, 6)]
+
+
+class TestLegacyInterleaver:
+    @pytest.mark.parametrize("n_cbps,n_bpsc", LEGACY_CASES)
+    def test_permutation_is_bijective(self, n_cbps, n_bpsc):
+        perm = interleave_permutation(n_cbps, n_bpsc)
+        assert sorted(perm.tolist()) == list(range(n_cbps))
+
+    @pytest.mark.parametrize("n_cbps,n_bpsc", LEGACY_CASES)
+    def test_round_trip(self, n_cbps, n_bpsc, rng):
+        bits = random_bits(3 * n_cbps, rng)
+        out = deinterleave(interleave(bits, n_cbps, n_bpsc), n_cbps, n_bpsc)
+        assert np.array_equal(out, bits)
+
+    def test_adjacent_bits_separated(self):
+        """First permutation must spread adjacent coded bits >= 3 carriers."""
+        perm = interleave_permutation(48, 1)
+        positions = np.empty(48, dtype=int)
+        positions[perm] = np.arange(48)
+        gaps = np.abs(np.diff(np.argsort(positions)))
+        # Adjacent input bits land 16 columns apart in the 48-bit symbol.
+        assert interleave(np.arange(48), 48, 1)[0] in range(48)
+        out = interleave(np.arange(48), 48, 1)
+        idx0 = np.where(out == 0)[0][0]
+        idx1 = np.where(out == 1)[0][0]
+        assert abs(idx1 - idx0) >= 3
+
+    def test_partial_symbol_raises(self):
+        with pytest.raises(CodingError):
+            interleave(np.zeros(50), 48, 1)
+
+    def test_works_on_soft_values(self, rng):
+        soft = rng.normal(size=96)
+        out = deinterleave(interleave(soft, 96, 2), 96, 2)
+        assert np.allclose(out, soft)
+
+
+class TestHtInterleaver:
+    @pytest.mark.parametrize("n_bpsc", [1, 2, 4, 6])
+    @pytest.mark.parametrize("bw", [20, 40])
+    def test_permutation_is_bijective(self, n_bpsc, bw):
+        perm = ht_interleave_permutation(n_bpsc, bw)
+        n = 52 * n_bpsc if bw == 20 else 108 * n_bpsc
+        assert perm.size == n
+        assert sorted(perm.tolist()) == list(range(n))
+
+    @pytest.mark.parametrize("n_bpsc", [1, 2, 4, 6])
+    def test_round_trip_20mhz(self, n_bpsc, rng):
+        bits = random_bits(2 * 52 * n_bpsc, rng)
+        out = ht_deinterleave(ht_interleave(bits, n_bpsc), n_bpsc)
+        assert np.array_equal(out, bits)
+
+    def test_round_trip_40mhz(self, rng):
+        bits = random_bits(108 * 4, rng)
+        out = ht_deinterleave(ht_interleave(bits, 4, 40), 4, 40)
+        assert np.array_equal(out, bits)
+
+    def test_partial_symbol_raises(self):
+        with pytest.raises(CodingError):
+            ht_interleave(np.zeros(51), 1)

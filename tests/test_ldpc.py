@@ -1,0 +1,183 @@
+"""Tests for repro.phy.ldpc."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CodingError, ConfigurationError
+from repro.phy.ldpc import (
+    LdpcCode,
+    expand_base_matrix,
+    gallager_regular,
+    generator_from_parity_check,
+    gf2_rank,
+    gf2_row_reduce,
+    quasi_cyclic,
+)
+from repro.utils.bits import random_bits
+
+HAMMING_H = np.array(
+    [[1, 0, 1, 0, 1, 0, 1], [0, 1, 1, 0, 0, 1, 1], [0, 0, 0, 1, 1, 1, 1]],
+    dtype=np.uint8,
+)
+
+
+@pytest.fixture(scope="module")
+def code648():
+    return LdpcCode.from_standard(648, "1/2")
+
+
+class TestGf2:
+    def test_rank_of_identity(self):
+        assert gf2_rank(np.eye(5, dtype=np.uint8)) == 5
+
+    def test_rank_with_dependent_rows(self):
+        m = np.array([[1, 1, 0], [0, 1, 1], [1, 0, 1]], dtype=np.uint8)
+        assert gf2_rank(m) == 2
+
+    def test_row_reduce_idempotent(self, rng):
+        m = rng.integers(0, 2, size=(6, 10)).astype(np.uint8)
+        r1, p1 = gf2_row_reduce(m)
+        r2, p2 = gf2_row_reduce(r1)
+        assert np.array_equal(r1, r2)
+        assert p1 == p2
+
+    def test_generator_orthogonal_to_h(self, rng):
+        g, perm = generator_from_parity_check(HAMMING_H)
+        # Every generator row, mapped back, must satisfy H c = 0.
+        for row in g:
+            cw = np.zeros(7, dtype=np.uint8)
+            cw[perm] = row
+            assert not np.any((HAMMING_H @ cw) % 2)
+
+    def test_zero_rank_rejected(self):
+        with pytest.raises(CodingError):
+            generator_from_parity_check(np.zeros((3, 7), dtype=np.uint8))
+
+
+class TestConstructions:
+    def test_gallager_regular_weights(self):
+        h = gallager_regular(120, column_weight=3, row_weight=6, rng=0)
+        assert np.all(h.sum(axis=0) == 3)
+        assert np.all(h.sum(axis=1) == 6)
+
+    def test_gallager_bad_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            gallager_regular(100, column_weight=3, row_weight=7)
+
+    def test_qc_no_four_cycles(self):
+        h = quasi_cyclic(648, "1/2", 27, rng=0)
+        overlap = h.astype(int) @ h.T.astype(int)
+        np.fill_diagonal(overlap, 0)
+        assert overlap.max() <= 1
+
+    def test_qc_shape_and_rate(self):
+        h = quasi_cyclic(648, "3/4", 27, rng=1)
+        assert h.shape == (162, 648)
+
+    def test_qc_bad_lifting_rejected(self):
+        with pytest.raises(ConfigurationError):
+            quasi_cyclic(650, "1/2", 27)
+
+    def test_expand_base_matrix_shifts(self):
+        base = np.array([[0, 1], [-1, 2]])
+        h = expand_base_matrix(base, 3)
+        assert h.shape == (6, 6)
+        # Block (0,0): identity. Block (1,0): absent.
+        assert np.array_equal(h[:3, :3], np.eye(3, dtype=np.uint8))
+        assert not h[3:, :3].any()
+
+
+class TestCodeObject:
+    def test_dimensions(self, code648):
+        assert code648.n == 648
+        assert code648.k == 648 - gf2_rank(code648.h)
+
+    def test_encode_gives_codeword(self, code648, rng):
+        info = random_bits(code648.k, rng)
+        assert code648.is_codeword(code648.encode(info))
+
+    def test_extract_info_inverts_encode(self, code648, rng):
+        info = random_bits(code648.k, rng)
+        assert np.array_equal(
+            code648.extract_info(code648.encode(info)), info
+        )
+
+    def test_wrong_info_length_raises(self, code648):
+        with pytest.raises(CodingError):
+            code648.encode(np.zeros(5, dtype=np.int8))
+
+    def test_syndrome_flags_flip(self, code648, rng):
+        cw = code648.encode(random_bits(code648.k, rng))
+        cw[17] ^= 1
+        assert not code648.is_codeword(cw)
+
+    def test_all_zero_column_rejected(self):
+        h = HAMMING_H.copy()
+        h[:, 2] = 0
+        with pytest.raises(ConfigurationError):
+            LdpcCode(h)
+
+    def test_standard_lengths_enforced(self):
+        with pytest.raises(ConfigurationError):
+            LdpcCode.from_standard(1000, "1/2")
+
+
+class TestDecoder:
+    @pytest.mark.parametrize("algorithm", ["min-sum", "sum-product"])
+    def test_corrects_single_flip(self, algorithm):
+        code = LdpcCode(HAMMING_H)
+        cw = code.encode(np.array([1, 0, 1, 1], dtype=np.int8))
+        llr = (1.0 - 2.0 * cw) * 4.0
+        llr[2] = -llr[2]
+        decoded, converged, _ = code.decode(llr, algorithm=algorithm)
+        assert converged
+        assert np.array_equal(decoded, cw)
+
+    def test_clean_input_zero_iterations(self, code648, rng):
+        cw = code648.encode(random_bits(code648.k, rng))
+        _, converged, iters = code648.decode((1.0 - 2.0 * cw) * 8.0)
+        assert converged
+        assert iters == 0
+
+    @pytest.mark.parametrize("algorithm", ["min-sum", "sum-product"])
+    def test_waterfall_at_3db(self, code648, algorithm, rng):
+        """At Eb/N0 = 3 dB a rate-1/2 n=648 code decodes essentially always."""
+        sigma2 = 1.0 / (2 * code648.rate * 10 ** 0.3)
+        failures = 0
+        for _ in range(10):
+            info = random_bits(code648.k, rng)
+            cw = code648.encode(info)
+            y = (1.0 - 2.0 * cw) + rng.normal(0, np.sqrt(sigma2), code648.n)
+            decoded, converged, _ = code648.decode(
+                2.0 * y / sigma2, algorithm=algorithm
+            )
+            failures += not np.array_equal(
+                code648.extract_info(decoded), info
+            )
+        assert failures == 0
+
+    def test_coding_gain_over_uncoded(self, code648, rng):
+        """At Eb/N0 = 3 dB uncoded BPSK has BER ~2e-2; LDPC ~0."""
+        sigma2 = 1.0 / (2 * code648.rate * 10 ** 0.3)
+        info = random_bits(code648.k, rng)
+        cw = code648.encode(info)
+        y = (1.0 - 2.0 * cw) + rng.normal(0, np.sqrt(sigma2), code648.n)
+        uncoded_errs = int(((y < 0).astype(np.int8) != cw).sum())
+        decoded, _, _ = code648.decode(2.0 * y / sigma2)
+        assert uncoded_errs > 0
+        assert int((decoded != cw).sum()) < uncoded_errs
+
+    def test_wrong_llr_length_raises(self, code648):
+        with pytest.raises(CodingError):
+            code648.decode(np.ones(100))
+
+    def test_unknown_algorithm_raises(self, code648):
+        with pytest.raises(ConfigurationError):
+            code648.decode(np.ones(648), algorithm="magic")
+
+    def test_unconverged_flagged(self, code648, rng):
+        noise = rng.normal(0, 1.0, code648.n)
+        _, converged, iters = code648.decode(noise, max_iterations=3)
+        assert iters <= 3
+        # Pure noise essentially never satisfies 324 checks.
+        assert not converged

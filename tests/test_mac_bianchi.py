@@ -1,0 +1,63 @@
+"""Tests for the Bianchi analytical model and its agreement with the DCF
+simulator — the core MAC validation of the reproduction."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mac.bianchi import bianchi_saturation_throughput, bianchi_tau
+from repro.mac.dcf import DcfSimulator
+
+
+class TestFixedPoint:
+    def test_single_station(self):
+        tau, p = bianchi_tau(1, cw_min=15)
+        assert p == 0.0
+        assert tau == pytest.approx(2.0 / 17.0)
+
+    def test_tau_decreases_with_n(self):
+        taus = [bianchi_tau(n)[0] for n in (2, 10, 50)]
+        assert taus == sorted(taus, reverse=True)
+
+    def test_p_increases_with_n(self):
+        ps = [bianchi_tau(n)[1] for n in (2, 10, 50)]
+        assert ps == sorted(ps)
+
+    def test_consistency(self):
+        tau, p = bianchi_tau(20)
+        assert p == pytest.approx(1 - (1 - tau) ** 19, abs=1e-9)
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bianchi_tau(0)
+
+
+class TestThroughput:
+    def test_peak_value_plausible(self):
+        s = bianchi_saturation_throughput(10, "802.11a", 54, 1500)
+        assert 20.0 < s < 32.0
+
+    def test_declines_with_contention(self):
+        s = [bianchi_saturation_throughput(n, "802.11a", 54, 1500)
+             for n in (1, 10, 50)]
+        assert s[0] > s[1] > s[2]
+
+    def test_rts_cts_flattens_decline(self):
+        basic_drop = (bianchi_saturation_throughput(5) -
+                      bianchi_saturation_throughput(50))
+        rts_drop = (bianchi_saturation_throughput(5, rts_cts=True) -
+                    bianchi_saturation_throughput(50, rts_cts=True))
+        assert rts_drop < basic_drop
+
+    def test_bigger_payload_more_efficient(self):
+        small = bianchi_saturation_throughput(10, payload_bytes=100)
+        large = bianchi_saturation_throughput(10, payload_bytes=1500)
+        assert large > small
+
+
+class TestSimulatorAgreement:
+    @pytest.mark.parametrize("n", [1, 5, 20])
+    def test_simulation_matches_model(self, n):
+        """DCF simulation within 10% of Bianchi across station counts."""
+        sim = DcfSimulator(n, "802.11a", 54, 1500, rng=11).run(0.5)
+        model = bianchi_saturation_throughput(n, "802.11a", 54, 1500)
+        assert sim.throughput_mbps == pytest.approx(model, rel=0.10)

@@ -1,0 +1,109 @@
+"""Tests for the DCF simulator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mac.dcf import DcfSimulator
+
+
+class TestSingleStation:
+    def test_no_collisions_alone(self):
+        result = DcfSimulator(1, "802.11a", 54, 1500, rng=1).run(0.2)
+        assert result.collisions == 0
+        assert result.successes > 0
+
+    def test_mac_efficiency_well_below_phy_rate(self):
+        """54 Mbps PHY yields ~26-31 Mbps of MAC goodput (the classic
+        protocol-overhead result)."""
+        result = DcfSimulator(1, "802.11a", 54, 1500, rng=1).run(0.3)
+        assert 24.0 < result.throughput_mbps < 33.0
+
+    def test_dsss_long_preamble_hurts_more(self):
+        r11 = DcfSimulator(1, "802.11b", 11, 1500, rng=1).run(0.3)
+        assert r11.throughput_mbps < 7.5  # of 11 Mbps
+
+
+class TestContention:
+    def test_collisions_grow_with_stations(self):
+        p = [DcfSimulator(n, "802.11a", 54, 1500, rng=2).run(0.3)
+             .collision_probability for n in (2, 10, 40)]
+        assert p[0] < p[1] < p[2]
+
+    def test_throughput_degrades_gracefully(self):
+        t1 = DcfSimulator(1, "802.11a", 54, 1500, rng=3).run(0.3)
+        t50 = DcfSimulator(50, "802.11a", 54, 1500, rng=3).run(0.3)
+        assert t50.throughput_mbps < t1.throughput_mbps
+        assert t50.throughput_mbps > 0.5 * t1.throughput_mbps
+
+    def test_rts_cts_helps_with_many_stations(self):
+        basic = DcfSimulator(60, "802.11a", 54, 1500, rng=4).run(0.3)
+        rts = DcfSimulator(60, "802.11a", 54, 1500, rts_cts=True,
+                           rng=4).run(0.3)
+        assert rts.throughput_mbps > basic.throughput_mbps * 0.95
+
+    def test_fairness_near_one_for_few_stations(self):
+        result = DcfSimulator(4, "802.11a", 54, 1500, rng=5).run(0.5)
+        assert result.jain_fairness > 0.9
+
+    def test_delays_recorded(self):
+        result = DcfSimulator(5, "802.11a", 54, 1500, rng=6).run(0.2)
+        assert result.mean_delay_s > 0
+
+
+class TestOfferedLoad:
+    def test_light_load_carried_fully(self):
+        sim = DcfSimulator(4, "802.11a", 54, 1500,
+                           offered_load_mbps=1.0, rng=7)
+        result = sim.run(0.5)
+        # 4 stations x 1 Mbps offered = 4 Mbps; all should get through.
+        assert result.throughput_mbps == pytest.approx(4.0, rel=0.25)
+
+    def test_light_load_few_collisions(self):
+        sim = DcfSimulator(4, "802.11a", 54, 1500,
+                           offered_load_mbps=0.5, rng=8)
+        assert sim.run(0.5).collision_probability < 0.05
+
+
+class TestMultirate:
+    def test_performance_anomaly(self):
+        """One 6 Mbps laggard drags a 54 Mbps cell toward the slow rate —
+        the classic DCF anomaly (Heusse et al.), a direct consequence of
+        the rate ladders the paper charts."""
+        fast_only = DcfSimulator(4, "802.11a", 54, 1500, rng=21).run(0.4)
+        mixed = DcfSimulator(4, "802.11a", [54, 54, 54, 6], 1500,
+                             rng=21).run(0.4)
+        assert mixed.throughput_mbps < 0.6 * fast_only.throughput_mbps
+
+    def test_anomaly_equalises_per_station_goodput(self):
+        """DCF gives equal *packet* shares, so fast and slow stations end
+        up with nearly equal goodput."""
+        mixed = DcfSimulator(4, "802.11a", [54, 54, 54, 6], 1500,
+                             rng=22).run(0.5)
+        per = mixed.per_station_throughput_mbps()
+        assert max(per) < 2.0 * min(p for p in per if p > 0)
+
+    def test_scalar_rate_unchanged(self):
+        scalar = DcfSimulator(3, "802.11a", 54, 1500, rng=23).run(0.2)
+        vector = DcfSimulator(3, "802.11a", [54, 54, 54], 1500,
+                              rng=23).run(0.2)
+        assert scalar.throughput_mbps == pytest.approx(
+            vector.throughput_mbps
+        )
+
+    def test_wrong_rate_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DcfSimulator(3, "802.11a", [54, 6], 1500)
+
+
+class TestValidation:
+    def test_zero_stations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DcfSimulator(0)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DcfSimulator(1).run(0.0)
+
+    def test_result_bookkeeping(self):
+        result = DcfSimulator(3, "802.11a", 54, 1000, rng=9).run(0.2)
+        assert sum(result.per_station_successes) == result.successes

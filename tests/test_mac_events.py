@@ -1,0 +1,83 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.mac.events import EventScheduler
+
+
+class TestScheduler:
+    def test_time_order(self):
+        sched = EventScheduler()
+        hits = []
+        sched.schedule(2.0, hits.append, "late")
+        sched.schedule(1.0, hits.append, "early")
+        sched.schedule(1.5, hits.append, "middle")
+        sched.run()
+        assert hits == ["early", "middle", "late"]
+
+    def test_fifo_tie_break(self):
+        sched = EventScheduler()
+        hits = []
+        sched.schedule(1.0, hits.append, "first")
+        sched.schedule(1.0, hits.append, "second")
+        sched.run()
+        assert hits == ["first", "second"]
+
+    def test_clock_advances(self):
+        sched = EventScheduler()
+        times = []
+        sched.schedule(0.5, lambda: times.append(sched.now))
+        sched.schedule(2.5, lambda: times.append(sched.now))
+        sched.run()
+        assert times == [0.5, 2.5]
+
+    def test_until_cuts_off(self):
+        sched = EventScheduler()
+        hits = []
+        sched.schedule(1.0, hits.append, "in")
+        sched.schedule(5.0, hits.append, "out")
+        sched.run(until=2.0)
+        assert hits == ["in"]
+        assert sched.now == 2.0
+        assert sched.pending == 1
+
+    def test_schedule_in_relative(self):
+        sched = EventScheduler()
+        hits = []
+
+        def chain():
+            hits.append(sched.now)
+            if len(hits) < 3:
+                sched.schedule_in(1.0, chain)
+
+        sched.schedule(0.0, chain)
+        sched.run()
+        assert hits == [0.0, 1.0, 2.0]
+
+    def test_past_scheduling_rejected(self):
+        sched = EventScheduler()
+        sched.schedule(1.0, lambda: None)
+        sched.run()
+        with pytest.raises(SimulationError):
+            sched.schedule(0.5, lambda: None)
+
+    def test_stop_from_callback(self):
+        sched = EventScheduler()
+        hits = []
+        sched.schedule(1.0, lambda: (hits.append(1), sched.stop()))
+        sched.schedule(2.0, hits.append, 2)
+        sched.run()
+        assert hits == [(None, None)] or len(hits) == 1
+
+    def test_max_events_cap(self):
+        sched = EventScheduler()
+        counter = []
+
+        def loop():
+            counter.append(1)
+            sched.schedule_in(0.1, loop)
+
+        sched.schedule(0.0, loop)
+        processed = sched.run(max_events=10)
+        assert processed == 10

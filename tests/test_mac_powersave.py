@@ -1,0 +1,71 @@
+"""Tests for the PSM/CAM power-save model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mac.powersave import PowerSaveModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PowerSaveModel()
+
+
+class TestPsm:
+    def test_psm_saves_energy(self, model):
+        psm = model.simulate("psm", 20.0, 5.0, 500, rng=1)
+        cam = model.simulate("cam", 20.0, 5.0, 500, rng=1)
+        assert psm.energy_j < cam.energy_j / 3
+
+    def test_psm_costs_latency(self, model):
+        psm = model.simulate("psm", 20.0, 5.0, 500, rng=2)
+        cam = model.simulate("cam", 20.0, 5.0, 500, rng=2)
+        assert psm.mean_latency_s > cam.mean_latency_s
+        # Mean PSM latency ~ half a beacon interval.
+        assert psm.mean_latency_s == pytest.approx(0.0512, rel=0.35)
+
+    def test_duty_cycle_matches_analytic(self, model):
+        result = model.simulate("psm", 60.0, 8.0, 500, rng=3)
+        assert result.duty_cycle == pytest.approx(
+            model.psm_duty_cycle(8.0, 500), rel=0.25
+        )
+
+    def test_all_packets_delivered(self, model):
+        result = model.simulate("psm", 30.0, 10.0, 500, rng=4)
+        # Poisson(10/s) over ~30 s: roughly 300 packets.
+        assert result.packets_delivered == pytest.approx(300, rel=0.25)
+
+    def test_idle_station_duty_is_beacon_only(self, model):
+        result = model.simulate("psm", 30.0, 0.001, 500, rng=5)
+        assert result.duty_cycle < 0.03
+
+    def test_heavy_traffic_erodes_saving(self, model):
+        light = model.simulate("psm", 20.0, 1.0, 500, rng=6)
+        heavy = model.simulate("psm", 20.0, 200.0, 500, rng=6)
+        assert heavy.average_power_w > light.average_power_w
+
+
+class TestCam:
+    def test_cam_full_duty(self, model):
+        assert model.simulate("cam", 10.0, 5.0, 500,
+                              rng=7).duty_cycle == 1.0
+
+    def test_cam_near_awake_power(self, model):
+        result = model.simulate("cam", 10.0, 5.0, 500, rng=8)
+        assert result.average_power_w == pytest.approx(
+            model.awake_power_w, rel=0.05
+        )
+
+
+class TestValidation:
+    def test_unknown_mode_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            model.simulate("turbo", 1.0, 1.0)
+
+    def test_doze_must_be_lower(self):
+        with pytest.raises(ConfigurationError):
+            PowerSaveModel(awake_power_w=0.1, doze_power_w=0.5)
+
+    def test_energy_per_bit(self, model):
+        result = model.simulate("psm", 20.0, 5.0, 500, rng=9)
+        assert result.energy_per_bit_j(500) > 0

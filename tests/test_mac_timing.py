@@ -1,0 +1,79 @@
+"""Tests for MAC timing and airtimes."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mac.timing import MacTiming
+
+
+@pytest.fixture(scope="module")
+def t11a():
+    return MacTiming.for_standard("802.11a")
+
+
+@pytest.fixture(scope="module")
+def t11b():
+    return MacTiming.for_standard("802.11b")
+
+
+class TestIfs:
+    def test_difs_definition(self, t11a):
+        assert t11a.difs_s == pytest.approx(t11a.sifs_s + 2 * t11a.slot_s)
+
+    def test_ofdm_vs_dsss_slots(self, t11a, t11b):
+        assert t11a.slot_s == pytest.approx(9e-6)
+        assert t11b.slot_s == pytest.approx(20e-6)
+
+    def test_eifs_longer_than_difs(self, t11a):
+        assert t11a.eifs_s > t11a.difs_s
+
+
+class TestAirtime:
+    def test_ofdm_symbol_quantisation(self, t11a):
+        """OFDM airtimes step in whole 4 us symbols."""
+        base = t11a.data_airtime_s(100, 54)
+        nudge = t11a.data_airtime_s(101, 54)
+        assert nudge - base in (0.0, 4e-6)
+
+    def test_known_1500b_54mbps(self, t11a):
+        # 16+6+8*(1500+28) bits over 216 bits/sym = 57 syms + 20us = 248 us.
+        assert t11a.data_airtime_s(1500, 54) == pytest.approx(248e-6)
+
+    def test_dsss_linear_in_bytes(self, t11b):
+        base = t11b.data_airtime_s(100, 11)
+        double = t11b.data_airtime_s(200, 11)
+        assert double - base == pytest.approx(800 / 11e6)
+
+    def test_long_preamble_dominates_small_frames(self, t11b):
+        """The famous 802.11b inefficiency: 192 us preamble at any rate."""
+        airtime = t11b.data_airtime_s(40, 11)
+        assert airtime > 192e-6
+        assert 192e-6 / airtime > 0.75
+
+    def test_faster_rate_shorter(self, t11a):
+        assert t11a.data_airtime_s(1500, 54) < t11a.data_airtime_s(1500, 6)
+
+    def test_invalid_rate_rejected(self, t11a):
+        with pytest.raises(ConfigurationError):
+            t11a.data_airtime_s(100, 0)
+
+    def test_negative_payload_rejected(self, t11a):
+        with pytest.raises(ConfigurationError):
+            t11a.data_airtime_s(-1, 54)
+
+
+class TestExchangeDurations:
+    def test_success_includes_ack(self, t11a):
+        t = t11a.success_duration_s(1500, 54)
+        assert t > t11a.data_airtime_s(1500, 54) + t11a.sifs_s
+
+    def test_rts_cts_adds_overhead(self, t11a):
+        assert t11a.success_duration_s(1500, 54, rts_cts=True) > (
+            t11a.success_duration_s(1500, 54, rts_cts=False)
+        )
+
+    def test_rts_collision_cheaper_than_data_collision(self, t11a):
+        """Why RTS/CTS pays off with many stations: tiny collisions."""
+        assert t11a.collision_duration_s(1500, 54, rts_cts=True) < (
+            t11a.collision_duration_s(1500, 54, rts_cts=False)
+        )

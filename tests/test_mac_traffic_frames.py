@@ -1,0 +1,78 @@
+"""Tests for traffic sources and frame descriptors."""
+
+import pytest
+
+from repro.constants import MAC_HEADER_BYTES, FCS_BYTES
+from repro.errors import ConfigurationError
+from repro.mac.frames import Frame, FrameType
+from repro.mac.traffic import PoissonSource, SaturatedSource
+
+
+class TestSaturated:
+    def test_always_has_packet(self):
+        src = SaturatedSource(1500)
+        assert src.has_packet(0.0)
+        assert src.has_packet(1e9)
+
+    def test_payload_size(self):
+        assert SaturatedSource(700).next_payload(0.0) == 700
+
+    def test_invalid_payload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SaturatedSource(0)
+
+
+class TestPoisson:
+    def test_rate_approximately_met(self, rng):
+        src = PoissonSource(100.0, 500, rng=rng)
+        count = 0
+        t = 0.0
+        while t < 10.0:
+            if src.has_packet(t):
+                src.next_payload(t)
+                count += 1
+            t += 1e-3
+        assert count == pytest.approx(1000, rel=0.15)
+
+    def test_no_packet_before_first_arrival(self, rng):
+        src = PoissonSource(0.001, 500, rng=rng)
+        assert not src.has_packet(0.0)
+
+    def test_backlog_accumulates(self, rng):
+        src = PoissonSource(1000.0, 500, rng=rng)
+        src.has_packet(1.0)
+        assert src.backlog > 500
+
+    def test_pop_without_packet_raises(self, rng):
+        src = PoissonSource(0.001, 500, rng=rng)
+        with pytest.raises(ConfigurationError):
+            src.next_payload(0.0)
+
+    def test_next_arrival_in_future(self, rng):
+        src = PoissonSource(10.0, 500, rng=rng)
+        assert src.next_arrival_time(5.0) > 5.0
+
+    def test_invalid_rate_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            PoissonSource(0.0, 500, rng=rng)
+
+
+class TestFrames:
+    def test_data_frame_size(self):
+        frame = Frame(FrameType.DATA, 0, 1, payload_bytes=1000)
+        assert frame.total_bytes == MAC_HEADER_BYTES + 1000 + FCS_BYTES
+
+    def test_control_frames_fixed_size(self):
+        assert Frame(FrameType.ACK, 0, 1).total_bytes == 14
+        assert Frame(FrameType.RTS, 0, 1).total_bytes == 20
+        assert Frame(FrameType.CTS, 0, 1).total_bytes == 14
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Frame(FrameType.DATA, 0, 1, payload_bytes=-1)
+
+    def test_metadata_independent(self):
+        a = Frame(FrameType.DATA, 0, 1)
+        b = Frame(FrameType.DATA, 0, 1)
+        a.metadata["x"] = 1
+        assert "x" not in b.metadata

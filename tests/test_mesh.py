@@ -1,0 +1,121 @@
+"""Tests for mesh topology, metrics, network and routing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mesh.metrics import airtime_metric_s, hop_count_metric
+from repro.mesh.network import MeshNetwork
+from repro.mesh.routing import compare_direct_vs_relay
+from repro.mesh.topology import (
+    grid_positions,
+    line_positions,
+    pairwise_distances,
+    random_positions,
+)
+
+
+class TestTopology:
+    def test_random_positions_in_area(self, rng):
+        pos = random_positions(50, 100.0, rng)
+        assert pos.shape == (50, 2)
+        assert pos.min() >= 0 and pos.max() <= 100.0
+
+    def test_grid_count_and_spacing(self):
+        pos = grid_positions(3, 10.0)
+        assert pos.shape == (9, 2)
+        d = pairwise_distances(pos)
+        assert d[0, 1] == pytest.approx(10.0)
+
+    def test_line_positions(self):
+        pos = line_positions(4, 25.0)
+        assert pairwise_distances(pos)[0, 3] == pytest.approx(75.0)
+
+    def test_distance_matrix_symmetric(self, rng):
+        d = pairwise_distances(random_positions(10, 50.0, rng))
+        assert np.allclose(d, d.T)
+        assert np.allclose(np.diag(d), 0.0)
+
+    def test_invalid_args_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            random_positions(0, 10.0, rng)
+        with pytest.raises(ConfigurationError):
+            line_positions(1, 5.0)
+
+
+class TestMetrics:
+    def test_airtime_decreases_with_rate(self):
+        assert airtime_metric_s(54.0) < airtime_metric_s(6.0)
+
+    def test_airtime_grows_with_error_rate(self):
+        assert airtime_metric_s(54.0, 0.5) == pytest.approx(
+            2 * airtime_metric_s(54.0, 0.0)
+        )
+
+    def test_hop_count_is_constant(self):
+        assert hop_count_metric(6.0) == hop_count_metric(54.0) == 1.0
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            airtime_metric_s(0.0)
+
+
+class TestMeshNetwork:
+    def test_close_nodes_fast_link(self):
+        net = MeshNetwork(line_positions(2, 5.0))
+        assert net.link_rate_mbps(0, 1) == 54.0
+
+    def test_distant_nodes_disconnected(self):
+        net = MeshNetwork(line_positions(2, 5000.0))
+        assert net.link_rate_mbps(0, 1) is None
+
+    def test_multihop_beats_weak_direct_link(self):
+        """The paper's claim: two fast hops beat one slow hop."""
+        net = MeshNetwork(line_positions(3, 28.0))
+        result = compare_direct_vs_relay(net, 0, 2)
+        assert result["multihop_wins"]
+        assert len(result["routed_path"]) == 3
+
+    def test_direct_link_kept_when_strong(self):
+        net = MeshNetwork(line_positions(3, 4.0))
+        path = net.best_path(0, 2)
+        assert path == [0, 2]
+
+    def test_hop_metric_prefers_fewer_hops(self):
+        net = MeshNetwork(line_positions(3, 28.0))
+        assert net.best_path(0, 2, metric="hops") == [0, 2]
+        assert net.best_path(0, 2, metric="airtime") == [0, 1, 2]
+
+    def test_path_throughput_harmonic(self):
+        net = MeshNetwork(line_positions(3, 10.0))
+        # Two 54 Mbps hops on a shared medium: 27 Mbps end to end.
+        assert net.path_throughput_mbps([0, 1, 2]) == pytest.approx(27.0)
+
+    def test_airtime_per_bit(self):
+        net = MeshNetwork(line_positions(2, 10.0))
+        assert net.path_airtime_per_bit([0, 1]) == pytest.approx(
+            1.0 / 54e6
+        )
+
+    def test_disconnected_throughput_zero(self):
+        net = MeshNetwork(np.array([[0.0, 0.0], [9000.0, 0.0]]))
+        assert net.end_to_end_throughput_mbps(0, 1) == 0.0
+
+    def test_connectivity_check(self):
+        assert MeshNetwork(line_positions(4, 20.0)).is_connected()
+        assert not MeshNetwork(
+            np.array([[0.0, 0.0], [9000.0, 0.0]])
+        ).is_connected()
+
+    def test_unknown_metric_rejected(self):
+        net = MeshNetwork(line_positions(2, 5.0))
+        with pytest.raises(ConfigurationError):
+            net.best_path(0, 1, metric="magic")
+
+    def test_bad_positions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MeshNetwork(np.zeros((3, 3)))
+
+    def test_average_throughput_positive_when_connected(self):
+        net = MeshNetwork(grid_positions(2, 20.0))
+        assert net.average_throughput_matrix() > 0

@@ -1,0 +1,79 @@
+"""Tests for mesh coverage analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mesh.coverage import (
+    coverage_area_m2,
+    coverage_fraction,
+    single_ap_radius_m,
+)
+from repro.mesh.topology import grid_positions
+
+
+class TestSingleApRadius:
+    def test_radius_positive(self):
+        assert single_ap_radius_m() > 10.0
+
+    def test_higher_rate_smaller_radius(self):
+        assert single_ap_radius_m(54.0) < single_ap_radius_m(6.0)
+
+    def test_impossible_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            single_ap_radius_m(100.0, standard="802.11a")
+
+
+class TestCoverage:
+    AREA = 240.0
+
+    def test_mesh_beats_single_ap(self, rng_factory):
+        """The paper: mesh 'dramatically increases the area served'."""
+        single = coverage_fraction(
+            np.array([[120.0, 120.0]]), self.AREA, rng=rng_factory(1)
+        )
+        # 3x3 grid, 55 m spacing: inside the ~62 m mesh-link range, so the
+        # whole mesh reaches the portal.
+        mesh = coverage_fraction(
+            grid_positions(3, 55.0) + 65.0, self.AREA, rng=rng_factory(1)
+        )
+        assert mesh > single * 1.5
+
+    def test_fraction_bounded(self, rng_factory):
+        frac = coverage_fraction(np.array([[0.0, 0.0]]), self.AREA,
+                                 rng=rng_factory(2))
+        assert 0.0 <= frac <= 1.0
+
+    def test_portal_reachability_matters(self, rng_factory):
+        """An island mesh point (unreachable from the portal) adds nothing."""
+        connected = coverage_fraction(
+            np.array([[60.0, 60.0], [110.0, 60.0]]), self.AREA,
+            rng=rng_factory(3),
+        )
+        island = coverage_fraction(
+            np.array([[60.0, 60.0], [5000.0, 60.0]]), self.AREA,
+            rng=rng_factory(3),
+        )
+        lone = coverage_fraction(
+            np.array([[60.0, 60.0]]), self.AREA, rng=rng_factory(3)
+        )
+        assert island == pytest.approx(lone, abs=0.02)
+        assert connected > island
+
+    def test_high_rate_coverage_smaller(self, rng_factory):
+        pos = np.array([[120.0, 120.0]])
+        low = coverage_fraction(pos, self.AREA, min_rate_mbps=6.0,
+                                rng=rng_factory(4))
+        high = coverage_fraction(pos, self.AREA, min_rate_mbps=54.0,
+                                 rng=rng_factory(4))
+        assert high < low
+
+    def test_area_scales_fraction(self, rng_factory):
+        pos = np.array([[120.0, 120.0]])
+        frac = coverage_fraction(pos, self.AREA, rng=rng_factory(5))
+        area = coverage_area_m2(pos, self.AREA, rng=rng_factory(5))
+        assert area == pytest.approx(frac * self.AREA ** 2, rel=0.01)
+
+    def test_bad_positions_rejected(self, rng_factory):
+        with pytest.raises(ConfigurationError):
+            coverage_fraction(np.zeros(3), 100.0, rng=rng_factory(6))

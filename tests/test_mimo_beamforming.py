@@ -1,0 +1,97 @@
+"""Tests for SVD beamforming and water filling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.mimo.beamforming import (
+    beamformed_capacity,
+    beamforming_gain_db,
+    svd_beamformer,
+    transmit_power_control_db,
+    water_filling,
+)
+
+
+def _rayleigh(shape, rng):
+    return (rng.normal(size=shape) + 1j * rng.normal(size=shape)) / np.sqrt(2)
+
+
+class TestSvd:
+    def test_diagonalises_channel(self, rng):
+        h = _rayleigh((3, 3), rng)
+        bf = svd_beamformer(h)
+        eff = bf["combiner"] @ h @ bf["precoder"]
+        assert np.allclose(eff, np.diag(bf["gains"]), atol=1e-10)
+
+    def test_gains_sorted_descending(self, rng):
+        gains = svd_beamformer(_rayleigh((4, 4), rng))["gains"]
+        assert np.all(np.diff(gains) <= 1e-12)
+
+    def test_precoder_unitary_columns(self, rng):
+        v = svd_beamformer(_rayleigh((2, 2), rng))["precoder"]
+        assert np.allclose(v.conj().T @ v, np.eye(2), atol=1e-10)
+
+    def test_beamforming_gain_positive_on_average(self, rng):
+        """Dominant eigen-beam beats an average SISO link (array gain)."""
+        gains = [beamforming_gain_db(_rayleigh((2, 2), rng))
+                 for _ in range(200)]
+        assert np.mean(gains) > 2.0
+
+
+class TestWaterFilling:
+    def test_power_conserved(self):
+        p = water_filling(np.array([1.5, 1.0, 0.3]), total_power=2.0)
+        assert p.sum() == pytest.approx(2.0)
+        assert np.all(p >= 0)
+
+    def test_strong_channel_gets_more(self):
+        p = water_filling(np.array([2.0, 0.5]), total_power=1.0)
+        assert p[0] > p[1]
+
+    def test_weak_channel_shut_off(self):
+        p = water_filling(np.array([2.0, 0.01]), total_power=0.5)
+        assert p[1] == 0.0
+
+    def test_equal_gains_equal_power(self):
+        p = water_filling(np.array([1.0, 1.0]), total_power=3.0)
+        assert p[0] == pytest.approx(p[1])
+
+    def test_nonpositive_power_rejected(self):
+        with pytest.raises(ConfigurationError):
+            water_filling(np.array([1.0]), total_power=0.0)
+
+    def test_unsorted_input_handled(self):
+        p = water_filling(np.array([0.3, 1.5, 1.0]), total_power=2.0)
+        assert p[1] == p.max()
+
+
+class TestBeamformedCapacity:
+    def test_waterfill_at_least_equal_power(self, rng):
+        h = _rayleigh((3, 3), rng)
+        assert beamformed_capacity(h, 5.0, waterfill=True) >= (
+            beamformed_capacity(h, 5.0, waterfill=False) - 1e-9
+        )
+
+    def test_monotone_in_snr(self, rng):
+        h = _rayleigh((2, 2), rng)
+        caps = [beamformed_capacity(h, s) for s in (0.1, 1.0, 10.0, 100.0)]
+        assert caps == sorted(caps)
+
+
+class TestPowerControl:
+    def test_good_channel_needs_less_power(self, rng):
+        strong = 3.0 * np.eye(2, dtype=complex)
+        weak = 0.3 * np.eye(2, dtype=complex)
+        assert transmit_power_control_db(strong, 10.0) < (
+            transmit_power_control_db(weak, 10.0)
+        )
+
+    def test_zero_channel_rejected(self):
+        with pytest.raises(ConfigurationError):
+            transmit_power_control_db(np.zeros((2, 2)), 10.0)
+
+    def test_unit_channel_reference(self):
+        h = np.eye(1, dtype=complex)
+        # sigma_max = 1: required power equals target SNR.
+        assert transmit_power_control_db(h, 10.0) == pytest.approx(10.0)

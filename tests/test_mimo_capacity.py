@@ -1,0 +1,72 @@
+"""Tests for MIMO capacity formulas."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.mimo.capacity import (
+    capacity_bps_hz,
+    ergodic_capacity,
+    outage_capacity,
+    rayleigh_channel,
+    siso_shannon_bound,
+)
+
+
+class TestDeterministic:
+    def test_siso_identity_channel(self):
+        h = np.ones((1, 1), dtype=complex)
+        assert capacity_bps_hz(h, 1.0) == pytest.approx(1.0)  # log2(2)
+
+    def test_parallel_channels_add(self):
+        h = np.eye(2, dtype=complex)
+        # Two streams at SNR/2 each: 2*log2(1 + rho/2).
+        assert capacity_bps_hz(h, 10.0) == pytest.approx(
+            2 * np.log2(1 + 5.0)
+        )
+
+    def test_shannon_bound_values(self):
+        assert siso_shannon_bound(0.0) == pytest.approx(1.0)
+        assert siso_shannon_bound(20.0) == pytest.approx(np.log2(101))
+
+
+class TestErgodic:
+    def test_scaling_with_antennas(self, rng):
+        """The MIMO promise: capacity ~ min(Nt, Nr) x SISO at high SNR."""
+        c1 = ergodic_capacity(1, 1, 20.0, n_draws=400, rng=rng)
+        c4 = ergodic_capacity(4, 4, 20.0, n_draws=400, rng=rng)
+        assert 3.0 < c4 / c1 < 5.0
+
+    def test_receive_diversity_adds_log_gain(self, rng):
+        c11 = ergodic_capacity(1, 1, 10.0, n_draws=400, rng=rng)
+        c41 = ergodic_capacity(4, 1, 10.0, n_draws=400, rng=rng)
+        assert c41 > c11
+
+    def test_vector_snr(self, rng):
+        caps = ergodic_capacity(2, 2, np.array([0.0, 10.0, 20.0]),
+                                n_draws=100, rng=rng)
+        assert caps.shape == (3,)
+        assert np.all(np.diff(caps) > 0)
+
+    def test_15_bps_hz_reachable_with_4x4(self, rng):
+        """The paper's 15 bps/Hz needs ~45 dB on SISO but ~20 dB on 4x4."""
+        c = ergodic_capacity(4, 4, 22.0, n_draws=400, rng=rng)
+        assert c > 15.0
+        assert siso_shannon_bound(22.0) < 15.0
+
+
+class TestOutage:
+    def test_below_ergodic(self, rng):
+        erg = ergodic_capacity(2, 2, 10.0, n_draws=400, rng=rng)
+        out = outage_capacity(2, 2, 10.0, outage=0.1, n_draws=400, rng=rng)
+        assert out < erg
+
+    def test_invalid_outage_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            outage_capacity(2, 2, 10.0, outage=1.5, rng=rng)
+
+
+class TestChannelDraw:
+    def test_unit_average_power(self, rng):
+        h = rayleigh_channel(50, 50, rng)
+        assert np.mean(np.abs(h) ** 2) == pytest.approx(1.0, abs=0.05)

@@ -1,0 +1,103 @@
+"""Tests for Alamouti STBC."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DemodulationError
+from repro.phy.mimo.stbc import (
+    alamouti_decode,
+    alamouti_encode,
+    alamouti_post_snr,
+)
+from repro.phy.modulation import Modulator
+from repro.utils.bits import random_bits
+
+
+def _rayleigh(shape, rng):
+    return (rng.normal(size=shape) + 1j * rng.normal(size=shape)) / np.sqrt(2)
+
+
+class TestEncode:
+    def test_shape(self, rng):
+        syms = Modulator(2).modulate(random_bits(40, rng))
+        tx = alamouti_encode(syms)
+        assert tx.shape == (2, 20)
+
+    def test_total_power_preserved(self, rng):
+        syms = Modulator(2).modulate(random_bits(400, rng))
+        tx = alamouti_encode(syms)
+        total = np.sum(np.abs(tx) ** 2)
+        assert total == pytest.approx(np.sum(np.abs(syms) ** 2), rel=1e-9)
+
+    def test_orthogonality_of_block(self, rng):
+        """Each 2x2 Alamouti block has orthogonal columns."""
+        syms = Modulator(2).modulate(random_bits(4, rng))
+        tx = alamouti_encode(syms) * np.sqrt(2)
+        block = tx[:, :2]
+        inner = np.vdot(block[:, 0], block[:, 1])
+        assert abs(inner) < 1e-12
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            alamouti_encode(np.ones(3, dtype=complex))
+
+
+class TestDecode:
+    @pytest.mark.parametrize("n_rx", [1, 2, 4])
+    def test_clean_round_trip(self, n_rx, rng):
+        mod = Modulator(2)
+        bits = random_bits(200, rng)
+        tx = alamouti_encode(mod.modulate(bits))
+        h = _rayleigh((n_rx, 2), rng)
+        est, gain = alamouti_decode(h @ tx, h)
+        assert np.array_equal(mod.demodulate_hard(est), bits)
+        assert gain > 0
+
+    def test_diversity_gain_beats_siso(self, rng):
+        """2x2 Alamouti BER << 1x1 BER at the same SNR in fading."""
+        mod = Modulator(1)
+        snr = 10 ** (8 / 10)
+        nv = 1.0 / snr
+        siso_errs = stbc_errs = 0
+        n_blocks = 400
+        for _ in range(n_blocks):
+            bits = random_bits(2, rng)
+            x = mod.modulate(bits)
+            # SISO
+            h0 = _rayleigh((1, 1), rng)[0, 0]
+            y0 = h0 * x + np.sqrt(nv / 2) * (
+                rng.normal(size=2) + 1j * rng.normal(size=2)
+            )
+            siso_errs += int(
+                (mod.demodulate_hard(y0 / h0) != bits).sum()
+            )
+            # Alamouti 2x2
+            tx = alamouti_encode(x)
+            h = _rayleigh((2, 2), rng)
+            y = h @ tx + np.sqrt(nv / 2) * (
+                rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
+            )
+            est, _ = alamouti_decode(y, h)
+            stbc_errs += int((mod.demodulate_hard(est) != bits).sum())
+        assert stbc_errs < siso_errs / 2
+
+    def test_post_snr_formula(self, rng):
+        h = _rayleigh((2, 2), rng)
+        assert alamouti_post_snr(h, 10.0) == pytest.approx(
+            10.0 * np.sum(np.abs(h) ** 2) / 2.0
+        )
+
+    def test_mismatched_rows_rejected(self, rng):
+        h = _rayleigh((2, 2), rng)
+        with pytest.raises(DemodulationError):
+            alamouti_decode(np.ones((3, 4), dtype=complex), h)
+
+    def test_odd_periods_rejected(self, rng):
+        h = _rayleigh((1, 2), rng)
+        with pytest.raises(DemodulationError):
+            alamouti_decode(np.ones((1, 3), dtype=complex), h)
+
+    def test_zero_channel_rejected(self):
+        with pytest.raises(DemodulationError):
+            alamouti_decode(np.ones((1, 2), dtype=complex),
+                            np.zeros((1, 2), dtype=complex))

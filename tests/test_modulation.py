@@ -1,0 +1,121 @@
+"""Tests for repro.phy.modulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.modulation import Modulator, modulation_name
+from repro.utils.bits import random_bits
+
+ALL_ORDERS = [1, 2, 4, 6]
+
+
+class TestConstellation:
+    @pytest.mark.parametrize("bps", ALL_ORDERS)
+    def test_unit_average_power(self, bps):
+        const = Modulator(bps).constellation
+        assert np.mean(np.abs(const) ** 2) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("bps", ALL_ORDERS)
+    def test_all_points_distinct(self, bps):
+        const = Modulator(bps).constellation
+        assert len(np.unique(np.round(const, 9))) == 2 ** bps
+
+    def test_bpsk_is_real(self):
+        const = Modulator(1).constellation
+        assert np.allclose(const.imag, 0.0)
+        assert sorted(const.real.tolist()) == [-1.0, 1.0]
+
+    def test_qpsk_phases(self):
+        const = Modulator(2).constellation
+        assert np.allclose(np.abs(const), 1.0)
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Modulator(3)
+
+    @pytest.mark.parametrize("bps", [2, 4, 6])
+    def test_gray_coding_single_bit_neighbours(self, bps):
+        """Nearest horizontal/vertical neighbours differ in exactly one bit."""
+        mod = Modulator(bps)
+        const = mod.constellation
+        labels = np.array([[(v >> b) & 1 for b in range(bps)]
+                           for v in range(2 ** bps)])
+        min_dist = np.min(
+            np.abs(const[:, None] - const[None, :])
+            + np.eye(const.size) * 10
+        )
+        for i in range(const.size):
+            for j in range(const.size):
+                if i == j:
+                    continue
+                if np.abs(const[i] - const[j]) <= min_dist * 1.001:
+                    assert np.sum(labels[i] != labels[j]) == 1
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("bps", ALL_ORDERS)
+    def test_hard_round_trip(self, bps, rng):
+        bits = random_bits(bps * 200, rng)
+        mod = Modulator(bps)
+        assert np.array_equal(mod.demodulate_hard(mod.modulate(bits)), bits)
+
+    @pytest.mark.parametrize("bps", ALL_ORDERS)
+    def test_soft_signs_match_hard(self, bps, rng):
+        mod = Modulator(bps)
+        bits = random_bits(bps * 100, rng)
+        noisy = mod.modulate(bits) + 0.01 * (
+            rng.normal(size=100) + 1j * rng.normal(size=100)
+        )
+        llrs = mod.demodulate_soft(noisy, noise_var=0.0002)
+        assert np.array_equal((llrs < 0).astype(np.int8), bits)
+
+    def test_wrong_bit_count_raises(self):
+        with pytest.raises(ConfigurationError):
+            Modulator(4).modulate(np.zeros(3, dtype=np.int8))
+
+
+class TestSoftLLR:
+    def test_llr_scales_with_noise(self, rng):
+        mod = Modulator(2)
+        symbol = mod.modulate(np.array([0, 0], dtype=np.int8))
+        small = mod.demodulate_soft(symbol, 0.01)
+        large = mod.demodulate_soft(symbol, 1.0)
+        assert np.all(np.abs(small) > np.abs(large))
+
+    def test_per_symbol_noise_variance(self, rng):
+        mod = Modulator(1)
+        symbols = mod.modulate(np.array([0, 0], dtype=np.int8))
+        llrs = mod.demodulate_soft(symbols, np.array([0.01, 1.0]))
+        assert abs(llrs[0]) > abs(llrs[1])
+
+    def test_zero_noise_does_not_crash(self):
+        mod = Modulator(2)
+        sym = mod.modulate(np.array([1, 0], dtype=np.int8))
+        llrs = mod.demodulate_soft(sym, 0.0)
+        assert np.all(np.isfinite(llrs))
+
+
+class TestErrorPositions:
+    def test_identical_symbols_no_errors(self, rng):
+        mod = Modulator(4)
+        bits = random_bits(400, rng)
+        syms = mod.modulate(bits)
+        assert not mod.symbol_error_positions(syms, syms).any()
+
+    def test_flipped_symbol_detected(self, rng):
+        mod = Modulator(2)
+        syms = mod.modulate(random_bits(20, rng))
+        bad = syms.copy()
+        bad[3] = -bad[3]
+        assert mod.symbol_error_positions(syms, bad)[3]
+
+
+class TestNames:
+    def test_known_names(self):
+        assert modulation_name(1) == "BPSK"
+        assert modulation_name(6) == "64-QAM"
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            modulation_name(5)

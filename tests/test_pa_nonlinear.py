@@ -1,0 +1,108 @@
+"""Tests for the Rapp PA model and EVM machinery."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.ofdm import OfdmPhy
+from repro.power.pa_nonlinear import (
+    RappPa,
+    backoff_for_rate,
+    error_vector_magnitude,
+    evm_db,
+    max_rate_for_evm,
+)
+
+
+@pytest.fixture(scope="module")
+def ofdm_wave():
+    rng = np.random.default_rng(61)
+    return OfdmPhy(54).transmit(
+        bytes(rng.integers(0, 256, 200, dtype=np.uint8).tolist())
+    )
+
+
+class TestRappModel:
+    def test_linear_at_small_signal(self):
+        pa = RappPa(saturation_amplitude=1.0)
+        a = np.array([0.01, 0.05])
+        assert np.allclose(pa.am_am(a), a, rtol=1e-3)
+
+    def test_saturates_at_large_signal(self):
+        pa = RappPa(saturation_amplitude=1.0)
+        assert pa.am_am(np.array([100.0]))[0] <= 1.0
+
+    def test_monotone(self):
+        pa = RappPa()
+        out = pa.am_am(np.linspace(0, 5, 50))
+        assert np.all(np.diff(out) >= 0)
+
+    def test_sharper_knee_with_higher_p(self):
+        soft = RappPa(smoothness=1.0).am_am(np.array([1.0]))[0]
+        hard = RappPa(smoothness=10.0).am_am(np.array([1.0]))[0]
+        assert hard > soft
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RappPa(saturation_amplitude=0.0)
+
+
+class TestEvm:
+    def test_zero_for_identical(self, ofdm_wave):
+        assert error_vector_magnitude(ofdm_wave, ofdm_wave) < 1e-9
+
+    def test_gain_invariant(self, ofdm_wave):
+        assert error_vector_magnitude(
+            ofdm_wave, 3.3 * np.exp(1j) * ofdm_wave
+        ) < 1e-9
+
+    def test_improves_with_backoff(self, ofdm_wave):
+        pa = RappPa()
+        evms = [evm_db(ofdm_wave, pa.amplify(ofdm_wave, backoff_db=b))
+                for b in (0.0, 4.0, 8.0)]
+        assert evms[0] > evms[1] > evms[2]
+
+    def test_length_mismatch_rejected(self, ofdm_wave):
+        with pytest.raises(ConfigurationError):
+            error_vector_magnitude(ofdm_wave, ofdm_wave[:-1])
+
+
+class TestRateEvmCoupling:
+    def test_max_rate_rises_with_cleaner_evm(self):
+        assert max_rate_for_evm(-26.0) == 54
+        assert max_rate_for_evm(-17.0) == 24
+        assert max_rate_for_evm(-3.0) is None
+
+    def test_top_rate_needs_more_backoff(self, ofdm_wave):
+        """The paper's linearity story quantified: 64-QAM demands several
+        dB more PA back-off than BPSK."""
+        b54 = backoff_for_rate(ofdm_wave, 54)
+        b6 = backoff_for_rate(ofdm_wave, 6)
+        assert b54 is not None and b6 is not None
+        assert b54 >= b6 + 3.0
+
+    def test_distorted_waveform_fails_to_decode_without_backoff(self):
+        """End-to-end: a saturated PA breaks 54 Mbps packets; backing off
+        repairs them."""
+        rng = np.random.default_rng(3)
+        msg = bytes(rng.integers(0, 256, 150, dtype=np.uint8).tolist())
+        phy = OfdmPhy(54)
+        wave = phy.transmit(msg)
+        pa = RappPa()
+        nv = 1e-5
+        hot = pa.amplify(wave, backoff_db=0.0)
+        cool = pa.amplify(wave, backoff_db=9.0)
+
+        def decodes(w):
+            scaled = w / np.sqrt(np.mean(np.abs(w) ** 2))
+            try:
+                return phy.receive(scaled, nv) == msg
+            except Exception:
+                return False
+
+        assert not decodes(hot)
+        assert decodes(cool)
+
+    def test_unknown_rate_rejected(self, ofdm_wave):
+        with pytest.raises(ConfigurationError):
+            backoff_for_rate(ofdm_wave, 100)

@@ -1,0 +1,183 @@
+"""Tests for the power package: PAPR, PA, chains, adaptive, platform."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.dsss import DsssPhy
+from repro.phy.ofdm import OfdmPhy
+from repro.power.adaptive import adaptive_rx_power_w
+from repro.power.chains import MimoPowerModel
+from repro.power.components import adc_power_w, viterbi_power_w
+from repro.power.energy import battery_life_hours, energy_per_bit_j
+from repro.power.pa import backoff_required_db, pa_efficiency, pa_power_draw_w
+from repro.power.papr import papr_at_probability, papr_ccdf, papr_db
+from repro.power.platform import PLATFORMS, wlan_power_share
+from repro.utils.bits import random_bits
+
+
+@pytest.fixture(scope="module")
+def ofdm_wave():
+    rng = np.random.default_rng(55)
+    payload = bytes(rng.integers(0, 256, 400, dtype=np.uint8).tolist())
+    return OfdmPhy(54).transmit(payload)
+
+
+class TestPapr:
+    def test_constant_envelope_zero_papr(self):
+        wave = np.exp(1j * np.linspace(0, 30, 1000))
+        assert papr_db(wave) == pytest.approx(0.0, abs=1e-9)
+
+    def test_ofdm_high_papr(self, ofdm_wave):
+        """The paper's complaint: OFDM peaks ~8-12 dB above average."""
+        assert papr_db(ofdm_wave) > 7.0
+
+    def test_dsss_low_papr(self, rng):
+        wave = DsssPhy(1).modulate(random_bits(300, rng))
+        assert papr_db(wave) < 1.0
+
+    def test_ccdf_monotone_decreasing(self, ofdm_wave):
+        thresholds, ccdf = papr_ccdf(ofdm_wave)
+        assert np.all(np.diff(ccdf) <= 0)
+        assert ccdf[0] == 1.0
+
+    def test_quantile_point(self, ofdm_wave):
+        p1 = papr_at_probability(ofdm_wave, 0.5)
+        p01 = papr_at_probability(ofdm_wave, 0.01)
+        assert p01 > p1
+
+    def test_empty_waveform_rejected(self):
+        with pytest.raises(ConfigurationError):
+            papr_db(np.array([]))
+
+
+class TestPa:
+    def test_efficiency_decreases_with_backoff(self):
+        effs = pa_efficiency(np.array([0.0, 3.0, 6.0, 9.0]))
+        assert np.all(np.diff(effs) < 0)
+
+    def test_class_ab_beats_class_a_at_backoff(self):
+        assert pa_efficiency(9.0, "AB") > pa_efficiency(9.0, "A")
+
+    def test_zero_backoff_max_efficiency(self):
+        assert pa_efficiency(0.0, "A") == pytest.approx(0.5)
+        assert pa_efficiency(0.0, "AB") == pytest.approx(0.65)
+
+    def test_draw_inverse_of_efficiency(self):
+        draw = pa_power_draw_w(0.1, 6.0, "AB")
+        assert draw == pytest.approx(0.1 / pa_efficiency(6.0, "AB"))
+
+    def test_ofdm_pa_much_less_efficient_than_cck(self, ofdm_wave, rng):
+        """The paper's point, end to end: measure both waveforms' PAPR and
+        compare the resulting PA efficiency."""
+        cck_backoff = backoff_required_db(
+            papr_db(DsssPhy(2).modulate(random_bits(400, rng)))
+        )
+        ofdm_backoff = backoff_required_db(
+            papr_at_probability(ofdm_wave, 0.01)
+        )
+        assert pa_efficiency(ofdm_backoff) < 0.5 * pa_efficiency(cck_backoff)
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pa_efficiency(3.0, "D")
+
+    def test_negative_papr_rejected(self):
+        with pytest.raises(ConfigurationError):
+            backoff_required_db(-1.0)
+
+
+class TestComponents:
+    def test_adc_power_doubles_with_bandwidth(self):
+        assert adc_power_w(40e6, 8) == pytest.approx(2 * adc_power_w(20e6, 8))
+
+    def test_adc_power_doubles_per_bit(self):
+        assert adc_power_w(20e6, 9) == pytest.approx(2 * adc_power_w(20e6, 8))
+
+    def test_viterbi_scales_with_rate(self):
+        assert viterbi_power_w(108) == pytest.approx(2 * viterbi_power_w(54))
+
+
+class TestChains:
+    def test_mimo_rx_power_grows_with_chains(self):
+        p = [MimoPowerModel(n, n).rx_power_w(54.0) for n in (1, 2, 4)]
+        assert p[0] < p[1] < p[2]
+
+    def test_4x4_several_times_siso(self):
+        """The paper: MIMO 'significantly increases' power; our model puts
+        4x4 RX at 3-5x the SISO figure."""
+        siso = MimoPowerModel(1, 1).rx_power_w(54.0)
+        mimo = MimoPowerModel(4, 4).rx_power_w(216.0)
+        assert 2.5 < mimo / siso < 6.0
+
+    def test_sniff_power_independent_of_chain_count(self):
+        assert MimoPowerModel(4, 4).sniff_power_w() == pytest.approx(
+            MimoPowerModel(1, 1).sniff_power_w()
+        )
+
+    def test_40mhz_costs_more(self):
+        narrow = MimoPowerModel(2, 2, bandwidth_scale=1.0).rx_power_w(54.0)
+        wide = MimoPowerModel(2, 2, bandwidth_scale=2.0).rx_power_w(54.0)
+        assert wide > narrow
+
+    def test_tx_includes_pa_backoff(self):
+        ofdm = MimoPowerModel(1, 1, papr_backoff_db=9.0).tx_power_total_w()
+        cck = MimoPowerModel(1, 1, papr_backoff_db=3.0).tx_power_total_w()
+        assert ofdm > cck
+
+    def test_active_chain_bounds_enforced(self):
+        with pytest.raises(ConfigurationError):
+            MimoPowerModel(2, 2).rx_power_w(54.0, active_chains=3)
+
+    def test_invalid_chain_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MimoPowerModel(0, 1)
+
+
+class TestAdaptive:
+    def test_saving_positive_for_idle_heavy_traffic(self):
+        model = MimoPowerModel(4, 4)
+        result = adaptive_rx_power_w(model, busy_fraction=0.05)
+        assert result["saving_fraction"] > 0.4
+
+    def test_no_saving_when_always_busy(self):
+        model = MimoPowerModel(4, 4)
+        result = adaptive_rx_power_w(model, busy_fraction=1.0)
+        assert result["saving_fraction"] == pytest.approx(0.0, abs=0.01)
+
+    def test_wake_energy_erodes_saving(self):
+        model = MimoPowerModel(4, 4)
+        cheap = adaptive_rx_power_w(model, 0.05, packets_per_s=10)
+        costly = adaptive_rx_power_w(model, 0.05, packets_per_s=10,
+                                     wake_energy_j=1e-2)
+        assert costly["saving_fraction"] < cheap["saving_fraction"]
+
+    def test_invalid_busy_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            adaptive_rx_power_w(MimoPowerModel(2, 2), 1.5)
+
+
+class TestPlatformAndEnergy:
+    def test_wlan_small_share_of_notebook(self):
+        assert wlan_power_share(1.5, "notebook") < 0.1
+
+    def test_wlan_large_share_of_handheld(self):
+        """The paper: small form factors are where WLAN power bites."""
+        assert wlan_power_share(0.6, "pda") > 0.3
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(ConfigurationError):
+            wlan_power_share(1.0, "mainframe")
+
+    def test_all_platforms_positive(self):
+        assert all(p.total_power_w > 0 for p in PLATFORMS.values())
+
+    def test_energy_per_bit(self):
+        assert energy_per_bit_j(1.0, 1.0) == pytest.approx(1e-6)
+
+    def test_battery_life(self):
+        assert battery_life_hours(50.0, 25.0) == pytest.approx(2.0)
+
+    def test_invalid_throughput_rejected(self):
+        with pytest.raises(ConfigurationError):
+            energy_per_bit_j(1.0, 0.0)

@@ -1,0 +1,176 @@
+"""Property-based tests (hypothesis) on the library's core invariants.
+
+Each property pins an algebraic guarantee that must hold for *every*
+input, not just the fixtures the unit tests chose: codec round trips,
+involutions, permutation bijectivity, conservation laws.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.mac.timing import MacTiming
+from repro.phy import convolutional as cc
+from repro.phy.interleaver import (
+    deinterleave,
+    ht_deinterleave,
+    ht_interleave,
+    interleave,
+)
+from repro.phy.mimo.beamforming import water_filling
+from repro.phy.mimo.stbc import alamouti_decode, alamouti_encode
+from repro.phy.modulation import Modulator
+from repro.phy.scrambler import scramble
+from repro.utils.bits import bits_from_bytes, bytes_from_bits
+from repro.utils.crc import append_fcs, check_fcs
+
+bit_arrays = st.lists(st.integers(0, 1), min_size=1, max_size=400).map(
+    lambda v: np.array(v, dtype=np.int8)
+)
+
+
+class TestCodecRoundTrips:
+    @given(data=st.binary(min_size=0, max_size=300))
+    def test_bits_bytes_inverse(self, data):
+        assert bytes_from_bits(bits_from_bytes(data)) == data
+
+    @given(bits=bit_arrays, seed=st.integers(1, 127))
+    def test_scrambler_involution(self, bits, seed):
+        assert np.array_equal(scramble(scramble(bits, seed), seed), bits)
+
+    @given(data=st.binary(min_size=0, max_size=200))
+    def test_fcs_accepts_own_output(self, data):
+        assert check_fcs(append_fcs(data))
+
+    @given(data=st.binary(min_size=1, max_size=100),
+           byte_idx=st.integers(0, 99), bit=st.integers(0, 7))
+    def test_fcs_rejects_any_single_bit_flip(self, data, byte_idx, bit):
+        frame = bytearray(append_fcs(data))
+        frame[byte_idx % len(data)] ^= 1 << bit
+        assert not check_fcs(bytes(frame))
+
+
+class TestModulationProperties:
+    @given(bps=st.sampled_from([1, 2, 4, 6]),
+           seed=st.integers(0, 2 ** 31))
+    @settings(max_examples=25)
+    def test_round_trip_any_bits(self, bps, seed):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, bps * 32).astype(np.int8)
+        mod = Modulator(bps)
+        assert np.array_equal(mod.demodulate_hard(mod.modulate(bits)), bits)
+
+    @given(bps=st.sampled_from([1, 2, 4, 6]))
+    def test_symbol_power_never_exceeds_peak(self, bps):
+        const = Modulator(bps).constellation
+        # Peak-to-average of a square QAM constellation is bounded by M.
+        assert np.max(np.abs(const) ** 2) <= 2 ** bps
+
+
+class TestConvolutionalProperties:
+    @given(seed=st.integers(0, 2 ** 31),
+           n_bits=st.integers(8, 200),
+           rate=st.sampled_from(["1/2", "2/3", "3/4", "5/6"]))
+    @settings(max_examples=20, deadline=None)
+    def test_clean_viterbi_inverts_encoder(self, seed, n_bits, rate):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, n_bits).astype(np.int8)
+        coded = cc.encode_punctured(bits, rate=rate)
+        decoded = cc.viterbi_decode(cc.hard_to_soft(coded), n_bits, rate=rate)
+        assert np.array_equal(decoded, bits)
+
+    @given(seed=st.integers(0, 2 ** 31), n_bits=st.integers(8, 120))
+    @settings(max_examples=20, deadline=None)
+    def test_single_flip_always_corrected(self, seed, n_bits):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, n_bits).astype(np.int8)
+        soft = cc.hard_to_soft(cc.encode(bits))
+        flip = int(rng.integers(0, soft.size))
+        soft[flip] = -soft[flip]
+        assert np.array_equal(cc.viterbi_decode(soft, n_bits), bits)
+
+
+class TestInterleaverProperties:
+    @given(seed=st.integers(0, 2 ** 31),
+           geometry=st.sampled_from([(48, 1), (96, 2), (192, 4), (288, 6)]),
+           n_symbols=st.integers(1, 4))
+    @settings(max_examples=25)
+    def test_legacy_inverse(self, seed, geometry, n_symbols):
+        n_cbps, n_bpsc = geometry
+        rng = np.random.default_rng(seed)
+        soft = rng.normal(size=n_cbps * n_symbols)
+        out = deinterleave(interleave(soft, n_cbps, n_bpsc), n_cbps, n_bpsc)
+        assert np.allclose(out, soft)
+
+    @given(seed=st.integers(0, 2 ** 31),
+           n_bpsc=st.sampled_from([1, 2, 4, 6]),
+           bw=st.sampled_from([20, 40]))
+    @settings(max_examples=25)
+    def test_ht_inverse(self, seed, n_bpsc, bw):
+        rng = np.random.default_rng(seed)
+        n = (52 if bw == 20 else 108) * n_bpsc
+        soft = rng.normal(size=n)
+        assert np.allclose(
+            ht_deinterleave(ht_interleave(soft, n_bpsc, bw), n_bpsc, bw),
+            soft,
+        )
+
+
+class TestStbcProperties:
+    @given(seed=st.integers(0, 2 ** 31),
+           n_rx=st.integers(1, 4),
+           n_pairs=st.integers(1, 20))
+    @settings(max_examples=25, deadline=None)
+    def test_noiseless_decode_exact(self, seed, n_rx, n_pairs):
+        rng = np.random.default_rng(seed)
+        syms = np.exp(1j * rng.uniform(0, 2 * np.pi, 2 * n_pairs))
+        h = (rng.normal(size=(n_rx, 2))
+             + 1j * rng.normal(size=(n_rx, 2))) / np.sqrt(2)
+        if np.sum(np.abs(h) ** 2) < 1e-6:
+            return  # pathological all-zero draw
+        est, _ = alamouti_decode(h @ alamouti_encode(syms), h)
+        assert np.allclose(est, syms, atol=1e-8)
+
+
+class TestWaterFillingProperties:
+    @given(seed=st.integers(0, 2 ** 31),
+           n=st.integers(1, 8),
+           power=st.floats(0.1, 50.0))
+    @settings(max_examples=40)
+    def test_conservation_and_nonnegativity(self, seed, n, power):
+        rng = np.random.default_rng(seed)
+        gains = rng.uniform(0.05, 3.0, n)
+        p = water_filling(gains, power)
+        assert np.all(p >= -1e-12)
+        assert p.sum() == np.float64(np.float64(p.sum()))
+        assert abs(p.sum() - power) < 1e-9 * max(1.0, power)
+
+    @given(seed=st.integers(0, 2 ** 31), power=st.floats(0.1, 10.0))
+    @settings(max_examples=25)
+    def test_water_level_uniform_on_active_set(self, seed, power):
+        rng = np.random.default_rng(seed)
+        gains = rng.uniform(0.1, 2.0, 5)
+        p = water_filling(gains, power)
+        levels = p + 1.0 / gains ** 2
+        active = p > 1e-12
+        if active.sum() > 1:
+            assert np.ptp(levels[active]) < 1e-9
+
+
+class TestTimingProperties:
+    @given(payload=st.integers(0, 2304),
+           rate=st.sampled_from([6, 9, 12, 18, 24, 36, 48, 54]))
+    @settings(max_examples=40)
+    def test_airtime_positive_and_monotone_in_payload(self, payload, rate):
+        timing = MacTiming.for_standard("802.11a")
+        t = timing.data_airtime_s(payload, rate)
+        t_bigger = timing.data_airtime_s(payload + 100, rate)
+        assert t > 0
+        assert t_bigger >= t
+
+    @given(payload=st.integers(1, 2304))
+    @settings(max_examples=30)
+    def test_success_longer_than_airtime(self, payload):
+        timing = MacTiming.for_standard("802.11b")
+        assert timing.success_duration_s(payload, 11) > (
+            timing.data_airtime_s(payload, 11)
+        )

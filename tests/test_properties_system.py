@@ -1,0 +1,163 @@
+"""Property-based tests on the system-level invariants.
+
+Complements test_properties.py (codec round trips) with laws on the
+channel, link-budget, LDPC, CCK and routing layers.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.linkbudget import LinkBudget
+from repro.analysis.per import per_from_ber, per_from_snr
+from repro.channel.multipath import exponential_pdp
+from repro.channel.pathloss import breakpoint_path_loss_db
+from repro.coop.outage import df_outage_probability, direct_outage_probability
+from repro.mesh.metrics import airtime_metric_s
+from repro.phy.cck import CckPhy, cck_codeword
+from repro.phy.ldpc import LdpcCode
+
+
+@pytest.fixture(scope="module")
+def code():
+    return LdpcCode.from_standard(648, "1/2")
+
+
+class TestLdpcAlgebra:
+    @given(seed=st.integers(0, 2 ** 31))
+    @settings(max_examples=15, deadline=None)
+    def test_every_encoding_is_a_codeword(self, seed):
+        code = LdpcCode.from_standard(648, "1/2")
+        rng = np.random.default_rng(seed)
+        info = rng.integers(0, 2, code.k).astype(np.int8)
+        assert code.is_codeword(code.encode(info))
+
+    @given(seed=st.integers(0, 2 ** 31))
+    @settings(max_examples=10, deadline=None)
+    def test_code_is_linear(self, seed):
+        code = LdpcCode.from_standard(648, "1/2")
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 2, code.k).astype(np.int8)
+        b = rng.integers(0, 2, code.k).astype(np.int8)
+        assert np.array_equal(
+            code.encode(a) ^ code.encode(b), code.encode(a ^ b)
+        )
+
+
+class TestCckProperties:
+    @given(p1=st.floats(-np.pi, np.pi), p2=st.floats(-np.pi, np.pi),
+           p3=st.floats(-np.pi, np.pi), p4=st.floats(-np.pi, np.pi))
+    @settings(max_examples=50)
+    def test_codewords_constant_envelope(self, p1, p2, p3, p4):
+        assert np.allclose(np.abs(cck_codeword(p1, p2, p3, p4)), 1.0)
+
+    @given(seed=st.integers(0, 2 ** 31),
+           rate=st.sampled_from([5.5, 11]),
+           phase=st.floats(-np.pi, np.pi))
+    @settings(max_examples=15, deadline=None)
+    def test_round_trip_under_any_carrier_phase(self, seed, rate, phase):
+        rng = np.random.default_rng(seed)
+        phy = CckPhy(rate)
+        bits = rng.integers(0, 2, phy.bits_per_symbol * 20).astype(np.int8)
+        rotated = phy.modulate(bits) * np.exp(1j * phase)
+        assert np.array_equal(phy.demodulate(rotated), bits)
+
+
+class TestChannelLaws:
+    @given(spread_ns=st.floats(0.0, 300.0))
+    @settings(max_examples=40)
+    def test_pdp_always_normalised(self, spread_ns):
+        pdp = exponential_pdp(spread_ns * 1e-9, 50e-9)
+        assert pdp.sum() == pytest.approx(1.0)
+        assert np.all(pdp >= 0)
+
+    @given(d1=st.floats(0.5, 400.0), d2=st.floats(0.5, 400.0))
+    @settings(max_examples=40)
+    def test_path_loss_monotone_in_distance(self, d1, d2):
+        lo, hi = sorted((d1, d2))
+        assert breakpoint_path_loss_db(lo, 5.18e9) <= (
+            breakpoint_path_loss_db(hi, 5.18e9) + 1e-9
+        )
+
+    @given(snr=st.floats(-10.0, 50.0))
+    @settings(max_examples=40)
+    def test_budget_inversion(self, snr):
+        budget = LinkBudget()
+        try:
+            d = budget.range_for_snr(snr)
+        except Exception:
+            return  # unreachable SNR is allowed to raise
+        assert budget.snr_at(d) == pytest.approx(snr, abs=0.05)
+
+
+class TestProbabilityLaws:
+    @given(ber=st.floats(0.0, 1.0), n_bits=st.integers(1, 100000))
+    @settings(max_examples=50)
+    def test_per_is_probability(self, ber, n_bits):
+        per = per_from_ber(ber, n_bits)
+        assert 0.0 <= per <= 1.0
+
+    @given(ber=st.floats(1e-9, 0.5), n1=st.integers(1, 1000),
+           extra=st.integers(1, 1000))
+    @settings(max_examples=40)
+    def test_per_monotone_in_length(self, ber, n1, extra):
+        assert per_from_ber(ber, n1) <= per_from_ber(ber, n1 + extra) + 1e-12
+
+    @given(snr=st.floats(-20.0, 60.0), thr=st.floats(0.0, 35.0))
+    @settings(max_examples=40)
+    def test_logistic_per_bounds(self, snr, thr):
+        per = per_from_snr(snr, thr)
+        assert 0.0 <= per <= 1.0
+
+    @given(snr=st.floats(8.0, 40.0))
+    @settings(max_examples=40)
+    def test_outage_probabilities_valid_and_ordered(self, snr):
+        direct = float(direct_outage_probability(snr))
+        coop = float(df_outage_probability(snr))
+        assert 0.0 <= coop <= 1.0
+        assert 0.0 <= direct <= 1.0
+
+    @given(rate=st.floats(1.0, 600.0), fer=st.floats(0.0, 0.95))
+    @settings(max_examples=40)
+    def test_airtime_metric_positive_and_monotone(self, rate, fer):
+        base = airtime_metric_s(rate)
+        lossy = airtime_metric_s(rate, fer)
+        assert lossy >= base > 0
+
+
+class TestFrontEndLaws:
+    @given(bits=st.integers(2, 12), seed=st.integers(0, 2 ** 31))
+    @settings(max_examples=25)
+    def test_quantisation_error_bounded_by_step(self, bits, seed):
+        from repro.phy.quantization import quantize
+
+        rng = np.random.default_rng(seed)
+        wave = (rng.normal(size=256) + 1j * rng.normal(size=256))
+        full_scale = 5.0 * float(np.max(np.abs(wave))) + 1e-9
+        step = 2.0 * full_scale / 2 ** bits
+        out = quantize(wave, bits, clip_level=full_scale)
+        # No clipping: per-rail error bounded by one quantisation step.
+        assert np.max(np.abs(out.real - wave.real)) <= step + 1e-12
+        assert np.max(np.abs(out.imag - wave.imag)) <= step + 1e-12
+
+    @given(backoff=st.floats(0.0, 12.0))
+    @settings(max_examples=30)
+    def test_rapp_never_exceeds_saturation(self, backoff):
+        from repro.power.pa_nonlinear import RappPa
+
+        pa = RappPa(saturation_amplitude=1.0)
+        wave = np.exp(1j * np.linspace(0, 20, 256)) * np.linspace(0, 4, 256)
+        out = pa.amplify(wave, backoff_db=backoff)
+        assert np.max(np.abs(out)) <= 1.0 + 1e-9
+
+    @given(n=st.integers(1, 32), rate=st.floats(20.0, 600.0))
+    @settings(max_examples=30)
+    def test_aggregation_no_free_lunch(self, n, rate):
+        from repro.errors import ConfigurationError
+        from repro.mac.aggregation import ampdu_efficiency
+
+        try:
+            goodput = ampdu_efficiency(rate, n, payload_bytes=1000)
+        except ConfigurationError:
+            return  # over the A-MPDU size cap
+        assert 0 < goodput < rate

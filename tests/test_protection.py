@@ -1,0 +1,55 @@
+"""Tests for 802.11g ERP protection."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mac.protection import (
+    coexistence_study,
+    protected_exchange_duration_s,
+    protected_throughput_mbps,
+)
+
+
+class TestDurations:
+    def test_protection_adds_time(self):
+        bare = protected_exchange_duration_s(1500, 54.0, "none")
+        cts = protected_exchange_duration_s(1500, 54.0, "cts-to-self")
+        rts = protected_exchange_duration_s(1500, 54.0, "rts-cts")
+        assert bare < cts < rts
+
+    def test_slower_protection_rate_costs_more(self):
+        fast = protected_exchange_duration_s(1500, 54.0, "cts-to-self", 11.0)
+        slow = protected_exchange_duration_s(1500, 54.0, "cts-to-self", 1.0)
+        assert slow > fast
+
+    def test_unknown_mechanism_rejected(self):
+        with pytest.raises(ConfigurationError):
+            protected_exchange_duration_s(1500, 54.0, "magic")
+
+
+class TestThroughput:
+    def test_protection_tax_visible(self):
+        """One legacy client costs a g cell a noticeable slice."""
+        pure = protected_throughput_mbps(mechanism="none")
+        mixed = protected_throughput_mbps(mechanism="cts-to-self",
+                                          protection_rate_mbps=1.0)
+        assert mixed < 0.85 * pure
+
+    def test_protected_g_still_beats_pure_b(self):
+        """Even protected, OFDM at 54 Mbps outruns 11 Mbps CCK — why g
+        shipped despite the tax."""
+        rows = dict(coexistence_study())
+        assert rows["mixed cell, RTS/CTS @1 Mbps"] > (
+            rows["pure 802.11b @11 Mbps"]
+        )
+
+    def test_study_ordering(self):
+        rows = coexistence_study()
+        values = [v for _, v in rows[:4]]
+        # none > cts@11 > cts@1 > rts@1
+        assert values == sorted(values, reverse=True)
+
+    def test_pure_g_matches_expected(self):
+        assert protected_throughput_mbps(mechanism="none") == pytest.approx(
+            29.0, abs=2.0
+        )

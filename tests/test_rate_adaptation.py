@@ -1,0 +1,112 @@
+"""Tests for ARF and SNR-threshold rate adaptation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mac.rate_adaptation import (
+    ArfController,
+    SnrRateController,
+    fading_snr_trace,
+    simulate_rate_adaptation,
+)
+
+
+class TestArf:
+    def test_starts_at_lowest_rate(self):
+        assert ArfController().current_rate.rate_mbps == 6.0
+
+    def test_climbs_after_success_streak(self):
+        arf = ArfController(up_after=5)
+        for _ in range(5):
+            arf.record(True)
+        assert arf.current_rate.rate_mbps == 9.0
+
+    def test_drops_after_failures(self):
+        arf = ArfController(up_after=1, down_after=2)
+        arf.record(True)  # up to 9
+        assert arf.current_rate.rate_mbps == 9.0
+        arf.record(False)
+        arf.record(False)
+        assert arf.current_rate.rate_mbps == 6.0
+
+    def test_never_exceeds_ladder(self):
+        arf = ArfController(up_after=1)
+        for _ in range(100):
+            arf.record(True)
+        assert arf.current_rate.rate_mbps == 54.0
+
+    def test_never_below_lowest(self):
+        arf = ArfController(down_after=1)
+        for _ in range(20):
+            arf.record(False)
+        assert arf.current_rate.rate_mbps == 6.0
+
+    def test_invalid_streaks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ArfController(up_after=0)
+
+
+class TestSnrController:
+    def test_high_snr_picks_top_rate(self):
+        ctl = SnrRateController()
+        assert ctl.choose_rate(45.0).rate_mbps == 54.0
+
+    def test_low_snr_picks_bottom(self):
+        ctl = SnrRateController()
+        assert ctl.choose_rate(-10.0).rate_mbps == 6.0
+
+    def test_margin_is_conservative(self):
+        tight = SnrRateController(margin_db=0.0).choose_rate(20.0)
+        safe = SnrRateController(margin_db=3.0).choose_rate(20.0)
+        assert safe.rate_mbps <= tight.rate_mbps
+
+
+class TestTrace:
+    def test_trace_statistics(self, rng):
+        trace = fading_snr_trace(20.0, 5000, rng=rng)
+        assert trace.shape == (5000,)
+        # Rayleigh fading in dB has mean ~ -2.5 dB below the mean SNR.
+        assert 15.0 < trace.mean() < 20.0
+
+    def test_doppler_controls_correlation(self, rng):
+        slow = fading_snr_trace(20.0, 2000, doppler_hz=0.5, rng=rng)
+        fast = fading_snr_trace(20.0, 2000, doppler_hz=50.0, rng=rng)
+        assert np.abs(np.diff(slow)).mean() < np.abs(np.diff(fast)).mean()
+
+
+class TestSimulation:
+    def test_snr_genie_beats_fixed_low_rate_throughput(self, rng):
+        trace = fading_snr_trace(25.0, 2000, rng=rng)
+        genie = simulate_rate_adaptation(SnrRateController(), trace, rng=rng)
+        assert genie.throughput_mbps > 6.0  # beats always-6-Mbps ceiling
+        assert genie.success_ratio > 0.8
+
+    def test_arf_reasonably_close_to_genie(self, rng):
+        trace = fading_snr_trace(25.0, 3000, doppler_hz=1.0, rng=rng)
+        arf = simulate_rate_adaptation(ArfController(), trace,
+                                       rng=np.random.default_rng(1))
+        genie = simulate_rate_adaptation(SnrRateController(), trace,
+                                         rng=np.random.default_rng(1))
+        assert arf.throughput_mbps > 0.3 * genie.throughput_mbps
+        assert arf.throughput_mbps <= genie.throughput_mbps * 1.1
+
+    def test_arf_tracks_channel_quality(self, rng):
+        good = simulate_rate_adaptation(
+            ArfController(), np.full(2000, 40.0), rng=rng
+        )
+        bad = simulate_rate_adaptation(
+            ArfController(), np.full(2000, 8.0), rng=rng
+        )
+        assert good.mean_rate_mbps > bad.mean_rate_mbps
+        assert good.throughput_mbps > bad.throughput_mbps
+
+    def test_switch_counting(self, rng):
+        result = simulate_rate_adaptation(
+            SnrRateController(), np.array([40.0, 40.0, 0.0, 40.0]), rng=rng
+        )
+        assert result.rate_switches == 2
+
+    def test_empty_trace_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            simulate_rate_adaptation(ArfController(), np.array([]), rng=rng)

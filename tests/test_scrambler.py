@@ -1,0 +1,54 @@
+"""Tests for the 802.11 scrambler."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.scrambler import (
+    descramble,
+    scramble,
+    scrambler_sequence,
+    sequence_period,
+)
+from repro.utils.bits import random_bits
+
+
+class TestSequence:
+    def test_period_is_127(self):
+        assert sequence_period() == 127
+
+    def test_standard_prefix_all_ones_seed(self):
+        # First 16 outputs for the all-ones seed per 802.11a Annex G.
+        expected = [0, 0, 0, 0, 1, 1, 1, 0, 1, 1, 1, 1, 0, 0, 1, 0]
+        assert scrambler_sequence(16, seed=0x7F).tolist() == expected
+
+    def test_balanced_over_period(self):
+        seq = scrambler_sequence(127)
+        # A maximal-length 7-bit LFSR emits 64 ones and 63 zeros.
+        assert int(seq.sum()) == 64
+
+    @pytest.mark.parametrize("seed", [0, 128, -1])
+    def test_invalid_seed_rejected(self, seed):
+        with pytest.raises(ConfigurationError):
+            scrambler_sequence(10, seed=seed)
+
+    def test_different_seeds_differ(self):
+        a = scrambler_sequence(64, seed=0x7F)
+        b = scrambler_sequence(64, seed=0x01)
+        assert not np.array_equal(a, b)
+
+
+class TestScramble:
+    def test_involution(self, rng):
+        bits = random_bits(500, rng)
+        assert np.array_equal(descramble(scramble(bits)), bits)
+
+    def test_seed_mismatch_breaks(self, rng):
+        bits = random_bits(500, rng)
+        wrong = descramble(scramble(bits, seed=0x5D), seed=0x7F)
+        assert not np.array_equal(wrong, bits)
+
+    def test_whitens_constant_input(self):
+        zeros = np.zeros(254, dtype=np.int8)
+        out = scramble(zeros)
+        assert 0.3 < out.mean() < 0.7

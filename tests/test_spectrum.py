@@ -1,0 +1,111 @@
+"""Tests for multi-cell frequency reuse and interference."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mesh.spectrum import (
+    BAND_PLANS,
+    assign_channels,
+    channels_in_band,
+    conflict_graph,
+    deployment_capacity,
+    sinr_db_at,
+)
+from repro.mesh.topology import grid_positions
+
+
+class TestBandPlans:
+    def test_24ghz_has_three_channels(self):
+        assert channels_in_band("2.4GHz") == 3
+
+    def test_5ghz_has_more(self):
+        assert channels_in_band("5GHz") > channels_in_band("2.4GHz")
+
+    def test_unknown_band_rejected(self):
+        with pytest.raises(ConfigurationError):
+            channels_in_band("60GHz")
+
+
+class TestConflictGraph:
+    def test_close_aps_conflict(self):
+        graph = conflict_graph(np.array([[0.0, 0.0], [50.0, 0.0]]), 120.0)
+        assert graph.has_edge(0, 1)
+
+    def test_far_aps_do_not(self):
+        graph = conflict_graph(np.array([[0.0, 0.0], [500.0, 0.0]]), 120.0)
+        assert not graph.has_edge(0, 1)
+
+    def test_bad_positions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            conflict_graph(np.zeros(5), 100.0)
+
+
+class TestAssignment:
+    def test_two_aps_two_channels_no_conflict(self):
+        assignment, conflicts = assign_channels(
+            np.array([[0.0, 0.0], [50.0, 0.0]]), 3
+        )
+        assert assignment[0] != assignment[1]
+        assert conflicts == 0
+
+    def test_dense_grid_needs_many_channels(self):
+        """A 3x3 grid at 60 m spacing cannot be 3-coloured conflict-free
+        with a 120 m interference range, but 8 channels suffice."""
+        positions = grid_positions(3, 60.0)
+        _, conflicts3 = assign_channels(positions, 3)
+        _, conflicts8 = assign_channels(positions, 8)
+        assert conflicts3 > 0
+        assert conflicts8 <= conflicts3
+
+    def test_channel_indices_in_range(self):
+        assignment, _ = assign_channels(grid_positions(2, 40.0), 3)
+        assert all(0 <= c < 3 for c in assignment)
+
+    def test_invalid_channel_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            assign_channels(np.array([[0.0, 0.0]]), 0)
+
+
+class TestSinr:
+    def test_no_interferer_equals_snr(self):
+        positions = np.array([[0.0, 0.0], [300.0, 0.0]])
+        assignment = [0, 1]  # different channels
+        sinr = sinr_db_at([10.0, 0.0], 0, positions, assignment)
+        from repro.analysis.linkbudget import LinkBudget
+        assert sinr == pytest.approx(LinkBudget().snr_at(10.0), abs=0.2)
+
+    def test_cochannel_interferer_hurts(self):
+        positions = np.array([[0.0, 0.0], [80.0, 0.0]])
+        point = [10.0, 0.0]
+        clean = sinr_db_at(point, 0, positions, [0, 1])
+        dirty = sinr_db_at(point, 0, positions, [0, 0])
+        assert dirty < clean - 3.0
+
+    def test_nearer_interferer_hurts_more(self):
+        point = [5.0, 0.0]
+        near = sinr_db_at(point, 0,
+                          np.array([[0.0, 0.0], [40.0, 0.0]]), [0, 0])
+        far = sinr_db_at(point, 0,
+                         np.array([[0.0, 0.0], [200.0, 0.0]]), [0, 0])
+        assert near < far
+
+
+class TestDeploymentCapacity:
+    def test_5ghz_beats_24ghz_in_dense_grid(self):
+        """The paper's spectrum-opening payoff: more clean channels ->
+        higher mean client rate in a dense deployment."""
+        positions = grid_positions(3, 60.0)
+        r24 = deployment_capacity(positions, "2.4GHz", n_clients=150,
+                                  area_side_m=160.0, rng=1)
+        r5 = deployment_capacity(positions, "5GHz", n_clients=150,
+                                 area_side_m=160.0, rng=1)
+        assert r5["mean_rate_mbps"] > r24["mean_rate_mbps"]
+        assert r5["conflicts"] <= r24["conflicts"]
+
+    def test_result_keys(self):
+        out = deployment_capacity(grid_positions(2, 80.0), "2.4GHz",
+                                  n_clients=50, area_side_m=100.0, rng=2)
+        assert set(out) == {"mean_rate_mbps", "outage_fraction",
+                            "conflicts", "n_channels"}
+        assert 0.0 <= out["outage_fraction"] <= 1.0

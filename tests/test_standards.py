@@ -1,0 +1,140 @@
+"""Tests for the standards registry and the HT MCS table."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.standards.mcs import HT_MCS_TABLE, ht_data_rate_mbps
+from repro.standards.registry import (
+    DOT11N_20MHZ,
+    GENERATIONS,
+    evolution_table,
+    get_standard,
+    rate_at_snr,
+)
+
+
+class TestGenerations:
+    def test_all_five_present(self):
+        assert set(GENERATIONS) == {
+            "802.11", "802.11b", "802.11a", "802.11g", "802.11n",
+        }
+
+    def test_paper_max_rates(self):
+        """The paper's rate ladder: 2 -> 11 -> 54 -> 600 Mbps."""
+        assert get_standard("802.11").max_rate_mbps == 2
+        assert get_standard("802.11b").max_rate_mbps == 11
+        assert get_standard("802.11a").max_rate_mbps == 54
+        assert get_standard("802.11g").max_rate_mbps == 54
+        assert get_standard("802.11n").max_rate_mbps == pytest.approx(600.0)
+
+    def test_paper_spectral_efficiencies(self):
+        """0.1 -> ~0.5 -> 2.7 -> 15 bps/Hz."""
+        assert get_standard("802.11").spectral_efficiency == pytest.approx(0.1)
+        assert get_standard("802.11b").spectral_efficiency == pytest.approx(
+            0.55
+        )
+        assert get_standard("802.11a").spectral_efficiency == pytest.approx(
+            2.7
+        )
+        assert get_standard("802.11n").spectral_efficiency == pytest.approx(
+            15.0
+        )
+
+    def test_only_first_generation_mandated_spreading(self):
+        assert get_standard("802.11").mandatory_spreading
+        assert not get_standard("802.11b").mandatory_spreading
+
+    def test_required_snr_monotone_in_rate_single_stream(self):
+        # Within one stream count higher rates always need more SNR; the
+        # 802.11n table as a whole is not monotone (2-stream QPSK can need
+        # less SNR than 1-stream 16-QAM at the same rate), so MIMO is
+        # checked per stream count.
+        for name in ("802.11", "802.11b", "802.11a", "802.11g"):
+            rates = sorted(get_standard(name).rates,
+                           key=lambda r: r.rate_mbps)
+            snrs = [r.required_snr_db for r in rates]
+            assert snrs == sorted(snrs), name
+        for streams in (1, 2, 3, 4):
+            entries = [r for r in get_standard("802.11n").rates
+                       if r.modulation.endswith(f"x{streams}")]
+            entries.sort(key=lambda r: r.rate_mbps)
+            snrs = [r.required_snr_db for r in entries]
+            assert snrs == sorted(snrs), f"{streams} streams"
+
+    def test_best_rate_nondecreasing_in_snr(self):
+        std = get_standard("802.11n")
+        rates = [std.rate_at_snr(s).rate_mbps if std.rate_at_snr(s) else 0.0
+                 for s in range(0, 50, 2)]
+        assert rates == sorted(rates)
+
+    def test_unknown_standard_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_standard("802.11ax")
+
+
+class TestRateAtSnr:
+    def test_high_snr_gives_max_rate(self):
+        assert rate_at_snr("802.11a", 50.0) == 54.0
+
+    def test_low_snr_gives_none(self):
+        assert rate_at_snr("802.11a", 0.0) is None
+
+    def test_intermediate(self):
+        assert rate_at_snr("802.11a", 21.0) == 24.0
+
+    def test_dsss_works_at_0db(self):
+        assert rate_at_snr("802.11", 0.0) == 1.0
+
+
+class TestEvolutionTable:
+    def test_fivefold_ratios(self):
+        rows = {r["standard"]: r for r in evolution_table()}
+        for name in ("802.11b", "802.11a", "802.11n"):
+            assert 4.0 < rows[name]["ratio_to_previous"] < 6.5, name
+
+    def test_first_generation_has_no_ratio(self):
+        rows = evolution_table()
+        assert rows[0]["ratio_to_previous"] is None
+
+    def test_chronological_order(self):
+        years = [r["year"] for r in evolution_table()]
+        assert years == sorted(years)
+
+
+class TestHtMcs:
+    def test_table_has_32_entries(self):
+        assert len(HT_MCS_TABLE) == 32
+
+    def test_streams_from_index(self):
+        assert HT_MCS_TABLE[0].spatial_streams == 1
+        assert HT_MCS_TABLE[15].spatial_streams == 2
+        assert HT_MCS_TABLE[31].spatial_streams == 4
+
+    def test_headline_rates(self):
+        assert ht_data_rate_mbps(7, 20, "long") == pytest.approx(65.0)
+        assert ht_data_rate_mbps(15, 40, "short") == pytest.approx(300.0)
+        assert ht_data_rate_mbps(31, 40, "short") == pytest.approx(600.0)
+
+    def test_short_gi_speedup(self):
+        long_gi = ht_data_rate_mbps(7, 20, "long")
+        short_gi = ht_data_rate_mbps(7, 20, "short")
+        assert short_gi / long_gi == pytest.approx(4.0 / 3.6)
+
+    def test_spectral_efficiency_15(self):
+        assert HT_MCS_TABLE[31].spectral_efficiency(40, "short") == (
+            pytest.approx(15.0)
+        )
+
+    def test_rate_scales_linearly_with_streams(self):
+        r1 = ht_data_rate_mbps(7)
+        r4 = ht_data_rate_mbps(31)
+        assert r4 == pytest.approx(4 * r1)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ht_data_rate_mbps(40)
+        with pytest.raises(ConfigurationError):
+            HT_MCS_TABLE[0].data_rate_mbps(30)
+
+    def test_20mhz_registry_variant(self):
+        assert DOT11N_20MHZ.max_rate_mbps == pytest.approx(260.0)

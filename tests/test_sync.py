@@ -1,0 +1,113 @@
+"""Tests for packet detection and synchronisation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DemodulationError
+from repro.phy.ofdm import OfdmPhy
+from repro.phy.sync import (
+    apply_cfo,
+    coarse_cfo_estimate,
+    correct_cfo,
+    detect_packet,
+    detection_metric,
+    fine_cfo_estimate,
+    fine_timing,
+    synchronise,
+)
+
+
+@pytest.fixture(scope="module")
+def ppdu():
+    rng = np.random.default_rng(44)
+    msg = bytes(rng.integers(0, 256, 80, dtype=np.uint8).tolist())
+    return msg, OfdmPhy(24).transmit(msg)
+
+
+def _noisy(wave, snr_db, rng, delay=0):
+    padded = np.concatenate([np.zeros(delay, complex), wave])
+    nv = 10 ** (-snr_db / 10)
+    return padded + np.sqrt(nv / 2) * (
+        rng.normal(size=padded.size) + 1j * rng.normal(size=padded.size)
+    ), nv
+
+
+class TestDetection:
+    def test_metric_high_inside_preamble(self, ppdu):
+        _, wave = ppdu
+        metric = detection_metric(wave)
+        assert metric[:100].mean() > 0.8
+
+    def test_detects_with_delay_and_noise(self, ppdu, rng):
+        _, wave = ppdu
+        noisy, _ = _noisy(wave, 10.0, rng, delay=200)
+        hit = detect_packet(noisy)
+        assert hit is not None
+        assert abs(hit - 200) < 40
+
+    def test_no_false_alarm_on_noise(self, rng):
+        noise = (rng.normal(size=4000) + 1j * rng.normal(size=4000)) / np.sqrt(2)
+        assert detect_packet(noise, threshold=0.5) is None
+
+    def test_short_input_rejected(self):
+        with pytest.raises(DemodulationError):
+            detection_metric(np.ones(10, complex))
+
+
+class TestCfo:
+    @pytest.mark.parametrize("cfo", [-200e3, -40e3, 55e3, 300e3])
+    def test_coarse_estimate_accuracy(self, ppdu, cfo, rng):
+        _, wave = ppdu
+        shifted, _ = _noisy(apply_cfo(wave, cfo), 20.0, rng)
+        estimate = coarse_cfo_estimate(shifted[:160])
+        assert estimate == pytest.approx(cfo, abs=8e3)
+
+    @pytest.mark.parametrize("cfo", [-50e3, 12e3, 90e3])
+    def test_fine_estimate_tighter(self, ppdu, cfo, rng):
+        _, wave = ppdu
+        shifted, _ = _noisy(apply_cfo(wave, cfo), 20.0, rng)
+        estimate = fine_cfo_estimate(shifted[160:320])
+        assert estimate == pytest.approx(cfo, abs=2e3)
+
+    def test_apply_correct_inverse(self, ppdu):
+        _, wave = ppdu
+        back = correct_cfo(apply_cfo(wave, 77e3), 77e3)
+        assert np.allclose(back, wave, atol=1e-10)
+
+    def test_coarse_needs_two_periods(self):
+        with pytest.raises(DemodulationError):
+            coarse_cfo_estimate(np.ones(20, complex))
+
+
+class TestTiming:
+    def test_finds_ltf_on_clean_waveform(self, ppdu):
+        _, wave = ppdu
+        # LTF symbol 1 starts at 160 (STF) + 32 (LTF CP) = 192.
+        assert fine_timing(wave) == 192
+
+    def test_finds_ltf_with_delay(self, ppdu, rng):
+        _, wave = ppdu
+        noisy, _ = _noisy(wave, 15.0, rng, delay=100)
+        assert fine_timing(noisy, search_start=80) == 292
+
+
+class TestFullAcquisition:
+    def test_end_to_end_decode(self, ppdu, rng):
+        msg, wave = ppdu
+        impaired, nv = _noisy(apply_cfo(wave, 83e3), 18.0, rng, delay=150)
+        aligned, info = synchronise(impaired)
+        assert info["packet_start"] == 150
+        assert info["total_cfo_hz"] == pytest.approx(83e3, abs=3e3)
+        assert OfdmPhy(24).receive(aligned, nv) == msg
+
+    def test_zero_impairments(self, ppdu):
+        msg, wave = ppdu
+        aligned, info = synchronise(wave)
+        assert info["packet_start"] == 0
+        assert abs(info["total_cfo_hz"]) < 2e3
+        assert OfdmPhy(24).receive(aligned, 1e-9) == msg
+
+    def test_noise_only_raises(self, rng):
+        noise = (rng.normal(size=3000) + 1j * rng.normal(size=3000))
+        with pytest.raises(DemodulationError):
+            synchronise(noise)

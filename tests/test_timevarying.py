@@ -1,0 +1,84 @@
+"""Tests for the time-varying (Doppler) channel."""
+
+import numpy as np
+import pytest
+
+from repro.channel.timevarying import TimeVaryingChannel
+from repro.errors import ConfigurationError, DemodulationError
+from repro.phy.ofdm import OfdmPhy
+
+
+class TestStaticLimit:
+    def test_zero_doppler_taps_constant(self):
+        ch = TimeVaryingChannel(1, 1, 0.0, 20e6, doppler_hz=0.0, rng=1)
+        gains = ch.tap_processes(500)
+        assert np.allclose(gains[0, 0, 0], gains[0, 0, 0, 0])
+
+    def test_zero_doppler_matches_flat_multiplication(self, rng):
+        ch = TimeVaryingChannel(1, 1, 0.0, 20e6, doppler_hz=0.0, rng=2)
+        x = np.exp(1j * rng.uniform(0, 6.28, 300))[None, :]
+        gains = ch.tap_processes(300)
+        y = ch.apply(x, gains)
+        assert np.allclose(y, gains[0, 0, 0, 0] * x)
+
+    def test_infinite_coherence_when_static(self):
+        ch = TimeVaryingChannel(1, 1, 0.0, 20e6, doppler_hz=0.0)
+        assert ch.coherence_time_s() == float("inf")
+
+
+class TestMobility:
+    def test_taps_decorrelate(self):
+        ch = TimeVaryingChannel(1, 1, 0.0, 20e6, doppler_hz=5000.0, rng=3)
+        g = ch.tap_processes(40000)[0, 0, 0]
+        early = g[:1000]
+        late = g[-1000:]
+        corr = abs(np.vdot(early, late)) / (
+            np.linalg.norm(early) * np.linalg.norm(late)
+        )
+        assert corr < 0.9
+
+    def test_coherence_time_formula(self):
+        ch = TimeVaryingChannel(1, 1, 0.0, 20e6, doppler_hz=100.0)
+        assert ch.coherence_time_s() == pytest.approx(0.00423)
+
+    def test_high_doppler_breaks_long_ofdm_packets(self):
+        """Channel estimate staleness: a packet longer than the coherence
+        time fails, the same packet with a static channel survives."""
+        rng = np.random.default_rng(11)
+        msg = bytes(rng.integers(0, 256, 700, dtype=np.uint8).tolist())
+        phy = OfdmPhy(24)
+        wave = phy.transmit(msg)[None, :]
+        nv = 10 ** (-28 / 10)
+        outcomes = {}
+        for doppler in (0.0, 2500.0):
+            fails = 0
+            for trial in range(4):
+                ch = TimeVaryingChannel(1, 1, 50e-9, 20e6,
+                                        doppler_hz=doppler, rng=50 + trial)
+                y = ch.apply(wave)
+                y = y + np.sqrt(nv / 2) * (
+                    rng.normal(size=y.shape) + 1j * rng.normal(size=y.shape)
+                )
+                try:
+                    fails += phy.receive(y.ravel(), nv) != msg
+                except DemodulationError:
+                    fails += 1
+            outcomes[doppler] = fails
+        assert outcomes[0.0] == 0
+        assert outcomes[2500.0] >= 3
+
+    def test_output_shape(self, rng):
+        ch = TimeVaryingChannel(2, 2, 50e-9, 20e6, doppler_hz=10.0, rng=4)
+        y = ch.apply(np.ones((2, 200), complex))
+        assert y.shape == (2, 200)
+
+
+class TestValidation:
+    def test_negative_doppler_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TimeVaryingChannel(1, 1, 0.0, 20e6, doppler_hz=-1.0)
+
+    def test_stream_mismatch_rejected(self):
+        ch = TimeVaryingChannel(1, 2, 0.0, 20e6)
+        with pytest.raises(ConfigurationError):
+            ch.apply(np.ones((3, 10), complex))

@@ -1,0 +1,78 @@
+"""Tests for repro.utils.bits."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CodingError
+from repro.utils.bits import (
+    bits_from_bytes,
+    bits_to_int,
+    bytes_from_bits,
+    count_bit_errors,
+    int_to_bits,
+    random_bits,
+)
+
+
+class TestRandomBits:
+    def test_length_and_alphabet(self, rng):
+        bits = random_bits(1000, rng)
+        assert bits.size == 1000
+        assert set(np.unique(bits)) <= {0, 1}
+
+    def test_roughly_balanced(self, rng):
+        bits = random_bits(10000, rng)
+        assert 0.45 < bits.mean() < 0.55
+
+    def test_zero_length(self, rng):
+        assert random_bits(0, rng).size == 0
+
+
+class TestBytesRoundTrip:
+    def test_round_trip(self):
+        data = bytes(range(256))
+        assert bytes_from_bits(bits_from_bytes(data)) == data
+
+    def test_lsb_first(self):
+        bits = bits_from_bytes(b"\x01")
+        assert bits.tolist() == [1, 0, 0, 0, 0, 0, 0, 0]
+
+    def test_non_multiple_of_eight_raises(self):
+        with pytest.raises(CodingError):
+            bytes_from_bits(np.array([1, 0, 1]))
+
+    def test_empty(self):
+        assert bytes_from_bits(np.array([], dtype=np.int8)) == b""
+
+
+class TestIntBits:
+    def test_round_trip(self):
+        for value in [0, 1, 5, 127, 4095]:
+            assert bits_to_int(int_to_bits(value, 12)) == value
+
+    def test_little_endian(self):
+        assert int_to_bits(1, 4).tolist() == [1, 0, 0, 0]
+
+    def test_overflow_raises(self):
+        with pytest.raises(CodingError):
+            int_to_bits(16, 4)
+
+    def test_negative_raises(self):
+        with pytest.raises(CodingError):
+            int_to_bits(-1, 4)
+
+
+class TestCountBitErrors:
+    def test_zero_for_identical(self, rng):
+        bits = random_bits(128, rng)
+        assert count_bit_errors(bits, bits.copy()) == 0
+
+    def test_counts_flips(self, rng):
+        bits = random_bits(128, rng)
+        flipped = bits.copy()
+        flipped[:5] ^= 1
+        assert count_bit_errors(bits, flipped) == 5
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(CodingError):
+            count_bit_errors(np.zeros(4), np.zeros(5))

@@ -1,0 +1,61 @@
+"""Tests for repro.utils.conversion."""
+
+import numpy as np
+import pytest
+
+from repro.utils.conversion import (
+    db_to_linear,
+    dbm_to_watts,
+    ebn0_to_snr_db,
+    linear_to_db,
+    snr_db_to_ebn0,
+    watts_to_dbm,
+)
+
+
+class TestDbLinear:
+    def test_known_values(self):
+        assert db_to_linear(0) == pytest.approx(1.0)
+        assert db_to_linear(10) == pytest.approx(10.0)
+        assert db_to_linear(-3) == pytest.approx(0.501, abs=1e-3)
+
+    def test_inverse(self):
+        values = np.array([0.01, 1.0, 42.0])
+        assert np.allclose(db_to_linear(linear_to_db(values)), values)
+
+    def test_vectorised(self):
+        out = db_to_linear(np.array([0.0, 10.0, 20.0]))
+        assert np.allclose(out, [1.0, 10.0, 100.0])
+
+
+class TestDbmWatts:
+    def test_known_values(self):
+        assert dbm_to_watts(0) == pytest.approx(1e-3)
+        assert dbm_to_watts(30) == pytest.approx(1.0)
+        assert watts_to_dbm(0.1) == pytest.approx(20.0)
+
+    def test_inverse(self):
+        assert watts_to_dbm(dbm_to_watts(17.0)) == pytest.approx(17.0)
+
+
+class TestEbn0Snr:
+    def test_bpsk_identity(self):
+        # 1 bit/symbol, rate 1, 1 sample/symbol: SNR == Eb/N0.
+        assert ebn0_to_snr_db(5.0, 1) == pytest.approx(5.0)
+
+    def test_qpsk_offset(self):
+        assert ebn0_to_snr_db(5.0, 2) == pytest.approx(5.0 + 10 * np.log10(2))
+
+    def test_code_rate(self):
+        # Rate-1/2 coding halves info bits per symbol.
+        assert ebn0_to_snr_db(5.0, 2, code_rate=0.5) == pytest.approx(5.0)
+
+    def test_spreading(self):
+        # 11 samples per symbol (Barker) costs 10.4 dB of per-sample SNR.
+        out = ebn0_to_snr_db(5.0, 1, samples_per_symbol=11)
+        assert out == pytest.approx(5.0 - 10 * np.log10(11))
+
+    def test_round_trip(self):
+        snr = ebn0_to_snr_db(7.3, 4, code_rate=0.75, samples_per_symbol=2)
+        back = snr_db_to_ebn0(snr, 4, code_rate=0.75, samples_per_symbol=2)
+        assert back == pytest.approx(7.3)

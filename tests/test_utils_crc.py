@@ -1,0 +1,39 @@
+"""Tests for repro.utils.crc (802.11 FCS)."""
+
+import pytest
+
+from repro.utils.crc import append_fcs, check_fcs, crc32
+
+
+class TestCrc32:
+    def test_known_vector(self):
+        # The canonical CRC-32 check value.
+        assert crc32(b"123456789") == 0xCBF43926
+
+    def test_empty(self):
+        assert crc32(b"") == 0
+
+    def test_matches_zlib(self):
+        import zlib
+
+        for data in [b"hello", b"\x00" * 64, bytes(range(100))]:
+            assert crc32(data) == zlib.crc32(data)
+
+
+class TestFcs:
+    def test_round_trip(self):
+        frame = append_fcs(b"payload bytes")
+        assert check_fcs(frame)
+
+    def test_detects_corruption(self):
+        frame = bytearray(append_fcs(b"payload bytes"))
+        frame[3] ^= 0x40
+        assert not check_fcs(bytes(frame))
+
+    def test_detects_fcs_corruption(self):
+        frame = bytearray(append_fcs(b"payload"))
+        frame[-1] ^= 0x01
+        assert not check_fcs(bytes(frame))
+
+    def test_short_frame(self):
+        assert not check_fcs(b"ab")

@@ -1,0 +1,56 @@
+"""Tests for repro.utils.validation and repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import as_generator
+from repro.utils.validation import (
+    require_in,
+    require_positive,
+    require_power_of_two,
+)
+
+
+class TestRequirePositive:
+    def test_passes_positive(self):
+        assert require_positive("x", 3) == 3
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.5])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            require_positive("x", bad)
+
+
+class TestRequireIn:
+    def test_passes_member(self):
+        assert require_in("x", "a", {"a", "b"}) == "a"
+
+    def test_rejects_nonmember(self):
+        with pytest.raises(ConfigurationError, match="x must be one of"):
+            require_in("x", "c", {"a", "b"})
+
+
+class TestRequirePowerOfTwo:
+    @pytest.mark.parametrize("good", [1, 2, 64, 1024])
+    def test_passes(self, good):
+        assert require_power_of_two("x", good) == good
+
+    @pytest.mark.parametrize("bad", [0, 3, 48, -8])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            require_power_of_two("x", bad)
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_seed_reproducible(self):
+        a = as_generator(42).integers(0, 100, 10)
+        b = as_generator(42).integers(0, 100, 10)
+        assert np.array_equal(a, b)
+
+    def test_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert as_generator(gen) is gen
