@@ -1,0 +1,83 @@
+"""Campaign orchestrator: determinism, caching, and parallel scaling.
+
+Not a paper claim — this validates the execution layer the experiment
+sweeps ride on (see ISSUE 1 acceptance criteria):
+
+* the E3 DSSS/CCK waterfall campaign at ``--workers 4`` is bit-identical
+  to ``--workers 1`` for the same base seed;
+* an immediate re-run is 100% cache hits and executes zero points;
+* the E6 MIMO-range campaign's wall clock at 4 workers vs serial. The
+  speedup assertion needs real cores: on hosts with fewer than 4 CPUs
+  the measurement is still reported, but only bit-identity is enforced
+  (a 1-CPU container cannot exhibit wall-clock parallel speedup).
+"""
+
+import os
+import tempfile
+import time
+
+from repro.campaign import ResultsStore, builtin_campaign, run_campaign
+
+_CPUS = os.cpu_count() or 1
+
+
+def test_bench_campaign_bitwise_and_cache(benchmark, report):
+    spec = builtin_campaign("e3-dsss-cck")
+
+    def run_twice_two_ways():
+        with tempfile.TemporaryDirectory() as d1, \
+                tempfile.TemporaryDirectory() as d2:
+            serial = run_campaign(spec, workers=1, store=ResultsStore(d1))
+            parallel = run_campaign(spec, workers=4, store=ResultsStore(d2))
+            rerun = run_campaign(spec, workers=4, store=ResultsStore(d2))
+        return serial, parallel, rerun
+
+    serial, parallel, rerun = benchmark.pedantic(run_twice_two_ways,
+                                                 rounds=1, iterations=1)
+    identical = serial.metrics_by_index() == parallel.metrics_by_index()
+    report(
+        "E-campaign: orchestrator determinism + cache (e3-dsss-cck grid)",
+        [f"points: {serial.n_points} (4 PHYs x 5 SNRs)",
+         f"workers=4 bit-identical to workers=1: {identical}",
+         f"re-run: {rerun.n_cached}/{rerun.n_points} cached "
+         f"({100 * rerun.cache_hit_rate:.0f}%), "
+         f"{rerun.n_executed} executed",
+         f"serial {serial.wall_time_s:.2f}s vs 4-worker "
+         f"{parallel.wall_time_s:.2f}s on {_CPUS} CPU(s)"],
+    )
+    assert identical
+    assert rerun.n_executed == 0
+    assert rerun.cache_hit_rate == 1.0
+    # Distinct pool pids prove the points really ran out-of-process.
+    fresh_workers = {r["worker"] for r in parallel.records}
+    assert os.getpid() not in fresh_workers
+
+
+def test_bench_campaign_parallel_speedup(benchmark, report):
+    spec = builtin_campaign("e6-mimo-range")
+
+    def measure():
+        t0 = time.perf_counter()
+        serial = run_campaign(spec, workers=1)
+        t_serial = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        parallel = run_campaign(spec, workers=4)
+        t_parallel = time.perf_counter() - t0
+        return serial, parallel, t_serial, t_parallel
+
+    serial, parallel, t_serial, t_parallel = benchmark.pedantic(
+        measure, rounds=1, iterations=1)
+    speedup = t_serial / t_parallel if t_parallel else float("inf")
+    report(
+        "E-campaign-b: parallel scaling (e6-mimo-range, 4 points)",
+        [f"host CPUs: {_CPUS}",
+         f"serial: {t_serial:.2f}s | 4 workers: {t_parallel:.2f}s | "
+         f"speedup {speedup:.2f}x",
+         f"bit-identical: "
+         f"{serial.metrics_by_index() == parallel.metrics_by_index()}",
+         "(>=2x expected with >=4 real cores; single-CPU hosts cannot "
+         "show wall-clock speedup)"],
+    )
+    assert serial.metrics_by_index() == parallel.metrics_by_index()
+    if _CPUS >= 4:
+        assert speedup >= 2.0, f"expected >=2x at 4 workers, got {speedup:.2f}x"

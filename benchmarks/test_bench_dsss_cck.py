@@ -6,20 +6,23 @@ cost: robustness decreases monotonically up the ladder, so 11 Mbps needs
 ~8-10 dB more SNR than 1 Mbps.
 """
 
-import numpy as np
+from repro.campaign import builtin_campaign, run_campaign
 
-from repro.core.link import LinkSimulator
-
-PHYS = ["dsss-1", "dsss-2", "cck-5.5", "cck-11"]
-SNRS = [-2.0, 2.0, 6.0, 10.0, 14.0]
+SPEC = builtin_campaign("e3-dsss-cck")
+PHYS = list(SPEC.factors["phy"])
+SNRS = list(SPEC.factors["snr_db"])
 
 
 def _waterfall():
-    table = {}
-    for phy in PHYS:
-        sim = LinkSimulator(phy, "awgn", rng=42)
-        table[phy] = [sim.run(snr, n_packets=25, payload_bytes=50).per
-                      for snr in SNRS]
+    # The sweep goes through the campaign orchestrator: one point per
+    # (phy, snr) with an independent seed substream, so this table is
+    # bit-identical to `python -m repro campaign run e3-dsss-cck` at any
+    # worker count.
+    result = run_campaign(SPEC)
+    table = {phy: [None] * len(SNRS) for phy in PHYS}
+    for rec in result.records:
+        table[rec["params"]["phy"]][SNRS.index(rec["params"]["snr_db"])] = \
+            rec["metrics"]["per"]
     return table
 
 

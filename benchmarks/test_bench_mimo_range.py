@@ -14,32 +14,21 @@ import numpy as np
 
 from repro.analysis.ber_theory import ber_rayleigh_mrc
 from repro.analysis.range import range_ratio_from_gain_db
-from repro.phy.mimo.capacity import rayleigh_channel
+from repro.campaign import builtin_campaign, run_campaign
 
 TARGET_OUTAGE = 0.01
 
 
-def _fade_margin_db(n_rx, n_tx, rng, n_draws=4000):
-    """Margin (dB) between mean SNR and the 1%-outage post-combining SNR.
-
-    Diversity combining of Nr x Nt i.i.d. Rayleigh branches with
-    total-power normalisation (||H||_F^2 / Nt).
-    """
-    gains = np.empty(n_draws)
-    for i in range(n_draws):
-        h = rayleigh_channel(n_rx, n_tx, rng)
-        gains[i] = np.sum(np.abs(h) ** 2) / n_tx
-    worst = np.quantile(gains, TARGET_OUTAGE)
-    return float(-10.0 * np.log10(worst))
-
-
 def _range_table():
-    rng = np.random.default_rng(11)
-    configs = [(1, 1), (2, 1), (2, 2), (4, 4)]
+    # Diversity combining of Nr x Nt i.i.d. Rayleigh branches with
+    # total-power normalisation (||H||_F^2 / Nt); each config is one
+    # campaign point (kind "mimo-range") with its own seed substream.
+    result = run_campaign(builtin_campaign("e6-mimo-range"))
     rows = []
     siso_margin = None
-    for n_rx, n_tx in configs:
-        margin = _fade_margin_db(n_rx, n_tx, rng)
+    for rec in result.records:
+        n_tx, n_rx = (int(x) for x in rec["params"]["antennas"].split("x"))
+        margin = rec["metrics"]["margin_db"]
         if siso_margin is None:
             siso_margin = margin
         saved = siso_margin - margin

@@ -18,6 +18,8 @@ paper surveys:
 * ``repro.power`` — PAPR, PA back-off, MIMO chain power, platform budgets.
 * ``repro.core`` — the link-level engine and the paper's evolution
   framework.
+* ``repro.campaign`` — declarative parameter sweeps run on a process
+  pool with per-point seed substreams and a persistent results store.
 * ``repro.analysis`` — closed-form BER/capacity/link-budget yardsticks.
 
 Quick start::
@@ -28,6 +30,7 @@ Quick start::
 """
 
 from repro.analysis.linkbudget import LinkBudget
+from repro.campaign import CampaignSpec, ResultsStore, run_campaign
 from repro.core.evolution import evolution_report, format_evolution_table
 from repro.core.link import LinkResult, LinkSimulator
 from repro.errors import (
@@ -45,7 +48,10 @@ from repro.standards.registry import GENERATIONS, get_standard
 __version__ = "1.0.0"
 
 __all__ = [
+    "CampaignSpec",
     "LinkBudget",
+    "ResultsStore",
+    "run_campaign",
     "evolution_report",
     "format_evolution_table",
     "LinkResult",

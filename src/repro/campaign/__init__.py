@@ -1,0 +1,51 @@
+"""Parallel sweep campaigns: declare a grid, run it anywhere, keep results.
+
+This package is the repo's execution layer for parameter studies. A
+campaign is a declarative :class:`~repro.campaign.spec.CampaignSpec`
+(factors x fixed params x base seed); the
+:func:`~repro.campaign.runner.run_campaign` orchestrator expands it,
+derives an independent random substream per point
+(``numpy.random.SeedSequence`` spawning — results are bit-identical at
+any worker count), executes points on a ``ProcessPoolExecutor``, skips
+points already present in the :class:`~repro.campaign.store.ResultsStore`
+(content-hash cache), and appends each completed point to
+``results/<campaign>/records.jsonl`` as it lands.
+
+Quick use::
+
+    from repro.campaign import builtin_campaign, run_campaign, ResultsStore
+    result = run_campaign(builtin_campaign("e3-dsss-cck"),
+                          workers=4, store=ResultsStore("results"))
+
+or from the shell::
+
+    python -m repro campaign run e3-dsss-cck --workers 4 --report
+"""
+
+from repro.campaign.cache import point_key
+from repro.campaign.report import format_pivot, pivot, summary_lines
+from repro.campaign.runner import (CampaignResult, point_kinds,
+                                   register_point_kind, run_campaign)
+from repro.campaign.seeding import point_generator, point_seed
+from repro.campaign.spec import (CampaignSpec, SweepPoint, builtin_campaign,
+                                 builtin_campaigns, load_spec)
+from repro.campaign.store import ResultsStore
+
+__all__ = [
+    "CampaignResult",
+    "CampaignSpec",
+    "ResultsStore",
+    "SweepPoint",
+    "builtin_campaign",
+    "builtin_campaigns",
+    "format_pivot",
+    "load_spec",
+    "pivot",
+    "point_generator",
+    "point_key",
+    "point_kinds",
+    "point_seed",
+    "register_point_kind",
+    "run_campaign",
+    "summary_lines",
+]

@@ -1,0 +1,39 @@
+"""Content-addressed identity for sweep points.
+
+A point's cache key is a SHA-256 digest of everything that can change
+its result: the point kind, the kind's code version (bumped when the
+point function's semantics change), the campaign base seed, the point's
+grid index (which selects its random substream), and the full resolved
+parameter dict. Two campaigns that agree on all of these would compute
+bit-identical records, so sharing the cached record is sound.
+
+Invalidation rule (documented for users in README/TUTORIAL): a cached
+point is reused only while its parameters, the base seed, its position
+in the grid, and the point function's declared ``code_version`` are all
+unchanged. Renaming the campaign does *not* invalidate (the key ignores
+the name); growing the grid *does* renumber later points and recomputes
+them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+
+def canonical_json(data):
+    """Deterministic JSON text: sorted keys, no whitespace drift."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"),
+                      ensure_ascii=True)
+
+
+def point_key(kind, code_version, base_seed, index, params):
+    """16-hex-char content hash identifying one sweep point's result."""
+    material = canonical_json({
+        "kind": kind,
+        "code_version": code_version,
+        "base_seed": int(base_seed),
+        "index": int(index),
+        "params": params,
+    })
+    return hashlib.sha256(material.encode("ascii")).hexdigest()[:16]

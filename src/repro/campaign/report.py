@@ -1,0 +1,129 @@
+"""Summaries and pivot tables over stored campaign records.
+
+The reporter is deliberately dumb about physics: it treats records as
+``params`` (cell coordinates) plus ``metrics`` (cell values) and renders
+aligned text tables, e.g. PER vs SNR with one column per PHY::
+
+    e3-dsss-cck: per
+    snr_db \\ phy |  dsss-1  dsss-2 cck-5.5  cck-11
+    -2.0         |    0.00    0.04    0.52    1.00
+    ...
+
+Values aggregate with a mean when several records share a cell (e.g.
+after reporting over a factor the pivot ignores).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+def _cell_value(record, value):
+    """Pull ``value`` from a record: metrics first, then top level."""
+    metrics = record.get("metrics") or {}
+    if value in metrics:
+        return metrics[value]
+    if value in record:
+        return record[value]
+    return None
+
+
+def _axis_labels(records, axis):
+    """Distinct values of a param axis, in first-appearance (grid) order."""
+    seen = []
+    for record in records:
+        if axis not in record.get("params", {}):
+            raise ConfigurationError(
+                f"{axis!r} is not a parameter of these records; "
+                f"available: {sorted(records[0].get('params', {}))}"
+            )
+        label = record["params"][axis]
+        if label not in seen:
+            seen.append(label)
+    return seen
+
+
+def pivot(records, value, rows, cols=None):
+    """Aggregate records into ``(row_labels, col_labels, grid)``.
+
+    ``grid[i][j]`` is the mean of ``value`` over all records whose params
+    match ``rows=row_labels[i]`` (and ``cols=col_labels[j]`` when a column
+    axis is given), or ``None`` for empty cells.
+    """
+    records = [r for r in records if r.get("outcome", "ok") == "ok"]
+    if not records:
+        raise ConfigurationError("no successful records to report on")
+    row_labels = _axis_labels(records, rows)
+    col_labels = _axis_labels(records, cols) if cols else [value]
+    sums = {}
+    counts = {}
+    for record in records:
+        val = _cell_value(record, value)
+        if val is None or not isinstance(val, (int, float)):
+            continue
+        r = record["params"][rows]
+        c = record["params"][cols] if cols else value
+        sums[(r, c)] = sums.get((r, c), 0.0) + float(val)
+        counts[(r, c)] = counts.get((r, c), 0) + 1
+    grid = [
+        [sums[(r, c)] / counts[(r, c)] if (r, c) in counts else None
+         for c in col_labels]
+        for r in row_labels
+    ]
+    return row_labels, col_labels, grid
+
+
+def _fmt(value, width):
+    if value is None:
+        return " " * (width - 2) + "--"
+    return f"{value:>{width}.4g}"
+
+
+def format_pivot(records, value, rows, cols=None, title=None):
+    """Render a pivot as aligned text lines."""
+    row_labels, col_labels, grid = pivot(records, value, rows, cols)
+    col_width = max(8, *(len(str(c)) + 1 for c in col_labels))
+    stub = f"{rows} \\ {cols}" if cols else rows
+    stub_width = max(len(stub), *(len(str(r)) for r in row_labels)) + 1
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{stub:<{stub_width}}|"
+                 + "".join(f"{str(c):>{col_width}}" for c in col_labels))
+    for label, row in zip(row_labels, grid):
+        lines.append(f"{str(label):<{stub_width}}|"
+                     + "".join(_fmt(v, col_width) for v in row))
+    return lines
+
+
+def summary_lines(records, name=None):
+    """Campaign overview: point counts, outcomes, timing, workers."""
+    lines = []
+    header = f"campaign {name}" if name else "campaign"
+    if not records:
+        return [f"{header}: no records"]
+    ok = [r for r in records if r.get("outcome") == "ok"]
+    failed = [r for r in records if r.get("outcome") == "error"]
+    total_time = sum(r.get("wall_time_s", 0.0) for r in records)
+    workers = sorted({r.get("worker") for r in records if r.get("worker")})
+    kinds = sorted({r.get("kind") for r in records})
+    lines.append(f"{header}: {len(records)} points "
+                 f"({len(ok)} ok, {len(failed)} failed), kind "
+                 f"{'/'.join(str(k) for k in kinds)}")
+    lines.append(f"  simulated wall time {total_time:.2f}s across "
+                 f"{len(workers)} worker process(es)")
+    if failed:
+        worst = failed[0]
+        lines.append(f"  first failure: point {worst.get('index')} "
+                     f"({worst.get('error')})")
+    return lines
+
+
+def result_lines(result):
+    """One-run report: cache hits, executed points, wall clock."""
+    return [
+        f"{result.spec.name}: {result.n_points} points | "
+        f"{result.n_cached} cached ({100 * result.cache_hit_rate:.0f}%) | "
+        f"{result.n_executed} executed | "
+        f"{result.wall_time_s:.2f}s wall @ {result.workers} worker(s)",
+    ]

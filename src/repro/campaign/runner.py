@@ -1,0 +1,293 @@
+"""Campaign execution: expand, skip cached, fan out, persist.
+
+The runner maps each :class:`~repro.campaign.spec.SweepPoint` to a
+*point function* selected by the spec's ``kind``. Point functions are
+registered in a module-level registry together with a ``code_version``
+string that participates in the cache key — bump it when a function's
+semantics change so stale cached results are recomputed.
+
+A point function has the signature ``func(params, rng) -> dict`` where
+``params`` is the point's resolved parameter dict and ``rng`` is a
+:class:`numpy.random.Generator` derived *only* from the campaign base
+seed and the point's grid index. Because every point owns its stream,
+execution order and worker count cannot affect results: ``--workers 8``
+is bit-identical to ``--workers 1``.
+
+Record schema (one per point, stored as a JSONL line)::
+
+    {
+      "key":          "9f2c... (16 hex chars, see campaign.cache)",
+      "campaign":     spec.name,
+      "kind":         spec.kind,
+      "code_version": registered version of the point function,
+      "index":        grid index (also the seed substream index),
+      "params":       resolved point parameters,
+      "base_seed":    campaign base seed,
+      "metrics":      {...} returned by the point function,
+      "outcome":      "ok" | "error",
+      "error":        message when outcome == "error" else None,
+      "wall_time_s":  per-point wall time,
+      "worker":       pid of the process that ran it,
+    }
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+
+from repro.campaign.cache import point_key
+from repro.campaign.seeding import point_generator
+from repro.errors import ConfigurationError, ReproError
+
+# -- point-kind registry -----------------------------------------------------
+
+_POINT_KINDS = {}
+
+
+def register_point_kind(kind, func, code_version="1"):
+    """Register ``func`` as the executor for points of ``kind``.
+
+    ``code_version`` is part of every point's cache key: bump it whenever
+    the function's output for identical inputs changes, so persisted
+    results from the old code stop being served.
+    """
+    _POINT_KINDS[kind] = (func, str(code_version))
+
+
+def point_kinds():
+    """Sorted names of all registered point kinds."""
+    return sorted(_POINT_KINDS)
+
+
+def _lookup_kind(kind):
+    try:
+        return _POINT_KINDS[kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown point kind {kind!r}; registered: "
+            f"{', '.join(point_kinds()) or '(none)'}"
+        ) from None
+
+
+# -- built-in point functions ------------------------------------------------
+#
+# Imports are deferred into the functions so that importing the campaign
+# package stays cheap and pool workers only pay for what they run.
+
+def _run_link_point(params, rng):
+    """One PER/BER measurement: LinkSimulator(phy, channel) at one SNR."""
+    from repro.core.link import LinkSimulator
+
+    sim = LinkSimulator(
+        params["phy"],
+        params.get("channel", "awgn"),
+        n_rx=params.get("n_rx"),
+        detector=params.get("detector", "mmse"),
+        rng=rng,
+    )
+    result = sim.run(
+        float(params["snr_db"]),
+        n_packets=int(params.get("n_packets", 100)),
+        payload_bytes=int(params.get("payload_bytes", 100)),
+    )
+    return {
+        "per": result.per,
+        "ber": result.ber,
+        "goodput_mbps": result.goodput_mbps,
+        "rate_mbps": result.rate_mbps,
+        "n_packets": result.n_packets,
+        "n_packet_errors": result.n_packet_errors,
+        "n_bit_errors": result.n_bit_errors,
+    }
+
+
+def _run_mimo_range_point(params, rng):
+    """Outage fade margin of one ``TXxRX`` Rayleigh diversity config."""
+    import numpy as np
+
+    from repro.phy.mimo.capacity import rayleigh_channel
+
+    n_tx, n_rx = (int(x) for x in str(params["antennas"]).split("x"))
+    n_draws = int(params.get("n_draws", 4000))
+    outage = float(params.get("outage", 0.01))
+    gains = np.empty(n_draws)
+    for i in range(n_draws):
+        h = rayleigh_channel(n_rx, n_tx, rng)
+        gains[i] = np.sum(np.abs(h) ** 2) / n_tx
+    worst = float(np.quantile(gains, outage))
+    return {
+        "margin_db": float(-10.0 * np.log10(worst)),
+        "mean_gain": float(gains.mean()),
+        "n_draws": n_draws,
+        "outage": outage,
+    }
+
+
+def _run_dcf_point(params, rng):
+    """Saturated DCF contention at one station count."""
+    from repro.mac.bianchi import bianchi_saturation_throughput
+    from repro.mac.dcf import DcfSimulator
+
+    n = int(params["n_stations"])
+    standard = params.get("standard", "802.11a")
+    rate = float(params.get("rate_mbps", 54.0))
+    payload = int(params.get("payload_bytes", 1500))
+    sim = DcfSimulator(n, standard, rate, payload,
+                       rts_cts=bool(params.get("rts_cts", False)), rng=rng)
+    result = sim.run(float(params.get("duration", 0.2)))
+    return {
+        "throughput_mbps": result.throughput_mbps,
+        "collision_probability": result.collision_probability,
+        "jain_fairness": result.jain_fairness,
+        "bianchi_mbps": bianchi_saturation_throughput(n, standard, rate,
+                                                      payload),
+    }
+
+
+register_point_kind("link", _run_link_point, code_version="1")
+register_point_kind("mimo-range", _run_mimo_range_point, code_version="1")
+register_point_kind("dcf", _run_dcf_point, code_version="1")
+
+
+# -- execution ---------------------------------------------------------------
+
+def _execute_point(kind, campaign, base_seed, index, params, key):
+    """Run one point in whatever process this lands in (pool or main)."""
+    func, code_version = _lookup_kind(kind)
+    rng = point_generator(base_seed, index)
+    start = time.perf_counter()
+    try:
+        metrics = func(params, rng)
+        outcome, error = "ok", None
+    except ReproError as exc:
+        metrics, outcome, error = {}, "error", str(exc)
+    return {
+        "key": key,
+        "campaign": campaign,
+        "kind": kind,
+        "code_version": code_version,
+        "index": index,
+        "params": dict(params),
+        "base_seed": int(base_seed),
+        "metrics": metrics,
+        "outcome": outcome,
+        "error": error,
+        "wall_time_s": time.perf_counter() - start,
+        "worker": os.getpid(),
+    }
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one :func:`run_campaign` invocation."""
+
+    spec: object
+    records: list
+    n_cached: int
+    n_executed: int
+    wall_time_s: float
+    workers: int = 1
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def n_points(self):
+        """Total grid points (cached + executed)."""
+        return len(self.records)
+
+    @property
+    def cache_hit_rate(self):
+        """Fraction of points served from the store, in [0, 1]."""
+        return self.n_cached / self.n_points if self.n_points else 0.0
+
+    def metrics_by_index(self):
+        """``{index: metrics}`` across all records (cached or fresh)."""
+        return {r["index"]: r["metrics"] for r in self.records}
+
+
+def run_campaign(spec, workers=1, store=None, force=False, echo=None):
+    """Execute a campaign, reusing cached points from ``store``.
+
+    Parameters
+    ----------
+    spec : CampaignSpec
+    workers : int
+        Pool size. ``1`` runs points inline (no subprocesses); any value
+        produces bit-identical metrics because seeding is per-point.
+    store : ResultsStore or None
+        When given, previously stored points with matching cache keys are
+        skipped and fresh points are appended as they complete. ``None``
+        runs fully in memory (nothing read or written).
+    force : bool
+        Recompute every point even if cached.
+    echo : callable or None
+        Optional progress sink; called with one string per event.
+
+    Returns
+    -------
+    CampaignResult
+        Records ordered by grid index, with ``record["cached"]`` marking
+        points served from the store.
+    """
+    _, code_version = _lookup_kind(spec.kind)  # validate kind up front
+    workers = max(1, int(workers))
+    say = echo or (lambda _msg: None)
+    points = spec.expand()
+    start = time.perf_counter()
+
+    known = {}
+    if store is not None and not force:
+        known = {r["key"]: r for r in store.load(spec.name)
+                 if r.get("outcome") == "ok"}
+
+    records = [None] * len(points)
+    todo = []
+    for pt in points:
+        key = point_key(spec.kind, code_version, spec.base_seed, pt.index,
+                        pt.params)
+        if key in known:
+            cached = dict(known[key])
+            cached["cached"] = True
+            records[pt.index] = cached
+        else:
+            todo.append((key, pt))
+
+    if store is not None:
+        store.write_spec(spec)
+
+    n_cached = len(points) - len(todo)
+    if n_cached:
+        say(f"{spec.name}: {n_cached}/{len(points)} points cached")
+
+    def finish(record):
+        record["cached"] = False
+        records[record["index"]] = record
+        if store is not None:
+            store.append(spec.name, record)
+        say(f"{spec.name}[{record['index']}] {record['outcome']} "
+            f"in {record['wall_time_s']:.2f}s (worker {record['worker']})")
+
+    if todo and workers > 1:
+        with ProcessPoolExecutor(max_workers=int(workers)) as pool:
+            futures = [
+                pool.submit(_execute_point, spec.kind, spec.name,
+                            spec.base_seed, pt.index, pt.params, key)
+                for key, pt in todo
+            ]
+            for future in as_completed(futures):
+                finish(future.result())
+    else:
+        for key, pt in todo:
+            finish(_execute_point(spec.kind, spec.name, spec.base_seed,
+                                  pt.index, pt.params, key))
+
+    return CampaignResult(
+        spec=spec,
+        records=records,
+        n_cached=n_cached,
+        n_executed=len(todo),
+        wall_time_s=time.perf_counter() - start,
+        workers=int(workers),
+    )

@@ -1,0 +1,270 @@
+"""Declarative sweep specifications.
+
+A :class:`CampaignSpec` names a parameter study: a *kind* (which
+registered point function runs each point, see
+:mod:`repro.campaign.runner`), a grid of *factors* (each a name mapped to
+the values it sweeps), *fixed* parameters shared by every point, and a
+*base seed* from which every point derives its own independent random
+stream. ``expand()`` turns the spec into a deterministic, ordered list of
+:class:`SweepPoint` objects — the cross product of the factors, with the
+last factor varying fastest — whose indices double as substream indices.
+
+Specs round-trip through plain dicts / JSON so campaigns can live in
+files and be re-run byte-for-byte later::
+
+    {
+      "name": "ofdm-awgn",
+      "kind": "link",
+      "factors": {"phy": ["ofdm-6", "ofdm-54"], "snr_db": [10, 20, 30]},
+      "fixed": {"channel": "awgn", "n_packets": 100, "payload_bytes": 100},
+      "base_seed": 7,
+      "meta": {"report": {"value": "per", "rows": "snr_db", "cols": "phy"}}
+    }
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+_SCALAR_TYPES = (str, int, float, bool, type(None))
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One cell of the expanded grid.
+
+    ``index`` is the point's position in the deterministic expansion
+    order; it is also the substream index used to derive the point's
+    random seed and part of its cache identity.
+    """
+
+    index: int
+    params: dict
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative description of one parameter sweep."""
+
+    name: str
+    kind: str
+    factors: dict
+    fixed: dict = field(default_factory=dict)
+    base_seed: int = 0
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.name or not _NAME_RE.match(self.name):
+            raise ConfigurationError(
+                f"campaign name {self.name!r} must be non-empty and "
+                "filesystem-safe (letters, digits, '.', '_', '-')"
+            )
+        if not self.kind:
+            raise ConfigurationError("campaign kind must be non-empty")
+        if not self.factors:
+            raise ConfigurationError("campaign needs at least one factor")
+        for factor, values in self.factors.items():
+            if isinstance(values, (str, bytes)) or not hasattr(values,
+                                                              "__len__"):
+                raise ConfigurationError(
+                    f"factor {factor!r} must map to a sequence of values"
+                )
+            if len(values) == 0:
+                raise ConfigurationError(f"factor {factor!r} has no values")
+            for v in values:
+                self._check_scalar(factor, v)
+        overlap = set(self.factors) & set(self.fixed)
+        if overlap:
+            raise ConfigurationError(
+                f"parameters {sorted(overlap)} appear in both factors and "
+                "fixed"
+            )
+        for key, v in self.fixed.items():
+            self._check_scalar(key, v)
+
+    @staticmethod
+    def _check_scalar(name, value):
+        if not isinstance(value, _SCALAR_TYPES):
+            raise ConfigurationError(
+                f"parameter {name!r} value {value!r} is not a JSON scalar "
+                "(str/int/float/bool/None)"
+            )
+
+    # -- expansion -----------------------------------------------------------
+
+    @property
+    def factor_names(self):
+        """Factor names in declaration order (the grid's axis order)."""
+        return list(self.factors)
+
+    @property
+    def n_points(self):
+        """Size of the expanded grid (product of factor lengths)."""
+        n = 1
+        for values in self.factors.values():
+            n *= len(values)
+        return n
+
+    def expand(self):
+        """The full grid as an ordered list of :class:`SweepPoint`.
+
+        The cross product iterates factors in declaration order with the
+        last factor varying fastest, so a spec always expands to the same
+        point ordering — which is what ties each point to a stable
+        substream index.
+        """
+        names = self.factor_names
+        points = []
+        for index, combo in enumerate(
+                itertools.product(*(self.factors[n] for n in names))):
+            params = dict(self.fixed)
+            params.update(zip(names, combo))
+            points.append(SweepPoint(index=index, params=params))
+        return points
+
+    # -- (de)serialisation ---------------------------------------------------
+
+    def to_dict(self):
+        """Plain-dict form, JSON-serialisable and `from_dict`-invertible."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "factors": {k: list(v) for k, v in self.factors.items()},
+            "fixed": dict(self.fixed),
+            "base_seed": self.base_seed,
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        if not isinstance(data, dict):
+            raise ConfigurationError("campaign spec must be a JSON object")
+        unknown = set(data) - {"name", "kind", "factors", "fixed",
+                               "base_seed", "meta"}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown campaign spec fields: {sorted(unknown)}"
+            )
+        try:
+            return cls(
+                name=data["name"],
+                kind=data["kind"],
+                factors=dict(data["factors"]),
+                fixed=dict(data.get("fixed", {})),
+                base_seed=int(data.get("base_seed", 0)),
+                meta=dict(data.get("meta", {})),
+            )
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"campaign spec missing required field {exc.args[0]!r}"
+            ) from None
+
+    @classmethod
+    def from_json(cls, path):
+        with open(path, "r", encoding="utf-8") as fh:
+            try:
+                data = json.load(fh)
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"campaign spec {path}: invalid JSON ({exc})"
+                ) from None
+        return cls.from_dict(data)
+
+
+# -- built-in campaigns ------------------------------------------------------
+#
+# Canonical specs for the paper experiments that are parameter sweeps. The
+# CLI accepts these names anywhere it accepts a spec file, and the quick
+# experiments in repro.core.experiments run scaled-down variants of them.
+
+def _builtin_specs():
+    return {
+        "e3-dsss-cck": CampaignSpec(
+            name="e3-dsss-cck",
+            kind="link",
+            factors={
+                "phy": ["dsss-1", "dsss-2", "cck-5.5", "cck-11"],
+                "snr_db": [-2.0, 2.0, 6.0, 10.0, 14.0],
+            },
+            fixed={"channel": "awgn", "n_packets": 25, "payload_bytes": 50},
+            base_seed=42,
+            meta={
+                "description": "E3: 802.11/802.11b PER waterfalls "
+                               "(2 -> 11 Mbps ladder)",
+                "report": {"value": "per", "rows": "snr_db", "cols": "phy"},
+            },
+        ),
+        "e4-ofdm": CampaignSpec(
+            name="e4-ofdm",
+            kind="link",
+            factors={
+                "phy": [f"ofdm-{r}" for r in (6, 9, 12, 18, 24, 36, 48, 54)],
+                "snr_db": [4.0, 10.0, 16.0, 22.0, 28.0],
+            },
+            fixed={"channel": "awgn", "n_packets": 12, "payload_bytes": 60},
+            base_seed=17,
+            meta={
+                "description": "E4: 802.11a OFDM PER waterfalls, 6-54 Mbps",
+                "report": {"value": "per", "rows": "snr_db", "cols": "phy"},
+            },
+        ),
+        "e6-mimo-range": CampaignSpec(
+            name="e6-mimo-range",
+            kind="mimo-range",
+            factors={"antennas": ["1x1", "1x2", "2x2", "4x4"]},
+            fixed={"n_draws": 4000, "outage": 0.01},
+            base_seed=11,
+            meta={
+                "description": "E6: MIMO diversity 1%-outage fade margins "
+                               "in Rayleigh fading",
+                "report": {"value": "margin_db", "rows": "antennas"},
+            },
+        ),
+        "e15-dcf": CampaignSpec(
+            name="e15-dcf",
+            kind="dcf",
+            factors={"n_stations": [1, 5, 10, 20, 30]},
+            fixed={"standard": "802.11a", "rate_mbps": 54.0,
+                   "payload_bytes": 1500, "duration": 0.2},
+            base_seed=0,
+            meta={
+                "description": "E15: DCF saturation throughput vs "
+                               "station count",
+                "report": {"value": "throughput_mbps", "rows": "n_stations"},
+            },
+        ),
+    }
+
+
+def builtin_campaigns():
+    """Name -> :class:`CampaignSpec` for every built-in campaign."""
+    return _builtin_specs()
+
+
+def builtin_campaign(name):
+    """Fetch one built-in campaign spec by name."""
+    specs = _builtin_specs()
+    if name not in specs:
+        raise ConfigurationError(
+            f"unknown built-in campaign {name!r}; available: "
+            f"{', '.join(sorted(specs))}"
+        )
+    return specs[name]
+
+
+def load_spec(name_or_path):
+    """Resolve a CLI spec argument: built-in name or path to a JSON file."""
+    if name_or_path in _builtin_specs():
+        return _builtin_specs()[name_or_path]
+    if str(name_or_path).endswith(".json"):
+        return CampaignSpec.from_json(name_or_path)
+    raise ConfigurationError(
+        f"{name_or_path!r} is neither a built-in campaign "
+        f"({', '.join(sorted(_builtin_specs()))}) nor a .json spec file"
+    )

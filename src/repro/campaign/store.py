@@ -1,0 +1,108 @@
+"""Persistent results store: ``results/<campaign>/`` on disk.
+
+Each campaign directory holds
+
+``spec.json``
+    The spec of the last run (for ``show``/``report`` defaults).
+``records.jsonl``
+    One JSON object per completed point, appended as points finish.
+    Append-only: re-running a point writes a new line, and loading
+    dedupes by cache key with last-write-wins, so a crashed or ``--force``
+    run never corrupts earlier results.
+
+Records are plain dicts (see :mod:`repro.campaign.runner` for the
+schema); the store never interprets metrics, it only rounds-trips them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.campaign.spec import CampaignSpec
+from repro.errors import ConfigurationError
+
+RECORDS_FILE = "records.jsonl"
+SPEC_FILE = "spec.json"
+
+# Bookkeeping fields the runner adds in memory but that must not be
+# persisted (they describe one run, not the point's result).
+_EPHEMERAL_FIELDS = ("cached",)
+
+
+class ResultsStore:
+    """Filesystem-backed store of campaign results."""
+
+    def __init__(self, root="results"):
+        self.root = os.fspath(root)
+
+    def campaign_dir(self, name):
+        """Directory holding one campaign's spec and records."""
+        return os.path.join(self.root, name)
+
+    def _records_path(self, name):
+        return os.path.join(self.campaign_dir(name), RECORDS_FILE)
+
+    # -- writing -------------------------------------------------------------
+
+    def write_spec(self, spec):
+        """Persist the spec alongside its records."""
+        os.makedirs(self.campaign_dir(spec.name), exist_ok=True)
+        path = os.path.join(self.campaign_dir(spec.name), SPEC_FILE)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(spec.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    def append(self, name, record):
+        """Append one completed point record (atomic enough: one line)."""
+        os.makedirs(self.campaign_dir(name), exist_ok=True)
+        clean = {k: v for k, v in record.items()
+                 if k not in _EPHEMERAL_FIELDS}
+        with open(self._records_path(name), "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(clean, sort_keys=True) + "\n")
+
+    # -- reading -------------------------------------------------------------
+
+    def load(self, name):
+        """All records for a campaign, deduped by key (last write wins)."""
+        path = self._records_path(name)
+        if not os.path.exists(path):
+            return []
+        by_key = {}
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail line from a killed run
+                by_key[record.get("key")] = record
+        return sorted(by_key.values(),
+                      key=lambda r: (r.get("index", 0), r.get("key", "")))
+
+    def load_spec(self, name):
+        """The spec saved with a campaign's results."""
+        path = os.path.join(self.campaign_dir(name), SPEC_FILE)
+        if not os.path.exists(path):
+            raise ConfigurationError(
+                f"campaign {name!r} has no spec in {self.root!r} "
+                "(never run here?)"
+            )
+        return CampaignSpec.from_json(path)
+
+    def campaigns(self):
+        """Sorted ``(name, n_records)`` for every campaign in the store."""
+        if not os.path.isdir(self.root):
+            return []
+        found = []
+        for entry in sorted(os.listdir(self.root)):
+            cdir = os.path.join(self.root, entry)
+            if not os.path.isdir(cdir):
+                continue
+            has_spec = os.path.exists(os.path.join(cdir, SPEC_FILE))
+            has_records = os.path.exists(os.path.join(cdir, RECORDS_FILE))
+            if has_spec or has_records:
+                found.append((entry, len(self.load(entry))))
+        return found

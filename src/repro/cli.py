@@ -12,6 +12,14 @@ regulatory
     The regulatory narrative with measured processing gains.
 rates [STANDARD]
     Dump a generation's rate table (default 802.11a).
+experiment [ID | --list]
+    Run one quick paper experiment, or enumerate them all.
+campaign run|ls|show|report
+    Parallel sweep orchestrator over the persistent results store
+    (``campaign run e3-dsss-cck --workers 4 --report``).
+
+Installed as the ``repro`` console script, so ``repro campaign ls`` and
+``python -m repro campaign ls`` are equivalent.
 """
 
 from __future__ import annotations
@@ -71,13 +79,75 @@ def _cmd_regulatory(_args):
 def _cmd_experiment(args):
     from repro.core.experiments import list_experiments, run_experiment
 
-    if args.id is None:
+    if args.list_ids or args.id is None:
         print("available quick experiments (full versions: pytest "
               "benchmarks/ --benchmark-only):")
         for key, desc in list_experiments():
             print(f"  {key:<4} {desc}")
         return 0
     for line in run_experiment(args.id):
+        print(line)
+    return 0
+
+
+def _cmd_campaign(args):
+    from repro.campaign import (ResultsStore, builtin_campaigns, format_pivot,
+                                load_spec, run_campaign, summary_lines)
+    from repro.campaign.report import result_lines
+
+    store = ResultsStore(args.results)
+
+    if args.subcommand == "run":
+        spec = load_spec(args.spec)
+        result = run_campaign(spec, workers=args.workers, store=store,
+                              force=args.force,
+                              echo=print if args.verbose else None)
+        for line in result_lines(result):
+            print(line)
+        if args.report:
+            report = spec.meta.get("report", {})
+            if report.get("value") and report.get("rows"):
+                for line in format_pivot(result.records, report["value"],
+                                         report["rows"], report.get("cols")):
+                    print(line)
+        return 0
+
+    if args.subcommand == "ls":
+        campaigns = store.campaigns()
+        if not campaigns:
+            print(f"no campaigns under {store.root!r}; built-ins you can "
+                  "run: " + ", ".join(sorted(builtin_campaigns())))
+            return 0
+        for name, n_records in campaigns:
+            print(f"{name:<24} {n_records:>5} record(s)")
+        return 0
+
+    if args.subcommand == "show":
+        spec = store.load_spec(args.name)
+        records = store.load(args.name)
+        print(f"{spec.name}: kind={spec.kind} base_seed={spec.base_seed} "
+              f"({spec.n_points} grid points)")
+        for factor, values in spec.factors.items():
+            print(f"  factor {factor}: {list(values)}")
+        for key, value in spec.fixed.items():
+            print(f"  fixed  {key}: {value}")
+        for line in summary_lines(records, name=spec.name):
+            print(line)
+        return 0
+
+    # report
+    spec = store.load_spec(args.name)
+    records = store.load(args.name)
+    defaults = spec.meta.get("report", {})
+    value = args.value or defaults.get("value")
+    rows = args.rows or defaults.get("rows")
+    cols = args.cols if args.cols is not None else defaults.get("cols")
+    if not value or not rows:
+        print("this campaign declares no default report; pass --value and "
+              "--rows (optionally --cols)")
+        return 2
+    title = f"{spec.name}: {value}"
+    for line in format_pivot(records, value, rows, cols, title=title):
         print(line)
     return 0
 
@@ -123,6 +193,44 @@ def build_parser():
                            help="run a quick paper experiment (E1..)")
     p_exp.add_argument("id", nargs="?", default=None,
                        help="experiment id, e.g. E6; omit to list")
+    p_exp.add_argument("--list", action="store_true", dest="list_ids",
+                       help="enumerate all experiment ids with descriptions")
+
+    p_camp = sub.add_parser(
+        "campaign", help="parallel sweep orchestrator + results store")
+    camp_sub = p_camp.add_subparsers(dest="subcommand", required=True)
+
+    def add_results_arg(p):
+        p.add_argument("--results", default="results",
+                       help="results store directory (default: results/)")
+
+    p_run = camp_sub.add_parser("run", help="run a campaign spec")
+    p_run.add_argument("spec",
+                       help="built-in campaign name or path to a .json spec")
+    p_run.add_argument("--workers", type=int, default=1,
+                       help="pool size; any value is bit-identical to 1")
+    p_run.add_argument("--force", action="store_true",
+                       help="recompute points even when cached")
+    p_run.add_argument("--report", action="store_true",
+                       help="print the spec's default pivot after running")
+    p_run.add_argument("--verbose", action="store_true",
+                       help="log per-point completions")
+    add_results_arg(p_run)
+
+    p_ls = camp_sub.add_parser("ls", help="list campaigns in the store")
+    add_results_arg(p_ls)
+
+    p_show = camp_sub.add_parser("show", help="spec + record summary")
+    p_show.add_argument("name")
+    add_results_arg(p_show)
+
+    p_rep = camp_sub.add_parser("report", help="pivot table over records")
+    p_rep.add_argument("name")
+    p_rep.add_argument("--value", default=None,
+                       help="metric to tabulate (e.g. per)")
+    p_rep.add_argument("--rows", default=None, help="row parameter")
+    p_rep.add_argument("--cols", default=None, help="column parameter")
+    add_results_arg(p_rep)
 
     p_rates = sub.add_parser("rates", help="dump a rate table")
     p_rates.add_argument("standard", nargs="?", default="802.11a",
@@ -136,6 +244,7 @@ _HANDLERS = {
     "mac": _cmd_mac,
     "regulatory": _cmd_regulatory,
     "experiment": _cmd_experiment,
+    "campaign": _cmd_campaign,
     "rates": _cmd_rates,
 }
 

@@ -33,22 +33,40 @@ def _e2_processing_gain():
 
 
 def _e3_dsss_cck():
-    from repro.core.link import LinkSimulator
+    from repro.campaign import CampaignSpec, run_campaign
 
+    spec = CampaignSpec(
+        name="e3-quick", kind="link",
+        factors={"phy": ["dsss-1", "dsss-2", "cck-5.5", "cck-11"]},
+        fixed={"channel": "awgn", "snr_db": 6.0,
+               "n_packets": 20, "payload_bytes": 50},
+        base_seed=1,
+    )
+    result = run_campaign(spec)
     lines = ["PER at 6 dB SNR (AWGN), 20 x 50 B packets:"]
-    for phy in ("dsss-1", "dsss-2", "cck-5.5", "cck-11"):
-        per = LinkSimulator(phy, "awgn", rng=1).run(6.0, 20, 50).per
-        lines.append(f"  {phy:<9}: {per:.2f}")
+    for rec in result.records:
+        lines.append(f"  {rec['params']['phy']:<9}: "
+                     f"{rec['metrics']['per']:.2f}")
+    lines.append("(full grid: python -m repro campaign run e3-dsss-cck)")
     return lines
 
 
 def _e4_ofdm():
-    from repro.core.link import LinkSimulator
+    from repro.campaign import CampaignSpec, run_campaign
 
+    spec = CampaignSpec(
+        name="e4-quick", kind="link",
+        factors={"phy": ["ofdm-6", "ofdm-24", "ofdm-54"]},
+        fixed={"channel": "awgn", "snr_db": 20.0,
+               "n_packets": 10, "payload_bytes": 60},
+        base_seed=1,
+    )
+    result = run_campaign(spec)
     lines = ["PER at 20 dB SNR (AWGN), 10 x 60 B packets:"]
-    for rate in (6, 24, 54):
-        per = LinkSimulator(f"ofdm-{rate}", "awgn", rng=1).run(20.0, 10, 60).per
-        lines.append(f"  {rate:>2} Mbps: {per:.2f}")
+    for rec in result.records:
+        rate = rec["params"]["phy"].split("-")[1]
+        lines.append(f"  {rate:>2} Mbps: {rec['metrics']['per']:.2f}")
+    lines.append("(full grid: python -m repro campaign run e4-ofdm)")
     return lines
 
 
@@ -61,21 +79,24 @@ def _e5_mimo_rate():
 
 def _e6_mimo_range():
     from repro.analysis.range import range_ratio_from_gain_db
-    from repro.phy.mimo.capacity import rayleigh_channel
+    from repro.campaign import CampaignSpec, run_campaign
 
-    rng = np.random.default_rng(0)
+    spec = CampaignSpec(
+        name="e6-quick", kind="mimo-range",
+        factors={"antennas": ["1x1", "2x2", "4x4"]},
+        fixed={"n_draws": 1500, "outage": 0.01},
+        base_seed=0,
+    )
+    result = run_campaign(spec)
     lines = []
     siso = None
-    for n_tx, n_rx in ((1, 1), (2, 2), (4, 4)):
-        gains = np.array([
-            np.sum(np.abs(rayleigh_channel(n_rx, n_tx, rng)) ** 2) / n_tx
-            for _ in range(1500)
-        ])
-        margin = -10 * np.log10(np.quantile(gains, 0.01))
+    for rec in result.records:
+        margin = rec["metrics"]["margin_db"]
         siso = margin if siso is None else siso
         ratio = float(range_ratio_from_gain_db(siso - margin))
-        lines.append(f"{n_tx}x{n_rx}: 1%-outage margin {margin:5.1f} dB "
-                     f"-> range x{ratio:.2f}")
+        lines.append(f"{rec['params']['antennas']}: 1%-outage margin "
+                     f"{margin:5.1f} dB -> range x{ratio:.2f}")
+    lines.append("(full grid: python -m repro campaign run e6-mimo-range)")
     return lines
 
 

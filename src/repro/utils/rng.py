@@ -1,9 +1,16 @@
 """Random-number-generator plumbing.
 
 Every stochastic entry point in the library accepts an ``rng`` argument
-that may be ``None`` (fresh default generator), an integer seed, or an
-existing :class:`numpy.random.Generator`. :func:`as_generator` normalises
-all three, so simulations are reproducible whenever a seed is supplied.
+that may be ``None`` (fresh default generator), an integer seed, a
+:class:`numpy.random.SeedSequence`, or an existing
+:class:`numpy.random.Generator`. :func:`as_generator` normalises all
+four, so simulations are reproducible whenever a seed is supplied.
+
+For parallel work the module offers counter-based substreams:
+:func:`substream` derives the ``index``-th child of a base seed through
+``SeedSequence`` spawning, so stream ``i`` is the same object no matter
+how many workers exist or in which order points execute. This is what
+makes ``repro.campaign`` runs bit-identical at any worker count.
 """
 
 from __future__ import annotations
@@ -16,12 +23,55 @@ def as_generator(rng=None):
 
     Parameters
     ----------
-    rng : None, int, or numpy.random.Generator
-        ``None`` yields a freshly seeded generator; an int is used as the
-        seed; a Generator is passed through unchanged.
+    rng : None, int, numpy.random.SeedSequence, or numpy.random.Generator
+        ``None`` yields a freshly seeded generator; an int or
+        ``SeedSequence`` is used as the seed; a Generator is passed
+        through unchanged.
     """
     if rng is None:
         return np.random.default_rng()
     if isinstance(rng, np.random.Generator):
         return rng
     return np.random.default_rng(rng)
+
+
+def spawn_seeds(base, n):
+    """``n`` independent child :class:`~numpy.random.SeedSequence` objects.
+
+    Children are derived with ``SeedSequence(base).spawn(n)``, so the
+    streams are statistically independent of each other *and* of the
+    parent, and depend only on ``(base, index)`` — never on how many
+    siblings were requested or on spawn order.
+
+    Parameters
+    ----------
+    base : int or numpy.random.SeedSequence
+        Root entropy. An existing ``SeedSequence`` is spawned from
+        directly (note that spawning mutates its child counter).
+    n : int
+        Number of children, >= 0.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} seeds")
+    seq = base if isinstance(base, np.random.SeedSequence) \
+        else np.random.SeedSequence(base)
+    return seq.spawn(int(n))
+
+
+def substream(base, index):
+    """The ``index``-th child seed of ``base``, derived statelessly.
+
+    Equivalent to ``spawn_seeds(base, index + 1)[index]`` but O(1): the
+    child is constructed directly from the spawn key, so a worker can
+    derive its own stream without coordinating with anyone.
+
+    Parameters
+    ----------
+    base : int
+        Root entropy (an integer base seed).
+    index : int
+        Substream index, >= 0.
+    """
+    if index < 0:
+        raise ValueError(f"substream index must be >= 0, got {index}")
+    return np.random.SeedSequence(base, spawn_key=(int(index),))

@@ -1,0 +1,328 @@
+"""Tests for the repro.campaign sweep orchestrator."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.campaign import (CampaignSpec, ResultsStore, builtin_campaign,
+                            builtin_campaigns, format_pivot, load_spec, pivot,
+                            point_key, point_kinds, run_campaign)
+from repro.campaign.runner import register_point_kind
+from repro.campaign.seeding import point_generator, point_seed
+from repro.errors import ConfigurationError
+
+
+def quick_spec(**overrides):
+    """A four-point link campaign small enough for unit tests."""
+    fields = dict(
+        name="tiny", kind="link",
+        factors={"phy": ["dsss-1", "dsss-2"], "snr_db": [0.0, 8.0]},
+        fixed={"channel": "awgn", "n_packets": 3, "payload_bytes": 20},
+        base_seed=3,
+    )
+    fields.update(overrides)
+    return CampaignSpec(**fields)
+
+
+class TestSpec:
+    def test_expansion_order_and_params(self):
+        points = quick_spec().expand()
+        assert [p.index for p in points] == [0, 1, 2, 3]
+        # Last factor varies fastest.
+        assert [(p.params["phy"], p.params["snr_db"]) for p in points] == [
+            ("dsss-1", 0.0), ("dsss-1", 8.0),
+            ("dsss-2", 0.0), ("dsss-2", 8.0),
+        ]
+        assert all(p.params["channel"] == "awgn" for p in points)
+        assert quick_spec().n_points == 4
+
+    def test_rejects_factor_fixed_overlap(self):
+        with pytest.raises(ConfigurationError):
+            quick_spec(fixed={"phy": "cck-11"})
+
+    def test_rejects_empty_factor(self):
+        with pytest.raises(ConfigurationError):
+            quick_spec(factors={"phy": []})
+
+    def test_rejects_scalar_factor_value(self):
+        with pytest.raises(ConfigurationError):
+            quick_spec(factors={"phy": "dsss-1"})
+
+    def test_rejects_unsafe_name(self):
+        with pytest.raises(ConfigurationError):
+            quick_spec(name="../escape")
+
+    def test_rejects_non_scalar_values(self):
+        with pytest.raises(ConfigurationError):
+            quick_spec(factors={"phy": [["nested"]]})
+
+    def test_json_roundtrip(self, tmp_path):
+        spec = quick_spec()
+        path = tmp_path / "tiny.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        loaded = CampaignSpec.from_json(path)
+        assert loaded == spec
+        assert load_spec(str(path)) == spec
+
+    def test_load_spec_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            load_spec("no-such-campaign")
+
+    def test_builtins_expand(self):
+        names = set(builtin_campaigns())
+        assert {"e3-dsss-cck", "e4-ofdm", "e6-mimo-range"} <= names
+        for name in names:
+            spec = builtin_campaign(name)
+            assert spec.n_points == len(spec.expand())
+            assert spec.kind in point_kinds()
+
+    def test_unknown_builtin(self):
+        with pytest.raises(ConfigurationError):
+            builtin_campaign("e99-nope")
+
+
+class TestSeeding:
+    def test_point_seed_is_stateless_and_order_free(self):
+        a = [point_seed(7, i).generate_state(4).tolist() for i in (3, 0, 2)]
+        b = [point_seed(7, i).generate_state(4).tolist() for i in (3, 0, 2)]
+        assert a == b
+        assert a[0] != a[1] != a[2]
+
+    def test_matches_seedsequence_spawn(self):
+        spawned = np.random.SeedSequence(7).spawn(4)
+        for i, child in enumerate(spawned):
+            assert (point_seed(7, i).generate_state(4).tolist()
+                    == child.generate_state(4).tolist())
+
+    def test_point_generator_reproducible(self):
+        x = point_generator(1, 2).integers(0, 1 << 30, 8)
+        y = point_generator(1, 2).integers(0, 1 << 30, 8)
+        assert (x == y).all()
+
+
+class TestCacheKey:
+    def test_stable_under_dict_order(self):
+        k1 = point_key("link", "1", 0, 2, {"a": 1, "b": 2.5})
+        k2 = point_key("link", "1", 0, 2, {"b": 2.5, "a": 1})
+        assert k1 == k2
+
+    @pytest.mark.parametrize("change", [
+        {"kind": "dcf"}, {"code_version": "2"}, {"base_seed": 1},
+        {"index": 3}, {"params": {"a": 2, "b": 2.5}},
+    ])
+    def test_sensitive_to_every_field(self, change):
+        base = dict(kind="link", code_version="1", base_seed=0, index=2,
+                    params={"a": 1, "b": 2.5})
+        changed = dict(base)
+        changed.update(change)
+        assert point_key(**base) != point_key(**changed)
+
+
+class TestRunner:
+    def test_serial_run_produces_ordered_ok_records(self):
+        result = run_campaign(quick_spec())
+        assert result.n_points == 4
+        assert result.n_executed == 4
+        assert result.n_cached == 0
+        assert [r["index"] for r in result.records] == [0, 1, 2, 3]
+        assert all(r["outcome"] == "ok" for r in result.records)
+        assert all(0.0 <= r["metrics"]["per"] <= 1.0 for r in result.records)
+
+    def test_parallel_bit_identical_to_serial(self, tmp_path):
+        spec = quick_spec()
+        serial = run_campaign(spec, workers=1,
+                              store=ResultsStore(tmp_path / "s1"))
+        parallel = run_campaign(spec, workers=2,
+                                store=ResultsStore(tmp_path / "s2"))
+        assert serial.metrics_by_index() == parallel.metrics_by_index()
+        # and the parallel run really left this process
+        assert os.getpid() not in {r["worker"] for r in parallel.records}
+
+    def test_rerun_is_all_cache_hits(self, tmp_path):
+        spec = quick_spec()
+        store = ResultsStore(tmp_path)
+        first = run_campaign(spec, store=store)
+        second = run_campaign(spec, store=store)
+        assert second.n_executed == 0
+        assert second.n_cached == first.n_points
+        assert second.cache_hit_rate == 1.0
+        assert all(r["cached"] for r in second.records)
+        assert second.metrics_by_index() == first.metrics_by_index()
+
+    def test_seed_change_invalidates_cache(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        run_campaign(quick_spec(), store=store)
+        reseeded = run_campaign(quick_spec(base_seed=99), store=store)
+        assert reseeded.n_executed == 4
+
+    def test_force_recomputes(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        run_campaign(quick_spec(), store=store)
+        forced = run_campaign(quick_spec(), store=store, force=True)
+        assert forced.n_executed == 4
+        # Store stays clean: still one record per key after the rewrite.
+        assert len(store.load("tiny")) == 4
+
+    def test_grid_growth_reuses_common_prefix_only(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        run_campaign(quick_spec(), store=store)
+        # Appending a value to the *last* factor renumbers indices 2..,
+        # so only the first phy's points survive the cache.
+        grown = run_campaign(
+            quick_spec(factors={"phy": ["dsss-1", "dsss-2"],
+                                "snr_db": [0.0, 8.0, 16.0]}),
+            store=store)
+        assert grown.n_cached == 2
+        assert grown.n_executed == 4
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_campaign(quick_spec(kind="quantum"))
+
+    def test_point_failure_is_recorded_not_raised(self, tmp_path):
+        spec = CampaignSpec(
+            name="mixed", kind="link",
+            factors={"phy": ["dsss-1", "warp-9"]},
+            fixed={"channel": "awgn", "snr_db": 5.0,
+                   "n_packets": 2, "payload_bytes": 10},
+        )
+        result = run_campaign(spec, store=ResultsStore(tmp_path))
+        outcomes = {r["params"]["phy"]: r["outcome"] for r in result.records}
+        assert outcomes == {"dsss-1": "ok", "warp-9": "error"}
+        # Failures are not served from cache: the bad point retries.
+        again = run_campaign(spec, store=ResultsStore(tmp_path))
+        assert again.n_executed == 1
+
+    def test_custom_point_kind(self):
+        register_point_kind(
+            "echo", lambda params, rng: {"double": 2 * params["x"]},
+            code_version="1")
+        spec = CampaignSpec(name="echo-test", kind="echo",
+                            factors={"x": [1, 2, 3]})
+        result = run_campaign(spec)
+        assert [r["metrics"]["double"] for r in result.records] == [2, 4, 6]
+
+    def test_mimo_range_and_dcf_kinds_run(self):
+        mimo = run_campaign(CampaignSpec(
+            name="mimo-mini", kind="mimo-range",
+            factors={"antennas": ["1x1", "2x2"]},
+            fixed={"n_draws": 200, "outage": 0.05}))
+        margins = [r["metrics"]["margin_db"] for r in mimo.records]
+        assert margins[0] > margins[1]  # diversity shrinks the margin
+        dcf = run_campaign(CampaignSpec(
+            name="dcf-mini", kind="dcf",
+            factors={"n_stations": [2]},
+            fixed={"duration": 0.02}))
+        assert dcf.records[0]["metrics"]["throughput_mbps"] > 0
+
+
+class TestStore:
+    def test_append_load_roundtrip_dedupes(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        rec = {"key": "k1", "index": 0, "outcome": "ok",
+               "metrics": {"per": 0.5}, "cached": False}
+        store.append("c", rec)
+        store.append("c", {**rec, "metrics": {"per": 0.25}})
+        loaded = store.load("c")
+        assert len(loaded) == 1
+        assert loaded[0]["metrics"]["per"] == 0.25  # last write wins
+        assert "cached" not in loaded[0]
+
+    def test_torn_tail_line_ignored(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        store.append("c", {"key": "k1", "index": 0, "outcome": "ok"})
+        with open(store._records_path("c"), "a") as fh:
+            fh.write('{"key": "k2", "trunc')
+        assert len(store.load("c")) == 1
+
+    def test_campaigns_listing(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        assert store.campaigns() == []
+        run_campaign(quick_spec(), store=store)
+        assert store.campaigns() == [("tiny", 4)]
+        assert store.load_spec("tiny") == quick_spec()
+
+    def test_missing_spec_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            ResultsStore(tmp_path).load_spec("ghost")
+
+
+class TestReport:
+    def records(self):
+        return run_campaign(quick_spec()).records
+
+    def test_pivot_values(self):
+        rows, cols, grid = pivot(self.records(), "per", "snr_db", "phy")
+        assert rows == [0.0, 8.0]
+        assert cols == ["dsss-1", "dsss-2"]
+        assert all(v is not None for row in grid for v in row)
+
+    def test_pivot_without_columns(self):
+        rows, cols, grid = pivot(self.records(), "per", "phy")
+        assert rows == ["dsss-1", "dsss-2"]
+        assert len(grid[0]) == 1
+
+    def test_format_pivot_lines(self):
+        lines = format_pivot(self.records(), "per", "snr_db", "phy",
+                             title="t")
+        assert lines[0] == "t"
+        assert "dsss-1" in lines[1]
+        assert len(lines) == 4  # title + header + 2 rows
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pivot(self.records(), "per", "nonsense")
+
+
+class TestCampaignCli:
+    def run_cli(self, *argv):
+        from repro.cli import main
+        return main(list(argv))
+
+    def test_run_ls_show_report(self, tmp_path, capsys):
+        spec_path = tmp_path / "tiny.json"
+        spec_path.write_text(json.dumps({
+            **quick_spec().to_dict(),
+            "meta": {"report": {"value": "per", "rows": "snr_db",
+                                "cols": "phy"}},
+        }))
+        results = str(tmp_path / "results")
+        assert self.run_cli("campaign", "run", str(spec_path),
+                            "--results", results, "--report") == 0
+        out = capsys.readouterr().out
+        assert "4 points" in out and "4 executed" in out
+        assert "snr_db \\ phy" in out
+
+        assert self.run_cli("campaign", "run", str(spec_path),
+                            "--results", results) == 0
+        assert "4 cached (100%) | 0 executed" in capsys.readouterr().out
+
+        assert self.run_cli("campaign", "ls", "--results", results) == 0
+        assert "tiny" in capsys.readouterr().out
+
+        assert self.run_cli("campaign", "show", "tiny",
+                            "--results", results) == 0
+        out = capsys.readouterr().out
+        assert "kind=link" in out and "factor phy" in out
+
+        assert self.run_cli("campaign", "report", "tiny",
+                            "--results", results) == 0
+        assert "dsss-2" in capsys.readouterr().out
+
+    def test_ls_empty_store_suggests_builtins(self, tmp_path, capsys):
+        assert self.run_cli("campaign", "ls",
+                            "--results", str(tmp_path / "none")) == 0
+        assert "e3-dsss-cck" in capsys.readouterr().out
+
+    def test_report_without_defaults_errors(self, tmp_path, capsys):
+        spec_path = tmp_path / "tiny.json"
+        spec_path.write_text(json.dumps(quick_spec().to_dict()))
+        results = str(tmp_path / "results")
+        assert self.run_cli("campaign", "run", str(spec_path),
+                            "--results", results) == 0
+        capsys.readouterr()
+        assert self.run_cli("campaign", "report", "tiny",
+                            "--results", results) == 2
+        assert "--value" in capsys.readouterr().out

@@ -48,3 +48,23 @@ class TestCommands:
         assert main(["rates", "802.11b"]) == 0
         out = capsys.readouterr().out
         assert "11.0 Mbps" in out
+
+    def test_experiment_list_flag(self, capsys):
+        assert main(["experiment", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "E17" in out
+        # Every registered id appears with its one-line description.
+        from repro.core.experiments import list_experiments
+        for key, desc in list_experiments():
+            assert key in out
+            assert desc in out
+
+    def test_campaign_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign"])
+
+    def test_campaign_run_defaults(self):
+        args = build_parser().parse_args(["campaign", "run", "e3-dsss-cck"])
+        assert args.workers == 1
+        assert args.results == "results"
+        assert not args.force

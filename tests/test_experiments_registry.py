@@ -14,10 +14,14 @@ class TestRegistry:
             assert required in ids
 
     @pytest.mark.parametrize("exp_id", [key for key, _ in list_experiments()])
-    def test_every_experiment_runs(self, exp_id):
+    def test_every_experiment_runs_and_is_deterministic(self, exp_id):
         lines = run_experiment(exp_id)
         assert len(lines) >= 3
         assert lines[0].startswith(exp_id)
+        assert all(isinstance(line, str) and line for line in lines)
+        # Experiments carry their own seeds, so a second dispatch must
+        # reproduce the first bit-for-bit.
+        assert run_experiment(exp_id) == lines
 
     def test_lowercase_accepted(self):
         assert run_experiment("e1")[0].startswith("E1")

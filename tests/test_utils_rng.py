@@ -1,0 +1,86 @@
+"""Tests for RNG plumbing: as_generator coercion and seed substreams."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn_seeds, substream
+
+
+class TestAsGenerator:
+    def test_none_gives_fresh_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_generator_passes_through_unchanged(self):
+        gen = np.random.default_rng(4)
+        assert as_generator(gen) is gen
+
+    def test_int_seed_reproducible(self):
+        a = as_generator(12).integers(0, 1 << 30, 16)
+        b = as_generator(12).integers(0, 1 << 30, 16)
+        assert (a == b).all()
+
+    def test_accepts_seed_sequence(self):
+        seq = np.random.SeedSequence(12, spawn_key=(5,))
+        got = as_generator(seq).integers(0, 1 << 30, 16)
+        want = np.random.default_rng(
+            np.random.SeedSequence(12, spawn_key=(5,))).integers(0, 1 << 30,
+                                                                 16)
+        assert (got == want).all()
+
+
+class TestSpawnSeeds:
+    def test_count_and_type(self):
+        seeds = spawn_seeds(0, 5)
+        assert len(seeds) == 5
+        assert all(isinstance(s, np.random.SeedSequence) for s in seeds)
+        assert spawn_seeds(0, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+        with pytest.raises(ValueError):
+            substream(0, -1)
+
+    def test_matches_numpy_spawn(self):
+        ours = spawn_seeds(123, 4)
+        numpys = np.random.SeedSequence(123).spawn(4)
+        for a, b in zip(ours, numpys):
+            assert a.generate_state(4).tolist() == b.generate_state(4).tolist()
+
+    def test_reproducible_across_calls(self):
+        a = [s.generate_state(2).tolist() for s in spawn_seeds(9, 3)]
+        b = [s.generate_state(2).tolist() for s in spawn_seeds(9, 3)]
+        assert a == b
+
+
+class TestSubstream:
+    def test_equals_spawned_child(self):
+        children = spawn_seeds(7, 6)
+        for i in (0, 3, 5):
+            assert (substream(7, i).generate_state(4).tolist()
+                    == children[i].generate_state(4).tolist())
+
+    def test_independent_of_sibling_count(self):
+        # substream(base, i) never depends on how many siblings exist.
+        lone = substream(7, 2).generate_state(4).tolist()
+        among_many = spawn_seeds(7, 100)[2].generate_state(4).tolist()
+        assert lone == among_many
+
+    def test_streams_are_distinct(self):
+        draws = set()
+        for i in range(50):
+            gen = as_generator(substream(0, i))
+            draws.add(tuple(gen.integers(0, 1 << 62, 4).tolist()))
+        assert len(draws) == 50
+
+    def test_base_seeds_are_distinct(self):
+        a = as_generator(substream(0, 1)).integers(0, 1 << 62, 8)
+        b = as_generator(substream(1, 1)).integers(0, 1 << 62, 8)
+        assert (a != b).any()
+
+    def test_independence_low_correlation(self):
+        # Adjacent substreams should look uncorrelated: normalised sample
+        # correlation of long normal draws stays near zero.
+        x = as_generator(substream(42, 0)).normal(size=4000)
+        y = as_generator(substream(42, 1)).normal(size=4000)
+        assert abs(np.corrcoef(x, y)[0, 1]) < 0.08
