@@ -9,7 +9,10 @@ derives an independent random substream per point
 any worker count), executes points on a ``ProcessPoolExecutor``, skips
 points already present in the :class:`~repro.campaign.store.ResultsStore`
 (content-hash cache), and appends each completed point to
-``results/<campaign>/records.jsonl`` as it lands.
+``results/<campaign>/records.jsonl`` as it lands. Execution is
+fault-isolated: failing points become structured ``error``/``timeout``
+records (with retry and timeout budgets from the spec) instead of
+aborting the sweep, and re-runs recompute exactly the failed points.
 
 Quick use::
 
@@ -23,10 +26,12 @@ or from the shell::
 """
 
 from repro.campaign.cache import point_key
-from repro.campaign.report import format_pivot, pivot, summary_lines
+from repro.campaign.report import (failure_lines, format_pivot, pivot,
+                                   summary_lines)
 from repro.campaign.runner import (CampaignResult, point_kinds,
                                    register_point_kind, run_campaign)
-from repro.campaign.seeding import point_generator, point_seed
+from repro.campaign.seeding import (attempt_generator, attempt_seed,
+                                    point_generator, point_seed)
 from repro.campaign.spec import (CampaignSpec, SweepPoint, builtin_campaign,
                                  builtin_campaigns, load_spec)
 from repro.campaign.store import ResultsStore
@@ -36,8 +41,11 @@ __all__ = [
     "CampaignSpec",
     "ResultsStore",
     "SweepPoint",
+    "attempt_generator",
+    "attempt_seed",
     "builtin_campaign",
     "builtin_campaigns",
+    "failure_lines",
     "format_pivot",
     "load_spec",
     "pivot",

@@ -22,9 +22,16 @@ import json
 
 
 def canonical_json(data):
-    """Deterministic JSON text: sorted keys, no whitespace drift."""
+    """Deterministic JSON text: sorted keys, no whitespace drift.
+
+    ``allow_nan=False`` makes non-finite floats a loud ``ValueError``
+    instead of silently emitting ``NaN``/``Infinity`` — tokens no JSON
+    parser is required to accept, which would poison both cache keys
+    and the JSONL store. Spec validation rejects non-finite parameters
+    before they can reach a key.
+    """
     return json.dumps(data, sort_keys=True, separators=(",", ":"),
-                      ensure_ascii=True)
+                      ensure_ascii=True, allow_nan=False)
 
 
 def point_key(kind, code_version, base_seed, index, params):

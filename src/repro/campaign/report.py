@@ -59,7 +59,9 @@ def pivot(records, value, rows, cols=None):
     counts = {}
     for record in records:
         val = _cell_value(record, value)
-        if val is None or not isinstance(val, (int, float)):
+        # bool is an int subclass, but averaging True as 1.0 silently
+        # turns flags into bogus "metrics" — booleans don't aggregate.
+        if isinstance(val, bool) or not isinstance(val, (int, float)):
             continue
         r = record["params"][rows]
         c = record["params"][cols] if cols else value
@@ -103,19 +105,51 @@ def summary_lines(records, name=None):
     if not records:
         return [f"{header}: no records"]
     ok = [r for r in records if r.get("outcome") == "ok"]
-    failed = [r for r in records if r.get("outcome") == "error"]
+    errors = [r for r in records if r.get("outcome") == "error"]
+    timeouts = [r for r in records if r.get("outcome") == "timeout"]
     total_time = sum(r.get("wall_time_s", 0.0) for r in records)
     workers = sorted({r.get("worker") for r in records if r.get("worker")})
     kinds = sorted({r.get("kind") for r in records})
     lines.append(f"{header}: {len(records)} points "
-                 f"({len(ok)} ok, {len(failed)} failed), kind "
+                 f"({len(ok)} ok, {len(errors)} error, "
+                 f"{len(timeouts)} timeout), kind "
                  f"{'/'.join(str(k) for k in kinds)}")
     lines.append(f"  simulated wall time {total_time:.2f}s across "
                  f"{len(workers)} worker process(es)")
+    failed = errors + timeouts
     if failed:
-        worst = failed[0]
+        worst = min(failed, key=lambda r: r.get("index", 0))
+        what = worst.get("error_type") or worst.get("outcome")
         lines.append(f"  first failure: point {worst.get('index')} "
-                     f"({worst.get('error')})")
+                     f"{what}: {worst.get('error')}")
+    return lines
+
+
+def failure_lines(records, max_traceback_lines=6):
+    """Per-point failure table: outcome, attempts, class, traceback tail.
+
+    Returns ``[]`` when every record is ``ok`` so callers can print the
+    result unconditionally.
+    """
+    failed = [r for r in records if r.get("outcome", "ok") != "ok"]
+    if not failed:
+        return []
+    lines = [f"{len(failed)} failed point(s):"]
+    for record in sorted(failed, key=lambda r: r.get("index", 0)):
+        attempts = record.get("attempts", 1)
+        what = record.get("error_type") or record.get("outcome")
+        lines.append(
+            f"  point {record.get('index')} [{record.get('outcome')}] "
+            f"after {attempts} attempt(s) — {what}: {record.get('error')}"
+        )
+        params = record.get("params") or {}
+        if params:
+            lines.append("    params: " + ", ".join(
+                f"{k}={v!r}" for k, v in sorted(params.items())))
+        tb = record.get("traceback")
+        if tb:
+            tail = tb.strip().splitlines()[-int(max_traceback_lines):]
+            lines.extend("    | " + t for t in tail)
     return lines
 
 

@@ -13,6 +13,17 @@ seed and the point's grid index. Because every point owns its stream,
 execution order and worker count cannot affect results: ``--workers 8``
 is bit-identical to ``--workers 1``.
 
+Execution is *fault-isolated*: any exception a point function raises is
+captured into the point's record — class name, message, and traceback
+text — and the sweep continues; one bad point can no longer abort a
+pool run and abandon hours of in-flight results. Failing points get
+``spec.retries`` extra attempts, each drawing from a deterministic
+per-attempt stream (see :mod:`repro.campaign.seeding`), and an optional
+``spec.timeout_s`` wall-clock budget marks an overrunning point
+``timeout`` and moves on. :func:`run_campaign` therefore always returns
+a complete :class:`CampaignResult`: one record per grid point, never a
+``None`` hole.
+
 Record schema (one per point, stored as a JSONL line)::
 
     {
@@ -24,23 +35,30 @@ Record schema (one per point, stored as a JSONL line)::
       "params":       resolved point parameters,
       "base_seed":    campaign base seed,
       "metrics":      {...} returned by the point function,
-      "outcome":      "ok" | "error",
-      "error":        message when outcome == "error" else None,
-      "wall_time_s":  per-point wall time,
+      "outcome":      "ok" | "error" | "timeout",
+      "error":        message when outcome != "ok" else None,
+      "error_type":   exception class name when outcome != "ok" else None,
+      "traceback":    traceback text when outcome == "error" else None,
+      "attempts":     attempts consumed (1 when the first try settled it),
+      "wall_time_s":  per-point wall time across all attempts,
       "worker":       pid of the process that ran it,
     }
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
+import pickle
+import threading
 import time
+import traceback as traceback_module
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 
 from repro.campaign.cache import point_key
-from repro.campaign.seeding import point_generator
-from repro.errors import ConfigurationError, ReproError
+from repro.campaign.seeding import attempt_generator
+from repro.errors import ConfigurationError, PointExecutionError
 
 # -- point-kind registry -----------------------------------------------------
 
@@ -151,19 +169,113 @@ register_point_kind("link", _run_link_point, code_version="1")
 register_point_kind("mimo-range", _run_mimo_range_point, code_version="1")
 register_point_kind("dcf", _run_dcf_point, code_version="1")
 
+# Snapshot of the registry as a fresh import creates it. A worker
+# spawned (rather than forked) re-imports this module and gets exactly
+# these entries; anything else must be shipped to it explicitly.
+_BUILTIN_ENTRIES = dict(_POINT_KINDS)
+
+
+def _register_in_worker(kind, func, code_version):
+    """Pool initializer: re-register a custom kind in a child process.
+
+    Under the ``spawn``/``forkserver`` start methods workers do not
+    inherit the parent's registry mutations, so custom kinds registered
+    after import would vanish; this runs once per worker to restore the
+    campaign's kind before any point executes.
+    """
+    register_point_kind(kind, func, code_version)
+
+
+def _worker_initializer(kind):
+    """``(initializer, initargs)`` needed so pool workers know ``kind``.
+
+    Built-in kinds are re-created by the module import in every child,
+    so they need nothing. Custom kinds are shipped by value when their
+    function pickles; an unpicklable function (e.g. a lambda) falls
+    back to fork inheritance, which is what worked before — only the
+    spawn start method cannot support it.
+    """
+    entry = _POINT_KINDS.get(kind)
+    if entry is None or entry == _BUILTIN_ENTRIES.get(kind):
+        return None, ()
+    func, code_version = entry
+    try:
+        pickle.dumps(func)
+    except Exception:
+        return None, ()
+    return _register_in_worker, (kind, func, code_version)
+
 
 # -- execution ---------------------------------------------------------------
 
-def _execute_point(kind, campaign, base_seed, index, params, key):
-    """Run one point in whatever process this lands in (pool or main)."""
+class _PointTimeout(Exception):
+    """Internal: a point overran its wall-clock budget."""
+
+
+def _call_point(func, params, rng, timeout_s):
+    """Invoke ``func`` with an optional wall-clock budget.
+
+    With a timeout the call runs on a daemon thread and is abandoned at
+    the deadline (the thread cannot be killed, but the worker process
+    moves on; stragglers die with the process). Without one the call is
+    made inline — zero overhead on the common path.
+    """
+    if not timeout_s:
+        return func(params, rng)
+    outcome = {}
+
+    def target():
+        try:
+            outcome["metrics"] = func(params, rng)
+        except BaseException as exc:  # propagated to the caller below
+            outcome["exc"] = exc
+
+    worker = threading.Thread(target=target, daemon=True,
+                              name="campaign-point")
+    worker.start()
+    worker.join(float(timeout_s))
+    if worker.is_alive():
+        raise _PointTimeout(
+            f"point exceeded its {float(timeout_s):g}s wall-clock budget")
+    if "exc" in outcome:
+        raise outcome["exc"]
+    return outcome["metrics"]
+
+
+_MAX_TRACEBACK_CHARS = 8000
+
+
+def _execute_point(kind, campaign, base_seed, index, params, key,
+                   retries=0, timeout_s=None):
+    """Run one point in whatever process this lands in (pool or main).
+
+    Never raises: every exception from the point function becomes a
+    structured ``error`` record, an overrun becomes ``timeout``, and
+    failures are retried up to ``retries`` times with attempt ``k``
+    drawing from the deterministic ``(base_seed, index, k)`` stream.
+    Timeouts are terminal — re-running a hang would just hang again and
+    burn the budget times over.
+    """
     func, code_version = _lookup_kind(kind)
-    rng = point_generator(base_seed, index)
     start = time.perf_counter()
-    try:
-        metrics = func(params, rng)
-        outcome, error = "ok", None
-    except ReproError as exc:
-        metrics, outcome, error = {}, "error", str(exc)
+    attempts = 0
+    metrics, outcome, error, error_type, tb_text = {}, "error", None, None, \
+        None
+    for attempt in range(int(retries) + 1):
+        attempts = attempt + 1
+        rng = attempt_generator(base_seed, index, attempt)
+        try:
+            metrics = _call_point(func, params, rng, timeout_s)
+            outcome, error, error_type, tb_text = "ok", None, None, None
+            break
+        except _PointTimeout as exc:
+            metrics, outcome, error = {}, "timeout", str(exc)
+            error_type, tb_text = "TimeoutError", None
+            break
+        except Exception as exc:
+            metrics, outcome, error = {}, "error", str(exc)
+            error_type = type(exc).__name__
+            tb_text = traceback_module.format_exc()[-_MAX_TRACEBACK_CHARS:]
     return {
         "key": key,
         "campaign": campaign,
@@ -175,6 +287,9 @@ def _execute_point(kind, campaign, base_seed, index, params, key):
         "metrics": metrics,
         "outcome": outcome,
         "error": error,
+        "error_type": error_type,
+        "traceback": tb_text,
+        "attempts": attempts,
         "wall_time_s": time.perf_counter() - start,
         "worker": os.getpid(),
     }
@@ -206,8 +321,65 @@ class CampaignResult:
         """``{index: metrics}`` across all records (cached or fresh)."""
         return {r["index"]: r["metrics"] for r in self.records}
 
+    @property
+    def failed_records(self):
+        """Records whose outcome is not ``ok``, in grid order."""
+        return [r for r in self.records if r.get("outcome") != "ok"]
 
-def run_campaign(spec, workers=1, store=None, force=False, echo=None):
+    @property
+    def n_failed(self):
+        """How many points ended this run in ``error`` or ``timeout``."""
+        return len(self.failed_records)
+
+    def check(self):
+        """Raise :class:`~repro.errors.PointExecutionError` on failure.
+
+        For callers that want the pre-PR "a bad sweep is an exception"
+        contract back — but only after the whole grid ran and every
+        failure was recorded. Returns ``self`` so it chains.
+        """
+        if self.failed_records:
+            first = self.failed_records[0]
+            raise PointExecutionError(
+                f"{self.n_failed}/{self.n_points} points failed; first: "
+                f"point {first.get('index')} [{first.get('outcome')}] "
+                f"{first.get('error_type')}: {first.get('error')}",
+                index=first.get("index"),
+                params=first.get("params"),
+                attempts=first.get("attempts"),
+                outcome=first.get("outcome", "error"),
+            )
+        return self
+
+
+def _pool_failure_record(spec, code_version, point, key, exc):
+    """Structured record for a point whose *future* died, not its code.
+
+    Covers failures outside the point function — a worker killed by the
+    OS, an unpicklable argument, a broken pool. The sweep still gets a
+    complete record for the point instead of an aborted run.
+    """
+    return {
+        "key": key,
+        "campaign": spec.name,
+        "kind": spec.kind,
+        "code_version": code_version,
+        "index": point.index,
+        "params": dict(point.params),
+        "base_seed": int(spec.base_seed),
+        "metrics": {},
+        "outcome": "error",
+        "error": f"worker failed outside the point function: {exc}",
+        "error_type": type(exc).__name__,
+        "traceback": traceback_module.format_exc()[-_MAX_TRACEBACK_CHARS:],
+        "attempts": 1,
+        "wall_time_s": 0.0,
+        "worker": None,
+    }
+
+
+def run_campaign(spec, workers=1, store=None, force=False, echo=None,
+                 retries=None, timeout_s=None, start_method=None):
     """Execute a campaign, reusing cached points from ``store``.
 
     Parameters
@@ -224,15 +396,30 @@ def run_campaign(spec, workers=1, store=None, force=False, echo=None):
         Recompute every point even if cached.
     echo : callable or None
         Optional progress sink; called with one string per event.
+    retries : int or None
+        Override ``spec.retries`` for this run (``None`` keeps the spec).
+    timeout_s : float or None
+        Override ``spec.timeout_s`` for this run (``None`` keeps the
+        spec; pass ``0`` to disable a spec timeout).
+    start_method : str or None
+        Multiprocessing start method for the pool (``fork``, ``spawn``,
+        ``forkserver``). ``None`` uses ``$REPRO_CAMPAIGN_START_METHOD``
+        when set, else the platform default.
 
     Returns
     -------
     CampaignResult
-        Records ordered by grid index, with ``record["cached"]`` marking
-        points served from the store.
+        One record per grid point — failures included, never ``None``
+        holes — ordered by grid index, with ``record["cached"]`` marking
+        points served from the store. Use :meth:`CampaignResult.check`
+        to turn remaining failures into an exception.
     """
     _, code_version = _lookup_kind(spec.kind)  # validate kind up front
     workers = max(1, int(workers))
+    retries = int(spec.retries if retries is None else retries)
+    timeout_s = spec.timeout_s if timeout_s is None else (timeout_s or None)
+    start_method = start_method or os.environ.get(
+        "REPRO_CAMPAIGN_START_METHOD") or None
     say = echo or (lambda _msg: None)
     points = spec.expand()
     start = time.perf_counter()
@@ -270,18 +457,32 @@ def run_campaign(spec, workers=1, store=None, force=False, echo=None):
             f"in {record['wall_time_s']:.2f}s (worker {record['worker']})")
 
     if todo and workers > 1:
-        with ProcessPoolExecutor(max_workers=int(workers)) as pool:
-            futures = [
+        context = (multiprocessing.get_context(start_method)
+                   if start_method else None)
+        initializer, initargs = _worker_initializer(spec.kind)
+        with ProcessPoolExecutor(max_workers=int(workers),
+                                 mp_context=context,
+                                 initializer=initializer,
+                                 initargs=initargs) as pool:
+            futures = {
                 pool.submit(_execute_point, spec.kind, spec.name,
-                            spec.base_seed, pt.index, pt.params, key)
+                            spec.base_seed, pt.index, pt.params, key,
+                            retries, timeout_s): (key, pt)
                 for key, pt in todo
-            ]
+            }
             for future in as_completed(futures):
-                finish(future.result())
+                key, pt = futures[future]
+                try:
+                    record = future.result()
+                except Exception as exc:
+                    record = _pool_failure_record(spec, code_version, pt,
+                                                  key, exc)
+                finish(record)
     else:
         for key, pt in todo:
             finish(_execute_point(spec.kind, spec.name, spec.base_seed,
-                                  pt.index, pt.params, key))
+                                  pt.index, pt.params, key,
+                                  retries, timeout_s))
 
     return CampaignResult(
         spec=spec,

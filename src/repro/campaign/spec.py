@@ -18,14 +18,22 @@ files and be re-run byte-for-byte later::
       "factors": {"phy": ["ofdm-6", "ofdm-54"], "snr_db": [10, 20, 30]},
       "fixed": {"channel": "awgn", "n_packets": 100, "payload_bytes": 100},
       "base_seed": 7,
-      "meta": {"report": {"value": "per", "rows": "snr_db", "cols": "phy"}}
+      "meta": {"report": {"value": "per", "rows": "snr_db", "cols": "phy"}},
+      "retries": 1,
+      "timeout_s": 30.0
     }
+
+``retries`` and ``timeout_s`` are the spec's failure-handling knobs:
+how many extra deterministic attempts a failing point gets, and how
+long one point may run before being recorded as ``timeout``. Both are
+optional and both can be overridden per run from the CLI.
 """
 
 from __future__ import annotations
 
 import itertools
 import json
+import math
 import re
 from dataclasses import dataclass, field
 
@@ -33,6 +41,23 @@ from repro.errors import ConfigurationError
 
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 _SCALAR_TYPES = (str, int, float, bool, type(None))
+
+
+def validate_campaign_name(name):
+    """Return ``name`` if it is a safe campaign identifier, else raise.
+
+    Campaign names become directory names under the results store, so
+    anything that is not a single filesystem-safe path component
+    (letters, digits, ``.``, ``_``, ``-``; no separators, no leading
+    dot) is rejected — this is also the store's defence against path
+    traversal through CLI-supplied names like ``../../etc``.
+    """
+    if not isinstance(name, str) or not name or not _NAME_RE.match(name):
+        raise ConfigurationError(
+            f"campaign name {name!r} must be non-empty and "
+            "filesystem-safe (letters, digits, '.', '_', '-')"
+        )
+    return name
 
 
 @dataclass(frozen=True)
@@ -58,13 +83,17 @@ class CampaignSpec:
     fixed: dict = field(default_factory=dict)
     base_seed: int = 0
     meta: dict = field(default_factory=dict)
+    #: Extra attempts after the first for each failing point (0 = no
+    #: retries). Attempt ``k`` draws from an independent deterministic
+    #: stream; see :mod:`repro.campaign.seeding`.
+    retries: int = 0
+    #: Per-point wall-clock budget in seconds; ``None`` means unlimited.
+    #: A point still running at the deadline is recorded as ``timeout``
+    #: and the sweep moves on (timeouts are not retried).
+    timeout_s: float = None
 
     def __post_init__(self):
-        if not self.name or not _NAME_RE.match(self.name):
-            raise ConfigurationError(
-                f"campaign name {self.name!r} must be non-empty and "
-                "filesystem-safe (letters, digits, '.', '_', '-')"
-            )
+        validate_campaign_name(self.name)
         if not self.kind:
             raise ConfigurationError("campaign kind must be non-empty")
         if not self.factors:
@@ -87,6 +116,22 @@ class CampaignSpec:
             )
         for key, v in self.fixed.items():
             self._check_scalar(key, v)
+        if isinstance(self.retries, bool) or not isinstance(self.retries,
+                                                            int) \
+                or self.retries < 0:
+            raise ConfigurationError(
+                f"retries must be a non-negative integer, got "
+                f"{self.retries!r}"
+            )
+        if self.timeout_s is not None:
+            if isinstance(self.timeout_s, bool) \
+                    or not isinstance(self.timeout_s, (int, float)) \
+                    or not math.isfinite(self.timeout_s) \
+                    or self.timeout_s <= 0:
+                raise ConfigurationError(
+                    f"timeout_s must be a positive finite number or None, "
+                    f"got {self.timeout_s!r}"
+                )
 
     @staticmethod
     def _check_scalar(name, value):
@@ -94,6 +139,12 @@ class CampaignSpec:
             raise ConfigurationError(
                 f"parameter {name!r} value {value!r} is not a JSON scalar "
                 "(str/int/float/bool/None)"
+            )
+        if isinstance(value, float) and not math.isfinite(value):
+            raise ConfigurationError(
+                f"parameter {name!r} value {value!r} is not finite; "
+                "NaN/Infinity cannot round-trip through JSON specs or "
+                "cache keys"
             )
 
     # -- expansion -----------------------------------------------------------
@@ -139,6 +190,8 @@ class CampaignSpec:
             "fixed": dict(self.fixed),
             "base_seed": self.base_seed,
             "meta": dict(self.meta),
+            "retries": self.retries,
+            "timeout_s": self.timeout_s,
         }
 
     @classmethod
@@ -146,7 +199,7 @@ class CampaignSpec:
         if not isinstance(data, dict):
             raise ConfigurationError("campaign spec must be a JSON object")
         unknown = set(data) - {"name", "kind", "factors", "fixed",
-                               "base_seed", "meta"}
+                               "base_seed", "meta", "retries", "timeout_s"}
         if unknown:
             raise ConfigurationError(
                 f"unknown campaign spec fields: {sorted(unknown)}"
@@ -159,6 +212,8 @@ class CampaignSpec:
                 fixed=dict(data.get("fixed", {})),
                 base_seed=int(data.get("base_seed", 0)),
                 meta=dict(data.get("meta", {})),
+                retries=data.get("retries", 0),
+                timeout_s=data.get("timeout_s"),
             )
         except KeyError as exc:
             raise ConfigurationError(

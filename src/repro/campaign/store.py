@@ -17,9 +17,10 @@ schema); the store never interprets metrics, it only rounds-trips them.
 from __future__ import annotations
 
 import json
+import math
 import os
 
-from repro.campaign.spec import CampaignSpec
+from repro.campaign.spec import CampaignSpec, validate_campaign_name
 from repro.errors import ConfigurationError
 
 RECORDS_FILE = "records.jsonl"
@@ -30,6 +31,22 @@ SPEC_FILE = "spec.json"
 _EPHEMERAL_FIELDS = ("cached",)
 
 
+def _json_safe(value):
+    """Copy ``value`` with non-finite floats replaced by ``None``.
+
+    Metrics come from arbitrary point functions, so a stray ``nan``
+    quantile or ``inf`` margin must not corrupt the JSONL store with
+    tokens a strict parser rejects.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {k: _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return value
+
+
 class ResultsStore:
     """Filesystem-backed store of campaign results."""
 
@@ -37,7 +54,13 @@ class ResultsStore:
         self.root = os.fspath(root)
 
     def campaign_dir(self, name):
-        """Directory holding one campaign's spec and records."""
+        """Directory holding one campaign's spec and records.
+
+        ``name`` is validated against the spec naming rule before being
+        joined under ``root``, so CLI-supplied names like ``../../etc``
+        cannot escape the store.
+        """
+        validate_campaign_name(name)
         return os.path.join(self.root, name)
 
     def _records_path(self, name):
@@ -56,10 +79,11 @@ class ResultsStore:
     def append(self, name, record):
         """Append one completed point record (atomic enough: one line)."""
         os.makedirs(self.campaign_dir(name), exist_ok=True)
-        clean = {k: v for k, v in record.items()
-                 if k not in _EPHEMERAL_FIELDS}
+        clean = _json_safe({k: v for k, v in record.items()
+                            if k not in _EPHEMERAL_FIELDS})
         with open(self._records_path(name), "a", encoding="utf-8") as fh:
-            fh.write(json.dumps(clean, sort_keys=True) + "\n")
+            fh.write(json.dumps(clean, sort_keys=True, allow_nan=False)
+                     + "\n")
 
     # -- reading -------------------------------------------------------------
 
@@ -78,7 +102,9 @@ class ResultsStore:
                     record = json.loads(line)
                 except json.JSONDecodeError:
                     continue  # torn tail line from a killed run
-                by_key[record.get("key")] = record
+                if not isinstance(record, dict) or not record.get("key"):
+                    continue  # keyless lines cannot be deduped or cached
+                by_key[record["key"]] = record
         return sorted(by_key.values(),
                       key=lambda r: (r.get("index", 0), r.get("key", "")))
 
@@ -98,6 +124,10 @@ class ResultsStore:
             return []
         found = []
         for entry in sorted(os.listdir(self.root)):
+            try:
+                validate_campaign_name(entry)
+            except ConfigurationError:
+                continue  # stray directory that no campaign could own
             cdir = os.path.join(self.root, entry)
             if not os.path.isdir(cdir):
                 continue

@@ -16,7 +16,10 @@ experiment [ID | --list]
     Run one quick paper experiment, or enumerate them all.
 campaign run|ls|show|report
     Parallel sweep orchestrator over the persistent results store
-    (``campaign run e3-dsss-cck --workers 4 --report``).
+    (``campaign run e3-dsss-cck --workers 4 --report``). ``run`` exits
+    nonzero when points remain failed after the retry budget
+    (``--retries``/``--timeout``); ``show --failures`` prints the
+    per-point failure table.
 
 Installed as the ``repro`` console script, so ``repro campaign ls`` and
 ``python -m repro campaign ls`` are equivalent.
@@ -29,6 +32,7 @@ import sys
 
 from repro.core.evolution import fivefold_law, format_evolution_table
 from repro.core.link import LinkSimulator
+from repro.errors import ReproError
 from repro.mac.bianchi import bianchi_saturation_throughput
 from repro.mac.dcf import DcfSimulator
 from repro.standards.registry import GENERATIONS, get_standard
@@ -91,9 +95,11 @@ def _cmd_experiment(args):
 
 
 def _cmd_campaign(args):
-    from repro.campaign import (ResultsStore, builtin_campaigns, format_pivot,
-                                load_spec, run_campaign, summary_lines)
+    from repro.campaign import (ResultsStore, builtin_campaigns,
+                                failure_lines, format_pivot, load_spec,
+                                run_campaign, summary_lines)
     from repro.campaign.report import result_lines
+    from repro.errors import ConfigurationError
 
     store = ResultsStore(args.results)
 
@@ -101,16 +107,26 @@ def _cmd_campaign(args):
         spec = load_spec(args.spec)
         result = run_campaign(spec, workers=args.workers, store=store,
                               force=args.force,
-                              echo=print if args.verbose else None)
+                              echo=print if args.verbose else None,
+                              retries=args.retries, timeout_s=args.timeout)
         for line in result_lines(result):
             print(line)
         if args.report:
             report = spec.meta.get("report", {})
             if report.get("value") and report.get("rows"):
-                for line in format_pivot(result.records, report["value"],
-                                         report["rows"], report.get("cols")):
-                    print(line)
-        return 0
+                try:
+                    for line in format_pivot(result.records,
+                                             report["value"],
+                                             report["rows"],
+                                             report.get("cols")):
+                        print(line)
+                except ConfigurationError as exc:
+                    # e.g. every point failed: there is no table, but the
+                    # failure summary below is the useful report.
+                    print(f"no report: {exc}")
+        for line in failure_lines(result.records):
+            print(line)
+        return 1 if result.n_failed else 0
 
     if args.subcommand == "ls":
         campaigns = store.campaigns()
@@ -133,6 +149,10 @@ def _cmd_campaign(args):
             print(f"  fixed  {key}: {value}")
         for line in summary_lines(records, name=spec.name):
             print(line)
+        if args.failures:
+            lines = failure_lines(records)
+            for line in lines or ["no failed points"]:
+                print(line)
         return 0
 
     # report
@@ -215,6 +235,12 @@ def build_parser():
                        help="print the spec's default pivot after running")
     p_run.add_argument("--verbose", action="store_true",
                        help="log per-point completions")
+    p_run.add_argument("--retries", type=int, default=None,
+                       help="extra attempts per failing point "
+                            "(default: the spec's retries)")
+    p_run.add_argument("--timeout", type=float, default=None,
+                       help="per-point wall-clock budget in seconds; "
+                            "0 disables (default: the spec's timeout_s)")
     add_results_arg(p_run)
 
     p_ls = camp_sub.add_parser("ls", help="list campaigns in the store")
@@ -222,6 +248,8 @@ def build_parser():
 
     p_show = camp_sub.add_parser("show", help="spec + record summary")
     p_show.add_argument("name")
+    p_show.add_argument("--failures", action="store_true",
+                        help="also print the per-point failure table")
     add_results_arg(p_show)
 
     p_rep = camp_sub.add_parser("report", help="pivot table over records")
@@ -250,9 +278,18 @@ _HANDLERS = {
 
 
 def main(argv=None):
-    """Entry point; returns a process exit code."""
+    """Entry point; returns a process exit code.
+
+    Library errors (bad names, malformed specs, unreportable stores)
+    become a one-line ``error:`` message and exit code 2 — users of the
+    console script get diagnostics, not tracebacks.
+    """
     args = build_parser().parse_args(argv)
-    return _HANDLERS[args.command](args)
+    try:
+        return _HANDLERS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -29,3 +29,20 @@ class SimulationError(ReproError):
 
 class LinkBudgetError(ReproError):
     """A link-budget computation was asked for an unachievable operating point."""
+
+
+class PointExecutionError(ReproError):
+    """A campaign sweep point exhausted its attempt budget without success.
+
+    Carries enough context to locate and re-run the point: its grid
+    ``index``, resolved ``params``, how many ``attempts`` were made, and
+    the final ``outcome`` (``"error"`` or ``"timeout"``).
+    """
+
+    def __init__(self, message, index=None, params=None, attempts=None,
+                 outcome="error"):
+        super().__init__(message)
+        self.index = index
+        self.params = dict(params) if params else {}
+        self.attempts = attempts
+        self.outcome = outcome

@@ -2,16 +2,52 @@
 
 import json
 import os
+import time
 
 import numpy as np
 import pytest
 
 from repro.campaign import (CampaignSpec, ResultsStore, builtin_campaign,
-                            builtin_campaigns, format_pivot, load_spec, pivot,
-                            point_key, point_kinds, run_campaign)
+                            builtin_campaigns, failure_lines, format_pivot,
+                            load_spec, pivot, point_key, point_kinds,
+                            run_campaign)
 from repro.campaign.runner import register_point_kind
-from repro.campaign.seeding import point_generator, point_seed
-from repro.errors import ConfigurationError
+from repro.campaign.seeding import (attempt_generator, attempt_seed,
+                                    point_generator, point_seed)
+from repro.errors import ConfigurationError, PointExecutionError
+
+
+# Module-level point functions: picklable, so they can be shipped to
+# pool workers under any multiprocessing start method.
+
+def _double_point(params, rng):
+    return {"double": 2 * params["x"]}
+
+
+def _chaos_point(params, rng):
+    """Raise on odd x, hang on the designated x, else draw from rng."""
+    x = int(params["x"])
+    if x % 2:
+        raise ValueError(f"odd point x={x}")
+    if x == int(params.get("hang_at", -1)):
+        time.sleep(30.0)
+    return {"draw": float(rng.integers(0, 1 << 30))}
+
+
+def _flaky_counted_point(params, rng):
+    """Fail the first ``fail_first`` calls per point, counted on disk."""
+    path = os.path.join(params["counter_dir"], f"{params['x']}.count")
+    n = int(open(path).read()) if os.path.exists(path) else 0
+    with open(path, "w") as fh:
+        fh.write(str(n + 1))
+    if n < int(params.get("fail_first", 0)):
+        raise RuntimeError(f"transient failure #{n}")
+    return {"draw": float(rng.integers(0, 1 << 30))}
+
+
+register_point_kind("test-double", _double_point, code_version="1")
+register_point_kind("test-chaos", _chaos_point, code_version="1")
+register_point_kind("test-flaky", _flaky_counted_point, code_version="1")
 
 
 def quick_spec(**overrides):
@@ -326,3 +362,321 @@ class TestCampaignCli:
         assert self.run_cli("campaign", "report", "tiny",
                             "--results", results) == 2
         assert "--value" in capsys.readouterr().out
+
+
+class TestFailureSpec:
+    def test_retry_timeout_json_roundtrip(self, tmp_path):
+        spec = quick_spec(retries=2, timeout_s=1.5)
+        path = tmp_path / "tiny.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        loaded = CampaignSpec.from_json(path)
+        assert loaded == spec
+        assert loaded.retries == 2
+        assert loaded.timeout_s == 1.5
+
+    def test_old_specs_load_with_defaults(self, tmp_path):
+        data = quick_spec().to_dict()
+        del data["retries"], data["timeout_s"]
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps(data))
+        loaded = CampaignSpec.from_json(path)
+        assert loaded.retries == 0
+        assert loaded.timeout_s is None
+
+    @pytest.mark.parametrize("bad", [-1, 1.5, True, "2"])
+    def test_rejects_bad_retries(self, bad):
+        with pytest.raises(ConfigurationError):
+            quick_spec(retries=bad)
+
+    @pytest.mark.parametrize("bad", [0, -3.0, float("nan"),
+                                     float("inf"), True, "1"])
+    def test_rejects_bad_timeout(self, bad):
+        with pytest.raises(ConfigurationError):
+            quick_spec(timeout_s=bad)
+
+    def test_rejects_non_finite_params(self):
+        with pytest.raises(ConfigurationError):
+            quick_spec(fixed={"channel": "awgn", "bad": float("nan")})
+        with pytest.raises(ConfigurationError):
+            quick_spec(factors={"snr_db": [0.0, float("inf")]})
+
+
+class TestRetrySeeding:
+    def test_attempt_zero_is_the_point_stream(self):
+        for index in (0, 3):
+            assert (attempt_seed(7, index, 0).generate_state(4).tolist()
+                    == point_seed(7, index).generate_state(4).tolist())
+
+    def test_attempts_are_distinct_and_stateless(self):
+        states = [attempt_seed(7, 2, k).generate_state(4).tolist()
+                  for k in (0, 1, 2)]
+        assert states[0] != states[1] != states[2] != states[0]
+        again = [attempt_seed(7, 2, k).generate_state(4).tolist()
+                 for k in (0, 1, 2)]
+        assert states == again
+
+    def test_rejects_negative_attempt(self):
+        with pytest.raises(ValueError):
+            attempt_seed(7, 2, -1)
+
+
+class TestFaultIsolation:
+    def chaos_spec(self, **overrides):
+        fields = dict(name="chaos", kind="test-chaos",
+                      factors={"x": [0, 1, 2, 3]}, base_seed=5)
+        fields.update(overrides)
+        return CampaignSpec(**fields)
+
+    def test_unexpected_exception_recorded_not_raised(self):
+        result = run_campaign(self.chaos_spec())
+        assert result.n_points == 4
+        assert all(r is not None for r in result.records)
+        by_x = {r["params"]["x"]: r for r in result.records}
+        assert by_x[0]["outcome"] == "ok"
+        assert by_x[1]["outcome"] == "error"
+        assert by_x[1]["error_type"] == "ValueError"
+        assert "odd point x=1" in by_x[1]["error"]
+        assert "ValueError" in by_x[1]["traceback"]
+        assert by_x[1]["attempts"] == 1
+        assert by_x[1]["metrics"] == {}
+
+    def test_pool_survives_failing_points(self, tmp_path):
+        spec = self.chaos_spec()
+        result = run_campaign(spec, workers=2, store=ResultsStore(tmp_path))
+        assert result.n_points == 4
+        outcomes = [r["outcome"] for r in result.records]
+        assert outcomes == ["ok", "error", "ok", "error"]
+        # Failure records round-trip through the store with traceback.
+        stored = {r["index"]: r for r in ResultsStore(tmp_path).load("chaos")}
+        assert "ValueError" in stored[1]["traceback"]
+
+    def test_retry_exhaustion_counts_attempts(self):
+        result = run_campaign(self.chaos_spec(retries=2))
+        failed = {r["params"]["x"]: r for r in result.records
+                  if r["outcome"] == "error"}
+        assert all(r["attempts"] == 3 for r in failed.values())
+
+    def test_retry_rng_is_deterministic(self, tmp_path):
+        spec = CampaignSpec(
+            name="flaky", kind="test-flaky",
+            factors={"x": [0, 1]},
+            fixed={"counter_dir": str(tmp_path), "fail_first": 1},
+            base_seed=9, retries=1,
+        )
+        result = run_campaign(spec)
+        for record in result.records:
+            assert record["outcome"] == "ok"
+            assert record["attempts"] == 2
+            # Attempt 1 drew from SeedSequence(base, spawn_key=(i, 1)).
+            expected = float(attempt_generator(9, record["index"], 1)
+                             .integers(0, 1 << 30))
+            assert record["metrics"]["draw"] == expected
+
+    def test_first_try_success_bit_identical_to_no_retries(self, tmp_path):
+        base = run_campaign(self.chaos_spec())
+        retried = run_campaign(self.chaos_spec(retries=3))
+        for a, b in zip(base.records, retried.records):
+            if a["outcome"] == "ok":
+                assert a["metrics"] == b["metrics"]
+
+    def test_timeout_marks_point_and_moves_on(self):
+        spec = self.chaos_spec(factors={"x": [0, 2, 4]},
+                               fixed={"hang_at": 4}, timeout_s=0.3)
+        start = time.perf_counter()
+        result = run_campaign(spec)
+        assert time.perf_counter() - start < 10.0
+        by_x = {r["params"]["x"]: r for r in result.records}
+        assert by_x[0]["outcome"] == "ok"
+        assert by_x[2]["outcome"] == "ok"
+        assert by_x[4]["outcome"] == "timeout"
+        assert by_x[4]["error_type"] == "TimeoutError"
+        assert by_x[4]["attempts"] == 1  # timeouts are not retried
+
+    def test_acceptance_scenario_pool_retry_timeout_rerun(self, tmp_path):
+        """ValueError on half the points + one hang, at --workers 4."""
+        spec = CampaignSpec(
+            name="accept", kind="test-chaos",
+            factors={"x": [0, 1, 2, 3, 4, 5]},
+            fixed={"hang_at": 4}, base_seed=21, timeout_s=0.5,
+        )
+        store = ResultsStore(tmp_path)
+        result = run_campaign(spec, workers=4, store=store)
+        assert result.n_points == 6
+        by_x = {r["params"]["x"]: r for r in result.records}
+        assert {x: r["outcome"] for x, r in by_x.items()} == {
+            0: "ok", 1: "error", 2: "ok", 3: "error", 4: "timeout",
+            5: "error"}
+        for x in (1, 3, 5):
+            assert "ValueError" in by_x[x]["traceback"]
+            assert by_x[x]["attempts"] == 1
+        # Successful points are bit-identical to the plain per-point
+        # stream a serial pre-change run used.
+        for x in (0, 2):
+            expected = float(point_generator(21, by_x[x]["index"])
+                             .integers(0, 1 << 30))
+            assert by_x[x]["metrics"]["draw"] == expected
+        # A re-run recomputes exactly the failed points.
+        again = run_campaign(spec, workers=4, store=store)
+        assert again.n_cached == 2
+        assert again.n_executed == 4
+        assert again.n_failed == 4
+
+    def test_check_raises_point_execution_error(self):
+        result = run_campaign(self.chaos_spec())
+        with pytest.raises(PointExecutionError) as err:
+            result.check()
+        assert err.value.index == 1
+        assert err.value.params["x"] == 1
+        assert err.value.attempts == 1
+        assert err.value.outcome == "error"
+        ok = run_campaign(CampaignSpec(name="fine", kind="test-double",
+                                       factors={"x": [1]}))
+        assert ok.check() is ok
+
+    def test_run_campaign_overrides_spec_budgets(self, tmp_path):
+        spec = CampaignSpec(
+            name="flaky2", kind="test-flaky",
+            factors={"x": [0]},
+            fixed={"counter_dir": str(tmp_path), "fail_first": 1},
+            base_seed=9,
+        )
+        assert run_campaign(spec).n_failed == 1
+        for f in os.listdir(tmp_path):
+            os.unlink(os.path.join(tmp_path, f))
+        assert run_campaign(spec, retries=1).n_failed == 0
+
+
+class TestSpawnStartMethod:
+    def test_custom_kind_survives_spawn_workers(self):
+        spec = CampaignSpec(name="spawn-test", kind="test-double",
+                            factors={"x": [1, 2]})
+        result = run_campaign(spec, workers=2, start_method="spawn")
+        assert [r["outcome"] for r in result.records] == ["ok", "ok"]
+        assert [r["metrics"]["double"] for r in result.records] == [2, 4]
+        assert os.getpid() not in {r["worker"] for r in result.records}
+
+
+class TestStoreHardening:
+    @pytest.mark.parametrize("bad", ["../evil", "a/b", "..", ".hidden",
+                                     "", "a b"])
+    def test_rejects_unsafe_campaign_names(self, tmp_path, bad):
+        store = ResultsStore(tmp_path)
+        with pytest.raises(ConfigurationError):
+            store.campaign_dir(bad)
+        with pytest.raises(ConfigurationError):
+            store.load(bad)
+
+    def test_keyless_and_torn_lines_skipped(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        store.append("c", {"key": "k1", "index": 0, "outcome": "ok"})
+        with open(store._records_path("c"), "a") as fh:
+            fh.write(json.dumps({"index": 5, "outcome": "ok"}) + "\n")
+            fh.write(json.dumps({"key": "", "index": 6}) + "\n")
+            fh.write('{"key": "k2", "trunc')
+        loaded = store.load("c")
+        assert len(loaded) == 1
+        assert loaded[0]["key"] == "k1"
+
+    def test_non_finite_metrics_stored_as_null(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        store.append("c", {"key": "k1", "index": 0, "outcome": "ok",
+                           "metrics": {"nan": float("nan"),
+                                       "inf": float("inf"),
+                                       "fine": 1.5,
+                                       "nested": [float("-inf"), 2.0]}})
+        with open(store._records_path("c")) as fh:
+            text = fh.read()
+        assert "NaN" not in text and "Infinity" not in text
+        metrics = store.load("c")[0]["metrics"]
+        assert metrics["nan"] is None
+        assert metrics["inf"] is None
+        assert metrics["fine"] == 1.5
+        assert metrics["nested"] == [None, 2.0]
+
+
+class TestFailureReporting:
+    def test_pivot_excludes_booleans(self):
+        records = [
+            {"outcome": "ok", "params": {"x": 1},
+             "metrics": {"flag": True, "v": 2.0}},
+            {"outcome": "ok", "params": {"x": 2},
+             "metrics": {"flag": False, "v": 4.0}},
+        ]
+        _, _, grid = pivot(records, "flag", "x")
+        assert grid == [[None], [None]]
+        _, _, grid = pivot(records, "v", "x")
+        assert grid == [[2.0], [4.0]]
+
+    def test_failure_lines_table(self):
+        result = run_campaign(CampaignSpec(
+            name="chaos", kind="test-chaos", factors={"x": [0, 1]},
+            base_seed=5))
+        lines = failure_lines(result.records)
+        text = "\n".join(lines)
+        assert "1 failed point(s)" in lines[0]
+        assert "ValueError" in text
+        assert "x=1" in text
+        assert "attempt(s)" in text
+        assert failure_lines([r for r in result.records
+                              if r["outcome"] == "ok"]) == []
+
+
+class TestFailureCli:
+    def run_cli(self, *argv):
+        from repro.cli import main
+        return main(list(argv))
+
+    def failing_spec_path(self, tmp_path, meta=None):
+        path = tmp_path / "chaos.json"
+        spec = CampaignSpec(name="chaos", kind="test-chaos",
+                            factors={"x": [0, 1]}, base_seed=5,
+                            meta=meta or {})
+        path.write_text(json.dumps(spec.to_dict()))
+        return str(path)
+
+    def test_run_exits_nonzero_and_prints_failures(self, tmp_path, capsys):
+        results = str(tmp_path / "results")
+        assert self.run_cli("campaign", "run",
+                            self.failing_spec_path(tmp_path),
+                            "--results", results) == 1
+        out = capsys.readouterr().out
+        assert "1 failed point(s)" in out
+        assert "ValueError" in out
+
+    def test_show_failures_flag(self, tmp_path, capsys):
+        results = str(tmp_path / "results")
+        self.run_cli("campaign", "run", self.failing_spec_path(tmp_path),
+                     "--results", results)
+        capsys.readouterr()
+        assert self.run_cli("campaign", "show", "chaos", "--failures",
+                            "--results", results) == 0
+        out = capsys.readouterr().out
+        assert "1 error" in out and "ValueError" in out
+
+    def test_report_with_all_points_failed(self, tmp_path, capsys):
+        spec_path = tmp_path / "allbad.json"
+        spec = CampaignSpec(
+            name="allbad", kind="test-chaos", factors={"x": [1, 3]},
+            base_seed=5,
+            meta={"report": {"value": "draw", "rows": "x"}})
+        spec_path.write_text(json.dumps(spec.to_dict()))
+        results = str(tmp_path / "results")
+        assert self.run_cli("campaign", "run", str(spec_path),
+                            "--results", results, "--report") == 1
+        out = capsys.readouterr().out
+        assert "no report:" in out
+        assert "2 failed point(s)" in out
+
+    def test_run_retry_flag_recovers_flaky_point(self, tmp_path, capsys):
+        counter_dir = tmp_path / "counts"
+        counter_dir.mkdir()
+        spec_path = tmp_path / "flaky.json"
+        spec = CampaignSpec(
+            name="flaky", kind="test-flaky", factors={"x": [0]},
+            fixed={"counter_dir": str(counter_dir), "fail_first": 1},
+            base_seed=9)
+        spec_path.write_text(json.dumps(spec.to_dict()))
+        results = str(tmp_path / "results")
+        assert self.run_cli("campaign", "run", str(spec_path),
+                            "--results", results, "--retries", "1") == 0
+        assert "1 executed" in capsys.readouterr().out

@@ -68,3 +68,20 @@ class TestCommands:
         assert args.workers == 1
         assert args.results == "results"
         assert not args.force
+        # Failure knobs default to "defer to the spec".
+        assert args.retries is None
+        assert args.timeout is None
+
+    def test_campaign_show_failures_flag(self):
+        args = build_parser().parse_args(["campaign", "show", "x",
+                                          "--failures"])
+        assert args.failures
+
+    def test_library_errors_become_clean_exit(self, tmp_path, capsys):
+        # Path traversal through a campaign name: rejected with a
+        # message on stderr and exit 2, not a traceback.
+        code = main(["campaign", "show", "../../etc",
+                     "--results", str(tmp_path)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "filesystem-safe" in err
