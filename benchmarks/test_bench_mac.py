@@ -61,7 +61,7 @@ def test_bench_multirate_anomaly(benchmark, report):
         [f"4 stations all at 54 Mbps : {uniform.throughput_mbps:5.1f} Mbps",
          f"3 at 54 + 1 at 6 Mbps     : {mixed.throughput_mbps:5.1f} Mbps "
          f"({mixed.throughput_mbps / uniform.throughput_mbps:.0%} of uniform)",
-         f"per-station goodput (mixed): "
+         "per-station goodput (mixed): "
          + ", ".join(f"{p:.1f}" for p in per)
          + " Mbps -- DCF equalises packets, so everyone pays for the "
            "laggard's airtime"],

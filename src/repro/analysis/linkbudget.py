@@ -9,8 +9,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.channel.awgn import noise_floor_dbm
 from repro.channel.pathloss import (
     breakpoint_path_loss_db,

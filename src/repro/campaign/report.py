@@ -11,6 +11,11 @@ aligned text tables, e.g. PER vs SNR with one column per PHY::
 
 Values aggregate with a mean when several records share a cell (e.g.
 after reporting over a factor the pivot ignores).
+
+MC-backed metrics carry their confidence intervals in companion keys
+(``per_ci_low``/``per_ci_high``) and the consumed trial count in
+``n_trials``; :func:`format_pivot` detects the companions and renders
+``est [lo, hi]`` cells so every reported number ships its error bars.
 """
 
 from __future__ import annotations
@@ -81,15 +86,51 @@ def _fmt(value, width):
     return f"{value:>{width}.4g}"
 
 
-def format_pivot(records, value, rows, cols=None, title=None):
-    """Render a pivot as aligned text lines."""
+def _has_metric(records, name):
+    return any(name in (r.get("metrics") or {}) for r in records
+               if r.get("outcome", "ok") == "ok")
+
+
+def _ci_cell(est, lo, hi):
+    if est is None:
+        return "--"
+    if lo is None or hi is None:
+        return f"{est:.4g}"
+    return f"{est:.4g} [{lo:.4g}, {hi:.4g}]"
+
+
+def format_pivot(records, value, rows, cols=None, title=None, ci="auto"):
+    """Render a pivot as aligned text lines.
+
+    ``ci="auto"`` (the default) looks for ``{value}_ci_low`` /
+    ``{value}_ci_high`` companion metrics and, when present, renders
+    each cell as ``est [lo, hi]``; ``ci=False`` forces bare estimates.
+    """
     row_labels, col_labels, grid = pivot(records, value, rows, cols)
-    col_width = max(8, *(len(str(c)) + 1 for c in col_labels))
+    with_ci = (ci in ("auto", True)
+               and _has_metric(records, f"{value}_ci_low")
+               and _has_metric(records, f"{value}_ci_high"))
     stub = f"{rows} \\ {cols}" if cols else rows
     stub_width = max(len(stub), *(len(str(r)) for r in row_labels)) + 1
     lines = []
     if title:
         lines.append(title)
+    if with_ci:
+        _, _, lo_grid = pivot(records, f"{value}_ci_low", rows, cols)
+        _, _, hi_grid = pivot(records, f"{value}_ci_high", rows, cols)
+        cells = [[_ci_cell(v, lo, hi)
+                  for v, lo, hi in zip(row, lo_row, hi_row)]
+                 for row, lo_row, hi_row in zip(grid, lo_grid, hi_grid)]
+        col_width = max(8, *(len(str(c)) + 1 for c in col_labels),
+                        *(len(c) + 2 for row in cells for c in row))
+        lines.append(f"{stub:<{stub_width}}|"
+                     + "".join(f"{str(c):>{col_width}}"
+                               for c in col_labels))
+        for label, row in zip(row_labels, cells):
+            lines.append(f"{str(label):<{stub_width}}|"
+                         + "".join(f"{c:>{col_width}}" for c in row))
+        return lines
+    col_width = max(8, *(len(str(c)) + 1 for c in col_labels))
     lines.append(f"{stub:<{stub_width}}|"
                  + "".join(f"{str(c):>{col_width}}" for c in col_labels))
     for label, row in zip(row_labels, grid):
@@ -116,6 +157,18 @@ def summary_lines(records, name=None):
                  f"{'/'.join(str(k) for k in kinds)}")
     lines.append(f"  simulated wall time {total_time:.2f}s across "
                  f"{len(workers)} worker process(es)")
+    trials = [(r.get("metrics") or {}).get("n_trials") for r in ok]
+    trials = [t for t in trials if isinstance(t, (int, float))]
+    if trials:
+        reasons = {}
+        for r in ok:
+            reason = (r.get("metrics") or {}).get("stop_reason")
+            if reason:
+                reasons[reason] = reasons.get(reason, 0) + 1
+        reason_s = ", ".join(f"{n} {k}" for k, n in sorted(reasons.items()))
+        lines.append(f"  {int(sum(trials))} MC trials over {len(trials)} "
+                     f"point(s)" + (f" (stop: {reason_s})" if reason_s
+                                    else ""))
     failed = errors + timeouts
     if failed:
         worst = min(failed, key=lambda r: r.get("index", 0))

@@ -34,7 +34,10 @@ Record schema (one per point, stored as a JSONL line)::
       "index":        grid index (also the seed substream index),
       "params":       resolved point parameters,
       "base_seed":    campaign base seed,
-      "metrics":      {...} returned by the point function,
+      "metrics":      {...} returned by the point function; MC-backed
+                      kinds include the estimate's confidence interval
+                      ("<metric>_ci_low"/"<metric>_ci_high"), the
+                      consumed "n_trials" and the engine "stop_reason",
       "outcome":      "ok" | "error" | "timeout",
       "error":        message when outcome != "ok" else None,
       "error_type":   exception class name when outcome != "ok" else None,
@@ -96,7 +99,13 @@ def _lookup_kind(kind):
 # package stays cheap and pool workers only pay for what they run.
 
 def _run_link_point(params, rng):
-    """One PER/BER measurement: LinkSimulator(phy, channel) at one SNR."""
+    """One PER/BER measurement: LinkSimulator(phy, channel) at one SNR.
+
+    Optional ``precision``/``max_trials``/``confidence`` params switch
+    the underlying MC engine into adaptive mode; either way the record
+    carries the Wilson CI on the PER, the consumed trial count and the
+    engine's stop reason, so every stored point ships its error bars.
+    """
     from repro.core.link import LinkSimulator
 
     sim = LinkSimulator(
@@ -106,35 +115,55 @@ def _run_link_point(params, rng):
         detector=params.get("detector", "mmse"),
         rng=rng,
     )
+    precision = params.get("precision")
+    max_trials = params.get("max_trials")
+    confidence = float(params.get("confidence", 0.95))
     result = sim.run(
         float(params["snr_db"]),
         n_packets=int(params.get("n_packets", 100)),
         payload_bytes=int(params.get("payload_bytes", 100)),
+        precision=float(precision) if precision is not None else None,
+        max_trials=int(max_trials) if max_trials is not None else None,
+        confidence=confidence,
     )
+    per_lo, per_hi = result.per_ci(confidence)
+    ber_lo, ber_hi = result.ber_ci(confidence)
     return {
         "per": result.per,
+        "per_ci_low": per_lo,
+        "per_ci_high": per_hi,
         "ber": result.ber,
+        "ber_ci_low": ber_lo,
+        "ber_ci_high": ber_hi,
         "goodput_mbps": result.goodput_mbps,
         "rate_mbps": result.rate_mbps,
         "n_packets": result.n_packets,
         "n_packet_errors": result.n_packet_errors,
         "n_bit_errors": result.n_bit_errors,
+        "n_trials": result.mc.n_trials,
+        "stop_reason": result.mc.stop_reason,
+        "confidence": confidence,
     }
 
 
 def _run_mimo_range_point(params, rng):
-    """Outage fade margin of one ``TXxRX`` Rayleigh diversity config."""
+    """Outage fade margin of one ``TXxRX`` Rayleigh diversity config.
+
+    The draw loop is vectorised through
+    :func:`~repro.phy.mimo.capacity.rayleigh_channels`, which consumes
+    the stream in the same order as the seed-era scalar loop — cached
+    records from either implementation are interchangeable, so the
+    ``code_version`` stays at "1".
+    """
     import numpy as np
 
-    from repro.phy.mimo.capacity import rayleigh_channel
+    from repro.phy.mimo.capacity import rayleigh_channels
 
     n_tx, n_rx = (int(x) for x in str(params["antennas"]).split("x"))
     n_draws = int(params.get("n_draws", 4000))
     outage = float(params.get("outage", 0.01))
-    gains = np.empty(n_draws)
-    for i in range(n_draws):
-        h = rayleigh_channel(n_rx, n_tx, rng)
-        gains[i] = np.sum(np.abs(h) ** 2) / n_tx
+    h = rayleigh_channels(n_draws, n_rx, n_tx, rng)
+    gains = (np.abs(h) ** 2).sum(axis=(1, 2)) / n_tx
     worst = float(np.quantile(gains, outage))
     return {
         "margin_db": float(-10.0 * np.log10(worst)),
@@ -165,7 +194,7 @@ def _run_dcf_point(params, rng):
     }
 
 
-register_point_kind("link", _run_link_point, code_version="1")
+register_point_kind("link", _run_link_point, code_version="2")
 register_point_kind("mimo-range", _run_mimo_range_point, code_version="1")
 register_point_kind("dcf", _run_dcf_point, code_version="1")
 

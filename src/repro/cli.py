@@ -6,6 +6,9 @@ evolution
     Print the paper's generation table and the fitted fivefold law.
 link PHY CHANNEL SNR
     Run a quick link simulation (e.g. ``link ofdm-54 rayleigh 28``).
+    ``--precision 0.1`` switches to adaptive Monte-Carlo: packets are
+    sent until the PER confidence interval is relatively tight enough
+    (or ``--max-trials`` is hit). Every run prints the Wilson CI.
 mac N_STATIONS
     DCF saturation throughput vs the Bianchi model.
 regulatory
@@ -49,13 +52,21 @@ def _cmd_evolution(_args):
 def _cmd_link(args):
     sim = LinkSimulator(args.phy, args.channel, rng=args.seed)
     result = sim.run(args.snr, n_packets=args.packets,
-                     payload_bytes=args.bytes)
+                     payload_bytes=args.bytes,
+                     precision=args.precision, max_trials=args.max_trials)
+    mc = result.mc
+    per_lo, per_hi = result.per_ci()
+    budget = (f"adaptive to precision {args.precision:g}"
+              if args.precision is not None
+              else f"{args.packets} packets")
     print(f"{args.phy} over {args.channel} @ {args.snr:.1f} dB "
-          f"({args.packets} x {args.bytes} B):")
-    print(f"  PER     : {result.per:.3f}")
+          f"({budget}, {args.bytes} B payloads):")
+    print(f"  PER     : {result.per:.3f}  "
+          f"[{per_lo:.3f}, {per_hi:.3f}] @ {mc.confidence:.0%}")
     print(f"  BER     : {result.ber:.2e}")
     print(f"  goodput : {result.goodput_mbps:.2f} Mbps "
           f"(PHY rate {result.rate_mbps:.1f})")
+    print(f"  trials  : {mc.n_trials} ({mc.stop_reason})")
     return 0
 
 
@@ -105,6 +116,18 @@ def _cmd_campaign(args):
 
     if args.subcommand == "run":
         spec = load_spec(args.spec)
+        if args.precision is not None or args.max_trials is not None:
+            # Fold the precision target into the spec's fixed params so
+            # it participates in every point's cache key — adaptive and
+            # fixed-budget runs of the same campaign never collide.
+            from repro.campaign.spec import CampaignSpec
+
+            data = spec.to_dict()
+            if args.precision is not None:
+                data["fixed"]["precision"] = args.precision
+            if args.max_trials is not None:
+                data["fixed"]["max_trials"] = args.max_trials
+            spec = CampaignSpec.from_dict(data)
         result = run_campaign(spec, workers=args.workers, store=store,
                               force=args.force,
                               echo=print if args.verbose else None,
@@ -201,6 +224,11 @@ def build_parser():
     p_link.add_argument("--packets", type=int, default=50)
     p_link.add_argument("--bytes", type=int, default=200)
     p_link.add_argument("--seed", type=int, default=0)
+    p_link.add_argument("--precision", type=float, default=None,
+                        help="adaptive mode: stop when the relative CI "
+                             "half-width on the PER drops below this")
+    p_link.add_argument("--max-trials", type=int, default=None,
+                        help="trial ceiling for adaptive mode")
 
     p_mac = sub.add_parser("mac", help="DCF contention study")
     p_mac.add_argument("stations", type=int)
@@ -241,6 +269,12 @@ def build_parser():
     p_run.add_argument("--timeout", type=float, default=None,
                        help="per-point wall-clock budget in seconds; "
                             "0 disables (default: the spec's timeout_s)")
+    p_run.add_argument("--precision", type=float, default=None,
+                       help="adaptive MC: per-point relative CI "
+                            "half-width target (folded into the cache "
+                            "key)")
+    p_run.add_argument("--max-trials", type=int, default=None,
+                       help="adaptive MC trial ceiling per point")
     add_results_arg(p_run)
 
     p_ls = camp_sub.add_parser("ls", help="list campaigns in the store")

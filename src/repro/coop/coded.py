@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.channel.fading import rayleigh_fading
+from repro.core.mc import run_trials
 from repro.errors import ConfigurationError
 from repro.phy import convolutional as cc
 from repro.phy.modulation import Modulator
@@ -38,7 +39,12 @@ def _puncture_masks(n_mother_bits):
 
 @dataclass
 class CodedCoopResult:
-    """Outcome of one coded-cooperation configuration at one SNR."""
+    """Outcome of one coded-cooperation configuration at one SNR.
+
+    ``mc`` carries the engine's :class:`~repro.core.mc.McResult` for
+    the *coded-cooperation BLER* — the target statistic of adaptive
+    runs — including its confidence interval and stop reason.
+    """
 
     snr_db: float
     n_blocks: int
@@ -46,6 +52,7 @@ class CodedCoopResult:
     bler_repetition: float
     bler_coded: float
     relay_decode_rate: float
+    mc: object = None
 
 
 class CodedCooperationSimulator:
@@ -91,77 +98,94 @@ class CodedCooperationSimulator:
         nv = noise_var / np.abs(h) ** 2
         return self.modulator.demodulate_soft(eq, nv)
 
-    def run(self, snr_db, n_blocks=200):
-        """Measure block error rates for all three schemes at one SNR."""
+    def _one_block(self, rng, noise_var):
+        """Simulate one block; returns the per-trial metric increments."""
+        bits = random_bits(self.info_bits, rng)
+        mother = cc.encode(bits, terminate=True).astype(float)
+        slot1_bits = mother[self._mask1]
+        slot2_bits = mother[self._mask2]
+        x1 = self.modulator.modulate(slot1_bits.astype(np.int8))
+
+        # Quasi-static block fading: one draw per link per block (the
+        # regime where diversity, not SNR averaging, decides outcomes).
+        h_sd = rayleigh_fading(1, rng)[0]
+        h_sr = rayleigh_fading(1, rng)[0] * np.sqrt(self.relay_gain)
+        h_rd = rayleigh_fading(1, rng)[0] * np.sqrt(self.relay_gain)
+
+        # Slot 1: source broadcast; destination and relay listen.
+        y_d1 = self._receive(x1, h_sd, noise_var)
+        y_r1 = self._receive(x1, h_sr, noise_var)
+        llr_d1 = self._llrs(y_d1, h_sd, noise_var)
+
+        # Relay decodes the 3/4 code.
+        llr_r1 = self._llrs(y_r1, h_sr, noise_var)
+        relay_bits = cc.viterbi_decode(llr_r1, self.info_bits,
+                                       rate=_FIRST_RATE)
+        relay_ok = bool(np.array_equal(relay_bits, bits))
+
+        # --- direct: source repeats slot 1 itself (same fade: no
+        # spatial diversity, only 3 dB of chase-combining gain).
+        y_d2 = self._receive(x1, h_sd, noise_var)
+        llr_sum = llr_d1 + self._llrs(y_d2, h_sd, noise_var)
+        direct_hat = cc.viterbi_decode(llr_sum, self.info_bits,
+                                       rate=_FIRST_RATE)
+
+        # --- repetition DF: relay repeats slot-1 bits if it decoded.
+        if relay_ok:
+            y_rep = self._receive(x1, h_rd, noise_var)
+            llr_rep = llr_d1 + self._llrs(y_rep, h_rd, noise_var)
+        else:
+            llr_rep = llr_d1
+        rep_hat = cc.viterbi_decode(llr_rep, self.info_bits,
+                                    rate=_FIRST_RATE)
+
+        # --- coded cooperation: relay sends the complementary parity.
+        if relay_ok:
+            x2 = self.modulator.modulate(slot2_bits.astype(np.int8))
+            y_c2 = self._receive(x2, h_rd, noise_var)
+            mother_llrs = np.zeros(self.n_mother)
+            mother_llrs[self._mask1] = llr_d1
+            mother_llrs[self._mask2] = self._llrs(y_c2, h_rd, noise_var)
+            coded_hat = cc.viterbi_decode(mother_llrs, self.info_bits,
+                                          rate="1/2")
+        else:
+            coded_hat = cc.viterbi_decode(llr_d1, self.info_bits,
+                                          rate=_FIRST_RATE)
+
+        return {
+            "direct_failure": int(not np.array_equal(direct_hat, bits)),
+            "repetition_failure": int(not np.array_equal(rep_hat, bits)),
+            "coded_failure": int(not np.array_equal(coded_hat, bits)),
+            "relay_decode": int(relay_ok),
+        }
+
+    def run(self, snr_db, n_blocks=200, *, precision=None, max_trials=None,
+            confidence=0.95, batch_size=100):
+        """Measure block error rates for all three schemes at one SNR.
+
+        With ``precision=None`` exactly ``n_blocks`` run (bit-identical
+        to the seed-era loop); with a precision target the engine stops
+        once the Wilson CI on the coded-cooperation BLER is relatively
+        tight enough or ``max_trials`` blocks have been spent.
+        """
         noise_var = 10.0 ** (-snr_db / 10.0)
-        fail_direct = fail_rep = fail_coded = 0
-        relay_ok_count = 0
-        for _ in range(int(n_blocks)):
-            bits = random_bits(self.info_bits, self.rng)
-            mother = cc.encode(bits, terminate=True).astype(float)
-            slot1_bits = mother[self._mask1]
-            slot2_bits = mother[self._mask2]
-            x1 = self.modulator.modulate(slot1_bits.astype(np.int8))
-
-            # Quasi-static block fading: one draw per link per block (the
-            # regime where diversity, not SNR averaging, decides outcomes).
-            h_sd = rayleigh_fading(1, self.rng)[0]
-            h_sr = rayleigh_fading(1, self.rng)[0] * np.sqrt(self.relay_gain)
-            h_rd = rayleigh_fading(1, self.rng)[0] * np.sqrt(self.relay_gain)
-
-            # Slot 1: source broadcast; destination and relay listen.
-            y_d1 = self._receive(x1, h_sd, noise_var)
-            y_r1 = self._receive(x1, h_sr, noise_var)
-            llr_d1 = self._llrs(y_d1, h_sd, noise_var)
-
-            # Relay decodes the 3/4 code.
-            llr_r1 = self._llrs(y_r1, h_sr, noise_var)
-            relay_bits = cc.viterbi_decode(llr_r1, self.info_bits,
-                                           rate=_FIRST_RATE)
-            relay_ok = bool(np.array_equal(relay_bits, bits))
-            relay_ok_count += relay_ok
-
-            # --- direct: source repeats slot 1 itself (same fade: no
-            # spatial diversity, only 3 dB of chase-combining gain).
-            y_d2 = self._receive(x1, h_sd, noise_var)
-            llr_sum = llr_d1 + self._llrs(y_d2, h_sd, noise_var)
-            direct_hat = cc.viterbi_decode(llr_sum, self.info_bits,
-                                           rate=_FIRST_RATE)
-            fail_direct += not np.array_equal(direct_hat, bits)
-
-            # --- repetition DF: relay repeats slot-1 bits if it decoded.
-            if relay_ok:
-                y_rep = self._receive(x1, h_rd, noise_var)
-                llr_rep = llr_d1 + self._llrs(y_rep, h_rd, noise_var)
-            else:
-                llr_rep = llr_d1
-            rep_hat = cc.viterbi_decode(llr_rep, self.info_bits,
-                                        rate=_FIRST_RATE)
-            fail_rep += not np.array_equal(rep_hat, bits)
-
-            # --- coded cooperation: relay sends the complementary parity.
-            if relay_ok:
-                x2 = self.modulator.modulate(slot2_bits.astype(np.int8))
-                y_c2 = self._receive(x2, h_rd, noise_var)
-                mother_llrs = np.zeros(self.n_mother)
-                mother_llrs[self._mask1] = llr_d1
-                mother_llrs[self._mask2] = self._llrs(y_c2, h_rd, noise_var)
-                coded_hat = cc.viterbi_decode(mother_llrs, self.info_bits,
-                                              rate="1/2")
-            else:
-                coded_hat = cc.viterbi_decode(llr_d1, self.info_bits,
-                                              rate=_FIRST_RATE)
-            fail_coded += not np.array_equal(coded_hat, bits)
-
+        mc = run_trials(
+            lambda rng: self._one_block(rng, noise_var),
+            n_trials=int(n_blocks), target="coded_failure", rng=self.rng,
+            precision=precision, max_trials=max_trials,
+            confidence=confidence, batch_size=batch_size)
+        n = mc.n_trials
         return CodedCoopResult(
             snr_db=float(snr_db),
-            n_blocks=int(n_blocks),
-            bler_direct=fail_direct / n_blocks,
-            bler_repetition=fail_rep / n_blocks,
-            bler_coded=fail_coded / n_blocks,
-            relay_decode_rate=relay_ok_count / n_blocks,
+            n_blocks=n,
+            bler_direct=mc.totals["direct_failure"] / n,
+            bler_repetition=mc.totals["repetition_failure"] / n,
+            bler_coded=mc.n_events / n,
+            relay_decode_rate=mc.totals["relay_decode"] / n,
+            mc=mc,
         )
 
-    def sweep(self, snr_values_db, n_blocks=200):
+    def sweep(self, snr_values_db, n_blocks=200, **mc_kwargs):
         """Run across an SNR grid."""
-        return [self.run(s, n_blocks) for s in np.atleast_1d(snr_values_db)]
+        return [self.run(s, n_blocks, **mc_kwargs)
+                for s in np.atleast_1d(snr_values_db)]

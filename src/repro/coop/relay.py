@@ -18,6 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.channel.fading import rayleigh_fading
+from repro.core.mc import run_trials
 from repro.errors import ConfigurationError
 from repro.phy.modulation import Modulator
 from repro.utils.bits import random_bits
@@ -26,7 +27,12 @@ from repro.utils.rng import as_generator
 
 @dataclass
 class RelayResult:
-    """Error statistics of one cooperative configuration at one SNR."""
+    """Error statistics of one cooperative configuration at one SNR.
+
+    ``mc`` carries the engine's :class:`~repro.core.mc.McResult` for
+    the *cooperative outage rate* — the target statistic of adaptive
+    runs — including its confidence interval and stop reason.
+    """
 
     protocol: str
     snr_db: float
@@ -36,6 +42,7 @@ class RelayResult:
     outage_direct: float
     outage_cooperative: float
     relay_decode_rate: float
+    mc: object = None
 
 
 class RelaySimulator:
@@ -67,11 +74,67 @@ class RelaySimulator:
             self.rng.normal(size=shape) + 1j * self.rng.normal(size=shape)
         )
 
-    def run(self, snr_db, n_blocks=200, block_bits=128):
-        """Simulate ``n_blocks`` blocks at direct-link mean SNR ``snr_db``.
+    def _one_block(self, rng, block_bits, noise_var):
+        """Simulate one block; returns the per-trial metric increments."""
+        bits = random_bits(block_bits, rng)
+        x = self.modulator.modulate(bits)
+        h_sd = rayleigh_fading(1, rng)[0]
+        h_sr = rayleigh_fading(1, rng)[0] * np.sqrt(self.relay_gain)
+        h_rd = rayleigh_fading(1, rng)[0] * np.sqrt(self.relay_gain)
+
+        y_sd = h_sd * x + self._noise(x.shape, noise_var)
+        y_sr = h_sr * x + self._noise(x.shape, noise_var)
+
+        # Direct baseline: coherent detection of slot-1 copy only.
+        direct_hat = self.modulator.demodulate_hard(y_sd / h_sd)
+        d_errs = int(np.count_nonzero(direct_hat != bits))
+
+        if self.protocol == "df":
+            relay_hat = self.modulator.demodulate_hard(y_sr / h_sr)
+            relay_ok = bool(np.array_equal(relay_hat, bits))
+            if relay_ok:
+                x_r = self.modulator.modulate(relay_hat)
+                y_rd = h_rd * x_r + self._noise(x.shape, noise_var)
+                # MRC of the two coherent copies.
+                num = (np.conj(h_sd) * y_sd + np.conj(h_rd) * y_rd)
+                den = np.abs(h_sd) ** 2 + np.abs(h_rd) ** 2
+                coop_hat = self.modulator.demodulate_hard(num / den)
+            else:
+                coop_hat = direct_hat
+        else:  # amplify and forward
+            # Relay normalises its received power to 1 then repeats.
+            amp = 1.0 / np.sqrt(np.abs(h_sr) ** 2 + noise_var)
+            y_rd = h_rd * amp * y_sr + self._noise(x.shape, noise_var)
+            # Effective AF channel and noise for MRC weighting.
+            h_eff = h_rd * amp * h_sr
+            var_eff = noise_var * (np.abs(h_rd * amp) ** 2 + 1.0)
+            num = (np.conj(h_sd) * y_sd / noise_var
+                   + np.conj(h_eff) * y_rd / var_eff)
+            den = (np.abs(h_sd) ** 2 / noise_var
+                   + np.abs(h_eff) ** 2 / var_eff)
+            coop_hat = self.modulator.demodulate_hard(num / den)
+            relay_ok = True
+
+        c_errs = int(np.count_nonzero(coop_hat != bits))
+        return {
+            "direct_bit_errors": d_errs,
+            "coop_bit_errors": c_errs,
+            "direct_outage": int(d_errs > 0),
+            "coop_outage": int(c_errs > 0),
+            "relay_decode": int(relay_ok),
+        }
+
+    def run(self, snr_db, n_blocks=200, block_bits=128, *,
+            precision=None, max_trials=None, confidence=0.95,
+            batch_size=100):
+        """Simulate blocks at direct-link mean SNR ``snr_db``.
 
         Returns a :class:`RelayResult`. A block is in outage when any bit
-        in it is wrong (uncoded block error).
+        in it is wrong (uncoded block error). With ``precision=None``
+        exactly ``n_blocks`` run (bit-identical to the seed-era loop);
+        with a precision target the engine stops once the Wilson CI on
+        the cooperative outage rate is relatively tight enough or
+        ``max_trials`` blocks have been spent.
         """
         if block_bits % self.modulator.bits_per_symbol != 0:
             raise ConfigurationError(
@@ -79,73 +142,29 @@ class RelaySimulator:
             )
         snr = 10.0 ** (snr_db / 10.0)
         noise_var = 1.0 / snr
-        direct_bit_errs = 0
-        coop_bit_errs = 0
-        direct_outages = 0
-        coop_outages = 0
-        relay_decodes = 0
-        total_bits = 0
 
-        for _ in range(int(n_blocks)):
-            bits = random_bits(block_bits, self.rng)
-            x = self.modulator.modulate(bits)
-            h_sd = rayleigh_fading(1, self.rng)[0]
-            h_sr = rayleigh_fading(1, self.rng)[0] * np.sqrt(self.relay_gain)
-            h_rd = rayleigh_fading(1, self.rng)[0] * np.sqrt(self.relay_gain)
+        mc = run_trials(
+            lambda rng: self._one_block(rng, block_bits, noise_var),
+            n_trials=int(n_blocks), target="coop_outage", rng=self.rng,
+            precision=precision, max_trials=max_trials,
+            confidence=confidence, batch_size=batch_size)
 
-            y_sd = h_sd * x + self._noise(x.shape, noise_var)
-            y_sr = h_sr * x + self._noise(x.shape, noise_var)
-
-            # Direct baseline: coherent detection of slot-1 copy only.
-            direct_hat = self.modulator.demodulate_hard(y_sd / h_sd)
-            d_errs = int(np.count_nonzero(direct_hat != bits))
-            direct_bit_errs += d_errs
-            direct_outages += int(d_errs > 0)
-
-            if self.protocol == "df":
-                relay_hat = self.modulator.demodulate_hard(y_sr / h_sr)
-                relay_ok = bool(np.array_equal(relay_hat, bits))
-                relay_decodes += int(relay_ok)
-                if relay_ok:
-                    x_r = self.modulator.modulate(relay_hat)
-                    y_rd = h_rd * x_r + self._noise(x.shape, noise_var)
-                    # MRC of the two coherent copies.
-                    num = (np.conj(h_sd) * y_sd + np.conj(h_rd) * y_rd)
-                    den = np.abs(h_sd) ** 2 + np.abs(h_rd) ** 2
-                    coop_hat = self.modulator.demodulate_hard(num / den)
-                else:
-                    coop_hat = direct_hat
-            else:  # amplify and forward
-                # Relay normalises its received power to 1 then repeats.
-                amp = 1.0 / np.sqrt(np.abs(h_sr) ** 2 + noise_var)
-                y_rd = h_rd * amp * y_sr + self._noise(x.shape, noise_var)
-                # Effective AF channel and noise for MRC weighting.
-                h_eff = h_rd * amp * h_sr
-                var_eff = noise_var * (np.abs(h_rd * amp) ** 2 + 1.0)
-                num = (np.conj(h_sd) * y_sd / noise_var
-                       + np.conj(h_eff) * y_rd / var_eff)
-                den = (np.abs(h_sd) ** 2 / noise_var
-                       + np.abs(h_eff) ** 2 / var_eff)
-                coop_hat = self.modulator.demodulate_hard(num / den)
-                relay_decodes += 1
-
-            c_errs = int(np.count_nonzero(coop_hat != bits))
-            coop_bit_errs += c_errs
-            coop_outages += int(c_errs > 0)
-            total_bits += block_bits
-
+        n = mc.n_trials
+        total_bits = block_bits * n
         return RelayResult(
             protocol=self.protocol,
             snr_db=float(snr_db),
-            n_blocks=int(n_blocks),
-            ber_direct=direct_bit_errs / total_bits,
-            ber_cooperative=coop_bit_errs / total_bits,
-            outage_direct=direct_outages / n_blocks,
-            outage_cooperative=coop_outages / n_blocks,
-            relay_decode_rate=relay_decodes / n_blocks,
+            n_blocks=n,
+            ber_direct=mc.totals["direct_bit_errors"] / total_bits,
+            ber_cooperative=mc.totals["coop_bit_errors"] / total_bits,
+            outage_direct=mc.totals["direct_outage"] / n,
+            outage_cooperative=mc.n_events / n,
+            relay_decode_rate=mc.totals["relay_decode"] / n,
+            mc=mc,
         )
 
-    def sweep(self, snr_values_db, n_blocks=200, block_bits=128):
+    def sweep(self, snr_values_db, n_blocks=200, block_bits=128,
+              **mc_kwargs):
         """Run across an SNR grid; returns a list of results."""
-        return [self.run(s, n_blocks, block_bits)
+        return [self.run(s, n_blocks, block_bits, **mc_kwargs)
                 for s in np.atleast_1d(snr_values_db)]

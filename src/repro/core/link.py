@@ -28,7 +28,8 @@ import numpy as np
 
 from repro.channel.awgn import awgn_noise
 from repro.channel.models import TGN_PROFILES, tgn_channel
-from repro.channel.multipath import TappedDelayLine
+from repro.core.mc import run_trials
+from repro.core.mc.stats import rate_interval
 from repro.errors import ConfigurationError, ReproError
 from repro.phy.cck import CckPhy
 from repro.phy.dsss import DsssPhy
@@ -41,7 +42,13 @@ from repro.utils.rng import as_generator
 
 @dataclass
 class LinkResult:
-    """Outcome of a batch of packet transmissions at one operating point."""
+    """Outcome of a batch of packet transmissions at one operating point.
+
+    When produced by :meth:`LinkSimulator.run` the ``mc`` field carries
+    the engine's :class:`~repro.core.mc.McResult` (CI on the PER, trial
+    count, stop reason); :meth:`per_ci`/:meth:`ber_ci` recompute
+    intervals from the stored counts at any confidence.
+    """
 
     phy: str
     channel: str
@@ -53,21 +60,45 @@ class LinkResult:
     payload_bytes: int
     rate_mbps: float
     extras: dict = field(default_factory=dict)
+    mc: object = None
 
     @property
     def per(self):
-        """Packet error rate."""
-        return self.n_packet_errors / self.n_packets if self.n_packets else 0.0
+        """Packet error rate (``nan`` when no packets were sent).
+
+        A zero-trial result used to report 0.0 — indistinguishable from
+        a genuinely error-free measurement; ``nan`` makes "no data"
+        loud instead of flattering.
+        """
+        if not self.n_packets:
+            return float("nan")
+        return self.n_packet_errors / self.n_packets
 
     @property
     def ber(self):
-        """Raw payload bit error rate."""
-        return self.n_bit_errors / self.n_bits if self.n_bits else 0.0
+        """Raw payload bit error rate (``nan`` when no bits were sent)."""
+        if not self.n_bits:
+            return float("nan")
+        return self.n_bit_errors / self.n_bits
 
     @property
     def goodput_mbps(self):
         """PHY rate discounted by packet loss."""
         return self.rate_mbps * (1.0 - self.per)
+
+    def per_ci(self, confidence=0.95, method="wilson"):
+        """``(lo, hi)`` interval on the packet error rate."""
+        return rate_interval(self.n_packet_errors, self.n_packets,
+                             confidence, method)
+
+    def ber_ci(self, confidence=0.95, method="wilson"):
+        """``(lo, hi)`` interval on the bit error rate.
+
+        Treats payload bits as independent Bernoulli trials — optimistic
+        under bursty decoders, but a usable yardstick.
+        """
+        return rate_interval(self.n_bit_errors, self.n_bits,
+                             confidence, method)
 
 
 class LinkSimulator:
@@ -231,53 +262,82 @@ class LinkSimulator:
 
     # -- batches ------------------------------------------------------------------
 
-    def run(self, snr_db, n_packets=100, payload_bytes=100):
-        """Send ``n_packets`` random payloads at one SNR."""
+    def run(self, snr_db, n_packets=100, payload_bytes=100, *,
+            precision=None, max_trials=None, confidence=0.95,
+            batch_size=50):
+        """Send random payloads at one SNR through the MC engine.
+
+        With ``precision=None`` (the default) exactly ``n_packets`` are
+        sent, bit-identical to the seed-era serial loop at the same
+        seed. With a precision target the engine keeps sending batches
+        until the Wilson interval on the PER has relative half-width
+        ``<= precision`` or ``max_trials`` packets have been spent;
+        ``result.mc`` records which.
+        """
         if n_packets < 1 or payload_bytes < 1:
             raise ConfigurationError("need >= 1 packet and >= 1 byte")
-        n_bits = 8 * payload_bytes
-        packet_errors = 0
-        bit_errors = 0
-        for _ in range(int(n_packets)):
-            payload = bytes(self.rng.integers(0, 256, payload_bytes,
-                                              dtype=np.uint8).tolist())
+        payload_bytes = int(payload_bytes)
+
+        def trial(rng):
+            payload = bytes(rng.integers(0, 256, payload_bytes,
+                                         dtype=np.uint8).tolist())
             errs, bad = self._send_packet(payload, snr_db)
-            bit_errors += errs
-            packet_errors += int(bad)
+            return {"packet_error": int(bad), "bit_errors": int(errs)}
+
+        mc = run_trials(trial, n_trials=int(n_packets),
+                        target="packet_error", rng=self.rng,
+                        precision=precision, max_trials=max_trials,
+                        confidence=confidence, batch_size=batch_size)
         return LinkResult(
             phy=self.phy_name,
             channel=self.channel_name,
             snr_db=float(snr_db),
-            n_packets=int(n_packets),
-            n_packet_errors=packet_errors,
-            n_bits=n_bits * int(n_packets),
-            n_bit_errors=bit_errors,
+            n_packets=mc.n_trials,
+            n_packet_errors=mc.n_events,
+            n_bits=8 * payload_bytes * mc.n_trials,
+            n_bit_errors=int(mc.totals.get("bit_errors", 0)),
             payload_bytes=payload_bytes,
             rate_mbps=self.rate_mbps,
+            mc=mc,
         )
 
-    def waterfall(self, snr_values_db, n_packets=100, payload_bytes=100):
-        """Run a PER/BER sweep across SNR values; returns list of results."""
-        return [self.run(snr, n_packets, payload_bytes)
+    def waterfall(self, snr_values_db, n_packets=100, payload_bytes=100,
+                  **mc_kwargs):
+        """Run a PER/BER sweep across SNR values; returns list of results.
+
+        ``mc_kwargs`` (``precision``, ``max_trials``, ``confidence``,
+        ``batch_size``) pass through to :meth:`run`, so an adaptive
+        sweep spends few packets on saturated points and many on the
+        waterfall knee.
+        """
+        return [self.run(snr, n_packets, payload_bytes, **mc_kwargs)
                 for snr in np.atleast_1d(snr_values_db)]
 
     def snr_for_per(self, target_per=0.1, lo_db=-5.0, hi_db=45.0,
-                    n_packets=100, payload_bytes=100, tolerance_db=0.5):
+                    n_packets=100, payload_bytes=100, tolerance_db=0.5,
+                    **mc_kwargs):
         """Bisect the SNR at which PER crosses ``target_per``.
 
         Monte-Carlo noise makes this approximate; increase ``n_packets``
-        for tighter answers.
+        (or pass ``precision=``) for tighter answers. The low edge is
+        probed first: when the target PER already holds at ``lo_db``
+        the answer is ``lo_db`` and no bisection iterations are spent.
         """
         if not 0 < target_per < 1:
             raise ConfigurationError("target PER must be in (0, 1)")
         lo, hi = float(lo_db), float(hi_db)
-        if self.run(hi, n_packets, payload_bytes).per > target_per:
+        if self.run(lo, n_packets, payload_bytes,
+                    **mc_kwargs).per <= target_per:
+            return lo
+        if self.run(hi, n_packets, payload_bytes,
+                    **mc_kwargs).per > target_per:
             raise ConfigurationError(
                 f"PER target {target_per} not met even at {hi} dB"
             )
         while hi - lo > tolerance_db:
             mid = 0.5 * (lo + hi)
-            if self.run(mid, n_packets, payload_bytes).per > target_per:
+            if self.run(mid, n_packets, payload_bytes,
+                        **mc_kwargs).per > target_per:
                 lo = mid
             else:
                 hi = mid

@@ -1,0 +1,268 @@
+"""The adaptive Monte-Carlo trial driver behind every simulation loop.
+
+One engine, two modes:
+
+**Fixed budget** (``precision=None``) replays exactly ``n_trials``
+trials in submission order against the caller's generator — bit for bit
+what the seed-era hand-rolled ``for _ in range(n)`` loops computed,
+because the engine adds no draws of its own and batches preserve the
+stream order (regression-tested in ``tests/test_mc.py``).
+
+**Adaptive** (``precision=p``) keeps running batches until the
+confidence interval on the target statistic is *relatively* tight
+enough — half-width ≤ ``p`` × estimate — or a trial ceiling is hit. A
+saturated operating point (PER ≈ 1) settles within a few batches
+instead of burning the full budget; a zero-event point can never claim
+precision and runs to the ceiling, which is exactly the honesty the
+interval is for.
+
+Trial functions
+---------------
+Scalar form (default): ``trial_fn(rng) -> dict`` mapping metric names
+to per-trial numbers; the engine sums them across trials. Vectorised
+form (``vectorized=True``): ``trial_fn(rng, m) -> dict`` covering ``m``
+trials at once — values are batch *sums* for the ``"rate"`` estimand
+and per-trial value arrays (shape ``(m,)`` or ``(m, d)``) for the
+``"mean"``/``"quantile"`` estimands.
+
+The ``target`` key selects the statistic the stopping rule watches:
+
+* ``estimand="rate"`` — the target counts Bernoulli events; the
+  estimate is an error rate with a Wilson (or Clopper–Pearson) CI;
+* ``estimand="mean"`` — the target carries per-trial values; the
+  estimate is their mean with a normal-theory CI;
+* ``estimand="quantile"`` — per-trial values, estimate is the
+  ``quantile``-quantile with a distribution-free order-statistic CI.
+
+Every run returns an :class:`McResult` carrying the estimate, the CI,
+the consumed trial count, the stop reason, and the summed totals of all
+non-target metrics — enough for a caller to rebuild its legacy result
+object *and* ship error bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.mc.stats import (
+    MeanAccumulator,
+    QuantileAccumulator,
+    RateAccumulator,
+)
+from repro.errors import ConfigurationError
+from repro.utils.rng import as_generator
+
+#: Default trial ceiling for adaptive runs that never reach precision.
+DEFAULT_MAX_TRIALS = 100_000
+
+#: Stop reasons an :class:`McResult` may carry.
+STOP_REASONS = ("budget", "precision", "max_trials")
+
+
+@dataclass
+class McResult:
+    """Outcome of one :func:`run_trials` invocation.
+
+    ``estimate``/``ci_low``/``ci_high`` are floats for scalar
+    estimands and arrays for vector-valued means. ``totals`` holds the
+    summed non-target metrics (e.g. accumulated bit errors alongside a
+    packet-error-rate target).
+    """
+
+    estimate: object
+    ci_low: object
+    ci_high: object
+    n_trials: int
+    confidence: float
+    stop_reason: str
+    method: str
+    target: str
+    estimand: str = "rate"
+    n_events: int = None
+    precision: float = None
+    totals: dict = field(default_factory=dict)
+
+    @property
+    def half_width(self):
+        """Half the CI width (same shape as ``estimate``)."""
+        return (np.asarray(self.ci_high) - np.asarray(self.ci_low)) / 2.0
+
+    @property
+    def rel_half_width(self):
+        """Half-width relative to the estimate (``inf`` at estimate 0)."""
+        est = np.abs(np.asarray(self.estimate, dtype=float))
+        half = np.asarray(self.half_width, dtype=float)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            rel = np.where(est > 0.0, half / est, np.inf)
+        return float(rel) if rel.ndim == 0 else rel
+
+    def ci(self):
+        """The ``(lo, hi)`` interval as a tuple."""
+        return self.ci_low, self.ci_high
+
+
+def _make_accumulator(estimand, method, quantile):
+    if estimand == "rate":
+        return RateAccumulator(method=method)
+    if estimand == "mean":
+        if quantile is not None:
+            raise ConfigurationError(
+                "quantile= only applies to estimand='quantile'"
+            )
+        return MeanAccumulator()
+    if estimand == "quantile":
+        if quantile is None:
+            raise ConfigurationError(
+                "estimand='quantile' needs the quantile= argument"
+            )
+        return QuantileAccumulator(quantile)
+    raise ConfigurationError(
+        f"unknown estimand {estimand!r}; use 'rate', 'mean' or 'quantile'"
+    )
+
+
+def _validate(n_trials, precision, max_trials, batch_size):
+    if precision is None:
+        if n_trials is None or int(n_trials) < 1:
+            raise ConfigurationError(
+                "fixed-budget mode needs n_trials >= 1 "
+                "(or pass precision= for adaptive mode)"
+            )
+        return int(n_trials), None, None
+    precision = float(precision)
+    if not precision > 0.0:
+        raise ConfigurationError(
+            f"precision must be > 0, got {precision}"
+        )
+    max_trials = DEFAULT_MAX_TRIALS if max_trials is None else int(max_trials)
+    if max_trials < 1:
+        raise ConfigurationError(
+            f"max_trials must be >= 1, got {max_trials}"
+        )
+    if int(batch_size) < 1:
+        raise ConfigurationError(
+            f"batch_size must be >= 1, got {batch_size}"
+        )
+    return None, precision, max_trials
+
+
+def run_trials(trial_fn, n_trials=None, *, target, rng=None,
+               precision=None, max_trials=None, batch_size=100,
+               confidence=0.95, method="wilson", estimand="rate",
+               quantile=None, vectorized=False):
+    """Drive ``trial_fn`` to a fixed budget or a precision target.
+
+    Parameters
+    ----------
+    trial_fn : callable
+        ``trial_fn(rng) -> dict`` of per-trial metrics, or — with
+        ``vectorized=True`` — ``trial_fn(rng, m) -> dict`` covering
+        ``m`` trials (see the module docstring for the value
+        conventions per estimand).
+    n_trials : int or None
+        Fixed trial budget. Required when ``precision`` is ``None``;
+        ignored in adaptive mode.
+    target : str
+        The metric key the stopping rule (and the CI) applies to.
+    rng : seed or Generator
+        Passed straight through to ``trial_fn``; giving the caller's
+        own generator preserves the legacy draw order exactly.
+    precision : float or None
+        Adaptive mode: stop once the CI half-width on the target drops
+        below ``precision`` × estimate. ``None`` = fixed budget.
+    max_trials : int or None
+        Adaptive trial ceiling (default ``DEFAULT_MAX_TRIALS``).
+    batch_size : int
+        Trials between CI checks in adaptive mode (and the vectorised
+        chunk size).
+    confidence : float
+        CI confidence level, in (0, 1).
+    method : str
+        Rate-interval flavour: ``"wilson"`` or ``"clopper-pearson"``.
+    estimand : str
+        ``"rate"`` (default), ``"mean"`` or ``"quantile"``.
+    quantile : float or None
+        Which quantile to estimate when ``estimand="quantile"``.
+    vectorized : bool
+        Whether ``trial_fn`` processes whole batches.
+
+    Returns
+    -------
+    McResult
+    """
+    budget, precision, ceiling = _validate(n_trials, precision, max_trials,
+                                           batch_size)
+    acc = _make_accumulator(estimand, method, quantile)
+    rng = as_generator(rng)
+    totals = {}
+
+    def consume(m):
+        """Run ``m`` trials, feed the accumulator, sum the extras."""
+        if vectorized:
+            out = dict(trial_fn(rng, m))
+        else:
+            out = {}
+            values = []
+            for _ in range(m):
+                result = trial_fn(rng)
+                for key, val in result.items():
+                    if estimand != "rate" and key == target:
+                        values.append(val)
+                    else:
+                        out[key] = out.get(key, 0) + val
+            if estimand != "rate":
+                out[target] = np.asarray(values)
+        if target not in out:
+            raise ConfigurationError(
+                f"trial function never produced target metric {target!r}; "
+                f"got keys {sorted(out)}"
+            )
+        for key, val in out.items():
+            if key == target:
+                continue
+            totals[key] = totals.get(key, 0) + val
+        if estimand == "rate":
+            acc.add(out[target], m)
+            totals[target] = acc.n_events
+        else:
+            values = np.asarray(out[target])
+            if values.ndim == 0 or values.shape[0] != m:
+                raise ConfigurationError(
+                    f"target {target!r} must carry one value per trial "
+                    f"(expected leading dimension {m}, got shape "
+                    f"{values.shape})"
+                )
+            acc.add(values)
+
+    if precision is None:
+        # Fixed budget: a single batch (vectorised) or a plain
+        # sequential loop — either way the RNG consumption order is
+        # identical to the seed-era hand-rolled loops.
+        consume(budget)
+        stop_reason = "budget"
+    else:
+        stop_reason = "max_trials"
+        while acc.n_trials < ceiling:
+            consume(min(int(batch_size), ceiling - acc.n_trials))
+            if acc.rel_half_width(confidence) <= precision:
+                stop_reason = "precision"
+                break
+
+    lo, hi = acc.interval(confidence)
+    return McResult(
+        estimate=acc.estimate(),
+        ci_low=lo,
+        ci_high=hi,
+        n_trials=acc.n_trials,
+        confidence=float(confidence),
+        stop_reason=stop_reason,
+        method=method if estimand == "rate" else
+        ("normal" if estimand == "mean" else "order-stat"),
+        target=target,
+        estimand=estimand,
+        n_events=getattr(acc, "n_events", None),
+        precision=precision,
+        totals=totals,
+    )

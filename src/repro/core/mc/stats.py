@@ -1,0 +1,279 @@
+"""Streaming statistics for Monte-Carlo estimation.
+
+Every quantitative claim the library regenerates is an estimate from a
+finite trial count, so every estimate deserves an interval. This module
+supplies the interval mathematics and the streaming accumulators the
+:mod:`repro.core.mc.engine` driver feeds batch by batch:
+
+* :func:`wilson_interval` — the default for error *rates* (PER, BLER,
+  outage, coverage). Well behaved at the extremes (0/n and n/n) where
+  the naive normal interval collapses to a point.
+* :func:`clopper_pearson_interval` — exact (conservative) binomial
+  interval, for when guaranteed coverage matters more than width.
+* :class:`RateAccumulator` / :class:`MeanAccumulator` /
+  :class:`QuantileAccumulator` — constant-memory (rate/mean) or
+  value-retaining (quantile) accumulators sharing one protocol:
+  ``add``, ``n_trials``, ``estimate()``, ``interval()`` and
+  ``rel_half_width()``.
+
+Accumulation is deliberately *sequential* (one ``+=`` per trial) so the
+fixed-budget mode of the engine reproduces the seed-era ``for`` loops
+bit for bit — pairwise/numpy reductions would change the rounding of
+the running totals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import betaincinv, ndtri
+
+from repro.errors import ConfigurationError
+
+#: Interval methods usable for Bernoulli rates.
+RATE_METHODS = ("wilson", "clopper-pearson")
+
+
+def _check_counts(k, n):
+    k, n = int(k), int(n)
+    if n < 0 or k < 0 or k > n:
+        raise ConfigurationError(
+            f"need 0 <= k <= n for a rate interval, got k={k}, n={n}"
+        )
+    return k, n
+
+
+def _z_value(confidence):
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError(
+            f"confidence must be in (0, 1), got {confidence}"
+        )
+    return float(ndtri(0.5 * (1.0 + confidence)))
+
+
+def wilson_interval(k, n, confidence=0.95):
+    """Wilson score interval for a Bernoulli rate ``k / n``.
+
+    Returns ``(lo, hi)`` with ``0 <= lo <= hi <= 1``. Unlike the normal
+    ("Wald") interval it never degenerates at ``k = 0`` or ``k = n`` —
+    0 errors in 100 packets and 0 in 100000 report visibly different
+    upper bounds, which is the whole point of shipping error bars.
+    """
+    k, n = _check_counts(k, n)
+    z = _z_value(confidence)
+    if n == 0:
+        return 0.0, 1.0
+    p = k / n
+    z2 = z * z
+    denom = 1.0 + z2 / n
+    centre = (p + z2 / (2.0 * n)) / denom
+    half = z * np.sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom
+    # centre - half is analytically 0 at k = 0 (and centre + half is 1
+    # at k = n) but rounds to ~1e-19 off; pin the exact edges.
+    lo = 0.0 if k == 0 else max(0.0, float(centre - half))
+    hi = 1.0 if k == n else min(1.0, float(centre + half))
+    return lo, hi
+
+
+def clopper_pearson_interval(k, n, confidence=0.95):
+    """Exact (Clopper–Pearson) binomial interval for ``k / n``.
+
+    Guaranteed coverage at every ``(k, n)`` at the price of being wider
+    than Wilson; the standard yardstick when validating simulations
+    against analytical bounds.
+    """
+    k, n = _check_counts(k, n)
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError(
+            f"confidence must be in (0, 1), got {confidence}"
+        )
+    if n == 0:
+        return 0.0, 1.0
+    alpha = 1.0 - confidence
+    lo = 0.0 if k == 0 else float(betaincinv(k, n - k + 1, alpha / 2.0))
+    hi = 1.0 if k == n else float(betaincinv(k + 1, n - k, 1.0 - alpha / 2.0))
+    return lo, hi
+
+
+def rate_interval(k, n, confidence=0.95, method="wilson"):
+    """Dispatch to the named rate-interval method."""
+    if method == "wilson":
+        return wilson_interval(k, n, confidence)
+    if method == "clopper-pearson":
+        return clopper_pearson_interval(k, n, confidence)
+    raise ConfigurationError(
+        f"unknown rate interval method {method!r}; use one of "
+        f"{', '.join(RATE_METHODS)}"
+    )
+
+
+# -- accumulators ------------------------------------------------------------
+
+
+class RateAccumulator:
+    """Streaming Bernoulli-rate estimate: ``n_events`` out of ``n_trials``.
+
+    Constant memory; feed it ``add(k, n)`` per batch.
+    """
+
+    def __init__(self, method="wilson"):
+        if method not in RATE_METHODS:
+            raise ConfigurationError(
+                f"unknown rate interval method {method!r}; use one of "
+                f"{', '.join(RATE_METHODS)}"
+            )
+        self.method = method
+        self.n_trials = 0
+        self.n_events = 0
+
+    def add(self, k, n):
+        """Record ``k`` target events observed across ``n`` new trials."""
+        k, n = _check_counts(k, n)
+        self.n_events += k
+        self.n_trials += n
+
+    def estimate(self):
+        """The point estimate ``k / n`` (``nan`` before any trial)."""
+        if self.n_trials == 0:
+            return float("nan")
+        return self.n_events / self.n_trials
+
+    def interval(self, confidence=0.95):
+        """``(lo, hi)`` interval on the rate at ``confidence``."""
+        return rate_interval(self.n_events, self.n_trials, confidence,
+                             self.method)
+
+    def rel_half_width(self, confidence=0.95):
+        """CI half-width relative to the estimate (``inf`` while k = 0).
+
+        A zero-event estimate has no scale to be relative to, so the
+        adaptive stop can never trigger on it — the engine runs such
+        points to their trial ceiling instead of declaring fake
+        precision on 0.0.
+        """
+        if self.n_trials == 0 or self.n_events == 0:
+            return float("inf")
+        lo, hi = self.interval(confidence)
+        return (hi - lo) / (2.0 * self.estimate())
+
+
+class MeanAccumulator:
+    """Streaming mean (scalar- or vector-valued) with a normal-theory CI.
+
+    Keeps running ``sum`` and ``sum of squares``, accumulated one trial
+    at a time so a single-batch run is bit-identical to the seed-era
+    sequential loops it replaced.
+    """
+
+    def __init__(self):
+        self.n_trials = 0
+        self._sum = None
+        self._sumsq = None
+
+    def add(self, values):
+        """Record per-trial values, shape ``(m,)`` or ``(m, d)``."""
+        values = np.asarray(values, dtype=float)
+        if values.ndim == 1:
+            values = values[:, None]
+        if values.ndim != 2:
+            raise ConfigurationError(
+                "mean accumulator needs per-trial values of shape (m,) "
+                f"or (m, d), got shape {values.shape}"
+            )
+        if self._sum is None:
+            self._sum = np.zeros(values.shape[1])
+            self._sumsq = np.zeros(values.shape[1])
+        for v in values:  # sequential: bit-identical to the legacy loops
+            self._sum += v
+            self._sumsq += v * v
+        self.n_trials += values.shape[0]
+
+    def estimate(self):
+        """Running mean: a float, or an array for vector values."""
+        if self.n_trials == 0:
+            return float("nan")
+        mean = self._sum / self.n_trials
+        return mean if mean.size > 1 else float(mean[0])
+
+    def _half_width(self, confidence):
+        n = self.n_trials
+        if n < 2:
+            return np.full_like(np.atleast_1d(self._sum), np.inf) \
+                if self._sum is not None else float("inf")
+        var = (self._sumsq - self._sum * self._sum / n) / (n - 1)
+        var = np.maximum(var, 0.0)
+        return _z_value(confidence) * np.sqrt(var / n)
+
+    def interval(self, confidence=0.95):
+        """Normal-theory ``(lo, hi)`` on the mean (``nan`` when empty)."""
+        if self.n_trials == 0:
+            return float("nan"), float("nan")
+        mean = self._sum / self.n_trials
+        half = self._half_width(confidence)
+        lo, hi = mean - half, mean + half
+        if mean.size > 1:
+            return lo, hi
+        return float(lo[0]), float(hi[0])
+
+    def rel_half_width(self, confidence=0.95):
+        """Worst relative half-width across vector components."""
+        if self.n_trials < 2:
+            return float("inf")
+        mean = self._sum / self.n_trials
+        half = self._half_width(confidence)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            rel = np.where(mean != 0.0, half / np.abs(mean), np.inf)
+        return float(np.max(rel))
+
+
+class QuantileAccumulator:
+    """Streaming quantile estimate with a distribution-free order-stat CI.
+
+    Has to retain the sample (quantiles are not sufficient-statistic
+    friendly), so memory is ``O(n_trials)`` — bounded by the engine's
+    trial ceiling.
+    """
+
+    def __init__(self, q):
+        if not 0.0 < q < 1.0:
+            raise ConfigurationError(f"quantile must be in (0, 1), got {q}")
+        self.q = float(q)
+        self._chunks = []
+        self.n_trials = 0
+
+    def add(self, values):
+        """Record a chunk of per-trial values (flattened)."""
+        values = np.asarray(values, dtype=float).ravel()
+        self._chunks.append(values)
+        self.n_trials += values.size
+
+    def _values(self):
+        return np.concatenate(self._chunks) if self._chunks \
+            else np.empty(0)
+
+    def estimate(self):
+        """The empirical ``q``-quantile of everything seen so far."""
+        if self.n_trials == 0:
+            return float("nan")
+        return float(np.quantile(self._values(), self.q))
+
+    def interval(self, confidence=0.95):
+        """Distribution-free CI from binomial fluctuation of the rank."""
+        n = self.n_trials
+        if n == 0:
+            return float("nan"), float("nan")
+        z = _z_value(confidence)
+        ordered = np.sort(self._values())
+        spread = z * np.sqrt(n * self.q * (1.0 - self.q))
+        lo_rank = int(np.clip(np.floor(n * self.q - spread), 0, n - 1))
+        hi_rank = int(np.clip(np.ceil(n * self.q + spread), 0, n - 1))
+        return float(ordered[lo_rank]), float(ordered[hi_rank])
+
+    def rel_half_width(self, confidence=0.95):
+        """CI half-width relative to the estimate (``inf`` near 0)."""
+        if self.n_trials < 2:
+            return float("inf")
+        est = self.estimate()
+        if est == 0.0:
+            return float("inf")
+        lo, hi = self.interval(confidence)
+        return (hi - lo) / (2.0 * abs(est))

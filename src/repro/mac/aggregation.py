@@ -10,8 +10,6 @@ PHY become user throughput.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.constants import ACK_BYTES
 from repro.errors import ConfigurationError
 from repro.mac.timing import MacTiming

@@ -10,8 +10,6 @@ behind the throughput numbers in E15.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.analysis.per import per_from_ber
 from repro.errors import ConfigurationError
 from repro.mac.timing import MacTiming

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.analysis.per import per_from_snr
 from repro.errors import ConfigurationError
-from repro.standards.registry import Standard, get_standard
+from repro.standards.registry import get_standard
 from repro.utils.rng import as_generator
 
 

@@ -13,7 +13,7 @@ routes the paper's argument needs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.mac.events import EventScheduler

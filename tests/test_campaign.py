@@ -311,6 +311,42 @@ class TestReport:
         with pytest.raises(ConfigurationError):
             pivot(self.records(), "per", "nonsense")
 
+    def test_link_records_carry_error_bars(self):
+        """Every mc-backed metric ships its CI and trial count."""
+        for record in self.records():
+            metrics = record["metrics"]
+            assert (metrics["per_ci_low"] <= metrics["per"]
+                    <= metrics["per_ci_high"])
+            assert (metrics["ber_ci_low"] <= metrics["ber"]
+                    <= metrics["ber_ci_high"])
+            assert metrics["n_trials"] == metrics["n_packets"] == 3
+            assert metrics["stop_reason"] == "budget"
+            assert metrics["confidence"] == 0.95
+
+    def test_format_pivot_renders_ci_cells(self):
+        lines = format_pivot(self.records(), "per", "snr_db", "phy")
+        # Cells look like "0.3333 [0.0177, 0.7914]".
+        assert "[" in lines[-1] and "]" in lines[-1]
+        plain = format_pivot(self.records(), "per", "snr_db", "phy",
+                             ci=False)
+        assert "[" not in plain[-1]
+
+    def test_adaptive_campaign_points(self):
+        result = run_campaign(quick_spec(
+            fixed={"channel": "awgn", "n_packets": 3, "payload_bytes": 20,
+                   "precision": 0.5, "max_trials": 200},
+        ))
+        for record in result.records:
+            metrics = record["metrics"]
+            assert metrics["stop_reason"] in ("precision", "max_trials")
+            assert metrics["n_trials"] <= 200
+
+    def test_summary_counts_mc_trials(self):
+        from repro.campaign.report import summary_lines
+        lines = summary_lines(self.records(), name="tiny")
+        assert any("MC trials" in line and "budget" in line
+                   for line in lines)
+
 
 class TestCampaignCli:
     def run_cli(self, *argv):

@@ -89,13 +89,39 @@ class TestSnrForPer:
         with pytest.raises(ConfigurationError):
             LinkSimulator("ofdm-6", rng=10).snr_for_per(1.5)
 
+    def test_low_edge_returned_without_bisection(self):
+        """When the target PER already holds at lo_db the probe must
+        return lo_db itself after a single run."""
+        sim = LinkSimulator("ofdm-12", "awgn", rng=12)
+        calls = []
+        original = sim.run
+
+        def counting_run(*args, **kwargs):
+            calls.append(args)
+            return original(*args, **kwargs)
+
+        sim.run = counting_run
+        snr = sim.snr_for_per(0.5, lo_db=30.0, hi_db=40.0,
+                              n_packets=10, payload_bytes=40)
+        assert snr == 30.0
+        assert len(calls) == 1
+
 
 class TestValidation:
     def test_zero_packets_rejected(self):
         with pytest.raises(ConfigurationError):
             LinkSimulator("ofdm-6", rng=11).run(10.0, 0, 100)
 
-    def test_result_properties_empty_safe(self):
+    def test_zero_trial_result_is_nan_not_zero(self):
+        """No data must not masquerade as an error-free measurement."""
+        import math
         r = LinkResult("x", "awgn", 0.0, 0, 0, 0, 0, 10, 6.0)
-        assert r.per == 0.0
-        assert r.ber == 0.0
+        assert math.isnan(r.per)
+        assert math.isnan(r.ber)
+
+    def test_per_ci_brackets_estimate(self):
+        result = LinkSimulator("cck-5.5", "awgn", rng=13).run(2.0, 30, 25)
+        lo, hi = result.per_ci()
+        assert 0.0 <= lo <= result.per <= hi <= 1.0
+        cp_lo, cp_hi = result.per_ci(method="clopper-pearson")
+        assert cp_lo <= result.per <= cp_hi

@@ -5,7 +5,6 @@ executed in-process with a stubbed ``__main__`` guard via runpy.
 """
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

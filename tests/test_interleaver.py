@@ -34,7 +34,6 @@ class TestLegacyInterleaver:
         perm = interleave_permutation(48, 1)
         positions = np.empty(48, dtype=int)
         positions[perm] = np.arange(48)
-        gaps = np.abs(np.diff(np.argsort(positions)))
         # Adjacent input bits land 16 columns apart in the 48-bit symbol.
         assert interleave(np.arange(48), 48, 1)[0] in range(48)
         out = interleave(np.arange(48), 48, 1)

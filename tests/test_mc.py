@@ -1,0 +1,370 @@
+"""Tests for the adaptive Monte-Carlo engine and its statistics.
+
+Three layers of guarantees:
+
+* interval mathematics (Wilson / Clopper–Pearson / accumulators);
+* engine semantics (fixed budget vs adaptive stopping, determinism);
+* bit-exactness regressions — the refactored simulators must reproduce
+  the seed-era serial loops *exactly* at the same seeds, using golden
+  values captured from the pre-refactor implementations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.mc import (
+    DEFAULT_MAX_TRIALS,
+    MeanAccumulator,
+    QuantileAccumulator,
+    RateAccumulator,
+    clopper_pearson_interval,
+    rate_interval,
+    run_trials,
+    wilson_interval,
+)
+from repro.errors import ConfigurationError
+
+
+class TestIntervals:
+    def test_wilson_contains_point_estimate(self):
+        lo, hi = wilson_interval(12, 100)
+        assert lo < 0.12 < hi
+        assert 0.0 <= lo <= hi <= 1.0
+
+    def test_wilson_zero_events_exact_edge(self):
+        lo, hi = wilson_interval(0, 100)
+        assert lo == 0.0
+        assert 0.0 < hi < 0.1
+
+    def test_wilson_all_events_exact_edge(self):
+        lo, hi = wilson_interval(100, 100)
+        assert hi == 1.0
+        assert 0.9 < lo < 1.0
+
+    def test_wilson_narrows_with_n(self):
+        w_small = np.diff(wilson_interval(5, 50))[0]
+        w_large = np.diff(wilson_interval(500, 5000))[0]
+        assert w_large < w_small
+
+    def test_wilson_zero_upper_bound_scales(self):
+        """0/100 and 0/100000 must report different upper bounds."""
+        _, hi_small = wilson_interval(0, 100)
+        _, hi_large = wilson_interval(0, 100_000)
+        assert hi_large < hi_small / 100
+
+    def test_clopper_pearson_wider_than_wilson(self):
+        w = np.diff(wilson_interval(7, 80))[0]
+        cp = np.diff(clopper_pearson_interval(7, 80))[0]
+        assert cp > w
+
+    def test_clopper_pearson_edges(self):
+        assert clopper_pearson_interval(0, 50)[0] == 0.0
+        assert clopper_pearson_interval(50, 50)[1] == 1.0
+
+    def test_higher_confidence_wider(self):
+        w95 = np.diff(wilson_interval(10, 100, 0.95))[0]
+        w99 = np.diff(wilson_interval(10, 100, 0.99))[0]
+        assert w99 > w95
+
+    def test_dispatch(self):
+        assert rate_interval(3, 30, method="wilson") == \
+            wilson_interval(3, 30)
+        assert rate_interval(3, 30, method="clopper-pearson") == \
+            clopper_pearson_interval(3, 30)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rate_interval(3, 30, method="wald")
+
+    @pytest.mark.parametrize("k,n", [(-1, 10), (11, 10), (5, -1)])
+    def test_bad_counts_rejected(self, k, n):
+        with pytest.raises(ConfigurationError):
+            wilson_interval(k, n)
+
+    @pytest.mark.parametrize("conf", [0.0, 1.0, -0.5, 2.0])
+    def test_bad_confidence_rejected(self, conf):
+        with pytest.raises(ConfigurationError):
+            wilson_interval(5, 10, conf)
+
+    def test_empty_sample_is_vacuous(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+        assert clopper_pearson_interval(0, 0) == (0.0, 1.0)
+
+
+class TestWilsonCoverageProperty:
+    def test_nominal_coverage(self, rng):
+        """A 95% Wilson interval must contain the true rate ~95% of the
+        time; with 400 seeded ensembles the observed coverage should not
+        dip below 90%."""
+        p_true, n, hits, ensembles = 0.3, 80, 0, 400
+        for _ in range(ensembles):
+            k = int(rng.binomial(n, p_true))
+            lo, hi = wilson_interval(k, n)
+            hits += lo <= p_true <= hi
+        assert hits / ensembles > 0.90
+
+
+class TestAccumulators:
+    def test_rate_streaming_equals_oneshot(self):
+        a, b = RateAccumulator(), RateAccumulator()
+        a.add(3, 10)
+        a.add(2, 40)
+        b.add(5, 50)
+        assert a.estimate() == b.estimate() == 0.1
+        assert a.interval() == b.interval()
+
+    def test_rate_zero_events_infinite_relative_width(self):
+        acc = RateAccumulator()
+        acc.add(0, 1000)
+        assert acc.rel_half_width() == float("inf")
+
+    def test_mean_matches_numpy(self, rng):
+        values = rng.normal(size=200)
+        acc = MeanAccumulator()
+        acc.add(values[:150])
+        acc.add(values[150:])
+        assert acc.estimate() == pytest.approx(values.mean())
+        lo, hi = acc.interval()
+        assert lo < values.mean() < hi
+
+    def test_mean_vector_valued(self, rng):
+        values = rng.normal(size=(50, 3))
+        acc = MeanAccumulator()
+        acc.add(values)
+        assert np.allclose(acc.estimate(), values.mean(axis=0))
+
+    def test_mean_single_trial_infinite_width(self):
+        acc = MeanAccumulator()
+        acc.add([1.5])
+        assert acc.rel_half_width() == float("inf")
+
+    def test_quantile_matches_numpy(self, rng):
+        values = rng.normal(size=500)
+        acc = QuantileAccumulator(0.1)
+        acc.add(values[:200])
+        acc.add(values[200:])
+        assert acc.estimate() == pytest.approx(np.quantile(values, 0.1))
+        lo, hi = acc.interval()
+        assert lo <= acc.estimate() <= hi
+
+    def test_quantile_bad_q_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QuantileAccumulator(1.2)
+
+
+class TestEngineFixedBudget:
+    @staticmethod
+    def bernoulli(rng):
+        return {"event": int(rng.uniform() < 0.4),
+                "extra": int(rng.uniform() < 0.5)}
+
+    def test_preserves_draw_order(self):
+        """The engine must consume a shared generator in exactly the
+        order of a hand-rolled serial loop."""
+        mc = run_trials(self.bernoulli, n_trials=300, target="event",
+                        rng=np.random.default_rng(17))
+        rng = np.random.default_rng(17)
+        events = sum(self.bernoulli(rng)["event"] for _ in range(300))
+        assert mc.n_events == events
+        assert mc.n_trials == 300
+        assert mc.stop_reason == "budget"
+
+    def test_totals_carry_non_target_metrics(self):
+        mc = run_trials(self.bernoulli, n_trials=100, target="event",
+                        rng=np.random.default_rng(3))
+        assert set(mc.totals) == {"event", "extra"}
+        assert 0 <= mc.totals["extra"] <= 100
+        assert mc.totals["event"] == mc.n_events
+
+    def test_vectorized_single_batch(self):
+        def batch(rng, m):
+            return {"event": int(np.count_nonzero(rng.uniform(size=m)
+                                                  < 0.25))}
+        mc = run_trials(batch, n_trials=400, target="event",
+                        rng=np.random.default_rng(5), vectorized=True)
+        rng = np.random.default_rng(5)
+        assert mc.n_events == int(np.count_nonzero(
+            rng.uniform(size=400) < 0.25))
+
+    def test_result_interval_matches_counts(self):
+        mc = run_trials(self.bernoulli, n_trials=200, target="event",
+                        rng=np.random.default_rng(8))
+        assert mc.ci() == wilson_interval(mc.n_events, 200)
+        assert mc.estimate == mc.n_events / 200
+
+    def test_missing_target_rejected(self):
+        with pytest.raises(ConfigurationError, match="target metric"):
+            run_trials(lambda rng: {"other": 1}, n_trials=5,
+                       target="event", rng=np.random.default_rng(0))
+
+    def test_no_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_trials(self.bernoulli, target="event")
+
+    def test_bad_precision_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_trials(self.bernoulli, target="event", precision=-0.1)
+
+    def test_bad_estimand_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_trials(self.bernoulli, n_trials=5, target="event",
+                       estimand="median")
+
+    def test_quantile_estimand_needs_q(self):
+        with pytest.raises(ConfigurationError):
+            run_trials(self.bernoulli, n_trials=5, target="event",
+                       estimand="quantile")
+
+
+class TestEngineAdaptive:
+    @staticmethod
+    def coin(rng):
+        return {"event": int(rng.uniform() < 0.5)}
+
+    def test_deterministic_at_fixed_seed(self):
+        runs = [run_trials(self.coin, target="event",
+                           rng=np.random.default_rng(99), precision=0.2,
+                           batch_size=50) for _ in range(2)]
+        assert runs[0].n_trials == runs[1].n_trials
+        assert runs[0].estimate == runs[1].estimate
+        assert runs[0].ci() == runs[1].ci()
+
+    def test_stops_on_precision(self):
+        mc = run_trials(self.coin, target="event",
+                        rng=np.random.default_rng(1), precision=0.2,
+                        batch_size=50)
+        assert mc.stop_reason == "precision"
+        assert mc.rel_half_width <= 0.2
+        assert mc.n_trials < DEFAULT_MAX_TRIALS
+        assert mc.n_trials % 50 == 0
+
+    def test_zero_events_run_to_ceiling(self):
+        """No events → no precision claim: the engine must burn the
+        whole ceiling rather than stop on an empty estimate."""
+        mc = run_trials(lambda rng: {"event": 0}, target="event",
+                        rng=np.random.default_rng(2), precision=0.1,
+                        max_trials=700, batch_size=100)
+        assert mc.stop_reason == "max_trials"
+        assert mc.n_trials == 700
+        assert mc.estimate == 0.0
+        assert mc.ci_high > 0.0
+
+    def test_tighter_precision_needs_more_trials(self):
+        loose = run_trials(self.coin, target="event",
+                           rng=np.random.default_rng(4), precision=0.3,
+                           batch_size=20)
+        tight = run_trials(self.coin, target="event",
+                           rng=np.random.default_rng(4), precision=0.05,
+                           batch_size=20)
+        assert tight.n_trials > loose.n_trials
+
+    def test_adaptive_mean_estimand(self):
+        mc = run_trials(lambda rng: {"v": float(rng.normal(10.0, 1.0))},
+                        target="v", rng=np.random.default_rng(6),
+                        precision=0.02, estimand="mean", batch_size=50)
+        assert mc.stop_reason == "precision"
+        assert mc.estimate == pytest.approx(10.0, abs=0.5)
+
+
+# -- bit-exactness regressions ----------------------------------------------
+#
+# Golden values captured by running the pre-refactor (seed-era) serial
+# loops at these exact seeds and budgets. The refactored engine-backed
+# paths must reproduce them bit for bit.
+
+
+class TestGoldenLink:
+    def test_cck_awgn(self):
+        from repro.core.link import LinkSimulator
+        r = LinkSimulator("cck-5.5", "awgn", rng=123).run(2.0, 40, 25)
+        assert (r.n_packet_errors, r.n_bit_errors) == (16, 31)
+
+    def test_ofdm_rayleigh(self):
+        from repro.core.link import LinkSimulator
+        r = LinkSimulator("ofdm-12", "rayleigh", rng=77).run(14.0, 30, 40)
+        assert (r.n_packet_errors, r.n_bit_errors) == (6, 693)
+
+
+class TestGoldenRelay:
+    def test_decode_and_forward(self):
+        from repro.coop.relay import RelaySimulator
+        r = RelaySimulator("df", rng=5).run(10.0, 60, 32)
+        assert r.ber_direct == 0.027083333333333334
+        assert r.ber_cooperative == 0.0067708333333333336
+        assert r.outage_direct == 0.18333333333333332
+        assert r.outage_cooperative == 0.06666666666666667
+        assert r.relay_decode_rate == 0.8333333333333334
+
+    def test_amplify_and_forward(self):
+        from repro.coop.relay import RelaySimulator
+        r = RelaySimulator("af", rng=9).run(8.0, 50, 32)
+        assert r.ber_direct == 0.029375
+        assert r.ber_cooperative == 0.015625
+        assert r.outage_direct == 0.26
+        assert r.outage_cooperative == 0.2
+        assert r.relay_decode_rate == 1.0
+
+
+class TestGoldenCodedCoop:
+    def test_coded_cooperation(self):
+        from repro.coop.coded import CodedCooperationSimulator
+        r = CodedCooperationSimulator(info_bits=48, rng=3).run(2.0, 30)
+        assert r.bler_direct == 0.3333333333333333
+        assert r.bler_repetition == 0.06666666666666667
+        assert r.bler_coded == 0.1
+        assert r.relay_decode_rate == 0.7333333333333333
+
+
+class TestGoldenCoverageAndCapacity:
+    def test_coverage(self):
+        from repro.mesh.coverage import coverage_fraction
+        from repro.mesh.topology import grid_positions
+        frac = coverage_fraction(grid_positions(2, 60.0) + 40.0, 200.0,
+                                 n_samples=600, rng=2024)
+        assert frac == 0.585
+
+    def test_ergodic_scalar(self):
+        from repro.phy.mimo.capacity import ergodic_capacity
+        c = ergodic_capacity(2, 2, 10.0, n_draws=300, rng=42)
+        assert c == 5.494824002499881
+
+    def test_ergodic_vector(self):
+        from repro.phy.mimo.capacity import ergodic_capacity
+        c = ergodic_capacity(3, 2, np.array([0.0, 10.0, 20.0]),
+                             n_draws=200, rng=7)
+        assert c.tolist() == [2.284122809786747, 6.967766566301601,
+                              13.219137020577397]
+
+    def test_outage(self):
+        from repro.phy.mimo.capacity import outage_capacity
+        c = outage_capacity(2, 2, 12.0, outage=0.1, n_draws=400, rng=11)
+        assert c == 4.684408364547731
+
+
+class TestSimulatorAdaptiveMode:
+    def test_link_saturated_point_stops_early(self):
+        """PER ~ 1 settles in a couple of batches, not the full budget."""
+        from repro.core.link import LinkSimulator
+        sim = LinkSimulator("ofdm-54", "awgn", rng=1)
+        r = sim.run(5.0, n_packets=2000, payload_bytes=40,
+                    precision=0.1, max_trials=2000, batch_size=50)
+        assert r.mc.stop_reason == "precision"
+        assert r.n_packets < 200
+        lo, hi = r.per_ci()
+        assert lo <= r.per <= hi
+
+    def test_coverage_result_carries_interval(self):
+        from repro.mesh.coverage import coverage_result
+        mc = coverage_result(np.array([[100.0, 100.0]]), 200.0,
+                             rng=np.random.default_rng(12),
+                             precision=0.1, max_trials=5000)
+        assert mc.stop_reason in ("precision", "max_trials")
+        assert mc.ci_low <= mc.estimate <= mc.ci_high
+
+    def test_ergodic_return_result(self):
+        from repro.phy.mimo.capacity import ergodic_capacity
+        mc = ergodic_capacity(2, 2, 10.0, rng=np.random.default_rng(13),
+                              precision=0.02, max_trials=4000,
+                              return_result=True)
+        assert mc.estimand == "mean"
+        assert mc.ci_low < mc.estimate < mc.ci_high

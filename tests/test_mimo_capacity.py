@@ -70,3 +70,52 @@ class TestChannelDraw:
     def test_unit_average_power(self, rng):
         h = rayleigh_channel(50, 50, rng)
         assert np.mean(np.abs(h) ** 2) == pytest.approx(1.0, abs=0.05)
+
+    def test_batched_draws_match_sequential(self, rng_factory):
+        from repro.phy.mimo.capacity import rayleigh_channels
+        batched = rayleigh_channels(20, 3, 2, rng_factory(55))
+        rng = rng_factory(55)
+        sequential = np.stack([rayleigh_channel(3, 2, rng)
+                               for _ in range(20)])
+        assert np.array_equal(batched, sequential)
+
+
+class TestEngineBackedRegression:
+    """The vectorised MC-engine paths must reproduce the seed-era
+    per-draw loops bit for bit at the same seed."""
+
+    def test_ergodic_matches_legacy_loop(self, rng_factory):
+        c = ergodic_capacity(2, 3, np.array([5.0, 15.0]), n_draws=150,
+                             rng=rng_factory(21))
+        rng = rng_factory(21)
+        snr = 10.0 ** (np.array([5.0, 15.0]) / 10.0)
+        totals = np.zeros(2)
+        for _ in range(150):
+            h = rayleigh_channel(2, 3, rng)
+            eig = np.maximum(np.linalg.eigvalsh(h @ h.conj().T).real, 0.0)
+            totals += np.log2(1.0 + np.outer(snr / 3, eig)).sum(axis=1)
+        assert np.array_equal(c, totals / 150)
+
+    def test_outage_matches_legacy_loop(self, rng_factory):
+        c = outage_capacity(2, 2, 12.0, outage=0.05, n_draws=300,
+                            rng=rng_factory(23))
+        rng = rng_factory(23)
+        caps = np.array([capacity_bps_hz(rayleigh_channel(2, 2, rng),
+                                         10.0 ** 1.2)
+                         for _ in range(300)])
+        assert c == float(np.quantile(caps, 0.05))
+
+    def test_ergodic_adaptive_smoke(self, rng_factory):
+        mc = ergodic_capacity(2, 2, 10.0, rng=rng_factory(25),
+                              precision=0.05, max_trials=5000,
+                              batch_size=500, return_result=True)
+        assert mc.stop_reason in ("precision", "max_trials")
+        assert mc.n_trials % 500 == 0
+        assert mc.ci_low < mc.estimate < mc.ci_high
+
+    def test_outage_adaptive_smoke(self, rng_factory):
+        mc = outage_capacity(2, 2, 12.0, outage=0.1,
+                             rng=rng_factory(26), precision=0.1,
+                             max_trials=4000, return_result=True)
+        assert mc.stop_reason in ("precision", "max_trials")
+        assert mc.ci_low <= mc.estimate <= mc.ci_high

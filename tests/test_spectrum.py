@@ -5,7 +5,6 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.mesh.spectrum import (
-    BAND_PLANS,
     assign_channels,
     channels_in_band,
     conflict_graph,

@@ -1,7 +1,5 @@
 """Tests for repro.utils.crc (802.11 FCS)."""
 
-import pytest
-
 from repro.utils.crc import append_fcs, check_fcs, crc32
 
 
