@@ -43,7 +43,15 @@ def test_bench_mc_adaptive_vs_fixed(benchmark, report):
         f"packets for the same certified precision",
     ]
     report("MC: adaptive precision targeting vs a fixed trial budget",
-           lines)
+           lines,
+           metrics=[
+               {"name": "fixed_trials", "value": fixed.n_packets,
+                "units": "packets"},
+               {"name": "adaptive_trials", "value": adaptive.n_packets,
+                "units": "packets"},
+               {"name": "packet_saving",
+                "value": FIXED_BUDGET / adaptive.n_packets, "units": "x"},
+           ])
 
     # The acceptance criterion: the adaptive run reaches the default
     # PER precision with measurably fewer trials than the fixed budget.
@@ -78,7 +86,12 @@ def test_bench_mc_adaptive_waterfall_allocation(benchmark, report):
     total = sum(r.n_packets for r in results)
     lines.append(f"total packets: {total} (fixed sweep would use "
                  f"{400 * len(snrs)})")
-    report("MC: adaptive packet allocation across a PER waterfall", lines)
+    report("MC: adaptive packet allocation across a PER waterfall", lines,
+           metrics=[
+               {"name": "total_packets", "value": total, "units": "packets"},
+               {"name": "fixed_equivalent", "value": 400 * len(snrs),
+                "units": "packets"},
+           ])
 
     assert total < 400 * len(snrs)
     # The zero-error tail can never certify relative precision — it must

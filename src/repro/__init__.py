@@ -20,6 +20,8 @@ paper surveys:
   framework.
 * ``repro.campaign`` — declarative parameter sweeps run on a process
   pool with per-point seed substreams and a persistent results store.
+* ``repro.obs`` — structured tracing and run telemetry: nestable
+  spans, counters, per-process JSONL traces, ``repro trace report``.
 * ``repro.analysis`` — closed-form BER/capacity/link-budget yardsticks.
 
 Quick start::

@@ -23,6 +23,11 @@ Quick use::
 or from the shell::
 
     python -m repro campaign run e3-dsss-cck --workers 4 --report
+
+Passing ``trace=True`` (CLI: ``--trace``) records :mod:`repro.obs`
+telemetry — per-point spans, MC trial throughput, cache/retry counters
+— to ``results/<campaign>/trace/trace.jsonl``, rendered by ``repro
+trace report <campaign>``.
 """
 
 from repro.campaign.cache import point_key

@@ -43,9 +43,22 @@ Record schema (one per point, stored as a JSONL line)::
       "error_type":   exception class name when outcome != "ok" else None,
       "traceback":    traceback text when outcome == "error" else None,
       "attempts":     attempts consumed (1 when the first try settled it),
-      "wall_time_s":  per-point wall time across all attempts,
+      "wall_time_s":  per-point wall time across all attempts; cache
+                      hits carry 0.0 (this run did no work for them)
+                      plus ``"cached": true``,
       "worker":       pid of the process that ran it,
     }
+
+Telemetry: when :func:`run_campaign` is called with ``trace=True`` (or
+an ambient :mod:`repro.obs` tracer is installed) the run emits spans —
+``campaign.run`` around the sweep, one ``campaign.point`` per grid
+point with outcome/attempt/cache attrs and the pool submit-to-finish
+latency as its duration, and worker-side ``campaign.execute`` /
+``campaign.attempt`` spans around the point function — plus cache,
+outcome and retry counters. Each pool worker writes its own JSONL part
+file under ``results/<campaign>/trace/`` (spawn-safe: nothing is
+shared), and the parent merges them into ``trace.jsonl`` after pool
+shutdown for ``repro trace report``.
 """
 
 from __future__ import annotations
@@ -54,11 +67,11 @@ import multiprocessing
 import os
 import pickle
 import threading
-import time
 import traceback as traceback_module
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.campaign.cache import point_key
 from repro.campaign.seeding import attempt_generator
 from repro.errors import ConfigurationError, PointExecutionError
@@ -273,9 +286,24 @@ def _call_point(func, params, rng, timeout_s):
 
 _MAX_TRACEBACK_CHARS = 8000
 
+# Per-process tracers for pool workers, keyed by trace directory. A
+# worker is reused across many points (and possibly across campaigns),
+# so it opens its part file once and keeps appending.
+_WORKER_TRACERS = {}
+
+
+def _process_tracer(trace_dir):
+    """This process's tracer writing to ``trace_dir`` (created once)."""
+    tracer = _WORKER_TRACERS.get(trace_dir)
+    if tracer is None:
+        tracer = obs.Tracer(obs.TraceWriter(
+            obs.part_path(trace_dir, "worker")))
+        _WORKER_TRACERS[trace_dir] = tracer
+    return tracer
+
 
 def _execute_point(kind, campaign, base_seed, index, params, key,
-                   retries=0, timeout_s=None):
+                   retries=0, timeout_s=None, trace_dir=None):
     """Run one point in whatever process this lands in (pool or main).
 
     Never raises: every exception from the point function becomes a
@@ -284,27 +312,52 @@ def _execute_point(kind, campaign, base_seed, index, params, key,
     drawing from the deterministic ``(base_seed, index, k)`` stream.
     Timeouts are terminal — re-running a hang would just hang again and
     burn the budget times over.
+
+    ``trace_dir`` is set on pool submissions of traced runs: the worker
+    installs its own per-process tracer (appending to
+    ``trace_dir/worker-<pid>.jsonl``) for the duration, which both
+    works under ``spawn`` (no inherited state needed) and shadows any
+    fork-inherited parent tracer that would otherwise misattribute
+    events. Inline execution passes ``None`` and inherits the ambient
+    tracer of the orchestrating process.
     """
+    if trace_dir is not None:
+        with obs.use_tracer(_process_tracer(trace_dir)):
+            return _execute_point_impl(kind, campaign, base_seed, index,
+                                       params, key, retries, timeout_s)
+    return _execute_point_impl(kind, campaign, base_seed, index, params,
+                               key, retries, timeout_s)
+
+
+def _execute_point_impl(kind, campaign, base_seed, index, params, key,
+                        retries, timeout_s):
     func, code_version = _lookup_kind(kind)
-    start = time.perf_counter()
     attempts = 0
     metrics, outcome, error, error_type, tb_text = {}, "error", None, None, \
         None
-    for attempt in range(int(retries) + 1):
-        attempts = attempt + 1
-        rng = attempt_generator(base_seed, index, attempt)
-        try:
-            metrics = _call_point(func, params, rng, timeout_s)
-            outcome, error, error_type, tb_text = "ok", None, None, None
-            break
-        except _PointTimeout as exc:
-            metrics, outcome, error = {}, "timeout", str(exc)
-            error_type, tb_text = "TimeoutError", None
-            break
-        except Exception as exc:
-            metrics, outcome, error = {}, "error", str(exc)
-            error_type = type(exc).__name__
-            tb_text = traceback_module.format_exc()[-_MAX_TRACEBACK_CHARS:]
+    with obs.span("campaign.execute", kind=kind, campaign=campaign,
+                  index=index) as exec_span, obs.timed() as clock:
+        for attempt in range(int(retries) + 1):
+            attempts = attempt + 1
+            rng = attempt_generator(base_seed, index, attempt)
+            with obs.span("campaign.attempt", index=index,
+                          attempt=attempt) as attempt_span:
+                try:
+                    metrics = _call_point(func, params, rng, timeout_s)
+                    outcome, error, error_type, tb_text = "ok", None, None, \
+                        None
+                except _PointTimeout as exc:
+                    metrics, outcome, error = {}, "timeout", str(exc)
+                    error_type, tb_text = "TimeoutError", None
+                except Exception as exc:
+                    metrics, outcome, error = {}, "error", str(exc)
+                    error_type = type(exc).__name__
+                    tb_text = traceback_module.format_exc()[
+                        -_MAX_TRACEBACK_CHARS:]
+                attempt_span.set(outcome=outcome)
+            if outcome != "error":
+                break
+        exec_span.set(outcome=outcome, attempts=attempts)
     return {
         "key": key,
         "campaign": campaign,
@@ -319,7 +372,7 @@ def _execute_point(kind, campaign, base_seed, index, params, key,
         "error_type": error_type,
         "traceback": tb_text,
         "attempts": attempts,
-        "wall_time_s": time.perf_counter() - start,
+        "wall_time_s": clock.seconds,
         "worker": os.getpid(),
     }
 
@@ -408,7 +461,8 @@ def _pool_failure_record(spec, code_version, point, key, exc):
 
 
 def run_campaign(spec, workers=1, store=None, force=False, echo=None,
-                 retries=None, timeout_s=None, start_method=None):
+                 retries=None, timeout_s=None, start_method=None,
+                 trace=False):
     """Execute a campaign, reusing cached points from ``store``.
 
     Parameters
@@ -434,15 +488,50 @@ def run_campaign(spec, workers=1, store=None, force=False, echo=None,
         Multiprocessing start method for the pool (``fork``, ``spawn``,
         ``forkserver``). ``None`` uses ``$REPRO_CAMPAIGN_START_METHOD``
         when set, else the platform default.
+    trace : bool
+        Collect :mod:`repro.obs` telemetry for this run. With a store,
+        every process writes a JSONL part file under
+        ``results/<campaign>/trace/`` and the parent merges them into
+        ``trace.jsonl`` after the pool shuts down
+        (``result.extras["trace_path"]``); without one the trace stays
+        in memory. Either way ``result.extras["trace"]`` carries the
+        parent tracer's :meth:`~repro.obs.Tracer.summary`. With
+        ``trace=False`` the runner still emits spans to any ambient
+        tracer the caller installed — it just doesn't manage one.
 
     Returns
     -------
     CampaignResult
         One record per grid point — failures included, never ``None``
         holes — ordered by grid index, with ``record["cached"]`` marking
-        points served from the store. Use :meth:`CampaignResult.check`
-        to turn remaining failures into an exception.
+        points served from the store (their ``wall_time_s`` is 0.0:
+        this run spent nothing on them). Use
+        :meth:`CampaignResult.check` to turn remaining failures into an
+        exception.
     """
+    if not trace:
+        return _run_campaign(spec, workers, store, force, echo, retries,
+                             timeout_s, start_method, trace_dir=None)
+    trace_dir = None
+    if store is not None:
+        trace_dir = obs.reset_trace_dir(store.trace_dir(spec.name))
+        tracer = obs.Tracer(obs.TraceWriter(obs.part_path(trace_dir,
+                                                          "main")))
+    else:
+        tracer = obs.Tracer()
+    with obs.use_tracer(tracer):
+        result = _run_campaign(spec, workers, store, force, echo, retries,
+                               timeout_s, start_method, trace_dir)
+    result.extras["trace"] = tracer.summary()
+    if trace_dir is not None:
+        merged, _ = obs.merge_trace_dir(trace_dir)
+        result.extras["trace_path"] = merged
+    return result
+
+
+def _run_campaign(spec, workers, store, force, echo, retries, timeout_s,
+                  start_method, trace_dir):
+    """The sweep itself, emitting telemetry to the ambient tracer."""
     _, code_version = _lookup_kind(spec.kind)  # validate kind up front
     workers = max(1, int(workers))
     retries = int(spec.retries if retries is None else retries)
@@ -451,73 +540,108 @@ def run_campaign(spec, workers=1, store=None, force=False, echo=None,
         "REPRO_CAMPAIGN_START_METHOD") or None
     say = echo or (lambda _msg: None)
     points = spec.expand()
-    start = time.perf_counter()
 
-    known = {}
-    if store is not None and not force:
-        known = {r["key"]: r for r in store.load(spec.name)
-                 if r.get("outcome") == "ok"}
+    with obs.span("campaign.run", campaign=spec.name, kind=spec.kind,
+                  n_points=len(points),
+                  workers=workers) as run_span, obs.timed() as clock:
+        known = {}
+        if store is not None and not force:
+            known = {r["key"]: r for r in store.load(spec.name)
+                     if r.get("outcome") == "ok"}
 
-    records = [None] * len(points)
-    todo = []
-    for pt in points:
-        key = point_key(spec.kind, code_version, spec.base_seed, pt.index,
-                        pt.params)
-        if key in known:
-            cached = dict(known[key])
-            cached["cached"] = True
-            records[pt.index] = cached
-        else:
-            todo.append((key, pt))
+        records = [None] * len(points)
+        todo = []
+        for pt in points:
+            key = point_key(spec.kind, code_version, spec.base_seed,
+                            pt.index, pt.params)
+            if key in known:
+                cached = dict(known[key])
+                cached["cached"] = True
+                # This run did no work for a hit; carrying the original
+                # run's timing forward would double-count it in every
+                # downstream wall-time summary.
+                cached["wall_time_s"] = 0.0
+                records[pt.index] = cached
+                obs.event("campaign.point", 0.0, index=pt.index,
+                          outcome=cached.get("outcome", "ok"), cached=True,
+                          attempts=0)
+                obs.counter("campaign.cache.hit")
+            else:
+                todo.append((key, pt))
+                obs.counter("campaign.cache.miss")
 
-    if store is not None:
-        store.write_spec(spec)
-
-    n_cached = len(points) - len(todo)
-    if n_cached:
-        say(f"{spec.name}: {n_cached}/{len(points)} points cached")
-
-    def finish(record):
-        record["cached"] = False
-        records[record["index"]] = record
         if store is not None:
-            store.append(spec.name, record)
-        say(f"{spec.name}[{record['index']}] {record['outcome']} "
-            f"in {record['wall_time_s']:.2f}s (worker {record['worker']})")
+            store.write_spec(spec)
 
-    if todo and workers > 1:
-        context = (multiprocessing.get_context(start_method)
-                   if start_method else None)
-        initializer, initargs = _worker_initializer(spec.kind)
-        with ProcessPoolExecutor(max_workers=int(workers),
-                                 mp_context=context,
-                                 initializer=initializer,
-                                 initargs=initargs) as pool:
-            futures = {
-                pool.submit(_execute_point, spec.kind, spec.name,
-                            spec.base_seed, pt.index, pt.params, key,
-                            retries, timeout_s): (key, pt)
-                for key, pt in todo
-            }
-            for future in as_completed(futures):
-                key, pt = futures[future]
-                try:
-                    record = future.result()
-                except Exception as exc:
-                    record = _pool_failure_record(spec, code_version, pt,
-                                                  key, exc)
-                finish(record)
-    else:
-        for key, pt in todo:
-            finish(_execute_point(spec.kind, spec.name, spec.base_seed,
-                                  pt.index, pt.params, key,
-                                  retries, timeout_s))
+        n_cached = len(points) - len(todo)
+        if n_cached:
+            say(f"{spec.name}: {n_cached}/{len(points)} points cached")
+
+        busy = {"s": 0.0}
+
+        def finish(record, t_submit):
+            record["cached"] = False
+            records[record["index"]] = record
+            busy["s"] += record["wall_time_s"] or 0.0
+            if store is not None:
+                store.append(spec.name, record)
+            # The span's duration is submit-to-finish latency as the
+            # orchestrator saw it; ``exec_s`` is the time the point
+            # actually computed — the gap is queueing + transport.
+            obs.event("campaign.point", clock.elapsed - t_submit,
+                      index=record["index"], outcome=record["outcome"],
+                      attempts=record.get("attempts", 1), cached=False,
+                      exec_s=record["wall_time_s"],
+                      worker=record["worker"])
+            obs.counter(f"campaign.outcome.{record['outcome']}")
+            extra = (record.get("attempts") or 1) - 1
+            if extra > 0:
+                obs.counter("campaign.retry.extra_attempts", extra)
+            say(f"{spec.name}[{record['index']}] {record['outcome']} "
+                f"in {record['wall_time_s']:.2f}s "
+                f"(worker {record['worker']})")
+
+        if todo and workers > 1:
+            context = (multiprocessing.get_context(start_method)
+                       if start_method else None)
+            initializer, initargs = _worker_initializer(spec.kind)
+            with ProcessPoolExecutor(max_workers=int(workers),
+                                     mp_context=context,
+                                     initializer=initializer,
+                                     initargs=initargs) as pool:
+                futures = {}
+                for key, pt in todo:
+                    future = pool.submit(_execute_point, spec.kind,
+                                         spec.name, spec.base_seed,
+                                         pt.index, pt.params, key,
+                                         retries, timeout_s, trace_dir)
+                    futures[future] = (key, pt, clock.elapsed)
+                for future in as_completed(futures):
+                    key, pt, t_submit = futures[future]
+                    try:
+                        record = future.result()
+                    except Exception as exc:
+                        record = _pool_failure_record(spec, code_version,
+                                                      pt, key, exc)
+                    finish(record, t_submit)
+        else:
+            for key, pt in todo:
+                t_submit = clock.elapsed
+                finish(_execute_point(spec.kind, spec.name, spec.base_seed,
+                                      pt.index, pt.params, key,
+                                      retries, timeout_s), t_submit)
+
+        elapsed = clock.elapsed
+        run_span.set(n_cached=n_cached, n_executed=len(todo),
+                     busy_s=busy["s"],
+                     utilization=(busy["s"] / (workers * elapsed)
+                                  if elapsed > 0 else 0.0))
 
     return CampaignResult(
         spec=spec,
         records=records,
         n_cached=n_cached,
         n_executed=len(todo),
-        wall_time_s=time.perf_counter() - start,
+        wall_time_s=clock.seconds,
         workers=int(workers),
     )

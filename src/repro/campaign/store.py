@@ -9,6 +9,10 @@ Each campaign directory holds
     Append-only: re-running a point writes a new line, and loading
     dedupes by cache key with last-write-wins, so a crashed or ``--force``
     run never corrupts earlier results.
+``trace/``
+    Telemetry of the last ``--trace`` run: per-process JSONL part
+    files, merged into ``trace/trace.jsonl`` after the pool shuts down
+    (see :mod:`repro.obs`). ``repro trace report`` renders it.
 
 Records are plain dicts (see :mod:`repro.campaign.runner` for the
 schema); the store never interprets metrics, it only rounds-trips them.
@@ -25,6 +29,7 @@ from repro.errors import ConfigurationError
 
 RECORDS_FILE = "records.jsonl"
 SPEC_FILE = "spec.json"
+TRACE_DIR = "trace"
 
 # Bookkeeping fields the runner adds in memory but that must not be
 # persisted (they describe one run, not the point's result).
@@ -65,6 +70,21 @@ class ResultsStore:
 
     def _records_path(self, name):
         return os.path.join(self.campaign_dir(name), RECORDS_FILE)
+
+    def trace_dir(self, name):
+        """Directory for a campaign's trace part files (may not exist)."""
+        return os.path.join(self.campaign_dir(name), TRACE_DIR)
+
+    def trace_path(self, name):
+        """The merged trace a traced run leaves behind, or ``None``.
+
+        ``repro trace report`` reads this; ``None`` means the campaign
+        was never run with ``--trace`` against this store.
+        """
+        from repro.obs import MERGED_TRACE_FILE
+
+        path = os.path.join(self.trace_dir(name), MERGED_TRACE_FILE)
+        return path if os.path.exists(path) else None
 
     # -- writing -------------------------------------------------------------
 

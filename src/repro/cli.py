@@ -22,7 +22,11 @@ campaign run|ls|show|report
     (``campaign run e3-dsss-cck --workers 4 --report``). ``run`` exits
     nonzero when points remain failed after the retry budget
     (``--retries``/``--timeout``); ``show --failures`` prints the
-    per-point failure table.
+    per-point failure table. ``run --trace`` records structured
+    telemetry (spans + counters) to ``results/<name>/trace/``.
+trace report NAME
+    Render a traced campaign's telemetry: per-point timing breakdown,
+    MC trial throughput, slowest spans, cache/retry counters.
 
 Installed as the ``repro`` console script, so ``repro campaign ls`` and
 ``python -m repro campaign ls`` are equivalent.
@@ -33,6 +37,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import obs
 from repro.core.evolution import fivefold_law, format_evolution_table
 from repro.core.link import LinkSimulator
 from repro.errors import ReproError
@@ -51,9 +56,18 @@ def _cmd_evolution(_args):
 
 def _cmd_link(args):
     sim = LinkSimulator(args.phy, args.channel, rng=args.seed)
-    result = sim.run(args.snr, n_packets=args.packets,
-                     payload_bytes=args.bytes,
-                     precision=args.precision, max_trials=args.max_trials)
+    tracer = obs.Tracer() if args.trace else None
+    if tracer is not None:
+        with obs.use_tracer(tracer):
+            result = sim.run(args.snr, n_packets=args.packets,
+                             payload_bytes=args.bytes,
+                             precision=args.precision,
+                             max_trials=args.max_trials)
+    else:
+        result = sim.run(args.snr, n_packets=args.packets,
+                         payload_bytes=args.bytes,
+                         precision=args.precision,
+                         max_trials=args.max_trials)
     mc = result.mc
     per_lo, per_hi = result.per_ci()
     budget = (f"adaptive to precision {args.precision:g}"
@@ -67,6 +81,10 @@ def _cmd_link(args):
     print(f"  goodput : {result.goodput_mbps:.2f} Mbps "
           f"(PHY rate {result.rate_mbps:.1f})")
     print(f"  trials  : {mc.n_trials} ({mc.stop_reason})")
+    if tracer is not None:
+        print("\ntrace summary:")
+        for line in obs.summary_table(tracer.summary()):
+            print(f"  {line}")
     return 0
 
 
@@ -131,9 +149,13 @@ def _cmd_campaign(args):
         result = run_campaign(spec, workers=args.workers, store=store,
                               force=args.force,
                               echo=print if args.verbose else None,
-                              retries=args.retries, timeout_s=args.timeout)
+                              retries=args.retries, timeout_s=args.timeout,
+                              trace=args.trace)
         for line in result_lines(result):
             print(line)
+        if args.trace and result.extras.get("trace_path"):
+            print(f"trace: {result.extras['trace_path']} "
+                  f"(render with: repro trace report {spec.name})")
         if args.report:
             report = spec.meta.get("report", {})
             if report.get("value") and report.get("rows"):
@@ -195,6 +217,24 @@ def _cmd_campaign(args):
     return 0
 
 
+def _cmd_trace(args):
+    from repro.campaign import ResultsStore
+    from repro.errors import ConfigurationError
+
+    store = ResultsStore(args.results)
+    path = store.trace_path(args.name)
+    if path is None:
+        raise ConfigurationError(
+            f"campaign {args.name!r} has no merged trace under "
+            f"{store.root!r}; run it with --trace first"
+        )
+    events = obs.read_trace(path)
+    for line in obs.trace_report_lines(events, top=args.top,
+                                       campaign=args.name):
+        print(line)
+    return 0
+
+
 def _cmd_rates(args):
     std = get_standard(args.standard)
     print(f"{std.name} ({std.year}, {std.phy_type}, "
@@ -229,6 +269,9 @@ def build_parser():
                              "half-width on the PER drops below this")
     p_link.add_argument("--max-trials", type=int, default=None,
                         help="trial ceiling for adaptive mode")
+    p_link.add_argument("--trace", action="store_true",
+                        help="collect telemetry and print the span/"
+                             "counter summary after the run")
 
     p_mac = sub.add_parser("mac", help="DCF contention study")
     p_mac.add_argument("stations", type=int)
@@ -275,6 +318,10 @@ def build_parser():
                             "key)")
     p_run.add_argument("--max-trials", type=int, default=None,
                        help="adaptive MC trial ceiling per point")
+    p_run.add_argument("--trace", action="store_true",
+                       help="record structured telemetry to "
+                            "results/<name>/trace/ (read it back with "
+                            "'repro trace report <name>')")
     add_results_arg(p_run)
 
     p_ls = camp_sub.add_parser("ls", help="list campaigns in the store")
@@ -294,6 +341,16 @@ def build_parser():
     p_rep.add_argument("--cols", default=None, help="column parameter")
     add_results_arg(p_rep)
 
+    p_trace = sub.add_parser("trace",
+                             help="inspect telemetry from traced runs")
+    trace_sub = p_trace.add_subparsers(dest="subcommand", required=True)
+    p_trep = trace_sub.add_parser(
+        "report", help="timing breakdown from a campaign's merged trace")
+    p_trep.add_argument("name", help="campaign name (ran with --trace)")
+    p_trep.add_argument("--top", type=int, default=10,
+                        help="how many slowest spans to list (default 10)")
+    add_results_arg(p_trep)
+
     p_rates = sub.add_parser("rates", help="dump a rate table")
     p_rates.add_argument("standard", nargs="?", default="802.11a",
                          choices=sorted(GENERATIONS))
@@ -307,6 +364,7 @@ _HANDLERS = {
     "regulatory": _cmd_regulatory,
     "experiment": _cmd_experiment,
     "campaign": _cmd_campaign,
+    "trace": _cmd_trace,
     "rates": _cmd_rates,
 }
 

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.channel.fading import rayleigh_fading
 from repro.core.mc import run_trials
 from repro.errors import ConfigurationError
@@ -169,11 +170,13 @@ class CodedCooperationSimulator:
         tight enough or ``max_trials`` blocks have been spent.
         """
         noise_var = 10.0 ** (-snr_db / 10.0)
-        mc = run_trials(
-            lambda rng: self._one_block(rng, noise_var),
-            n_trials=int(n_blocks), target="coded_failure", rng=self.rng,
-            precision=precision, max_trials=max_trials,
-            confidence=confidence, batch_size=batch_size)
+        with obs.span("coop.coded.run", snr_db=float(snr_db)) as span:
+            mc = run_trials(
+                lambda rng: self._one_block(rng, noise_var),
+                n_trials=int(n_blocks), target="coded_failure", rng=self.rng,
+                precision=precision, max_trials=max_trials,
+                confidence=confidence, batch_size=batch_size)
+            span.set(n_trials=mc.n_trials, stop_reason=mc.stop_reason)
         n = mc.n_trials
         return CodedCoopResult(
             snr_db=float(snr_db),

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.channel.fading import rayleigh_fading
 from repro.core.mc import run_trials
 from repro.errors import ConfigurationError
@@ -143,11 +144,14 @@ class RelaySimulator:
         snr = 10.0 ** (snr_db / 10.0)
         noise_var = 1.0 / snr
 
-        mc = run_trials(
-            lambda rng: self._one_block(rng, block_bits, noise_var),
-            n_trials=int(n_blocks), target="coop_outage", rng=self.rng,
-            precision=precision, max_trials=max_trials,
-            confidence=confidence, batch_size=batch_size)
+        with obs.span("relay.run", protocol=self.protocol,
+                      snr_db=float(snr_db)) as span:
+            mc = run_trials(
+                lambda rng: self._one_block(rng, block_bits, noise_var),
+                n_trials=int(n_blocks), target="coop_outage", rng=self.rng,
+                precision=precision, max_trials=max_trials,
+                confidence=confidence, batch_size=batch_size)
+            span.set(n_trials=mc.n_trials, stop_reason=mc.stop_reason)
 
         n = mc.n_trials
         total_bits = block_bits * n

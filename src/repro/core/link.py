@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.channel.awgn import awgn_noise
 from repro.channel.models import TGN_PROFILES, tgn_channel
 from repro.core.mc import run_trials
@@ -284,10 +285,14 @@ class LinkSimulator:
             errs, bad = self._send_packet(payload, snr_db)
             return {"packet_error": int(bad), "bit_errors": int(errs)}
 
-        mc = run_trials(trial, n_trials=int(n_packets),
-                        target="packet_error", rng=self.rng,
-                        precision=precision, max_trials=max_trials,
-                        confidence=confidence, batch_size=batch_size)
+        with obs.span("link.run", phy=self.phy_name,
+                      channel=self.channel_name,
+                      snr_db=float(snr_db)) as span:
+            mc = run_trials(trial, n_trials=int(n_packets),
+                            target="packet_error", rng=self.rng,
+                            precision=precision, max_trials=max_trials,
+                            confidence=confidence, batch_size=batch_size)
+            span.set(n_trials=mc.n_trials, stop_reason=mc.stop_reason)
         return LinkResult(
             phy=self.phy_name,
             channel=self.channel_name,
@@ -310,8 +315,11 @@ class LinkSimulator:
         sweep spends few packets on saturated points and many on the
         waterfall knee.
         """
-        return [self.run(snr, n_packets, payload_bytes, **mc_kwargs)
-                for snr in np.atleast_1d(snr_values_db)]
+        snrs = np.atleast_1d(snr_values_db)
+        with obs.span("link.waterfall", phy=self.phy_name,
+                      channel=self.channel_name, n_points=len(snrs)):
+            return [self.run(snr, n_packets, payload_bytes, **mc_kwargs)
+                    for snr in snrs]
 
     def snr_for_per(self, target_per=0.1, lo_db=-5.0, hi_db=45.0,
                     n_packets=100, payload_bytes=100, tolerance_db=0.5,
@@ -326,19 +334,24 @@ class LinkSimulator:
         if not 0 < target_per < 1:
             raise ConfigurationError("target PER must be in (0, 1)")
         lo, hi = float(lo_db), float(hi_db)
-        if self.run(lo, n_packets, payload_bytes,
-                    **mc_kwargs).per <= target_per:
-            return lo
-        if self.run(hi, n_packets, payload_bytes,
-                    **mc_kwargs).per > target_per:
-            raise ConfigurationError(
-                f"PER target {target_per} not met even at {hi} dB"
-            )
-        while hi - lo > tolerance_db:
-            mid = 0.5 * (lo + hi)
-            if self.run(mid, n_packets, payload_bytes,
+        with obs.span("link.snr_for_per", phy=self.phy_name,
+                      channel=self.channel_name,
+                      target_per=float(target_per)) as span:
+            if self.run(lo, n_packets, payload_bytes,
+                        **mc_kwargs).per <= target_per:
+                span.set(snr_db=lo, low_edge=True)
+                return lo
+            if self.run(hi, n_packets, payload_bytes,
                         **mc_kwargs).per > target_per:
-                lo = mid
-            else:
-                hi = mid
+                raise ConfigurationError(
+                    f"PER target {target_per} not met even at {hi} dB"
+                )
+            while hi - lo > tolerance_db:
+                mid = 0.5 * (lo + hi)
+                if self.run(mid, n_packets, payload_bytes,
+                            **mc_kwargs).per > target_per:
+                    lo = mid
+                else:
+                    hi = mid
+            span.set(snr_db=0.5 * (lo + hi))
         return 0.5 * (lo + hi)

@@ -46,6 +46,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.core.mc.stats import (
     MeanAccumulator,
     QuantileAccumulator,
@@ -236,19 +237,30 @@ def run_trials(trial_fn, n_trials=None, *, target, rng=None,
                 )
             acc.add(values)
 
-    if precision is None:
-        # Fixed budget: a single batch (vectorised) or a plain
-        # sequential loop — either way the RNG consumption order is
-        # identical to the seed-era hand-rolled loops.
-        consume(budget)
-        stop_reason = "budget"
-    else:
-        stop_reason = "max_trials"
-        while acc.n_trials < ceiling:
-            consume(min(int(batch_size), ceiling - acc.n_trials))
-            if acc.rel_half_width(confidence) <= precision:
-                stop_reason = "precision"
-                break
+    with obs.span("mc.run_trials", target=target, estimand=estimand,
+                  mode="fixed" if precision is None
+                  else "adaptive") as mc_span, obs.timed() as clock:
+        if precision is None:
+            # Fixed budget: a single batch (vectorised) or a plain
+            # sequential loop — either way the RNG consumption order is
+            # identical to the seed-era hand-rolled loops.
+            with obs.span("mc.batch", n=budget):
+                consume(budget)
+            stop_reason = "budget"
+        else:
+            stop_reason = "max_trials"
+            while acc.n_trials < ceiling:
+                m = min(int(batch_size), ceiling - acc.n_trials)
+                with obs.span("mc.batch", n=m):
+                    consume(m)
+                if acc.rel_half_width(confidence) <= precision:
+                    stop_reason = "precision"
+                    break
+        obs.counter("mc.trials", acc.n_trials)
+        obs.counter(f"mc.stop.{stop_reason}")
+        mc_span.set(n_trials=acc.n_trials, stop_reason=stop_reason,
+                    trials_per_s=(acc.n_trials / clock.elapsed
+                                  if clock.elapsed > 0 else 0.0))
 
     lo, hi = acc.interval(confidence)
     return McResult(

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.analysis.linkbudget import LinkBudget
 from repro.core.mc import run_trials
 from repro.errors import ConfigurationError
@@ -72,10 +73,15 @@ def coverage_result(mesh_positions, area_side_m, min_rate_mbps=6.0,
         snr = budget.snr_at(nearest)
         return {"covered": int(np.count_nonzero(snr >= threshold_db))}
 
-    return run_trials(sample_batch, n_trials=int(n_samples),
-                      target="covered", rng=rng, precision=precision,
-                      max_trials=max_trials, confidence=confidence,
-                      batch_size=batch_size, vectorized=True)
+    with obs.span("mesh.coverage", standard=std.name,
+                  n_mesh=int(positions.shape[0]),
+                  n_reachable=len(reachable)) as span:
+        result = run_trials(sample_batch, n_trials=int(n_samples),
+                            target="covered", rng=rng, precision=precision,
+                            max_trials=max_trials, confidence=confidence,
+                            batch_size=batch_size, vectorized=True)
+        span.set(n_trials=result.n_trials, stop_reason=result.stop_reason)
+    return result
 
 
 def coverage_fraction(mesh_positions, area_side_m, min_rate_mbps=6.0,

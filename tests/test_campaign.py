@@ -716,3 +716,64 @@ class TestFailureCli:
         assert self.run_cli("campaign", "run", str(spec_path),
                             "--results", results, "--retries", "1") == 0
         assert "1 executed" in capsys.readouterr().out
+
+
+class TestTrace:
+    """run_campaign(trace=True): per-point spans, merge, cached re-runs."""
+
+    def _point_spans(self, events):
+        return [e for e in events if e["type"] == "span"
+                and e["name"] == "campaign.point"]
+
+    def test_traced_run_has_span_per_point(self, tmp_path):
+        from repro.obs import read_trace
+        spec = quick_spec()
+        store = ResultsStore(tmp_path)
+        result = run_campaign(spec, store=store, trace=True)
+        trace_path = store.trace_path("tiny")
+        assert trace_path is not None
+        assert result.extras["trace_path"] == trace_path
+        points = self._point_spans(read_trace(trace_path))
+        assert len(points) == spec.n_points
+        assert all(not p["attrs"]["cached"] for p in points)
+        summary = result.extras["trace"]
+        assert summary["counters"]["campaign.cache.miss"] == spec.n_points
+
+    def test_traced_parallel_run_merges_worker_parts(self, tmp_path):
+        # The spawn CI matrix runs this file under every start method,
+        # so this also proves spawn workers' part files reach the merge.
+        from repro.obs import read_trace
+        spec = quick_spec()
+        store = ResultsStore(tmp_path)
+        result = run_campaign(spec, workers=2, store=store, trace=True)
+        events = read_trace(store.trace_path("tiny"))
+        assert len(self._point_spans(events)) == spec.n_points
+        execs = [e for e in events if e["type"] == "span"
+                 and e["name"] == "campaign.execute"]
+        assert len(execs) == spec.n_points
+        # Worker-side spans carry the pool pids, not the parent's.
+        worker_pids = {r["worker"] for r in result.records}
+        assert os.getpid() not in worker_pids
+        assert worker_pids <= {e["pid"] for e in events}
+        # Part files were consumed; only the merged trace remains.
+        assert os.listdir(store.trace_dir("tiny")) == ["trace.jsonl"]
+
+    def test_cached_rerun_still_emits_point_spans(self, tmp_path):
+        from repro.obs import read_trace
+        spec = quick_spec()
+        store = ResultsStore(tmp_path)
+        run_campaign(spec, store=store)
+        rerun = run_campaign(spec, store=store, trace=True)
+        # Cache hits cost no compute and say so explicitly.
+        assert all(r["wall_time_s"] == 0.0 for r in rerun.records)
+        points = self._point_spans(read_trace(store.trace_path("tiny")))
+        assert len(points) == spec.n_points
+        assert all(p["attrs"]["cached"] for p in points)
+        hits = rerun.extras["trace"]["counters"]["campaign.cache.hit"]
+        assert hits == spec.n_points
+
+    def test_untraced_run_leaves_no_trace(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        result = run_campaign(quick_spec(), store=store)
+        assert store.trace_path("tiny") is None
+        assert "trace" not in result.extras

@@ -85,3 +85,49 @@ class TestCommands:
         assert code == 2
         err = capsys.readouterr().err
         assert "error:" in err and "filesystem-safe" in err
+
+
+class TestTraceCli:
+    def _spec_file(self, tmp_path):
+        import json
+        spec_path = tmp_path / "tiny.json"
+        spec_path.write_text(json.dumps({
+            "name": "tiny", "kind": "link",
+            "factors": {"phy": ["dsss-1", "dsss-2"],
+                        "snr_db": [0.0, 8.0]},
+            "fixed": {"channel": "awgn", "n_packets": 3,
+                      "payload_bytes": 20},
+            "base_seed": 3,
+        }))
+        return str(spec_path)
+
+    def test_campaign_run_trace_then_report(self, tmp_path, capsys):
+        spec = self._spec_file(tmp_path)
+        results = str(tmp_path / "results")
+        assert main(["campaign", "run", spec,
+                     "--results", results, "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out and "repro trace report tiny" in out
+
+        assert main(["trace", "report", "tiny",
+                     "--results", results]) == 0
+        out = capsys.readouterr().out
+        assert "trace report: tiny" in out
+        assert "per-point timing" in out
+        assert "slowest spans" in out
+        assert "campaign.cache.miss" in out
+
+    def test_trace_report_without_trace_is_clean_error(self, tmp_path,
+                                                       capsys):
+        code = main(["trace", "report", "ghost",
+                     "--results", str(tmp_path)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "--trace" in err
+
+    def test_link_trace_prints_summary(self, capsys):
+        assert main(["link", "ofdm-6", "awgn", "20", "--packets", "3",
+                     "--bytes", "40", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "trace summary:" in out
+        assert "mc.run_trials" in out

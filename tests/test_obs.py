@@ -1,0 +1,230 @@
+"""Tests for repro.obs — tracing spans, counters, JSONL traces, reports."""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.mc import run_trials
+from repro.errors import ConfigurationError
+
+
+def span_events(events):
+    return [e for e in events if e["type"] == "span"]
+
+
+def counter_events(events):
+    return [e for e in events if e["type"] == "counter"]
+
+
+class TestSpans:
+    def test_nesting_records_parent_ids(self):
+        tracer = obs.Tracer()
+        with obs.use_tracer(tracer):
+            with obs.span("outer", label="a") as outer:
+                with obs.span("inner") as inner:
+                    pass
+                with obs.span("sibling"):
+                    pass
+        events = {e["name"]: e for e in tracer.drain()}
+        assert events["outer"]["parent_id"] is None
+        assert events["inner"]["parent_id"] == events["outer"]["span_id"]
+        assert events["sibling"]["parent_id"] == events["outer"]["span_id"]
+        assert events["outer"]["attrs"] == {"label": "a"}
+        assert outer.span_id != inner.span_id
+
+    def test_close_order_children_before_parent(self):
+        tracer = obs.Tracer()
+        with obs.use_tracer(tracer):
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    pass
+        names = [e["name"] for e in span_events(tracer.drain())]
+        assert names == ["inner", "outer"]
+
+    def test_set_adds_attrs_and_duration_measured(self):
+        tracer = obs.Tracer()
+        with obs.use_tracer(tracer):
+            with obs.span("work") as span:
+                time.sleep(0.01)
+                span.set(n=3, ok=True)
+        (event,) = span_events(tracer.drain())
+        assert event["attrs"] == {"n": 3, "ok": True}
+        assert event["dur_s"] >= 0.01
+
+    def test_exception_annotates_and_propagates(self):
+        tracer = obs.Tracer()
+        with obs.use_tracer(tracer):
+            with pytest.raises(ValueError):
+                with obs.span("doomed"):
+                    raise ValueError("boom")
+        (event,) = span_events(tracer.drain())
+        assert event["attrs"]["error"] == "ValueError"
+
+    def test_counters_accumulate(self):
+        tracer = obs.Tracer()
+        with obs.use_tracer(tracer):
+            obs.counter("hits")
+            obs.counter("hits", 4)
+            obs.counter("misses", 2)
+        assert tracer.summary()["counters"] == {"hits": 5, "misses": 2}
+
+    def test_event_is_premeasured_span(self):
+        tracer = obs.Tracer()
+        with obs.use_tracer(tracer):
+            obs.event("latency", 1.5, index=7)
+        (event,) = span_events(tracer.drain())
+        assert event["dur_s"] == 1.5
+        assert event["attrs"]["index"] == 7
+
+    def test_summary_aggregates_per_name(self):
+        tracer = obs.Tracer()
+        with obs.use_tracer(tracer):
+            obs.event("step", 1.0)
+            obs.event("step", 3.0)
+        stats = tracer.summary()["spans"]["step"]
+        assert stats["count"] == 2
+        assert stats["total_s"] == pytest.approx(4.0)
+        assert stats["max_s"] == pytest.approx(3.0)
+
+
+class TestDisabledPath:
+    def test_noop_span_is_shared_and_reentrant(self):
+        assert not obs.enabled()
+        s1 = obs.span("anything", a=1)
+        s2 = obs.span("else")
+        assert s1 is s2 is obs.NULL_SPAN
+        with s1 as inner:
+            inner.set(whatever=1)
+        obs.counter("ignored")
+        obs.event("ignored", 1.0)
+
+    def test_use_tracer_restores_previous(self):
+        tracer = obs.Tracer()
+        with obs.use_tracer(tracer):
+            assert obs.current_tracer() is tracer
+            with obs.use_tracer(None):
+                assert not obs.enabled()
+            assert obs.current_tracer() is tracer
+        assert obs.current_tracer() is None
+
+    def test_disabled_overhead_under_5_percent(self):
+        """The acceptance bound: tracing off must not slow run_trials."""
+        def batch(rng, m):
+            return {"hit": int(rng.integers(0, m + 1))}
+
+        def timed_run():
+            t0 = time.perf_counter()
+            run_trials(batch, n_trials=20000, target="hit", rng=1,
+                       batch_size=200, vectorized=True)
+            return time.perf_counter() - t0
+
+        timed_run()  # warm-up: imports, allocator, branch caches
+        baseline = min(timed_run() for _ in range(3))
+        with_noop = min(timed_run() for _ in range(3))
+        # Both runs take the disabled path; they must be statistically
+        # indistinguishable. Generous 2x-of-bound margin absorbs jitter.
+        assert with_noop <= baseline * 1.10
+
+
+class TestWriterAndMerge:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = obs.Tracer(writer=obs.TraceWriter(path))
+        with obs.use_tracer(tracer):
+            with obs.span("a", x=1):
+                obs.counter("n", 2)
+        events = obs.read_trace(path)
+        assert {e["type"] for e in events} == {"span", "counter"}
+        (span,) = span_events(events)
+        assert span["name"] == "a" and span["attrs"] == {"x": 1}
+        (counter,) = counter_events(events)
+        assert counter["name"] == "n" and counter["value"] == 2
+
+    def test_sanitizes_numpy_and_nonfinite(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = obs.Tracer(writer=obs.TraceWriter(path))
+        with obs.use_tracer(tracer):
+            with obs.span("a") as span:
+                span.set(np_int=np.int64(3), np_float=np.float64(2.5),
+                         bad=float("nan"), worse=float("inf"))
+        (span,) = span_events(obs.read_trace(path))
+        assert span["attrs"] == {"np_int": 3, "np_float": 2.5,
+                                 "bad": None, "worse": None}
+        # The file itself must be strict JSON (no NaN literals).
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_read_trace_skips_torn_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        good = json.dumps({"type": "counter", "name": "n", "pid": 1,
+                           "seq": 0, "t_wall": 0.0, "value": 1})
+        path.write_text(good + "\n{\"type\": \"span\", \"na\n")
+        assert len(obs.read_trace(path)) == 1
+
+    def test_read_trace_missing_file_errors(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            obs.read_trace(tmp_path / "absent.jsonl")
+
+    def test_merge_combines_parts_and_orders(self, tmp_path):
+        for role, pid, t in [("main", 10, 0.0), ("worker", 20, 1.0),
+                             ("worker", 30, 0.5)]:
+            part = obs.part_path(tmp_path, role, pid=pid)
+            obs.TraceWriter(part).write([
+                {"type": "counter", "name": "n", "pid": pid, "seq": 0,
+                 "t_wall": t, "value": 1}])
+        merged, events = obs.merge_trace_dir(tmp_path)
+        assert [e["pid"] for e in events] == [10, 30, 20]
+        assert os.path.basename(merged) == obs.MERGED_TRACE_FILE
+        # Parts are consumed; only the merged file remains.
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            obs.MERGED_TRACE_FILE]
+        # Re-merging replaces rather than duplicates.
+        _, again = obs.merge_trace_dir(tmp_path)
+        assert len(again) == len(events)
+
+    def test_reset_trace_dir_clears_stale_parts(self, tmp_path):
+        stale = tmp_path / "worker-999.jsonl"
+        stale.write_text("{}\n")
+        out = obs.reset_trace_dir(tmp_path)
+        assert out == str(tmp_path)
+        assert not stale.exists()
+
+
+class TestReport:
+    def _trace(self, tmp_path):
+        tracer = obs.Tracer(writer=obs.TraceWriter(
+            obs.part_path(tmp_path, "main")))
+        with obs.use_tracer(tracer):
+            with obs.span("campaign.run", campaign="t", n_points=1,
+                          workers=1):
+                with obs.span("campaign.point", index=0, outcome="ok",
+                              attempts=1, cached=False, exec_s=0.5):
+                    obs.event("mc.run_trials", 0.5, n_trials=1000)
+                obs.counter("campaign.cache.miss")
+        _, events = obs.merge_trace_dir(tmp_path)
+        return events
+
+    def test_report_lines_render_points_and_counters(self, tmp_path):
+        events = self._trace(tmp_path)
+        text = "\n".join(obs.trace_report_lines(events, campaign="t"))
+        assert "campaign.run" in text
+        assert "mc.run_trials" in text
+        assert "campaign.cache.miss" in text
+        # The per-point table: index, outcome, and MC trial throughput.
+        assert "ok" in text and "1000" in text
+
+    def test_report_empty_trace_errors(self):
+        with pytest.raises(ConfigurationError):
+            obs.trace_report_lines([])
+
+    def test_aggregate_matches_summary_shape(self, tmp_path):
+        agg = obs.aggregate(self._trace(tmp_path))
+        assert agg["spans"]["campaign.point"]["count"] == 1
+        assert agg["counters"]["campaign.cache.miss"] == 1
+        table = obs.summary_table(agg)
+        assert table[0].startswith("span")
+        assert any("campaign.cache.miss" in line for line in table)
