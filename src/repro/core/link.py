@@ -261,11 +261,74 @@ class LinkSimulator:
             return 8 * len(sent)
         return count_bit_errors(bits_from_bytes(sent), bits_from_bytes(got))
 
+    # -- batched packets ----------------------------------------------------
+
+    def _send_packet_batch(self, rng, m, payload_bytes, snr_db):
+        """One vectorized PHY invocation covering ``m`` OFDM packets.
+
+        Per packet the generator is consumed in exactly the scalar trial's
+        order — payload bytes, then the channel realisation, then the
+        noise normals (``awgn_noise`` scales *after* drawing, so the
+        normals can be drawn before the TX power is known). Fixed-budget
+        runs therefore stay bit-identical to the per-packet loop.
+        """
+        n = self._phy.n_samples(payload_bytes)
+        snr_lin = 10.0 ** (snr_db / 10.0)
+        tgn = self.channel_name.startswith("tgn-")
+        payloads = []
+        channels = []
+        noise_raw = np.empty((m, self.n_rx, n), dtype=np.complex128)
+        for i in range(m):
+            payloads.append(bytes(rng.integers(0, 256, payload_bytes,
+                                               dtype=np.uint8).tolist()))
+            if self.channel_name == "rayleigh":
+                channels.append(
+                    (rng.normal(size=(self.n_rx, self.n_tx))
+                     + 1j * rng.normal(size=(self.n_rx, self.n_tx)))
+                    / np.sqrt(2)
+                )
+            elif tgn:
+                tdl = tgn_channel(self.channel_name[4:].upper(), self.n_rx,
+                                  self.n_tx, sample_rate_hz=self.sample_rate,
+                                  rng=rng)
+                channels.append((tdl, tdl.draw()))
+            noise_raw[i] = (rng.normal(size=(self.n_rx, n))
+                            + 1j * rng.normal(size=(self.n_rx, n)))
+
+        tx = self._phy.transmit_batch(payloads)  # (m, n)
+        noise_var = np.empty(m)
+        rx = np.empty((m, n), dtype=np.complex128)
+        for i in range(m):
+            if self.channel_name == "awgn":
+                rx[i] = tx[i]
+            elif tgn:
+                tdl, taps = channels[i]
+                rx[i] = tdl.apply(tx[i][None, :], taps)[0]
+            else:
+                rx[i] = (channels[i] @ tx[i][None, :])[0]
+            # Same power convention as the scalar path (n_tx = 1 here).
+            noise_var[i] = float(np.mean(np.abs(tx[i][None, :]) ** 2))
+            noise_var[i] = noise_var[i] / snr_lin
+        rx += np.sqrt(noise_var / 2.0)[:, None] * noise_raw[:, 0, :]
+
+        psdus = self._phy.receive_batch(rx, noise_var)
+        obs.counter("link.packets", m)
+        bit_sum = 0
+        pkt_sum = 0
+        for payload, got in zip(payloads, psdus):
+            if got is None:
+                errs = 8 * len(payload)
+            else:
+                errs = self._byte_errors(payload, got)
+            bit_sum += errs
+            pkt_sum += int(errs > 0)
+        return {"packet_error": pkt_sum, "bit_errors": bit_sum}
+
     # -- batches ------------------------------------------------------------------
 
     def run(self, snr_db, n_packets=100, payload_bytes=100, *,
             precision=None, max_trials=None, confidence=0.95,
-            batch_size=50):
+            batch_size=50, vectorized=None):
         """Send random payloads at one SNR through the MC engine.
 
         With ``precision=None`` (the default) exactly ``n_packets`` are
@@ -274,25 +337,43 @@ class LinkSimulator:
         until the Wilson interval on the PER has relative half-width
         ``<= precision`` or ``max_trials`` packets have been spent;
         ``result.mc`` records which.
+
+        ``vectorized`` selects the batched PHY path, which runs each MC
+        batch of packets as one vectorized transmit/receive invocation
+        (default: on for OFDM PHYs, which support it; the per-packet RNG
+        draw order is preserved, so results are bit-identical either
+        way). Pass ``False`` to force the per-packet loop.
         """
         if n_packets < 1 or payload_bytes < 1:
             raise ConfigurationError("need >= 1 packet and >= 1 byte")
         payload_bytes = int(payload_bytes)
+        if vectorized is None:
+            vectorized = self._kind == "ofdm"
+        vectorized = bool(vectorized) and self._kind == "ofdm"
 
         def trial(rng):
             payload = bytes(rng.integers(0, 256, payload_bytes,
                                          dtype=np.uint8).tolist())
             errs, bad = self._send_packet(payload, snr_db)
+            obs.counter("link.packets")
             return {"packet_error": int(bad), "bit_errors": int(errs)}
+
+        def trial_batch(rng, m):
+            return self._send_packet_batch(rng, m, payload_bytes, snr_db)
 
         with obs.span("link.run", phy=self.phy_name,
                       channel=self.channel_name,
-                      snr_db=float(snr_db)) as span:
-            mc = run_trials(trial, n_trials=int(n_packets),
+                      snr_db=float(snr_db)) as span, obs.timed() as clock:
+            mc = run_trials(trial_batch if vectorized else trial,
+                            n_trials=int(n_packets),
                             target="packet_error", rng=self.rng,
                             precision=precision, max_trials=max_trials,
-                            confidence=confidence, batch_size=batch_size)
-            span.set(n_trials=mc.n_trials, stop_reason=mc.stop_reason)
+                            confidence=confidence, batch_size=batch_size,
+                            vectorized=vectorized)
+            span.set(n_trials=mc.n_trials, stop_reason=mc.stop_reason,
+                     vectorized=vectorized,
+                     packets_per_s=(mc.n_trials / clock.elapsed
+                                    if clock.elapsed > 0 else 0.0))
         return LinkResult(
             phy=self.phy_name,
             channel=self.channel_name,

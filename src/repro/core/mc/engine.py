@@ -125,6 +125,10 @@ def _make_accumulator(estimand, method, quantile):
 
 
 def _validate(n_trials, precision, max_trials, batch_size):
+    if int(batch_size) < 1:
+        raise ConfigurationError(
+            f"batch_size must be >= 1, got {batch_size}"
+        )
     if precision is None:
         if n_trials is None or int(n_trials) < 1:
             raise ConfigurationError(
@@ -141,10 +145,6 @@ def _validate(n_trials, precision, max_trials, batch_size):
     if max_trials < 1:
         raise ConfigurationError(
             f"max_trials must be >= 1, got {max_trials}"
-        )
-    if int(batch_size) < 1:
-        raise ConfigurationError(
-            f"batch_size must be >= 1, got {batch_size}"
         )
     return None, precision, max_trials
 
@@ -241,11 +241,22 @@ def run_trials(trial_fn, n_trials=None, *, target, rng=None,
                   mode="fixed" if precision is None
                   else "adaptive") as mc_span, obs.timed() as clock:
         if precision is None:
-            # Fixed budget: a single batch (vectorised) or a plain
-            # sequential loop — either way the RNG consumption order is
-            # identical to the seed-era hand-rolled loops.
-            with obs.span("mc.batch", n=budget):
-                consume(budget)
+            # Fixed budget. Vectorised trial functions are fed in
+            # batch_size chunks so a large budget never materialises the
+            # whole waveform batch at once; generator draws are consumed
+            # value-by-value, so chunking leaves the stream (and thus
+            # every result) identical to one full-budget call — and to
+            # the seed-era hand-rolled sequential loops.
+            if vectorized:
+                remaining = budget
+                while remaining > 0:
+                    m = min(int(batch_size), remaining)
+                    with obs.span("mc.batch", n=m):
+                        consume(m)
+                    remaining -= m
+            else:
+                with obs.span("mc.batch", n=budget):
+                    consume(budget)
             stop_reason = "budget"
         else:
             stop_reason = "max_trials"

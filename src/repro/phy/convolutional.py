@@ -11,6 +11,8 @@ positions are treated as erasures (LLR 0).
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.errors import CodingError, ConfigurationError
@@ -34,11 +36,12 @@ CODE_RATES = {"1/2": 0.5, "2/3": 2.0 / 3.0, "3/4": 0.75, "5/6": 5.0 / 6.0}
 
 def _parity(values):
     """Bitwise parity of each element of an integer array."""
-    values = np.asarray(values, dtype=np.int64).copy()
+    values = np.asarray(values, dtype=np.int64)
     result = np.zeros_like(values)
-    while np.any(values):
-        result ^= values & 1
-        values >>= 1
+    shift = 0
+    while np.any(values >> shift):
+        result ^= (values >> shift) & 1
+        shift += 1
     return result
 
 
@@ -81,6 +84,13 @@ for _ns in range(N_STATES):
 _SIGN_A = 1.0 - 2.0 * _EXP_A  # +1 for expected bit 0, -1 for expected bit 1
 _SIGN_B = 1.0 - 2.0 * _EXP_B
 
+# Tap delays of each generator: output bit i is the XOR of input bits
+# x[i - d] for every delay d in the generator's tap set. This is the
+# sliding-window identity that lets encode() run as pure shifted XORs
+# instead of stepping the shift register bit by bit.
+_TAPS_A = tuple(6 - p for p in range(6, -1, -1) if (G0 >> p) & 1)
+_TAPS_B = tuple(6 - p for p in range(6, -1, -1) if (G1 >> p) & 1)
+
 
 def encode(bits, terminate=True):
     """Encode at the rate-1/2 mother code.
@@ -88,7 +98,8 @@ def encode(bits, terminate=True):
     Parameters
     ----------
     bits : array of 0/1
-        Information bits.
+        Information bits: a 1-D vector, or a 2-D batch (one row per
+        independent frame, each starting from the zero state).
     terminate : bool
         Append six zero tail bits to drive the encoder back to state 0
         (802.11 always does this).
@@ -96,24 +107,45 @@ def encode(bits, terminate=True):
     Returns
     -------
     numpy.ndarray
-        Coded bits, interleaved as ``a0 b0 a1 b1 ...``.
+        Coded bits, interleaved as ``a0 b0 a1 b1 ...`` along the last
+        axis (int8, same leading batch shape as the input).
     """
-    bits = np.asarray(bits).astype(np.int64).ravel()
+    bits = np.asarray(bits).astype(np.int8)
+    if bits.ndim == 1:
+        return _encode_2d(bits[None, :], terminate)[0]
+    if bits.ndim != 2:
+        raise CodingError(f"bits must be 1-D or 2-D, got shape {bits.shape}")
+    return _encode_2d(bits, terminate)
+
+
+def _encode_2d(bits, terminate):
+    """Vectorised encoder over a (batch, n_bits) block of frames."""
+    batch, n = bits.shape
     if terminate:
-        bits = np.concatenate([bits, np.zeros(6, dtype=np.int64)])
-    coded = np.empty(2 * bits.size, dtype=np.int8)
-    state = 0
-    for i, bit in enumerate(bits):
-        coded[2 * i] = _OUT_A[state, bit]
-        coded[2 * i + 1] = _OUT_B[state, bit]
-        state = _NEXT_STATE[state, bit]
+        n += 6
+    # Six leading zeros stand in for the all-zero initial encoder state;
+    # terminating tail zeros are implicit in the padded length.
+    padded = np.zeros((batch, n + 6), dtype=np.int8)
+    padded[:, 6 : 6 + bits.shape[1]] = bits
+    coded = np.zeros((batch, 2 * n), dtype=np.int8)
+    a = coded[:, 0::2]
+    b = coded[:, 1::2]
+    for d in _TAPS_A:
+        a ^= padded[:, 6 - d : 6 - d + n]
+    for d in _TAPS_B:
+        b ^= padded[:, 6 - d : 6 - d + n]
     return coded
 
 
 def puncture(coded_bits, rate="1/2"):
-    """Delete coded bits according to the 802.11 puncturing pattern."""
-    mask = _puncture_mask(np.asarray(coded_bits).size, rate)
-    return np.asarray(coded_bits)[mask]
+    """Delete coded bits according to the 802.11 puncturing pattern.
+
+    Applies along the last axis, so a 2-D batch of frames punctures all
+    rows at once.
+    """
+    coded_bits = np.asarray(coded_bits)
+    mask = _puncture_mask(coded_bits.shape[-1], rate)
+    return coded_bits[..., mask]
 
 
 def depuncture_llrs(llrs, rate="1/2", n_mother_bits=None):
@@ -159,9 +191,16 @@ def depuncture_llrs(llrs, rate="1/2", n_mother_bits=None):
 def _puncture_mask(n_coded, rate):
     if rate not in PUNCTURE_PATTERNS:
         raise ConfigurationError(f"unknown code rate {rate!r}")
+    return _cached_puncture_mask(int(n_coded), rate)
+
+
+@lru_cache(maxsize=512)
+def _cached_puncture_mask(n_coded, rate):
     pattern = np.array(PUNCTURE_PATTERNS[rate]).ravel().astype(bool)
     reps = int(np.ceil(n_coded / pattern.size))
-    return np.tile(pattern, reps)[:n_coded]
+    mask = np.tile(pattern, reps)[:n_coded]
+    mask.setflags(write=False)
+    return mask
 
 
 def coded_length(n_info_bits, rate="1/2", terminate=True):
@@ -191,38 +230,73 @@ def viterbi_decode(soft_bits, n_info_bits, rate="1/2", terminated=True):
     Returns
     -------
     numpy.ndarray
-        Decoded information bits (int8).
+        Decoded information bits (int8). A 2-D ``(batch, n_coded)`` input
+        decodes every frame in one trellis sweep and returns a
+        ``(batch, n_info_bits)`` array.
     """
+    soft = np.asarray(soft_bits, dtype=float)
+    if soft.ndim == 1:
+        return _viterbi_2d(soft[None, :], n_info_bits, rate, terminated)[0]
+    if soft.ndim != 2:
+        raise CodingError(f"soft bits must be 1-D or 2-D, got shape {soft.shape}")
+    return _viterbi_2d(soft, n_info_bits, rate, terminated)
+
+
+def _viterbi_2d(soft, n_info_bits, rate, terminated):
+    """One add-compare-select sweep shared by a whole batch of frames."""
     expected = coded_length(n_info_bits, rate=rate, terminate=terminated)
-    soft = np.asarray(soft_bits, dtype=float).ravel()
-    if soft.size != expected:
+    if soft.shape[1] != expected:
         raise CodingError(
             f"expected {expected} coded bits for {n_info_bits} info bits at "
-            f"rate {rate}, got {soft.size}"
+            f"rate {rate}, got {soft.shape[1]}"
         )
+    batch = soft.shape[0]
     n_steps = n_info_bits + (6 if terminated else 0)
-    mother = depuncture_llrs(soft, rate=rate, n_mother_bits=2 * n_steps)
-    llr_a = mother[0 : 2 * n_steps : 2]
-    llr_b = mother[1 : 2 * n_steps : 2]
+    keep = _puncture_mask(2 * n_steps, rate)
+    mother = np.zeros((batch, 2 * n_steps))
+    mother[:, keep] = soft
+    llr_a = mother[:, 0::2]
+    llr_b = mother[:, 1::2]
 
-    metrics = np.full(N_STATES, -np.inf)
-    metrics[0] = 0.0
-    decisions = np.empty((n_steps, N_STATES), dtype=np.int8)
+    metrics = np.full((batch, N_STATES), -np.inf)
+    metrics[:, 0] = 0.0
+    decisions = np.empty((n_steps, batch, N_STATES), dtype=bool)
+    # Both predecessor candidates of every state are carried in one
+    # (batch, 2, 32, 2) block — [half of the state space, i, predecessor] —
+    # so each trellis step is a handful of whole-array ufunc calls with no
+    # gather: state h*32+i has predecessors (2i, 2i+1) regardless of h, so
+    # the predecessor metrics are just metrics.reshape(batch, 32, 2)
+    # broadcast over both halves. Additions stay in the exact
+    # (metric + a-branch) + b-branch order of the scalar formulation, so
+    # path metrics are bit-identical to it.
+    sign_a = _SIGN_A.reshape(2, 32, 2)
+    sign_b = _SIGN_B.reshape(2, 32, 2)
+    bm = np.empty((batch, 2, 32, 2))
+    cand = np.empty((batch, 2, 32, 2))
     for t in range(n_steps):
-        # Candidate metric from each of the two predecessors of every state.
-        cand0 = metrics[_PRED0] + _SIGN_A[:, 0] * llr_a[t] + _SIGN_B[:, 0] * llr_b[t]
-        cand1 = metrics[_PRED1] + _SIGN_A[:, 1] * llr_a[t] + _SIGN_B[:, 1] * llr_b[t]
-        take1 = cand1 > cand0
-        decisions[t] = take1
-        metrics = np.where(take1, cand1, cand0)
+        la = llr_a[:, t, None, None, None]
+        lb = llr_b[:, t, None, None, None]
+        np.multiply(sign_a, la, out=bm)
+        np.add(metrics.reshape(batch, 1, 32, 2), bm, out=cand)
+        np.multiply(sign_b, lb, out=bm)
+        np.add(cand, bm, out=cand)
+        take1 = cand[:, :, :, 1] > cand[:, :, :, 0]
+        decisions[t] = take1.reshape(batch, N_STATES)
+        metrics = np.where(
+            take1, cand[:, :, :, 1], cand[:, :, :, 0]
+        ).reshape(batch, N_STATES)
 
-    state = 0 if terminated else int(np.argmax(metrics))
-    decoded = np.empty(n_steps, dtype=np.int8)
+    if terminated:
+        state = np.zeros(batch, dtype=np.int64)
+    else:
+        state = np.argmax(metrics, axis=1)
+    rows = np.arange(batch)
+    decoded = np.empty((batch, n_steps), dtype=np.int8)
     for t in range(n_steps - 1, -1, -1):
-        decoded[t] = _INPUT_OF_STATE[state]
-        predecessor = _PRED1[state] if decisions[t, state] else _PRED0[state]
-        state = predecessor
-    return decoded[:n_info_bits]
+        decoded[:, t] = _INPUT_OF_STATE[state]
+        taken = decisions[t, rows, state] != 0
+        state = np.where(taken, _PRED1[state], _PRED0[state])
+    return decoded[:, :n_info_bits]
 
 
 def encode_punctured(bits, rate="1/2", terminate=True):

@@ -48,13 +48,13 @@ def crc16_ccitt(bits):
 
 
 def _int_bits_msb(value, width):
-    return np.array([(value >> (width - 1 - i)) & 1 for i in range(width)],
-                    dtype=np.int8)
+    shifts = width - 1 - np.arange(width)
+    return ((int(value) >> shifts) & 1).astype(np.int8)
 
 
 def _bits_int_msb(bits):
-    return int(sum(int(b) << (len(bits) - 1 - i)
-                   for i, b in enumerate(bits)))
+    bits = np.asarray(bits).astype(np.int64)
+    return int((bits << np.arange(bits.size - 1, -1, -1)).sum())
 
 
 class HrDsssPpdu:

@@ -4,9 +4,16 @@ Operates on one OFDM symbol's worth of coded bits (``n_cbps``). Two
 permutations: the first spreads adjacent coded bits onto non-adjacent
 subcarriers; the second rotates bits within a subcarrier's constellation
 label so adjacent bits alternate between more and less reliable positions.
+
+Permutations (and their inverses) are pure functions of ``(n_cbps,
+n_bpsc)``; they are computed once per geometry and cached, and multi-symbol
+inputs are permuted as a single 2-D gather over all symbols at once rather
+than symbol by symbol.
 """
 
 from __future__ import annotations
+
+from functools import lru_cache
 
 import numpy as np
 
@@ -15,27 +22,49 @@ from repro.errors import CodingError
 
 def interleave_permutation(n_cbps, n_bpsc):
     """Return the permutation ``k -> j`` (write index for each input bit)."""
+    return _cached_permutation(int(n_cbps), int(n_bpsc))[0].copy()
+
+
+@lru_cache(maxsize=None)
+def _cached_permutation(n_cbps, n_bpsc):
+    """``(perm, inverse)`` index arrays for one 802.11a geometry."""
     s = max(n_bpsc // 2, 1)
     k = np.arange(n_cbps)
     i = (n_cbps // 16) * (k % 16) + k // 16
     j = s * (i // s) + (i + n_cbps - (16 * i) // n_cbps) % s
-    return j
+    inverse = np.argsort(j)
+    j.setflags(write=False)
+    inverse.setflags(write=False)
+    return j, inverse
+
+
+def _blocks(bits, n_block):
+    """View ``bits`` as a 2-D (n_symbols, n_block) stack of symbol blocks."""
+    bits = np.asarray(bits)
+    if bits.size % n_block != 0:
+        raise CodingError(
+            f"{bits.size} bits is not a whole number of {n_block}-bit symbols"
+        )
+    return bits, bits.reshape(-1, n_block)
 
 
 def interleave(bits, n_cbps, n_bpsc):
-    """Interleave one or more OFDM symbols' coded bits."""
-    bits = np.asarray(bits)
-    if bits.size % n_cbps != 0:
-        raise CodingError(
-            f"{bits.size} bits is not a whole number of {n_cbps}-bit symbols"
-        )
-    perm = interleave_permutation(n_cbps, n_bpsc)
-    out = np.empty_like(bits)
-    for start in range(0, bits.size, n_cbps):
-        block = bits[start : start + n_cbps]
-        dest = out[start : start + n_cbps]
-        dest[perm] = block
-    return out
+    """Interleave one or more OFDM symbols' coded bits.
+
+    Accepts a flat array of whole symbols or any N-D batch whose total
+    size is a multiple of ``n_cbps``; the output keeps the input shape.
+    """
+    bits, blocks = _blocks(bits, n_cbps)
+    _, inverse = _cached_permutation(int(n_cbps), int(n_bpsc))
+    # out[perm] = block  <=>  out = block[argsort(perm)]
+    return blocks[:, inverse].reshape(bits.shape)
+
+
+def deinterleave(bits, n_cbps, n_bpsc):
+    """Inverse of :func:`interleave` (works on soft values too)."""
+    bits, blocks = _blocks(bits, n_cbps)
+    perm, _ = _cached_permutation(int(n_cbps), int(n_bpsc))
+    return blocks[:, perm].reshape(bits.shape)
 
 
 def ht_interleave_permutation(n_bpsc, bandwidth_mhz=20):
@@ -44,6 +73,12 @@ def ht_interleave_permutation(n_bpsc, bandwidth_mhz=20):
     Same two permutations as 802.11a but on a 13-column (20 MHz) or
     18-column (40 MHz) array, matching the 52/108 data-subcarrier counts.
     """
+    return _cached_ht_permutation(int(n_bpsc), int(bandwidth_mhz))[0].copy()
+
+
+@lru_cache(maxsize=None)
+def _cached_ht_permutation(n_bpsc, bandwidth_mhz):
+    """``(perm, inverse)`` index arrays for one 802.11n geometry."""
     n_col = 13 if bandwidth_mhz == 20 else 18
     n_row = (4 if bandwidth_mhz == 20 else 6) * n_bpsc
     n_cbpss = n_col * n_row
@@ -51,49 +86,21 @@ def ht_interleave_permutation(n_bpsc, bandwidth_mhz=20):
     k = np.arange(n_cbpss)
     i = n_row * (k % n_col) + k // n_col
     j = s * (i // s) + (i + n_cbpss - (n_col * i) // n_cbpss) % s
-    return j
+    inverse = np.argsort(j)
+    j.setflags(write=False)
+    inverse.setflags(write=False)
+    return j, inverse
 
 
 def ht_interleave(bits, n_bpsc, bandwidth_mhz=20):
     """Interleave one or more HT symbols' worth of one stream's coded bits."""
-    bits = np.asarray(bits)
-    perm = ht_interleave_permutation(n_bpsc, bandwidth_mhz)
-    n_cbpss = perm.size
-    if bits.size % n_cbpss != 0:
-        raise CodingError(
-            f"{bits.size} bits is not a whole number of {n_cbpss}-bit symbols"
-        )
-    out = np.empty_like(bits)
-    for start in range(0, bits.size, n_cbpss):
-        out[start : start + n_cbpss][perm] = bits[start : start + n_cbpss]
-    return out
+    perm, inverse = _cached_ht_permutation(int(n_bpsc), int(bandwidth_mhz))
+    bits, blocks = _blocks(bits, perm.size)
+    return blocks[:, inverse].reshape(bits.shape)
 
 
 def ht_deinterleave(bits, n_bpsc, bandwidth_mhz=20):
     """Inverse of :func:`ht_interleave` (works on soft values too)."""
-    bits = np.asarray(bits)
-    perm = ht_interleave_permutation(n_bpsc, bandwidth_mhz)
-    n_cbpss = perm.size
-    if bits.size % n_cbpss != 0:
-        raise CodingError(
-            f"{bits.size} bits is not a whole number of {n_cbpss}-bit symbols"
-        )
-    out = np.empty_like(bits)
-    for start in range(0, bits.size, n_cbpss):
-        out[start : start + n_cbpss] = bits[start : start + n_cbpss][perm]
-    return out
-
-
-def deinterleave(bits, n_cbps, n_bpsc):
-    """Inverse of :func:`interleave` (works on soft values too)."""
-    bits = np.asarray(bits)
-    if bits.size % n_cbps != 0:
-        raise CodingError(
-            f"{bits.size} bits is not a whole number of {n_cbps}-bit symbols"
-        )
-    perm = interleave_permutation(n_cbps, n_bpsc)
-    out = np.empty_like(bits)
-    for start in range(0, bits.size, n_cbps):
-        block = bits[start : start + n_cbps]
-        out[start : start + n_cbps] = block[perm]
-    return out
+    perm, _ = _cached_ht_permutation(int(n_bpsc), int(bandwidth_mhz))
+    bits, blocks = _blocks(bits, perm.size)
+    return blocks[:, perm].reshape(bits.shape)

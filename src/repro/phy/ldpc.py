@@ -19,6 +19,8 @@ LLR convention: positive favours bit 0, matching
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.errors import CodingError, ConfigurationError
@@ -260,6 +262,15 @@ class LdpcCode:
             raise ConfigurationError(
                 f"n must be one of {STANDARD_BLOCK_LENGTHS}, got {n}"
             )
+        # Graph construction (Gaussian elimination + edge lists) is costly
+        # and fully determined by the arguments when the seed is an int, so
+        # identical codes are shared across transceiver instances.
+        if cls is LdpcCode and isinstance(rng, (int, np.integer)):
+            return _cached_standard_code(int(n), rate, construction, int(rng))
+        return cls._build_standard(n, rate, construction, rng)
+
+    @classmethod
+    def _build_standard(cls, n, rate, construction, rng):
         if construction == "qc":
             h = quasi_cyclic(n, rate=rate, lifting=n // 24, rng=rng)
         elif construction == "gallager":
@@ -310,12 +321,18 @@ class LdpcCode:
         The codeword is systematic in permuted coordinates; positions are
         mapped back so ``H @ codeword = 0`` in the original coordinates.
         """
-        info_bits = np.asarray(info_bits).astype(np.uint8).ravel()
-        if info_bits.size != self.k:
-            raise CodingError(f"expected {self.k} info bits, got {info_bits.size}")
+        info_bits = np.asarray(info_bits).astype(np.uint8)
+        if info_bits.ndim == 1:
+            info_bits = info_bits.ravel()
+        if info_bits.shape[-1] != self.k:
+            raise CodingError(
+                f"expected {self.k} info bits, got {info_bits.shape[-1]}"
+            )
+        # Exact GF(2) arithmetic, so a 2-D batch of blocks encodes in one
+        # matmul with bit-identical rows.
         permuted = (info_bits @ self.g) % 2
-        codeword = np.zeros(self.n, dtype=np.int8)
-        codeword[self._perm] = permuted
+        codeword = np.zeros(info_bits.shape[:-1] + (self.n,), dtype=np.int8)
+        codeword[..., self._perm] = permuted
         return codeword
 
     def extract_info(self, codeword):
@@ -419,3 +436,9 @@ class LdpcCode:
         prod_others = others_sign * np.exp(np.minimum(others_log, 0.0))
         prod_others = np.clip(prod_others, -0.9999999999, 0.9999999999)
         return np.clip(2.0 * np.arctanh(prod_others), -_MSG_CLIP, _MSG_CLIP)
+
+
+@lru_cache(maxsize=None)
+def _cached_standard_code(n, rate, construction, rng):
+    """One shared :class:`LdpcCode` per deterministic standard geometry."""
+    return LdpcCode._build_standard(n, rate, construction, rng)

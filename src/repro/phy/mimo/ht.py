@@ -151,18 +151,23 @@ class HtPhy:
     # -- waveform building ---------------------------------------------------
 
     def _freq_to_time(self, bins):
-        return np.fft.ifft(bins) * (self.fft_size / np.sqrt(self.n_used))
+        return np.fft.ifft(bins, axis=-1) * (self.fft_size / np.sqrt(self.n_used))
 
     def _time_to_freq(self, samples):
-        return np.fft.fft(samples) * (np.sqrt(self.n_used) / self.fft_size)
+        return np.fft.fft(samples, axis=-1) * (np.sqrt(self.n_used) / self.fft_size)
 
     def _ofdm_symbol(self, data_carriers):
         """One stream's OFDM symbol (data carriers already scaled)."""
-        bins = np.zeros(self.fft_size, dtype=np.complex128)
-        bins[self._data_bins] = data_carriers
-        bins[self._pilot_bins] = 1.0 / np.sqrt(self.n_ss)
-        symbol = self._freq_to_time(bins)
-        return np.concatenate([symbol[-self.cp :], symbol])
+        return self._ofdm_symbols(np.asarray(data_carriers)[None, :])[0]
+
+    def _ofdm_symbols(self, data_carriers):
+        """CP-prefixed OFDM symbols for a (n_sym, n_data_sc) carrier block."""
+        n_sym = data_carriers.shape[0]
+        bins = np.zeros((n_sym, self.fft_size), dtype=np.complex128)
+        bins[:, self._data_bins] = data_carriers
+        bins[:, self._pilot_bins] = 1.0 / np.sqrt(self.n_ss)
+        symbols = self._freq_to_time(bins)
+        return np.concatenate([symbols[:, -self.cp :], symbols], axis=1)
 
     def _ltf_symbols(self, precoders=None):
         """(n_tx, n_ltf * symbol_samples) per-antenna training waveforms.
@@ -187,13 +192,12 @@ class HtPhy:
             # Per-subcarrier TX vector: map @ (P column), scaled by LTF tone.
             tx_vec = np.einsum("uts,s->ut", maps, self._p[:, n])
             tx_vec = tx_vec * (self._ltf_freq / np.sqrt(self.n_ss))[:, None]
-            for t in range(self.n_tx):
-                bins = np.zeros(self.fft_size, dtype=np.complex128)
-                bins[self._used_bins] = tx_vec[:, t]
-                sym = self._freq_to_time(bins)
-                start = n * self.symbol_samples
-                out[t, start + self.cp : start + self.symbol_samples] = sym
-                out[t, start : start + self.cp] = sym[-self.cp :]
+            bins = np.zeros((self.n_tx, self.fft_size), dtype=np.complex128)
+            bins[:, self._used_bins] = tx_vec.T
+            sym = self._freq_to_time(bins)
+            start = n * self.symbol_samples
+            out[:, start + self.cp : start + self.symbol_samples] = sym
+            out[:, start : start + self.cp] = sym[:, -self.cp :]
         return out
 
     # -- stream parser -------------------------------------------------------
@@ -248,27 +252,22 @@ class HtPhy:
             cc.encode(scrambled, terminate=False), rate=self.mcs.code_rate
         )
         streams = self._parse_streams(coded)
-        waves = [self._ltf_symbols(precoders)]
         amp = 1.0 / np.sqrt(self.n_ss)
-        for i in range(n_sym):
-            sym_block = np.empty(
-                (self.n_ss, self.symbol_samples), dtype=np.complex128
-            )
-            carrier_rows = np.empty(
-                (self.n_ss, self.n_data_sc), dtype=np.complex128
-            )
-            for k in range(self.n_ss):
-                seg = streams[k, i * self.n_cbpss : (i + 1) * self.n_cbpss]
-                inter = ht_interleave(
-                    seg, self.mcs.bits_per_subcarrier, self.bandwidth_mhz
-                )
-                carrier_rows[k] = self.modulator.modulate(inter) * amp
-            if precoders is not None:
-                carrier_rows = np.einsum("cts,sc->tc", precoders, carrier_rows)
-            for k in range(self.n_ss):
-                sym_block[k] = self._ofdm_symbol(carrier_rows[k])
-            waves.append(sym_block)
-        return np.concatenate(waves, axis=1)
+        # Interleave and map every stream and symbol in one shot: the block
+        # interleaver permutes each n_cbpss-bit segment independently.
+        inter = ht_interleave(
+            streams, self.mcs.bits_per_subcarrier, self.bandwidth_mhz
+        )
+        carriers = self.modulator.modulate(inter).reshape(
+            self.n_ss, n_sym, self.n_data_sc
+        ) * amp
+        if precoders is not None:
+            carriers = np.einsum("cts,sic->tic", precoders, carriers)
+        n_out = carriers.shape[0]
+        data = self._ofdm_symbols(
+            carriers.reshape(n_out * n_sym, self.n_data_sc)
+        ).reshape(n_out, n_sym * self.symbol_samples)
+        return np.concatenate([self._ltf_symbols(precoders), data], axis=1)
 
     # -- RX -------------------------------------------------------------------
 
@@ -284,16 +283,14 @@ class HtPhy:
         numpy.ndarray of shape (n_used, n_rx, n_ss)
         """
         ltf_block = np.atleast_2d(ltf_block)
-        obs = np.empty(
-            (self.n_used, self.n_rx, self._n_ltf), dtype=np.complex128
-        )
-        for n in range(self._n_ltf):
-            start = n * self.symbol_samples + self.cp
-            for r in range(self.n_rx):
-                freq = self._time_to_freq(
-                    ltf_block[r, start : start + self.fft_size]
-                )
-                obs[:, r, n] = freq[self._used_bins] / self._ltf_freq
+        # FFT all (rx, ltf) symbols at once: (n_rx, n_ltf, fft_size).
+        body = ltf_block[:, : self._n_ltf * self.symbol_samples].reshape(
+            self.n_rx, self._n_ltf, self.symbol_samples
+        )[:, :, self.cp :]
+        freq = self._time_to_freq(body)
+        obs = np.transpose(
+            freq[:, :, self._used_bins] / self._ltf_freq, (2, 0, 1)
+        )  # (n_used, n_rx, n_ltf)
         # obs = H_eff * P  (per subcarrier);  P P^H = n_ltf I
         h = obs @ self._p.T.conj() / self._n_ltf  # (n_used, n_rx, n_ss)
         return h * np.sqrt(self.n_ss)  # undo the LTF amplitude split
@@ -326,40 +323,44 @@ class HtPhy:
         n_sym = (samples.shape[1] // self.symbol_samples) - self._n_ltf
         carrier_nv = noise_var * self.n_used / self.fft_size
         cursor = self._n_ltf * self.symbol_samples
-        soft_streams = np.empty((self.n_ss, n_sym * self.n_cbpss))
-        for i in range(n_sym):
-            freq = np.empty((self.n_rx, self.fft_size), dtype=np.complex128)
-            for r in range(self.n_rx):
-                freq[r] = self._time_to_freq(
-                    samples[r, cursor + self.cp : cursor + self.symbol_samples]
-                )
-            cursor += self.symbol_samples
-            llr_sym = np.empty((self.n_ss, self.n_cbpss))
-            for c in range(self.n_data_sc):
-                y_c = freq[:, self._data_bins[c]][:, None]
-                h_c = h_data[c]
-                if self.detector == "mmse":
-                    est, sinr = detect_mmse(y_c, h_c, carrier_nv)
-                    nv_eff = 1.0 / np.maximum(sinr, 1e-12)
-                elif self.detector == "zf":
-                    est, sinr = detect_zero_forcing(y_c, h_c, carrier_nv)
-                    nv_eff = 1.0 / np.maximum(sinr, 1e-12)
-                else:
-                    est = detect_ml(y_c, h_c, self.modulator.constellation)
-                    sinr = np.full(self.n_ss, 1e6)
-                    nv_eff = np.full(self.n_ss, 1e-3)
-                for k in range(self.n_ss):
-                    bpsc = self.mcs.bits_per_subcarrier
-                    llr_sym[
-                        k, c * bpsc : (c + 1) * bpsc
-                    ] = self.modulator.demodulate_soft(est[k], nv_eff[k])
-            for k in range(self.n_ss):
-                soft_streams[k, i * self.n_cbpss : (i + 1) * self.n_cbpss] = (
-                    ht_deinterleave(
-                        llr_sym[k], self.mcs.bits_per_subcarrier,
-                        self.bandwidth_mhz,
-                    )
-                )
+        bpsc = self.mcs.bits_per_subcarrier
+        # FFT every (rx, symbol) block in one call: (n_sym, n_rx, fft_size).
+        blocks = samples[
+            :, cursor : cursor + n_sym * self.symbol_samples
+        ].reshape(self.n_rx, n_sym, self.symbol_samples)[:, :, self.cp :]
+        freq = np.transpose(self._time_to_freq(blocks), (1, 0, 2))
+        # The channel is constant over the burst, so each subcarrier's
+        # detection filter is computed once and applied to all symbols.
+        est_all = np.empty(
+            (self.n_data_sc, self.n_ss, n_sym), dtype=np.complex128
+        )
+        nv_all = np.empty((self.n_data_sc, self.n_ss))
+        for c in range(self.n_data_sc):
+            y_c = freq[:, :, self._data_bins[c]].T  # (n_rx, n_sym)
+            h_c = h_data[c]
+            if self.detector == "mmse":
+                est, sinr = detect_mmse(y_c, h_c, carrier_nv)
+                nv_eff = 1.0 / np.maximum(sinr, 1e-12)
+            elif self.detector == "zf":
+                est, sinr = detect_zero_forcing(y_c, h_c, carrier_nv)
+                nv_eff = 1.0 / np.maximum(sinr, 1e-12)
+            else:
+                est = detect_ml(y_c, h_c, self.modulator.constellation)
+                nv_eff = np.full(self.n_ss, 1e-3)
+            est_all[c] = est
+            nv_all[c] = nv_eff
+        # One soft demap for every (subcarrier, stream, symbol) at once.
+        nv_full = np.broadcast_to(nv_all[:, :, None], est_all.shape)
+        llrs = self.modulator.demodulate_soft(
+            est_all.ravel(), np.ascontiguousarray(nv_full).ravel()
+        ).reshape(self.n_data_sc, self.n_ss, n_sym, bpsc)
+        # llr_sym[k, i, c*bpsc + j] = llrs[c, k, i, j]
+        llr_all = np.transpose(llrs, (1, 2, 0, 3)).reshape(
+            self.n_ss, n_sym, self.n_cbpss
+        )
+        soft_streams = ht_deinterleave(
+            llr_all, bpsc, self.bandwidth_mhz
+        ).reshape(self.n_ss, n_sym * self.n_cbpss)
         soft = self._deparse_streams(soft_streams)
         decoded = cc.viterbi_decode(
             soft, n_sym * self.n_dbps, rate=self.mcs.code_rate,

@@ -65,6 +65,12 @@ class Modulator:
             self._bits_i = self._bits_q = bits_per_symbol // 2
         self._constellation = self._build_constellation()
         self._labels = self._build_labels()
+        #: Weights turning a (..., bits_per_symbol) bit block into the
+        #: constellation table index (LSB-first, exact integer arithmetic).
+        self._bit_weights = 1 << np.arange(self.bits_per_symbol)
+        #: Per-bit boolean masks over the constellation: mask[b] selects
+        #: the points whose label has bit b equal to 0.
+        self._bit0_masks = (self._labels == 0).T.copy()
 
     # -- construction --------------------------------------------------
 
@@ -110,7 +116,7 @@ class Modulator:
                 f"{bits.size} bits is not a multiple of {self.bits_per_symbol}"
             )
         groups = bits.reshape(-1, self.bits_per_symbol)
-        values = (groups << np.arange(self.bits_per_symbol)).sum(axis=1)
+        values = groups @ self._bit_weights
         return self._constellation[values]
 
     # -- demodulation ----------------------------------------------------
@@ -145,7 +151,7 @@ class Modulator:
         metric = -sq / noise_var[:, None]
         llrs = np.empty((symbols.size, self.bits_per_symbol))
         for bit in range(self.bits_per_symbol):
-            mask0 = self._labels[:, bit] == 0
+            mask0 = self._bit0_masks[bit]
             llrs[:, bit] = metric[:, mask0].max(axis=1) - metric[:, ~mask0].max(axis=1)
         return llrs.ravel()
 

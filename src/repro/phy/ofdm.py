@@ -31,6 +31,7 @@ from repro.constants import (
     OFDM_SYMBOL_SAMPLES,
 )
 from repro.errors import ConfigurationError, DemodulationError
+from repro import obs
 from repro.phy import convolutional as cc
 from repro.phy.interleaver import deinterleave, interleave
 from repro.phy.modulation import Modulator
@@ -187,6 +188,7 @@ class OfdmPhy:
         self.scrambler_seed = scrambler_seed
         self.modulator = Modulator(self.rate.bits_per_subcarrier)
         self._signal_modulator = Modulator(1)
+        self._signal_symbol_cache = {}
 
     # -- helpers -----------------------------------------------------------
 
@@ -195,17 +197,46 @@ class OfdmPhy:
         n_bits = 16 + 8 * psdu_bytes + 6  # SERVICE + PSDU + tail
         return int(np.ceil(n_bits / self.rate.n_dbps))
 
+    def n_samples(self, psdu_bytes):
+        """Waveform length of the PPDU: preamble + SIGNAL + data symbols."""
+        n_sym = self.n_symbols(psdu_bytes) + 1  # + SIGNAL
+        return PREAMBLE_SAMPLES + n_sym * OFDM_SYMBOL_SAMPLES
+
     def frame_duration_s(self, psdu_bytes):
         """Air time of the PPDU: preamble + SIGNAL + data symbols."""
-        n_sym = self.n_symbols(psdu_bytes) + 1  # + SIGNAL
-        return (PREAMBLE_SAMPLES + n_sym * OFDM_SYMBOL_SAMPLES) / 20e6
+        return self.n_samples(psdu_bytes) / 20e6
 
     def _assemble_symbol(self, data_carriers, symbol_index):
-        bins = np.zeros(OFDM_FFT_SIZE, dtype=np.complex128)
-        bins[_DATA_BINS] = data_carriers
-        bins[_PILOT_BINS] = _PILOT_BASE * pilot_polarity(symbol_index)
-        symbol = _freq_to_time(bins)
-        return np.concatenate([symbol[-OFDM_CP_LENGTH:], symbol])
+        carriers = np.asarray(data_carriers)[None, :]
+        indices = np.array([symbol_index])
+        return self._assemble_symbols(carriers, indices)[0]
+
+    @staticmethod
+    def _assemble_symbols(data_carriers, symbol_indices):
+        """IFFT a whole block of DATA symbols at once.
+
+        Parameters
+        ----------
+        data_carriers : (n_sym, 48) complex array
+            One row of data-subcarrier values per OFDM symbol.
+        symbol_indices : (n_sym,) int array
+            Pilot-polarity index of each symbol (SIGNAL is 0).
+
+        Returns
+        -------
+        (n_sym, 80) complex array of CP-prefixed time-domain symbols.
+        """
+        n_sym = data_carriers.shape[0]
+        bins = np.zeros((n_sym, OFDM_FFT_SIZE), dtype=np.complex128)
+        bins[:, _DATA_BINS] = data_carriers
+        polarity = _POLARITY[np.asarray(symbol_indices) % 127]
+        bins[:, _PILOT_BINS] = _PILOT_BASE[None, :] * polarity[:, None]
+        symbols = np.fft.ifft(bins, axis=-1) * (
+            OFDM_FFT_SIZE / np.sqrt(len(_USED_BINS))
+        )
+        return np.concatenate(
+            [symbols[:, -OFDM_CP_LENGTH:], symbols], axis=1
+        )
 
     # -- SIGNAL field --------------------------------------------------------
 
@@ -229,9 +260,13 @@ class OfdmPhy:
         return _RATE_FROM_SIGNAL[rate_bits], length
 
     def _encode_signal_symbol(self, psdu_bytes):
-        coded = cc.encode(self._signal_bits(psdu_bytes), terminate=False)
-        inter = interleave(coded, 48, 1)
-        return self._assemble_symbol(self._signal_modulator.modulate(inter), 0)
+        cached = self._signal_symbol_cache.get(psdu_bytes)
+        if cached is None:
+            coded = cc.encode(self._signal_bits(psdu_bytes), terminate=False)
+            inter = interleave(coded, 48, 1)
+            cached = self._assemble_symbol(self._signal_modulator.modulate(inter), 0)
+            self._signal_symbol_cache[psdu_bytes] = cached
+        return cached
 
     # -- TX -----------------------------------------------------------------
 
@@ -241,39 +276,76 @@ class OfdmPhy:
         Returns complex baseband samples at 20 Msps with unit average power
         in the data portion.
         """
-        psdu = bytes(psdu)
-        n_sym = self.n_symbols(len(psdu))
+        return self._transmit_rows([bytes(psdu)])[0]
+
+    def transmit_batch(self, psdus):
+        """Build the PPDU waveforms for a batch of equal-length PSDUs.
+
+        All PSDUs must have the same byte length (as in a fixed-payload
+        Monte-Carlo batch); the result is a ``(batch, n_samples)`` complex
+        array whose row ``i`` is exactly ``transmit(psdus[i])``.
+        """
+        psdus = [bytes(p) for p in psdus]
+        if not psdus:
+            raise ConfigurationError("transmit_batch needs at least one PSDU")
+        if len({len(p) for p in psdus}) != 1:
+            raise ConfigurationError(
+                "transmit_batch requires equal-length PSDUs"
+            )
+        return self._transmit_rows(psdus)
+
+    def _transmit_rows(self, psdus):
+        """Encode + modulate + IFFT a batch of same-length PSDUs at once."""
+        batch = len(psdus)
+        psdu_bytes = len(psdus[0])
+        n_sym = self.n_symbols(psdu_bytes)
         n_data_bits = n_sym * self.rate.n_dbps
-        service = np.zeros(16, dtype=np.int8)
-        payload = bits_from_bytes(psdu)
-        n_pad = n_data_bits - 16 - payload.size - 6
-        data = np.concatenate([
-            service, payload, np.zeros(6 + n_pad, dtype=np.int8),
-        ])
+        n_payload_bits = 8 * psdu_bytes
+        # SERVICE (16 zero bits) | payload | six tail zeros | pad zeros.
+        data = np.zeros((batch, n_data_bits), dtype=np.int8)
+        for row, psdu in enumerate(psdus):
+            data[row, 16 : 16 + n_payload_bits] = bits_from_bytes(psdu)
         scrambled = scramble(data, seed=self.scrambler_seed)
-        tail_start = 16 + payload.size
-        scrambled[tail_start : tail_start + 6] = 0  # tail bits stay zero
+        tail_start = 16 + n_payload_bits
+        scrambled[:, tail_start : tail_start + 6] = 0  # tail bits stay zero
         coded = cc.puncture(
             cc.encode(scrambled, terminate=False), rate=self.rate.code_rate
         )
         interleaved = interleave(coded, self.rate.n_cbps,
                                  self.rate.bits_per_subcarrier)
-        symbols = self.modulator.modulate(interleaved)
-        blocks = [
+        carriers = self.modulator.modulate(interleaved).reshape(
+            batch * n_sym, OFDM_DATA_SUBCARRIERS
+        )
+        indices = np.tile(np.arange(1, n_sym + 1), batch)
+        data_symbols = self._assemble_symbols(carriers, indices).reshape(
+            batch, n_sym * OFDM_SYMBOL_SAMPLES
+        )
+        head = np.concatenate([
             short_training_field(),
             long_training_field(),
-            self._encode_signal_symbol(len(psdu)),
-        ]
-        per_symbol = symbols.reshape(n_sym, OFDM_DATA_SUBCARRIERS)
-        for i in range(n_sym):
-            blocks.append(self._assemble_symbol(per_symbol[i], i + 1))
-        return np.concatenate(blocks)
+            self._encode_signal_symbol(psdu_bytes),
+        ])
+        obs.counter("phy.ofdm.tx_symbols", batch * (n_sym + 1))
+        out = np.empty(
+            (batch, head.size + data_symbols.shape[1]), dtype=np.complex128
+        )
+        out[:, : head.size] = head
+        out[:, head.size :] = data_symbols
+        return out
 
     # -- RX -----------------------------------------------------------------
 
     def _fft_symbol(self, samples):
         body = samples[OFDM_CP_LENGTH:OFDM_SYMBOL_SAMPLES]
         return np.fft.fft(body) * (np.sqrt(len(_USED_BINS)) / OFDM_FFT_SIZE)
+
+    @staticmethod
+    def _fft_symbols(blocks):
+        """Strip the CP and FFT a stack of 80-sample symbols along the last axis."""
+        body = blocks[..., OFDM_CP_LENGTH:OFDM_SYMBOL_SAMPLES]
+        return np.fft.fft(body, axis=-1) * (
+            np.sqrt(len(_USED_BINS)) / OFDM_FFT_SIZE
+        )
 
     def estimate_channel(self, ltf_samples):
         """LS channel estimate on the 52 used subcarriers from the LTF."""
@@ -308,71 +380,160 @@ class OfdmPhy:
         samples = np.asarray(samples, dtype=np.complex128).ravel()
         if samples.size < PREAMBLE_SAMPLES + OFDM_SYMBOL_SAMPLES:
             raise DemodulationError("waveform shorter than preamble + SIGNAL")
-        h = self.estimate_channel(samples[160:320])
-        h_used = h[_USED_BINS]
-        if np.any(np.abs(h_used) < 1e-12):
-            raise DemodulationError("channel estimate has a null on a used bin")
+        psdus, details, errors = self._receive_rows(
+            samples[None, :], np.array([noise_var], dtype=float)
+        )
+        if errors[0] is not None:
+            raise errors[0]
+        if return_details:
+            return psdus[0], details[0]
+        return psdus[0]
+
+    def receive_batch(self, samples, noise_vars):
+        """Demodulate a batch of PPDU waveforms in one vectorized pass.
+
+        Parameters
+        ----------
+        samples : (batch, n_samples) complex array
+            One received waveform per row, aligned to the PPDU start.
+        noise_vars : array of float
+            Per-row complex noise variance per sample.
+
+        Returns
+        -------
+        list
+            Per row, the decoded PSDU ``bytes``, or ``None`` where
+            demodulation failed (the per-packet analogue of the
+            :class:`DemodulationError` the scalar path raises).
+        """
+        samples = np.asarray(samples, dtype=np.complex128)
+        if samples.ndim != 2:
+            raise ConfigurationError(
+                f"receive_batch expects a 2-D batch, got shape {samples.shape}"
+            )
+        if samples.shape[1] < PREAMBLE_SAMPLES + OFDM_SYMBOL_SAMPLES:
+            raise DemodulationError("waveform shorter than preamble + SIGNAL")
+        noise_vars = np.broadcast_to(
+            np.asarray(noise_vars, dtype=float), (samples.shape[0],)
+        )
+        psdus, _, _ = self._receive_rows(samples, noise_vars)
+        return psdus
+
+    def _receive_rows(self, rows, noise_vars):
+        """Shared vectorized receiver over a (batch, n_samples) block.
+
+        Returns parallel lists ``(psdus, details, errors)``; a failed row
+        has ``psdus[i] is None`` and the would-be exception in
+        ``errors[i]``.
+        """
+        batch = rows.shape[0]
+        psdus = [None] * batch
+        details = [None] * batch
+        errors = [None] * batch
+
+        # LS channel estimate from the two LTF repetitions, all rows at once.
+        scale = np.sqrt(len(_USED_BINS)) / OFDM_FFT_SIZE
+        f1 = np.fft.fft(rows[:, 192:256], axis=-1) * scale
+        f2 = np.fft.fft(rows[:, 256:320], axis=-1) * scale
+        avg = 0.5 * (f1 + f2)
+        h = np.zeros((batch, OFDM_FFT_SIZE), dtype=np.complex128)
+        h[:, _USED_BINS] = avg[:, _USED_BINS] / _LTF_FREQ
+
+        good = ~np.any(np.abs(h[:, _USED_BINS]) < 1e-12, axis=1)
+        for i in np.flatnonzero(~good):
+            errors[i] = DemodulationError(
+                "channel estimate has a null on a used bin"
+            )
+        active = np.flatnonzero(good)
+        if active.size == 0:
+            return psdus, details, errors
 
         # Per-subcarrier noise variance after the scaled FFT.
-        carrier_nv = noise_var * len(_USED_BINS) / OFDM_FFT_SIZE
+        carrier_nv = noise_vars * len(_USED_BINS) / OFDM_FFT_SIZE
+        nv_data = carrier_nv[:, None] / np.abs(h[:, _DATA_BINS]) ** 2
 
+        # SIGNAL field: one FFT + soft demap + Viterbi sweep for all rows.
         cursor = PREAMBLE_SAMPLES
-        signal_freq = self._fft_symbol(samples[cursor : cursor + OFDM_SYMBOL_SAMPLES])
+        sig_freq = self._fft_symbols(
+            rows[active, cursor : cursor + OFDM_SYMBOL_SAMPLES]
+        )
         cursor += OFDM_SYMBOL_SAMPLES
-        eq = signal_freq[_DATA_BINS] / h[_DATA_BINS]
-        nv = carrier_nv / np.abs(h[_DATA_BINS]) ** 2
-        llr = self._signal_modulator.demodulate_soft(eq, nv)
-        sig_soft = deinterleave(llr, 48, 1)
+        eq = sig_freq[:, _DATA_BINS] / h[active][:, _DATA_BINS]
+        llr = self._signal_modulator.demodulate_soft(
+            eq.ravel(), nv_data[active].ravel()
+        )
+        sig_soft = deinterleave(llr.reshape(active.size, 48), 48, 1)
         sig_bits = cc.viterbi_decode(sig_soft, 18, rate="1/2", terminated=True)
-        rate, psdu_len = self._parse_signal(
-            np.concatenate([sig_bits, np.zeros(6, dtype=np.int8)])
-        )
-        if rate.rate_mbps != self.rate_mbps:
-            raise DemodulationError(
-                f"SIGNAL advertises {rate.rate_mbps} Mbps but this receiver "
-                f"is configured for {self.rate_mbps} Mbps"
-            )
 
-        n_sym = self.n_symbols(psdu_len)
-        needed = cursor + n_sym * OFDM_SYMBOL_SAMPLES
-        if samples.size < needed:
-            raise DemodulationError(
-                f"waveform truncated: need {needed} samples, got {samples.size}"
+        groups = {}  # psdu_len -> list of (position in `active`, row index)
+        tail = np.zeros(6, dtype=np.int8)
+        for pos, i in enumerate(active):
+            try:
+                rate, psdu_len = self._parse_signal(
+                    np.concatenate([sig_bits[pos], tail])
+                )
+                if rate.rate_mbps != self.rate_mbps:
+                    raise DemodulationError(
+                        f"SIGNAL advertises {rate.rate_mbps} Mbps but this "
+                        f"receiver is configured for {self.rate_mbps} Mbps"
+                    )
+                needed = cursor + self.n_symbols(psdu_len) * OFDM_SYMBOL_SAMPLES
+                if rows.shape[1] < needed:
+                    raise DemodulationError(
+                        f"waveform truncated: need {needed} samples, "
+                        f"got {rows.shape[1]}"
+                    )
+            except DemodulationError as exc:
+                errors[i] = exc
+                continue
+            groups.setdefault(psdu_len, []).append((pos, int(i)))
+
+        for psdu_len, members in groups.items():
+            row_ids = np.array([i for _, i in members])
+            n_sym = self.n_symbols(psdu_len)
+            g = row_ids.size
+            blocks = rows[
+                row_ids, cursor : cursor + n_sym * OFDM_SYMBOL_SAMPLES
+            ].reshape(g, n_sym, OFDM_SYMBOL_SAMPLES)
+            freq = self._fft_symbols(blocks)
+            hg = h[row_ids]
+            # Common phase error from the four pilots, per row and symbol.
+            polarity = _POLARITY[(np.arange(n_sym) + 1) % 127]
+            expected = (
+                _PILOT_BASE[None, None, :] * polarity[None, :, None]
+            ) * hg[:, None, :][:, :, _PILOT_BINS]
+            cpe = np.angle(
+                np.sum(freq[:, :, _PILOT_BINS] * np.conj(expected), axis=2)
             )
-        soft = np.empty(n_sym * self.rate.n_cbps)
-        for i in range(n_sym):
-            block = samples[cursor : cursor + OFDM_SYMBOL_SAMPLES]
-            cursor += OFDM_SYMBOL_SAMPLES
-            freq = self._fft_symbol(block)
-            # Common phase error from the four pilots.
-            expected = _PILOT_BASE * pilot_polarity(i + 1) * h[_PILOT_BINS]
-            cpe = np.angle(np.sum(freq[_PILOT_BINS] * np.conj(expected)))
-            freq = freq * np.exp(-1j * cpe)
-            eq = freq[_DATA_BINS] / h[_DATA_BINS]
-            nv = carrier_nv / np.abs(h[_DATA_BINS]) ** 2
-            llr = self.modulator.demodulate_soft(eq, nv)
-            soft[i * self.rate.n_cbps : (i + 1) * self.rate.n_cbps] = (
-                deinterleave(llr, self.rate.n_cbps,
-                             self.rate.bits_per_subcarrier)
+            freq = freq * np.exp(-1j * cpe)[:, :, None]
+            eq = freq[:, :, _DATA_BINS] / hg[:, None, :][:, :, _DATA_BINS]
+            nv = np.broadcast_to(nv_data[row_ids][:, None, :], eq.shape)
+            llr = self.modulator.demodulate_soft(
+                eq.ravel(), np.ascontiguousarray(nv).ravel()
             )
-        # The tail sits between PSDU and pad, so the trellis does not end in
-        # state zero: decode the whole field unterminated (still ML over the
-        # payload region).
-        decoded = cc.viterbi_decode(
-            soft, n_sym * self.rate.n_dbps,
-            rate=self.rate.code_rate, terminated=False,
-        )
-        descrambled = scramble(decoded, seed=self.scrambler_seed)
-        payload_bits = descrambled[16 : 16 + 8 * psdu_len]
-        psdu = bytes_from_bits(payload_bits)
-        if return_details:
-            return psdu, {
-                "channel_estimate": h_used,
-                "n_symbols": n_sym,
-                "advertised_rate_mbps": rate.rate_mbps,
-                "psdu_length": psdu_len,
-            }
-        return psdu
+            soft = deinterleave(
+                llr.reshape(g, n_sym * self.rate.n_cbps),
+                self.rate.n_cbps, self.rate.bits_per_subcarrier,
+            )
+            # The tail sits between PSDU and pad, so the trellis does not
+            # end in state zero: decode the whole field unterminated (still
+            # ML over the payload region).
+            decoded = cc.viterbi_decode(
+                soft, n_sym * self.rate.n_dbps,
+                rate=self.rate.code_rate, terminated=False,
+            )
+            descrambled = scramble(decoded, seed=self.scrambler_seed)
+            payload_bits = descrambled[:, 16 : 16 + 8 * psdu_len]
+            obs.counter("phy.ofdm.rx_symbols", g * (n_sym + 1))
+            for (pos, i), bits in zip(members, payload_bits):
+                psdus[i] = bytes_from_bits(bits)
+                details[i] = {
+                    "channel_estimate": h[i][_USED_BINS],
+                    "n_symbols": n_sym,
+                    "advertised_rate_mbps": self.rate_mbps,
+                    "psdu_length": psdu_len,
+                }
+        return psdus, details, errors
 
     def spectral_efficiency(self, bandwidth_hz=20e6):
         """Peak spectral efficiency in bps/Hz (2.7 for 54 Mbps in 20 MHz)."""

@@ -100,19 +100,20 @@ class LdpcOfdmPhy:
         n_blocks = self.n_blocks(len(psdu))
         padded = np.zeros(n_blocks * self.code.k, dtype=np.int8)
         padded[: payload.size] = payload
-        coded = np.concatenate([
-            self.code.encode(padded[i * self.code.k : (i + 1) * self.code.k])
-            for i in range(n_blocks)
-        ])
+        # All codewords in one GF(2) matmul (exact integer arithmetic).
+        coded = self.code.encode(padded.reshape(n_blocks, self.code.k)).ravel()
         n_sym = self.n_symbols(len(psdu))
         stream = np.zeros(n_sym * self.n_cbps, dtype=np.int8)
         stream[: coded.size] = coded
-        symbols = self.modulator.modulate(stream)
-        blocks = [short_training_field(), long_training_field()]
-        per_symbol = symbols.reshape(n_sym, OFDM_DATA_SUBCARRIERS)
-        for i in range(n_sym):
-            blocks.append(self._legacy._assemble_symbol(per_symbol[i], i + 1))
-        return np.concatenate(blocks)
+        carriers = self.modulator.modulate(stream).reshape(
+            n_sym, OFDM_DATA_SUBCARRIERS
+        )
+        data = self._legacy._assemble_symbols(
+            carriers, np.arange(1, n_sym + 1)
+        ).ravel()
+        return np.concatenate(
+            [short_training_field(), long_training_field(), data]
+        )
 
     # -- RX ---------------------------------------------------------------
 
@@ -132,17 +133,15 @@ class LdpcOfdmPhy:
         carrier_nv = noise_var * len(_USED_BINS) / 64
         n_sym = (samples.size - PREAMBLE_SAMPLES) // OFDM_SYMBOL_SAMPLES
         cursor = PREAMBLE_SAMPLES
-        llrs = np.empty(n_sym * self.n_cbps)
-        for i in range(n_sym):
-            freq = self._legacy._fft_symbol(
-                samples[cursor : cursor + OFDM_SYMBOL_SAMPLES]
-            )
-            cursor += OFDM_SYMBOL_SAMPLES
-            eq = freq[_DATA_BINS] / h[_DATA_BINS]
-            nv = carrier_nv / np.abs(h[_DATA_BINS]) ** 2
-            llrs[i * self.n_cbps : (i + 1) * self.n_cbps] = (
-                self.modulator.demodulate_soft(eq, nv)
-            )
+        blocks = samples[
+            cursor : cursor + n_sym * OFDM_SYMBOL_SAMPLES
+        ].reshape(n_sym, OFDM_SYMBOL_SAMPLES)
+        freq = self._legacy._fft_symbols(blocks)
+        eq = freq[:, _DATA_BINS] / h[_DATA_BINS][None, :]
+        nv = carrier_nv / np.abs(h[_DATA_BINS]) ** 2
+        llrs = self.modulator.demodulate_soft(
+            eq.ravel(), np.ascontiguousarray(np.broadcast_to(nv, eq.shape)).ravel()
+        )
         n_blocks = (n_sym * self.n_cbps) // self.code.n
         if n_blocks < 1:
             raise DemodulationError("waveform carries no complete codeword")

@@ -4,32 +4,55 @@ Generator polynomial ``S(x) = x^7 + x^4 + 1``. The same operation both
 scrambles and descrambles: XOR the data with the PRBS produced by the
 seeded 7-bit LFSR. 802.11a transmits a 7-bit nonzero seed in the SERVICE
 field; the all-ones seed is the customary default.
+
+The polynomial is primitive, so the PRBS from any nonzero seed is
+periodic with period 127. The LFSR is therefore stepped exactly once per
+seed (127 scalar steps, cached) and every request is served by tiling
+that base period — the per-bit loop never runs on a hot path.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.errors import ConfigurationError
+
+#: Period of the x^7 + x^4 + 1 PRBS for any nonzero seed.
+PERIOD = 127
+
+
+@lru_cache(maxsize=None)
+def _base_period(seed):
+    """One 127-bit period of the PRBS for ``seed``, as immutable bytes."""
+    state = [(seed >> i) & 1 for i in range(7)]  # state[0] = x^1 ... x^7
+    out = bytearray(PERIOD)
+    for i in range(PERIOD):
+        feedback = state[6] ^ state[3]  # x^7 xor x^4
+        out[i] = feedback
+        state = [feedback] + state[:6]
+    return bytes(out)
 
 
 def scrambler_sequence(length, seed=0x7F):
     """Return ``length`` bits of the x^7+x^4+1 PRBS for a 7-bit ``seed``."""
     if not 0 < seed < 128:
         raise ConfigurationError(f"scrambler seed must be 1..127, got {seed}")
-    state = [(seed >> i) & 1 for i in range(7)]  # state[0] = x^1 ... state[6] = x^7
-    out = np.empty(int(length), dtype=np.int8)
-    for i in range(int(length)):
-        feedback = state[6] ^ state[3]  # x^7 xor x^4
-        out[i] = feedback
-        state = [feedback] + state[:6]
-    return out
+    length = int(length)
+    base = np.frombuffer(_base_period(seed), dtype=np.int8)
+    reps = -(-length // PERIOD)  # ceil division
+    return np.tile(base, max(reps, 1))[:length]
 
 
 def scramble(bits, seed=0x7F):
-    """Scramble (or descramble) a bit array with the 802.11 PRBS."""
+    """Scramble (or descramble) a bit array with the 802.11 PRBS.
+
+    Accepts 1-D bit vectors or 2-D batches (one row per frame); every row
+    is XORed with the same seeded PRBS, matching a per-frame scramble.
+    """
     bits = np.asarray(bits).astype(np.int8)
-    return bits ^ scrambler_sequence(bits.size, seed=seed)
+    return bits ^ scrambler_sequence(bits.shape[-1], seed=seed)
 
 
 def descramble(bits, seed=0x7F):
