@@ -210,6 +210,11 @@ def _run_dcf_point(params, rng):
 register_point_kind("link", _run_link_point, code_version="2")
 register_point_kind("mimo-range", _run_mimo_range_point, code_version="1")
 register_point_kind("dcf", _run_dcf_point, code_version="1")
+# PER-surface cells (repro.surrogate.builder) share the link point
+# function — a cell *is* one PER/BER measurement — but carry their own
+# kind so surface campaigns are addressable in the store and their
+# cache keys can evolve independently of ad-hoc link sweeps.
+register_point_kind("surface-link", _run_link_point, code_version="1")
 
 # Snapshot of the registry as a fresh import creates it. A worker
 # spawned (rather than forked) re-imports this module and gets exactly

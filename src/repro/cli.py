@@ -27,6 +27,14 @@ campaign run|ls|show|report
 trace report NAME
     Render a traced campaign's telemetry: per-point timing breakdown,
     MC trial throughput, slowest spans, cache/retry counters.
+surface build|ls|show|validate
+    Precomputed PER surfaces for network-scale simulation
+    (``surface build grid-a --phys ofdm-6,ofdm-54 --snr 0:30:2``).
+    ``build`` runs one campaign cell per (phy, payload, SNR) — cached,
+    resumable, parallel via ``--workers`` — and serializes the surface
+    next to the campaign records; ``validate`` cross-checks it against
+    fresh waveform runs. ``link --surrogate NAME`` answers a link query
+    from a surface instead of the waveform simulator.
 
 Installed as the ``repro`` console script, so ``repro campaign ls`` and
 ``python -m repro campaign ls`` are equivalent.
@@ -55,7 +63,18 @@ def _cmd_evolution(_args):
 
 
 def _cmd_link(args):
-    sim = LinkSimulator(args.phy, args.channel, rng=args.seed)
+    if args.surrogate:
+        from repro.campaign import ResultsStore
+        from repro.surrogate import AbstractLink, load_surface
+
+        surface = load_surface(ResultsStore(args.results), args.surrogate)
+        sim = AbstractLink(surface, args.phy, rng=args.seed)
+        if surface.channel != args.channel:
+            print(f"note: surface {args.surrogate!r} was built over "
+                  f"{surface.channel!r}; the channel argument "
+                  f"{args.channel!r} is ignored")
+    else:
+        sim = LinkSimulator(args.phy, args.channel, rng=args.seed)
     tracer = obs.Tracer() if args.trace else None
     if tracer is not None:
         with obs.use_tracer(tracer):
@@ -73,8 +92,10 @@ def _cmd_link(args):
     budget = (f"adaptive to precision {args.precision:g}"
               if args.precision is not None
               else f"{args.packets} packets")
-    print(f"{args.phy} over {args.channel} @ {args.snr:.1f} dB "
-          f"({budget}, {args.bytes} B payloads):")
+    backend = (f"surrogate surface {args.surrogate!r}" if args.surrogate
+               else "waveform")
+    print(f"{args.phy} over {sim.channel_name} @ {args.snr:.1f} dB "
+          f"({budget}, {args.bytes} B payloads, {backend}):")
     print(f"  PER     : {result.per:.3f}  "
           f"[{per_lo:.3f}, {per_hi:.3f}] @ {mc.confidence:.0%}")
     print(f"  BER     : {result.ber:.2e}")
@@ -217,6 +238,90 @@ def _cmd_campaign(args):
     return 0
 
 
+def _parse_value_list(text, name, cast):
+    """Parse ``"a,b,c"`` or ``"lo:hi:step"`` grid specs from the CLI."""
+    from repro.errors import ConfigurationError
+
+    text = str(text).strip()
+    try:
+        if ":" in text:
+            parts = [float(p) for p in text.split(":")]
+            if len(parts) != 3 or parts[2] <= 0:
+                raise ValueError
+            lo, hi, step = parts
+            import numpy as np
+
+            n = int(np.floor((hi - lo) / step + 1e-9)) + 1
+            if n < 1:
+                raise ValueError
+            return [cast(lo + k * step) for k in range(n)]
+        return [cast(float(p)) for p in text.split(",") if p.strip()]
+    except ValueError:
+        raise ConfigurationError(
+            f"{name} must be 'v1,v2,...' or 'lo:hi:step', got {text!r}"
+        ) from None
+
+
+def _cmd_surface(args):
+    from repro.campaign import ResultsStore
+    from repro.surrogate import (build_surface, list_surfaces, load_surface,
+                                 validate_surface)
+
+    store = ResultsStore(args.results)
+
+    if args.subcommand == "build":
+        phys = [p.strip() for p in args.phys.split(",") if p.strip()]
+        surface = build_surface(
+            args.name, phys,
+            snr_db=_parse_value_list(args.snr, "--snr", float),
+            payload_bytes=_parse_value_list(args.payload, "--payload", int),
+            channel=args.channel, n_packets=args.packets,
+            precision=args.precision, max_trials=args.max_trials,
+            base_seed=args.seed, store=store, workers=args.workers,
+            trace=args.trace, echo=print if args.verbose else None,
+            force=args.force)
+        for line in surface.summary_lines():
+            print(line)
+        print(f"build: {surface.meta['n_executed']} executed, "
+              f"{surface.meta['n_cached']} cached "
+              f"in {surface.meta['build_wall_time_s']:.1f} s")
+        print(f"saved under {store.campaign_dir(surface.name)}")
+        return 0
+
+    if args.subcommand == "ls":
+        names = list_surfaces(store)
+        if not names:
+            print(f"no surfaces under {store.root!r}; build one with "
+                  "'repro surface build <name> --phys ... --snr ...'")
+            return 0
+        for name in names:
+            s = load_surface(store, name)
+            print(f"{name:<24} {len(s.phys)} phy(s) x "
+                  f"{s.payload_bytes.size} payload(s) x "
+                  f"{s.snr_db.size} SNR(s)  [{s.channel}]")
+        return 0
+
+    if args.subcommand == "show":
+        for line in load_surface(store, args.name).summary_lines():
+            print(line)
+        return 0
+
+    # validate
+    surface = load_surface(store, args.name)
+    report = validate_surface(
+        surface,
+        phys=([p.strip() for p in args.phys.split(",") if p.strip()]
+              if args.phys else None),
+        snr_db=(_parse_value_list(args.snr, "--snr", float)
+                if args.snr else None),
+        payload_bytes=(_parse_value_list(args.payload, "--payload", int)
+                       if args.payload else None),
+        n_packets=args.packets, seed=args.seed)
+    for line in report.lines():
+        print(line)
+    return 0 if report.ok else 1
+
+
 def _cmd_trace(args):
     from repro.campaign import ResultsStore
     from repro.errors import ConfigurationError
@@ -272,6 +377,13 @@ def build_parser():
     p_link.add_argument("--trace", action="store_true",
                         help="collect telemetry and print the span/"
                              "counter summary after the run")
+    p_link.add_argument("--surrogate", default=None, metavar="SURFACE",
+                        help="answer from a prebuilt PER surface instead "
+                             "of the waveform simulator (see 'surface "
+                             "build')")
+    p_link.add_argument("--results", default="results",
+                        help="results store the surface lives in "
+                             "(default: results/)")
 
     p_mac = sub.add_parser("mac", help="DCF contention study")
     p_mac.add_argument("stations", type=int)
@@ -341,6 +453,64 @@ def build_parser():
     p_rep.add_argument("--cols", default=None, help="column parameter")
     add_results_arg(p_rep)
 
+    p_surf = sub.add_parser(
+        "surface", help="precomputed PER surfaces (network-scale links)")
+    surf_sub = p_surf.add_subparsers(dest="subcommand", required=True)
+
+    p_sbuild = surf_sub.add_parser(
+        "build", help="measure a PER surface through the campaign runner")
+    p_sbuild.add_argument("name", help="surface (= campaign) name")
+    p_sbuild.add_argument("--phys", required=True,
+                          help="comma-separated PHY names, e.g. "
+                               "ofdm-6,ofdm-24,ofdm-54")
+    p_sbuild.add_argument("--snr", required=True,
+                          help="SNR grid: 'v1,v2,...' or 'lo:hi:step' dB")
+    p_sbuild.add_argument("--payload", default="100",
+                          help="payload grid in bytes: 'v1,v2,...' or "
+                               "'lo:hi:step' (default 100)")
+    p_sbuild.add_argument("--channel", default="awgn",
+                          help="awgn | rayleigh | tgn-A..F")
+    p_sbuild.add_argument("--packets", type=int, default=200,
+                          help="packets per grid cell (default 200)")
+    p_sbuild.add_argument("--precision", type=float, default=None,
+                          help="adaptive MC: relative CI half-width "
+                               "target per cell")
+    p_sbuild.add_argument("--max-trials", type=int, default=None,
+                          help="adaptive MC trial ceiling per cell")
+    p_sbuild.add_argument("--seed", type=int, default=0)
+    p_sbuild.add_argument("--workers", type=int, default=1,
+                          help="campaign pool size (bit-identical to 1)")
+    p_sbuild.add_argument("--force", action="store_true",
+                          help="remeasure cells even when cached")
+    p_sbuild.add_argument("--trace", action="store_true",
+                          help="record build telemetry to the store")
+    p_sbuild.add_argument("--verbose", action="store_true",
+                          help="log per-cell completions")
+    add_results_arg(p_sbuild)
+
+    p_sls = surf_sub.add_parser("ls", help="list surfaces in the store")
+    add_results_arg(p_sls)
+
+    p_sshow = surf_sub.add_parser("show", help="grid + provenance summary")
+    p_sshow.add_argument("name")
+    add_results_arg(p_sshow)
+
+    p_sval = surf_sub.add_parser(
+        "validate",
+        help="cross-check a surface against fresh waveform runs")
+    p_sval.add_argument("name")
+    p_sval.add_argument("--phys", default=None,
+                        help="subset of phys to check (comma-separated)")
+    p_sval.add_argument("--snr", default=None,
+                        help="subset of grid SNRs to check")
+    p_sval.add_argument("--payload", default=None,
+                        help="subset of grid payloads to check")
+    p_sval.add_argument("--packets", type=int, default=200,
+                        help="fresh packets per checked cell (default 200)")
+    p_sval.add_argument("--seed", type=int, default=20050307,
+                        help="seed for the fresh measurements")
+    add_results_arg(p_sval)
+
     p_trace = sub.add_parser("trace",
                              help="inspect telemetry from traced runs")
     trace_sub = p_trace.add_subparsers(dest="subcommand", required=True)
@@ -364,6 +534,7 @@ _HANDLERS = {
     "regulatory": _cmd_regulatory,
     "experiment": _cmd_experiment,
     "campaign": _cmd_campaign,
+    "surface": _cmd_surface,
     "trace": _cmd_trace,
     "rates": _cmd_rates,
 }

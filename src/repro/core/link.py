@@ -39,6 +39,7 @@ from repro.phy.mimo.ht import HtPhy
 from repro.phy.ofdm import OfdmPhy
 from repro.utils.bits import bits_from_bytes, count_bit_errors
 from repro.utils.rng import as_generator
+from repro.utils.validation import require_snr_array, validate_link_run_args
 
 
 @dataclass
@@ -344,9 +345,8 @@ class LinkSimulator:
         draw order is preserved, so results are bit-identical either
         way). Pass ``False`` to force the per-packet loop.
         """
-        if n_packets < 1 or payload_bytes < 1:
-            raise ConfigurationError("need >= 1 packet and >= 1 byte")
-        payload_bytes = int(payload_bytes)
+        snr_db, n_packets, payload_bytes = validate_link_run_args(
+            snr_db, n_packets, payload_bytes)
         if vectorized is None:
             vectorized = self._kind == "ofdm"
         vectorized = bool(vectorized) and self._kind == "ofdm"
@@ -394,9 +394,10 @@ class LinkSimulator:
         ``mc_kwargs`` (``precision``, ``max_trials``, ``confidence``,
         ``batch_size``) pass through to :meth:`run`, so an adaptive
         sweep spends few packets on saturated points and many on the
-        waterfall knee.
+        waterfall knee. Empty or non-finite SNR arrays are rejected up
+        front — the same contract the surrogate path enforces.
         """
-        snrs = np.atleast_1d(snr_values_db)
+        snrs = require_snr_array("snr_values_db", snr_values_db)
         with obs.span("link.waterfall", phy=self.phy_name,
                       channel=self.channel_name, n_points=len(snrs)):
             return [self.run(snr, n_packets, payload_bytes, **mc_kwargs)

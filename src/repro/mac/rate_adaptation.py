@@ -130,7 +130,7 @@ def fading_snr_trace(mean_snr_db, n_steps, doppler_hz=5.0,
 
 
 def simulate_rate_adaptation(controller, snr_trace_db, payload_bits=8000,
-                             rng=None):
+                             rng=None, link=None):
     """Run a controller over a per-packet SNR trace (saturated sender).
 
     Each step transmits one packet at the controller's chosen rate; the
@@ -138,6 +138,13 @@ def simulate_rate_adaptation(controller, snr_trace_db, payload_bits=8000,
     rate's required SNR. Throughput is airtime based — delivered payload
     bits over the channel time consumed — so slow rates pay their real
     cost and the result is directly comparable to the PHY rates.
+
+    ``link`` replaces the logistic abstraction with a measured PER
+    oracle — an :class:`~repro.surrogate.AbstractLink` over a surface
+    whose phys cover the controller's ladder: each packet's success
+    probability becomes ``link.per_for_rate(rate, snr)``, so the
+    controller is exercised against the PHY the paper actually
+    simulates instead of a smooth stand-in.
     """
     rng = as_generator(rng)
     snr_trace_db = np.asarray(snr_trace_db, dtype=float).ravel()
@@ -155,7 +162,10 @@ def simulate_rate_adaptation(controller, snr_trace_db, payload_bits=8000,
         last_rate = entry.rate_mbps
         rate_sum += entry.rate_mbps
         airtime_s += payload_bits / (entry.rate_mbps * 1e6)
-        per = float(per_from_snr(snr, entry.required_snr_db))
+        if link is not None:
+            per = float(link.per_for_rate(entry.rate_mbps, snr))
+        else:
+            per = float(per_from_snr(snr, entry.required_snr_db))
         success = bool(rng.random() > per)
         controller.record(success)
         successes += success

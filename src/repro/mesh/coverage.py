@@ -13,6 +13,7 @@ with a Wilson CI on the covered fraction.
 
 from __future__ import annotations
 
+import networkx as nx
 import numpy as np
 
 from repro import obs
@@ -40,42 +41,65 @@ def _coverage_threshold_snr_db(std, min_rate_mbps):
 def coverage_result(mesh_positions, area_side_m, min_rate_mbps=6.0,
                     standard="802.11a", budget=None, portal=0,
                     n_samples=4000, rng=None, precision=None,
-                    max_trials=None, confidence=0.95, batch_size=1000):
+                    max_trials=None, confidence=0.95, batch_size=1000,
+                    link=None, max_per=0.1):
     """Monte-Carlo coverage estimate as a :class:`~repro.core.mc.McResult`.
 
     The estimate is the covered fraction with a Wilson confidence
     interval. ``precision=None`` draws exactly ``n_samples`` points
     (bit-identical to the seed-era scalar loop at the same seed); a
     precision target samples adaptively up to ``max_trials``.
+
+    ``link`` switches the access-link test from the rate-table SNR
+    threshold to a PER oracle — an
+    :class:`~repro.surrogate.AbstractLink` (or anything exposing
+    ``per_at(snr_db)``, e.g. :class:`~repro.surrogate.WaveformLink`):
+    a sample point is then covered when the nearest reachable mesh
+    point's PER is at most ``max_per``. ``min_rate_mbps`` is ignored in
+    that mode (the link already embodies one PHY rate). Mesh-to-portal
+    reachability uses the rate table either way.
     """
     positions = np.asarray(mesh_positions, dtype=float)
     if positions.ndim != 2:
         raise ConfigurationError("mesh positions must be (N, 2)")
+    if link is not None and not 0.0 < float(max_per) <= 1.0:
+        raise ConfigurationError(
+            f"max_per must be in (0, 1], got {max_per!r}"
+        )
     budget = budget or LinkBudget()
     std = get_standard(standard) if isinstance(standard, str) else standard
     rng = as_generator(rng)
     net = MeshNetwork(positions, std, budget)
-    reachable = set()
-    for node in range(net.n_nodes):
-        if node == portal or net.best_path(portal, node) is not None:
-            reachable.add(node)
+    if not 0 <= int(portal) < net.n_nodes:
+        raise ConfigurationError(
+            f"portal must index a mesh node (0..{net.n_nodes - 1}), "
+            f"got {portal!r}"
+        )
+    # Reachability is pure graph connectivity: best_path(portal, node)
+    # exists iff node shares the portal's connected component. One
+    # component lookup replaces N shortest-path searches.
+    reachable = set(nx.node_connected_component(net.graph, int(portal)))
     reach_pos = positions[sorted(reachable)]
     threshold_db = _coverage_threshold_snr_db(std, min_rate_mbps)
 
     def sample_batch(rng, m):
         points = rng.uniform(0.0, area_side_m, size=(m, 2))
-        if not reachable or threshold_db is None:
+        if not reachable or (link is None and threshold_db is None):
             return {"covered": 0}
         # (m, n_reachable) distance matrix; nearest mesh point decides.
         d = np.sqrt(((points[:, None, :] - reach_pos[None, :, :]) ** 2)
                     .sum(axis=2))
         nearest = np.maximum(d.min(axis=1), 0.1)
         snr = budget.snr_at(nearest)
+        if link is not None:
+            ok = np.asarray(link.per_at(snr)) <= float(max_per)
+            return {"covered": int(np.count_nonzero(ok))}
         return {"covered": int(np.count_nonzero(snr >= threshold_db))}
 
     with obs.span("mesh.coverage", standard=std.name,
                   n_mesh=int(positions.shape[0]),
-                  n_reachable=len(reachable)) as span:
+                  n_reachable=len(reachable),
+                  surrogate=link is not None) as span:
         result = run_trials(sample_batch, n_trials=int(n_samples),
                             target="covered", rng=rng, precision=precision,
                             max_trials=max_trials, confidence=confidence,
@@ -92,8 +116,10 @@ def coverage_fraction(mesh_positions, area_side_m, min_rate_mbps=6.0,
     A point counts as covered when its best mesh point (a) offers at least
     ``min_rate_mbps`` on the access link and (b) has a mesh path to the
     portal node. ``mc_kwargs`` (``precision``, ``max_trials``,
-    ``confidence``, ``batch_size``) enable adaptive sampling; use
-    :func:`coverage_result` to also get the confidence interval.
+    ``confidence``, ``batch_size``) enable adaptive sampling, and
+    ``link=``/``max_per=`` switch the access test to a surrogate PER
+    oracle (see :func:`coverage_result`, which also returns the
+    confidence interval).
     """
     result = coverage_result(mesh_positions, area_side_m, min_rate_mbps,
                              standard, budget, portal, n_samples, rng,

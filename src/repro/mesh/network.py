@@ -44,23 +44,54 @@ class MeshNetwork:
         self._build_graph()
 
     def _build_graph(self):
+        """All-pairs link evaluation, vectorised.
+
+        The seed-era double loop called ``snr_at`` and ``rate_at_snr``
+        once per pair — O(N^2) Python-level work that made 1000-node
+        meshes (the surrogate's whole point) take minutes. Here the
+        upper triangle is evaluated as one array pass: path loss over
+        the distance matrix, then ``rate_at_snr`` replicated as a
+        searchsorted against the standard's sorted SNR thresholds with
+        a running max of the rates they unlock (identical tie-breaking:
+        the highest rate whose requirement is met). Edges and their
+        attributes are exactly those of the scalar loop.
+        """
         distances = pairwise_distances(self.positions)
         self.graph = nx.Graph()
         self.graph.add_nodes_from(range(self.n_nodes))
-        for i in range(self.n_nodes):
-            for j in range(i + 1, self.n_nodes):
-                snr = self.budget.snr_at(max(distances[i, j], 0.1))
-                entry = self.standard.rate_at_snr(snr)
-                if entry is None:
-                    continue
-                self.graph.add_edge(
-                    i, j,
-                    distance_m=float(distances[i, j]),
-                    snr_db=float(snr),
-                    rate_mbps=entry.rate_mbps,
-                    airtime_s=airtime_metric_s(entry.rate_mbps),
-                    hops=hop_count_metric(entry.rate_mbps),
-                )
+        if self.n_nodes < 2:
+            return
+        iu, ju = np.triu_indices(self.n_nodes, k=1)
+        pair_d = distances[iu, ju]
+        snr = np.asarray(self.budget.snr_at(np.maximum(pair_d, 0.1)),
+                         dtype=float)
+
+        entries = sorted(self.standard.rates,
+                         key=lambda r: r.required_snr_db)
+        thresholds = np.array([r.required_snr_db for r in entries])
+        best_rate = np.maximum.accumulate(
+            np.array([r.rate_mbps for r in entries], dtype=float))
+        idx = np.searchsorted(thresholds, snr, side="right") - 1
+        usable = idx >= 0
+
+        # Metric functions are pure in the rate; price each distinct
+        # ladder rung once instead of once per edge.
+        metric_cache = {
+            float(r): (airtime_metric_s(r), hop_count_metric(r))
+            for r in np.unique(best_rate)
+        }
+        self.graph.add_edges_from(
+            (int(i), int(j), {
+                "distance_m": float(d),
+                "snr_db": float(s),
+                "rate_mbps": rate,
+                "airtime_s": metric_cache[rate][0],
+                "hops": metric_cache[rate][1],
+            })
+            for i, j, d, s, rate in zip(
+                iu[usable], ju[usable], pair_d[usable], snr[usable],
+                (float(r) for r in best_rate[idx[usable]]))
+        )
 
     def link_rate_mbps(self, i, j):
         """Rate of the direct link i-j (None if out of range)."""

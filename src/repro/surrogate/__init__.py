@@ -1,0 +1,34 @@
+"""repro.surrogate: precomputed PER surfaces for network-scale runs.
+
+The waveform simulator (:mod:`repro.core.link`) prices every packet at
+full baseband cost, which caps PHY-realistic studies at a handful of
+stations. This package precomputes that cost once — a
+:class:`PerSurface` grid of PER(phy, payload, SNR) measured through the
+campaign runner with error bars and provenance — and then serves
+packets from the table: :class:`AbstractLink` interpolates log-PER and
+draws vectorized Bernoulli outcomes behind the same consumer API as
+:class:`~repro.core.link.LinkSimulator`, so :mod:`repro.mesh` and
+:mod:`repro.mac` consumers scale to thousands of stations without
+knowing which backend they run on. :mod:`repro.surrogate.validate`
+keeps the table honest against the waveform path it summarizes.
+"""
+
+from repro.surrogate.abstract_link import AbstractLink, WaveformLink
+from repro.surrogate.builder import (build_surface, list_surfaces,
+                                     load_surface, surface_spec)
+from repro.surrogate.surface import PerSurface
+from repro.surrogate.validate import (ValidationReport, require_valid,
+                                      validate_surface)
+
+__all__ = [
+    "AbstractLink",
+    "PerSurface",
+    "ValidationReport",
+    "WaveformLink",
+    "build_surface",
+    "list_surfaces",
+    "load_surface",
+    "require_valid",
+    "surface_spec",
+    "validate_surface",
+]

@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import math
+
+import numpy as np
+
 from repro.errors import ConfigurationError
 
 
@@ -10,6 +14,74 @@ def require_positive(name, value):
     if not value > 0:
         raise ConfigurationError(f"{name} must be positive, got {value!r}")
     return value
+
+
+def require_finite(name, value):
+    """Raise unless ``value`` is a finite real number; returns ``float``."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise ConfigurationError(
+            f"{name} must be a real number, got {value!r}"
+        ) from None
+    if not math.isfinite(value):
+        raise ConfigurationError(
+            f"{name} must be finite, got {value!r}"
+        )
+    return value
+
+
+def require_snr_array(name, values):
+    """Validate an SNR sweep array: non-empty, all entries finite.
+
+    Returns the values as a 1-D float array. Shared by the waveform
+    :class:`~repro.core.link.LinkSimulator` and the surrogate
+    :class:`~repro.surrogate.AbstractLink` so both reject bad sweeps
+    with identical :class:`ConfigurationError` messages.
+    """
+    arr = np.atleast_1d(np.asarray(values, dtype=float)).ravel()
+    if arr.size == 0:
+        raise ConfigurationError(f"{name} must not be empty")
+    if not np.all(np.isfinite(arr)):
+        bad = arr[~np.isfinite(arr)][0]
+        raise ConfigurationError(
+            f"{name} must contain only finite values, found {bad!r}"
+        )
+    return arr
+
+
+def validate_link_run_args(snr_db, n_packets, payload_bytes):
+    """Validate one link measurement's arguments; returns them normalised.
+
+    The shared front door for :meth:`LinkSimulator.run` and
+    :meth:`AbstractLink.run`: a NaN SNR, a zero packet budget, or a
+    non-positive payload fails identically on the waveform and surrogate
+    paths. Returns ``(float snr_db, int n_packets, int payload_bytes)``.
+    """
+    snr_db = require_finite("snr_db", snr_db)
+    try:
+        n_packets = int(n_packets)
+        payload_int = int(payload_bytes)
+    except (TypeError, ValueError):
+        raise ConfigurationError(
+            f"n_packets and payload_bytes must be integers, got "
+            f"{n_packets!r} and {payload_bytes!r}"
+        ) from None
+    if isinstance(payload_bytes, float) and not float(
+            payload_bytes).is_integer():
+        raise ConfigurationError(
+            f"payload_bytes must be a whole number of bytes, got "
+            f"{payload_bytes!r}"
+        )
+    if n_packets < 1:
+        raise ConfigurationError(
+            f"n_packets must be >= 1, got {n_packets}"
+        )
+    if payload_int < 1:
+        raise ConfigurationError(
+            f"payload_bytes must be >= 1, got {payload_int}"
+        )
+    return snr_db, n_packets, payload_int
 
 
 def require_in(name, value, allowed):

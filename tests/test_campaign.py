@@ -266,6 +266,38 @@ class TestStore:
         assert loaded[0]["metrics"]["per"] == 0.25  # last write wins
         assert "cached" not in loaded[0]
 
+    def test_surface_kind_registered(self):
+        """The surrogate builder's record kind ships with the runner."""
+        assert "surface-link" in point_kinds()
+
+    def test_roundtrip_nested_ci_arrays_and_nonfinite(self, tmp_path):
+        """Surface records carry nested CI arrays; non-finite entries
+        must round-trip as None, not corrupt the JSONL store."""
+        store = ResultsStore(tmp_path)
+        rec = {
+            "key": "surf0", "index": 0, "outcome": "ok",
+            "kind": "surface-link",
+            "metrics": {
+                "per": 0.25,
+                "per_ci": [[0.1, 0.4], [0.0, float("nan")]],
+                "tails": {"ber_ci_high": float("inf"),
+                          "n_trials": 80,
+                          "nested": [{"lo": float("-inf"), "hi": 1.0}]},
+            },
+        }
+        store.append("surf", rec)
+        loaded = store.load("surf")[0]
+        assert loaded["metrics"]["per"] == 0.25
+        assert loaded["metrics"]["per_ci"] == [[0.1, 0.4], [0.0, None]]
+        assert loaded["metrics"]["tails"]["ber_ci_high"] is None
+        assert loaded["metrics"]["tails"]["n_trials"] == 80
+        assert loaded["metrics"]["tails"]["nested"] == [
+            {"lo": None, "hi": 1.0}]
+        # The file itself must stay strict JSON, line by line.
+        with open(store._records_path("surf")) as fh:
+            for line in fh:
+                json.loads(line)
+
     def test_torn_tail_line_ignored(self, tmp_path):
         store = ResultsStore(tmp_path)
         store.append("c", {"key": "k1", "index": 0, "outcome": "ok"})

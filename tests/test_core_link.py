@@ -112,6 +112,28 @@ class TestValidation:
         with pytest.raises(ConfigurationError):
             LinkSimulator("ofdm-6", rng=11).run(10.0, 0, 100)
 
+    def test_nan_snr_rejected(self):
+        with pytest.raises(ConfigurationError, match="snr_db must be finite"):
+            LinkSimulator("ofdm-6", rng=11).run(float("nan"), 10, 100)
+
+    def test_non_numeric_snr_rejected(self):
+        with pytest.raises(ConfigurationError, match="real number"):
+            LinkSimulator("ofdm-6", rng=11).run("loud", 10, 100)
+
+    @pytest.mark.parametrize("payload", [0, -4, 2.5])
+    def test_bad_payload_rejected(self, payload):
+        with pytest.raises(ConfigurationError, match="payload_bytes"):
+            LinkSimulator("ofdm-6", rng=11).run(10.0, 10, payload)
+
+    def test_empty_waterfall_rejected(self):
+        with pytest.raises(ConfigurationError, match="must not be empty"):
+            LinkSimulator("ofdm-6", rng=11).waterfall([])
+
+    def test_nan_in_waterfall_rejected(self):
+        with pytest.raises(ConfigurationError, match="finite"):
+            LinkSimulator("ofdm-6", rng=11).waterfall(
+                [10.0, float("nan"), 20.0])
+
     def test_zero_trial_result_is_nan_not_zero(self):
         """No data must not masquerade as an error-free measurement."""
         import math
