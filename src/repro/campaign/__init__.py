@@ -34,31 +34,44 @@ from repro.campaign.cache import point_key
 from repro.campaign.report import (failure_lines, format_pivot, pivot,
                                    summary_lines)
 from repro.campaign.runner import (CampaignResult, point_kinds,
-                                   register_point_kind, run_campaign)
+                                   register_point_kind, resume_campaign,
+                                   run_campaign)
 from repro.campaign.seeding import (attempt_generator, attempt_seed,
                                     point_generator, point_seed)
-from repro.campaign.spec import (CampaignSpec, SweepPoint, builtin_campaign,
+from repro.campaign.spec import (EXECUTION_BACKENDS, STORE_BACKENDS,
+                                 CampaignSpec, SweepPoint, builtin_campaign,
                                  builtin_campaigns, load_spec)
-from repro.campaign.store import ResultsStore
+from repro.campaign.store import (ResultsStore, detect_store_backend,
+                                  make_store, resolve_store_backend,
+                                  scan_campaigns)
+from repro.campaign.store_sqlite import SqliteResultsStore
 
 __all__ = [
     "CampaignResult",
     "CampaignSpec",
+    "EXECUTION_BACKENDS",
+    "STORE_BACKENDS",
     "ResultsStore",
+    "SqliteResultsStore",
     "SweepPoint",
     "attempt_generator",
     "attempt_seed",
     "builtin_campaign",
     "builtin_campaigns",
+    "detect_store_backend",
     "failure_lines",
     "format_pivot",
     "load_spec",
+    "make_store",
     "pivot",
     "point_generator",
     "point_key",
     "point_kinds",
     "point_seed",
     "register_point_kind",
+    "resolve_store_backend",
+    "resume_campaign",
     "run_campaign",
+    "scan_campaigns",
     "summary_lines",
 ]

@@ -1,0 +1,429 @@
+"""Sharded work-queue execution for campaigns.
+
+The million-point campaign shape: the grid's uncached points are
+sharded into :class:`WorkUnit` batches, the parent *assigns* units to
+workers (recording the lease before the unit ever leaves the parent —
+a worker that dies without sending a byte still forfeits exactly what
+it held), workers stream back one record per completed point and ack
+the unit when it is drained. The parent tracks every unit's lease and
+every point's record, so
+
+* a worker that dies mid-unit (OOM-kill, segfault) forfeits its lease:
+  the unit's *unfinished* jobs are requeued as a fresh unit and a
+  replacement worker is spawned (bounded respawn budget);
+* records that arrive twice — a requeued unit re-running a point whose
+  record was already in flight when its first worker died — are
+  deduplicated by cache key, so the store sees each point once;
+* a SIGKILL of the whole run loses nothing that was appended: every
+  record is persisted by the parent the moment it arrives, and
+  ``repro campaign resume`` re-runs only the missing points. Per-point
+  :mod:`~repro.campaign.seeding` substreams make the completed grid
+  bit-identical to an uninterrupted run.
+
+Two execution backends share the runner's ``finish`` contract
+(``finish(record, t_submit)``; see
+:func:`repro.campaign.runner._run_campaign`):
+
+``pool``
+    The PR-1 :class:`~concurrent.futures.ProcessPoolExecutor` path
+    (:func:`run_pool`) — one future per point, no sharding. Still the
+    default; right for small grids and cheap points.
+``local-queue``
+    :func:`run_local_queue` — the sharded lease/ack loop above, on
+    ``multiprocessing`` queues. Same records, bit for bit; amortizes
+    per-task dispatch over a unit and survives worker loss.
+
+Telemetry: ``campaign.queue.units/lease/ack/requeue/duplicate/respawn``
+counters and a stats dict surfaced as
+``CampaignResult.extras["queue"]``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as stdlib_queue
+import threading
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+
+from repro import obs
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One leasable batch of points.
+
+    ``jobs`` is a tuple of ``(key, index, params)`` triples in grid
+    order. A requeued unit keeps its ``unit_id`` (the lease moves, the
+    identity does not) but carries only the jobs its dead worker never
+    reported.
+    """
+
+    unit_id: int
+    jobs: tuple
+
+
+def default_shard_size(n_jobs, workers):
+    """Jobs per unit when the caller doesn't choose: ~4 units/worker.
+
+    Small enough that a dead worker forfeits little and stragglers
+    rebalance, large enough that queue chatter stays negligible.
+    """
+    return max(1, -(-int(n_jobs) // max(1, int(workers) * 4)))
+
+
+def shard_points(jobs, shard_size):
+    """Split ``(key, index, params)`` jobs into :class:`WorkUnit` s.
+
+    Grid order is preserved within and across units, so unit boundaries
+    never affect which substream a point draws from.
+    """
+    shard_size = int(shard_size)
+    if shard_size < 1:
+        raise ConfigurationError(
+            f"shard size must be >= 1, got {shard_size}")
+    jobs = list(jobs)
+    return [WorkUnit(unit_id=uid, jobs=tuple(jobs[lo:lo + shard_size]))
+            for uid, lo in enumerate(range(0, len(jobs), shard_size))]
+
+
+class WorkQueue:
+    """Parent-side lease/ack bookkeeping over a set of work units."""
+
+    def __init__(self, units):
+        self.units = {u.unit_id: u for u in units}
+        #: unit_id -> {key: job} not yet reported back.
+        self.remaining_jobs = {
+            u.unit_id: {job[0]: job for job in u.jobs} for u in units}
+        self.pending = set(self.units)
+        self.leases = {}
+        self.n_leases = 0
+        self.n_acks = 0
+        self.n_requeued = 0
+
+    @property
+    def depth(self):
+        """Units enqueued but not yet leased."""
+        return len(self.pending)
+
+    def lease(self, unit_id, pid):
+        """The parent assigned ``unit_id`` to worker ``pid``."""
+        self.pending.discard(unit_id)
+        self.leases[unit_id] = pid
+        self.n_leases += 1
+
+    def held_by(self, pid):
+        """How many units worker ``pid`` currently holds."""
+        return sum(1 for p in self.leases.values() if p == pid)
+
+    def record(self, unit_id, key):
+        """A job of ``unit_id`` reported its record."""
+        self.remaining_jobs.get(unit_id, {}).pop(key, None)
+
+    def ack(self, unit_id, pid):
+        """Worker ``pid`` reported every job of ``unit_id``; release it.
+
+        An ack from a pid that no longer holds the unit — a dead
+        worker's last flushed message arriving after its units were
+        already requeued — is ignored, so it cannot release a lease the
+        requeued unit's new owner still holds.
+        """
+        if self.leases.get(unit_id) != pid:
+            return
+        del self.leases[unit_id]
+        self.n_acks += 1
+
+    def requeue_for(self, pid):
+        """Reclaim every unit leased by a dead ``pid``.
+
+        Returns fresh :class:`WorkUnit` s (same ids, unfinished jobs
+        only) ready to be re-enqueued; units whose jobs all reported
+        before the death are silently retired — only their ack was
+        lost.
+        """
+        reclaimed = []
+        for unit_id in [u for u, p in self.leases.items() if p == pid]:
+            del self.leases[unit_id]
+            leftovers = self.remaining_jobs.get(unit_id, {})
+            if not leftovers:
+                self.n_acks += 1
+                continue
+            unit = WorkUnit(unit_id=unit_id,
+                            jobs=tuple(leftovers.values()))
+            self.units[unit_id] = unit
+            self.pending.add(unit_id)
+            self.n_requeued += 1
+            reclaimed.append(unit)
+        return reclaimed
+
+    def done(self):
+        """True when every unit has been leased and acked (or retired)."""
+        return not self.pending and not self.leases
+
+
+def _queue_worker(task_q, result_q, kind, campaign, base_seed, retries,
+                  timeout_s, trace_dir, initializer, initargs):
+    """Worker loop: run assigned units, stream records, ack, exit on
+    the ``None`` sentinel.
+
+    Runs in a child process reading its *own* task queue. Which units
+    this worker holds is recorded parent-side at assignment time — no
+    "I took the unit" message exists to get lost in a dying worker's
+    queue buffer — so record/ack messages only carry the unit id and
+    pid for the parent's cross-checks.
+    """
+    if initializer is not None:
+        initializer(*initargs)
+    from repro.campaign import runner
+
+    pid = os.getpid()
+    while True:
+        unit = task_q.get()
+        if unit is None:
+            break
+        for key, index, params in unit.jobs:
+            record = runner._execute_point(
+                kind, campaign, base_seed, index, params, key,
+                retries, timeout_s, trace_dir)
+            result_q.put(("record", unit.unit_id, pid, record))
+        result_q.put(("ack", unit.unit_id, pid, None))
+
+
+def run_local_queue(spec, code_version, todo, workers, retries, timeout_s,
+                    start_method, trace_dir, finish, clock,
+                    shard_size=None):
+    """Execute ``todo`` on the sharded local queue; returns stats.
+
+    ``todo`` is the runner's ``(key, SweepPoint)`` list; ``finish`` is
+    its record sink (which persists to the store immediately — the
+    crash-safety contract). Every point gets exactly one ``finish``
+    call: normally its worker's record, or a synthesized failure record
+    if every executor died with the point still outstanding.
+    """
+    from repro.campaign import runner
+
+    workers = max(1, int(workers))
+    jobs = [(key, pt.index, dict(pt.params)) for key, pt in todo]
+    size = int(shard_size) if shard_size else default_shard_size(
+        len(jobs), workers)
+    units = shard_points(jobs, size)
+    wq = WorkQueue(units)
+    points_by_key = {key: pt for key, pt in todo}
+    remaining = set(points_by_key)
+
+    context = multiprocessing.get_context(start_method)
+    # SimpleQueue, deliberately: its put() writes straight to the pipe
+    # under a lock — no feeder thread. A worker that os._exits between
+    # jobs has therefore already delivered every record it reported;
+    # with a buffered Queue those messages can die unflushed in the
+    # feeder, turning a survivable death into a lost point once the
+    # respawn budget runs out.
+    result_q = context.SimpleQueue()
+    backlog = deque(units)
+    obs.counter("campaign.queue.units", len(units))
+
+    # The parent never reads result_q directly: a worker killed mid-put
+    # (OOM, os._exit) can leave a torn frame in the pipe, and a torn
+    # frame blocks Queue.get() *past its timeout* — poll() sees bytes,
+    # the body never arrives. A daemon pump thread absorbs that hazard;
+    # the control loop below reads this in-process inbox, so a tear
+    # costs one record (whose job the lease bookkeeping re-runs), never
+    # the whole campaign.
+    inbox = stdlib_queue.Queue()
+
+    def _pump():
+        while True:
+            try:
+                inbox.put(result_q.get())
+            except (EOFError, OSError):
+                return
+
+    pump = threading.Thread(target=_pump, daemon=True,
+                            name="campaign-queue-pump")
+    pump.start()
+
+    initializer, initargs = runner._worker_initializer(spec.kind)
+
+    #: pid -> (process, its private task queue). Each worker gets its
+    #: own queue so the parent knows exactly which units it handed to
+    #: which pid; a shared queue would make leases guesswork again.
+    procs = {}
+    # Keep each worker one unit ahead of the one it is running, so the
+    # ack -> next-assignment round-trip doesn't idle it.
+    assign_depth = 2
+
+    def spawn():
+        task_q = context.Queue()
+        proc = context.Process(
+            target=_queue_worker,
+            args=(task_q, result_q, spec.kind, spec.name,
+                  spec.base_seed, retries, timeout_s, trace_dir,
+                  initializer, initargs),
+            daemon=True)
+        proc.start()
+        procs[proc.pid] = (proc, task_q)
+        return proc.pid
+
+    def fill(pid):
+        """Assign backlog units to ``pid`` up to the pipeline depth.
+
+        The lease is recorded *before* the unit is enqueued: if the
+        worker dies at any point after this — even before reading the
+        unit — ``requeue_for`` knows to reclaim it.
+        """
+        _, task_q = procs[pid]
+        while backlog and wq.held_by(pid) < assign_depth:
+            unit = backlog.popleft()
+            wq.lease(unit.unit_id, pid)
+            obs.counter("campaign.queue.lease")
+            task_q.put(unit)
+
+    for _ in range(workers):
+        fill(spawn())
+    # A replacement worker per original slot; past that, a crash loop
+    # would burn CPU forever re-running whatever point kills workers.
+    respawn_budget = workers
+    n_duplicates = 0
+    n_respawns = 0
+    t_enqueue = clock.elapsed
+
+    def handle(msg):
+        nonlocal n_duplicates
+        msg_type, unit_id, pid, payload = msg
+        if msg_type == "record":
+            key = payload["key"]
+            wq.record(unit_id, key)
+            if key in remaining:
+                remaining.discard(key)
+                finish(payload, t_enqueue)
+            else:
+                # A requeued unit re-ran a point whose first record was
+                # already in flight; the store must see each key once.
+                n_duplicates += 1
+                obs.counter("campaign.queue.duplicate")
+        elif msg_type == "ack":
+            wq.ack(unit_id, pid)
+            obs.counter("campaign.queue.ack")
+            if pid in procs:
+                fill(pid)
+
+    def reap_dead():
+        nonlocal n_respawns
+        for pid in [p for p, (proc, _) in procs.items()
+                    if not proc.is_alive()]:
+            proc, task_q = procs.pop(pid)
+            proc.join()
+            task_q.close()
+            task_q.cancel_join_thread()
+            for unit in wq.requeue_for(pid):
+                backlog.append(unit)
+                obs.counter("campaign.queue.requeue")
+            if respawn_budget - n_respawns > 0 and not wq.done():
+                n_respawns += 1
+                obs.counter("campaign.queue.respawn")
+                spawn()
+        # Reclaimed units must reach survivors even when nobody acks
+        # anymore (e.g. the respawn budget is spent but idle workers
+        # remain) — fill here, not only on ack.
+        for pid in list(procs):
+            fill(pid)
+
+    try:
+        while remaining:
+            try:
+                handle(inbox.get(timeout=0.2))
+            except stdlib_queue.Empty:
+                reap_dead()
+                if not procs:
+                    break  # every executor (and replacement) is gone
+        # Records can still be buffered in the pipe when the loop exits
+        # through the no-executors branch; drain before declaring loss.
+        while remaining:
+            try:
+                handle(inbox.get(timeout=0.05))
+            except stdlib_queue.Empty:
+                break
+        n_lost = len(remaining)
+        for key in sorted(remaining,
+                          key=lambda k: points_by_key[k].index):
+            pt = points_by_key[key]
+            exc = RuntimeError(
+                "work unit lost: every queue worker (and replacement) "
+                "died before completing this point")
+            finish(runner._pool_failure_record(spec, code_version, pt,
+                                               key, exc), t_enqueue)
+        remaining.clear()
+    finally:
+        # Nothing may be assigned past this point: a late ack drained
+        # below would otherwise re-fill behind the exit sentinel.
+        backlog.clear()
+        for _, task_q in procs.values():
+            task_q.put(None)
+        for proc, _ in procs.values():
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        # Workers have exited; drain their final acks (and any stray
+        # duplicates) so the stats below reflect the whole run.
+        while True:
+            try:
+                handle(inbox.get(timeout=0.05))
+            except stdlib_queue.Empty:
+                break
+        for _, task_q in procs.values():
+            task_q.close()
+            task_q.cancel_join_thread()
+        result_q.close()
+        # The pump stays parked on the (now closed) result_q until its
+        # read fails; daemon=True keeps it from pinning the process.
+
+    return {
+        "backend": "local-queue",
+        "n_units": len(units),
+        "shard_size": size,
+        "n_leases": wq.n_leases,
+        "n_acks": wq.n_acks,
+        "n_requeued": wq.n_requeued,
+        "n_duplicates": n_duplicates,
+        "n_respawns": n_respawns,
+        "n_lost": n_lost,
+    }
+
+
+def run_pool(spec, code_version, todo, workers, retries, timeout_s,
+             start_method, trace_dir, finish, clock):
+    """Execute ``todo`` on a :class:`ProcessPoolExecutor` (``pool``).
+
+    One future per point; a future that dies outside the point function
+    (killed worker, unpicklable argument, broken pool) still yields a
+    structured failure record, so the sweep never returns holes.
+    """
+    from repro.campaign import runner
+
+    context = (multiprocessing.get_context(start_method)
+               if start_method else None)
+    initializer, initargs = runner._worker_initializer(spec.kind)
+    with ProcessPoolExecutor(max_workers=int(workers),
+                             mp_context=context,
+                             initializer=initializer,
+                             initargs=initargs) as pool:
+        futures = {}
+        for key, pt in todo:
+            future = pool.submit(runner._execute_point, spec.kind,
+                                 spec.name, spec.base_seed,
+                                 pt.index, pt.params, key,
+                                 retries, timeout_s, trace_dir)
+            futures[future] = (key, pt, clock.elapsed)
+        for future in as_completed(futures):
+            key, pt, t_submit = futures[future]
+            try:
+                record = future.result()
+            except Exception as exc:
+                record = runner._pool_failure_record(spec, code_version,
+                                                     pt, key, exc)
+            finish(record, t_submit)
+    return {"backend": "pool"}

@@ -33,19 +33,65 @@ def _cell_value(record, value):
     return None
 
 
-def _axis_labels(records, axis):
-    """Distinct values of a param axis, in first-appearance (grid) order."""
-    seen = []
+def tabulate(records, values, rows, cols=None):
+    """One streaming pass: aggregate several metrics over one grid.
+
+    ``records`` is consumed exactly once, so it can be a store's
+    :meth:`~repro.campaign.store.ResultsStore.iter_records` cursor — a
+    10^5-record sqlite campaign pivots without the record list ever
+    materializing. Returns ``(row_labels, col_labels, grids)`` where
+    ``grids[value][i][j]`` is the mean of ``value`` over the cell (or
+    ``None`` when no record contributed); labels appear in
+    first-appearance (grid) order. With no column axis ``col_labels``
+    is ``[None]`` — one column per value grid.
+    """
+    values = list(values)
+    row_labels, col_labels = [], []
+    row_seen, col_seen = set(), set()
+    sums = {v: {} for v in values}
+    counts = {v: {} for v in values}
+    n_ok = 0
     for record in records:
-        if axis not in record.get("params", {}):
-            raise ConfigurationError(
-                f"{axis!r} is not a parameter of these records; "
-                f"available: {sorted(records[0].get('params', {}))}"
-            )
-        label = record["params"][axis]
-        if label not in seen:
-            seen.append(label)
-    return seen
+        if record.get("outcome", "ok") != "ok":
+            continue
+        n_ok += 1
+        params = record.get("params") or {}
+        for axis in (rows, cols) if cols else (rows,):
+            if axis not in params:
+                raise ConfigurationError(
+                    f"{axis!r} is not a parameter of these records; "
+                    f"available: {sorted(params)}"
+                )
+        r = params[rows]
+        if r not in row_seen:
+            row_seen.add(r)
+            row_labels.append(r)
+        c = params[cols] if cols else None
+        if cols and c not in col_seen:
+            col_seen.add(c)
+            col_labels.append(c)
+        for value in values:
+            val = _cell_value(record, value)
+            # bool is an int subclass, but averaging True as 1.0 silently
+            # turns flags into bogus "metrics" — booleans don't aggregate.
+            if isinstance(val, bool) or not isinstance(val, (int, float)):
+                continue
+            vs, vc = sums[value], counts[value]
+            vs[(r, c)] = vs.get((r, c), 0.0) + float(val)
+            vc[(r, c)] = vc.get((r, c), 0) + 1
+    if not n_ok:
+        raise ConfigurationError("no successful records to report on")
+    if not cols:
+        col_labels = [None]
+    grids = {}
+    for value in values:
+        vs, vc = sums[value], counts[value]
+        grids[value] = [
+            [vs[(r, c)] / vc[(r, c)] if (r, c) in vc else None
+             for c in col_labels]
+            for r in row_labels
+        ]
+    return row_labels, col_labels, grids
 
 
 def pivot(records, value, rows, cols=None):
@@ -53,42 +99,19 @@ def pivot(records, value, rows, cols=None):
 
     ``grid[i][j]`` is the mean of ``value`` over all records whose params
     match ``rows=row_labels[i]`` (and ``cols=col_labels[j]`` when a column
-    axis is given), or ``None`` for empty cells.
+    axis is given), or ``None`` for empty cells. Single pass — accepts
+    any iterable of records, including a streaming store cursor.
     """
-    records = [r for r in records if r.get("outcome", "ok") == "ok"]
-    if not records:
-        raise ConfigurationError("no successful records to report on")
-    row_labels = _axis_labels(records, rows)
-    col_labels = _axis_labels(records, cols) if cols else [value]
-    sums = {}
-    counts = {}
-    for record in records:
-        val = _cell_value(record, value)
-        # bool is an int subclass, but averaging True as 1.0 silently
-        # turns flags into bogus "metrics" — booleans don't aggregate.
-        if isinstance(val, bool) or not isinstance(val, (int, float)):
-            continue
-        r = record["params"][rows]
-        c = record["params"][cols] if cols else value
-        sums[(r, c)] = sums.get((r, c), 0.0) + float(val)
-        counts[(r, c)] = counts.get((r, c), 0) + 1
-    grid = [
-        [sums[(r, c)] / counts[(r, c)] if (r, c) in counts else None
-         for c in col_labels]
-        for r in row_labels
-    ]
-    return row_labels, col_labels, grid
+    row_labels, col_labels, grids = tabulate(records, [value], rows, cols)
+    if not cols:
+        col_labels = [value]
+    return row_labels, col_labels, grids[value]
 
 
 def _fmt(value, width):
     if value is None:
         return " " * (width - 2) + "--"
     return f"{value:>{width}.4g}"
-
-
-def _has_metric(records, name):
-    return any(name in (r.get("metrics") or {}) for r in records
-               if r.get("outcome", "ok") == "ok")
 
 
 def _ci_cell(est, lo, hi):
@@ -105,19 +128,26 @@ def format_pivot(records, value, rows, cols=None, title=None, ci="auto"):
     ``ci="auto"`` (the default) looks for ``{value}_ci_low`` /
     ``{value}_ci_high`` companion metrics and, when present, renders
     each cell as ``est [lo, hi]``; ``ci=False`` forces bare estimates.
+    The records iterable is consumed exactly once (value and both CI
+    companions aggregate in the same streaming pass).
     """
-    row_labels, col_labels, grid = pivot(records, value, rows, cols)
+    row_labels, col_labels, grids = tabulate(
+        records, [value, f"{value}_ci_low", f"{value}_ci_high"],
+        rows, cols)
+    if not cols:
+        col_labels = [value]
+    grid = grids[value]
+    lo_grid = grids[f"{value}_ci_low"]
+    hi_grid = grids[f"{value}_ci_high"]
     with_ci = (ci in ("auto", True)
-               and _has_metric(records, f"{value}_ci_low")
-               and _has_metric(records, f"{value}_ci_high"))
+               and any(v is not None for row in lo_grid for v in row)
+               and any(v is not None for row in hi_grid for v in row))
     stub = f"{rows} \\ {cols}" if cols else rows
     stub_width = max(len(stub), *(len(str(r)) for r in row_labels)) + 1
     lines = []
     if title:
         lines.append(title)
     if with_ci:
-        _, _, lo_grid = pivot(records, f"{value}_ci_low", rows, cols)
-        _, _, hi_grid = pivot(records, f"{value}_ci_high", rows, cols)
         cells = [[_ci_cell(v, lo, hi)
                   for v, lo, hi in zip(row, lo_row, hi_row)]
                  for row, lo_row, hi_row in zip(grid, lo_grid, hi_grid)]
@@ -140,41 +170,61 @@ def format_pivot(records, value, rows, cols=None, title=None, ci="auto"):
 
 
 def summary_lines(records, name=None):
-    """Campaign overview: point counts, outcomes, timing, workers."""
-    lines = []
+    """Campaign overview: point counts, outcomes, timing, workers.
+
+    Single streaming pass: pass a store cursor and only the aggregates
+    (counts, totals, the first failure) are held in memory.
+    """
     header = f"campaign {name}" if name else "campaign"
-    if not records:
-        return [f"{header}: no records"]
-    ok = [r for r in records if r.get("outcome") == "ok"]
-    errors = [r for r in records if r.get("outcome") == "error"]
-    timeouts = [r for r in records if r.get("outcome") == "timeout"]
-    total_time = sum(r.get("wall_time_s", 0.0) for r in records)
-    workers = sorted({r.get("worker") for r in records if r.get("worker")})
-    kinds = sorted({r.get("kind") for r in records})
-    lines.append(f"{header}: {len(records)} points "
-                 f"({len(ok)} ok, {len(errors)} error, "
-                 f"{len(timeouts)} timeout), kind "
-                 f"{'/'.join(str(k) for k in kinds)}")
-    lines.append(f"  simulated wall time {total_time:.2f}s across "
-                 f"{len(workers)} worker process(es)")
-    trials = [(r.get("metrics") or {}).get("n_trials") for r in ok]
-    trials = [t for t in trials if isinstance(t, (int, float))]
-    if trials:
-        reasons = {}
-        for r in ok:
-            reason = (r.get("metrics") or {}).get("stop_reason")
+    n_total = n_ok = n_error = n_timeout = 0
+    total_time = 0.0
+    workers, kinds = set(), set()
+    trials_sum, trials_points = 0.0, 0
+    reasons = {}
+    first_failure = None
+    for r in records:
+        n_total += 1
+        total_time += r.get("wall_time_s", 0.0)
+        if r.get("worker"):
+            workers.add(r.get("worker"))
+        kinds.add(r.get("kind"))
+        outcome = r.get("outcome")
+        if outcome == "ok":
+            n_ok += 1
+            metrics = r.get("metrics") or {}
+            trials = metrics.get("n_trials")
+            if isinstance(trials, (int, float)):
+                trials_sum += trials
+                trials_points += 1
+            reason = metrics.get("stop_reason")
             if reason:
                 reasons[reason] = reasons.get(reason, 0) + 1
+        else:
+            if outcome == "error":
+                n_error += 1
+            elif outcome == "timeout":
+                n_timeout += 1
+            if first_failure is None or \
+                    r.get("index", 0) < first_failure.get("index", 0):
+                first_failure = r
+    if not n_total:
+        return [f"{header}: no records"]
+    lines = [f"{header}: {n_total} points "
+             f"({n_ok} ok, {n_error} error, "
+             f"{n_timeout} timeout), kind "
+             f"{'/'.join(str(k) for k in sorted(kinds, key=str))}"]
+    lines.append(f"  simulated wall time {total_time:.2f}s across "
+                 f"{len(workers)} worker process(es)")
+    if trials_points:
         reason_s = ", ".join(f"{n} {k}" for k, n in sorted(reasons.items()))
-        lines.append(f"  {int(sum(trials))} MC trials over {len(trials)} "
+        lines.append(f"  {int(trials_sum)} MC trials over {trials_points} "
                      f"point(s)" + (f" (stop: {reason_s})" if reason_s
                                     else ""))
-    failed = errors + timeouts
-    if failed:
-        worst = min(failed, key=lambda r: r.get("index", 0))
-        what = worst.get("error_type") or worst.get("outcome")
-        lines.append(f"  first failure: point {worst.get('index')} "
-                     f"{what}: {worst.get('error')}")
+    if first_failure is not None:
+        what = first_failure.get("error_type") \
+            or first_failure.get("outcome")
+        lines.append(f"  first failure: point {first_failure.get('index')} "
+                     f"{what}: {first_failure.get('error')}")
     return lines
 
 

@@ -63,17 +63,16 @@ shutdown for ``repro trace report``.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import pickle
 import threading
 import traceback as traceback_module
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 
 from repro import obs
 from repro.campaign.cache import point_key
 from repro.campaign.seeding import attempt_generator
+from repro.campaign.spec import EXECUTION_BACKENDS
 from repro.errors import ConfigurationError, PointExecutionError
 
 # -- point-kind registry -----------------------------------------------------
@@ -209,7 +208,9 @@ def _run_dcf_point(params, rng):
 
 register_point_kind("link", _run_link_point, code_version="2")
 register_point_kind("mimo-range", _run_mimo_range_point, code_version="1")
-register_point_kind("dcf", _run_dcf_point, code_version="1")
+# v2: collision_probability switched to the per-attempt denominator
+# (Bianchi's conditional p); cached v1 records carry the biased ratio.
+register_point_kind("dcf", _run_dcf_point, code_version="2")
 # PER-surface cells (repro.surrogate.builder) share the link point
 # function — a cell *is* one PER/BER measurement — but carry their own
 # kind so surface campaigns are addressable in the store and their
@@ -266,12 +267,23 @@ def _call_point(func, params, rng, timeout_s):
     the deadline (the thread cannot be killed, but the worker process
     moves on; stragglers die with the process). Without one the call is
     made inline — zero overhead on the common path.
+
+    An abandoned thread keeps executing the point after the record says
+    ``timeout`` — and an instrumented point function keeps emitting
+    spans and counters. Those late events used to land in the process
+    tracer and get merged into the trace as if the campaign were still
+    doing work, skewing every per-point aggregate. At the deadline the
+    straggler's thread ident is therefore marked abandoned (the tracer
+    drops everything it emits from then on); ``revive_thread`` at
+    thread birth clears any stale suppression when the OS reuses the
+    ident for a later attempt's thread.
     """
     if not timeout_s:
         return func(params, rng)
     outcome = {}
 
     def target():
+        obs.revive_thread(threading.get_ident())
         try:
             outcome["metrics"] = func(params, rng)
         except BaseException as exc:  # propagated to the caller below
@@ -282,6 +294,7 @@ def _call_point(func, params, rng, timeout_s):
     worker.start()
     worker.join(float(timeout_s))
     if worker.is_alive():
+        obs.abandon_thread(worker.ident)
         raise _PointTimeout(
             f"point exceeded its {float(timeout_s):g}s wall-clock budget")
     if "exc" in outcome:
@@ -467,7 +480,7 @@ def _pool_failure_record(spec, code_version, point, key, exc):
 
 def run_campaign(spec, workers=1, store=None, force=False, echo=None,
                  retries=None, timeout_s=None, start_method=None,
-                 trace=False):
+                 trace=False, backend=None, shard_size=None, resume=False):
     """Execute a campaign, reusing cached points from ``store``.
 
     Parameters
@@ -493,6 +506,21 @@ def run_campaign(spec, workers=1, store=None, force=False, echo=None,
         Multiprocessing start method for the pool (``fork``, ``spawn``,
         ``forkserver``). ``None`` uses ``$REPRO_CAMPAIGN_START_METHOD``
         when set, else the platform default.
+    backend : str or None
+        Execution backend: ``"pool"`` (ProcessPoolExecutor, one future
+        per point) or ``"local-queue"`` (sharded work units with
+        lease/ack and worker-death recovery, see
+        :mod:`repro.campaign.queue`). ``None`` uses ``spec.backend``,
+        falling back to ``pool``. Records are bit-identical across
+        backends; the knob never enters the cache key.
+    shard_size : int or None
+        Points per work unit for ``local-queue`` (``None`` = ~4 units
+        per worker). Ignored by ``pool``.
+    resume : bool
+        Mark this run as a resume of an interrupted campaign: emits a
+        ``campaign.resume`` event carrying how much of the grid the
+        store already held. Purely observational — *every* store-backed
+        run already skips completed points via cache keys.
     trace : bool
         Collect :mod:`repro.obs` telemetry for this run. With a store,
         every process writes a JSONL part file under
@@ -516,7 +544,9 @@ def run_campaign(spec, workers=1, store=None, force=False, echo=None,
     """
     if not trace:
         return _run_campaign(spec, workers, store, force, echo, retries,
-                             timeout_s, start_method, trace_dir=None)
+                             timeout_s, start_method, trace_dir=None,
+                             backend=backend, shard_size=shard_size,
+                             resume=resume)
     trace_dir = None
     if store is not None:
         trace_dir = obs.reset_trace_dir(store.trace_dir(spec.name))
@@ -526,7 +556,9 @@ def run_campaign(spec, workers=1, store=None, force=False, echo=None,
         tracer = obs.Tracer()
     with obs.use_tracer(tracer):
         result = _run_campaign(spec, workers, store, force, echo, retries,
-                               timeout_s, start_method, trace_dir)
+                               timeout_s, start_method, trace_dir,
+                               backend=backend, shard_size=shard_size,
+                               resume=resume)
     result.extras["trace"] = tracer.summary()
     if trace_dir is not None:
         merged, _ = obs.merge_trace_dir(trace_dir)
@@ -535,7 +567,8 @@ def run_campaign(spec, workers=1, store=None, force=False, echo=None,
 
 
 def _run_campaign(spec, workers, store, force, echo, retries, timeout_s,
-                  start_method, trace_dir):
+                  start_method, trace_dir, backend=None, shard_size=None,
+                  resume=False):
     """The sweep itself, emitting telemetry to the ambient tracer."""
     _, code_version = _lookup_kind(spec.kind)  # validate kind up front
     workers = max(1, int(workers))
@@ -543,15 +576,22 @@ def _run_campaign(spec, workers, store, force, echo, retries, timeout_s,
     timeout_s = spec.timeout_s if timeout_s is None else (timeout_s or None)
     start_method = start_method or os.environ.get(
         "REPRO_CAMPAIGN_START_METHOD") or None
+    backend = backend or spec.backend or "pool"
+    if backend not in EXECUTION_BACKENDS:
+        raise ConfigurationError(
+            f"unknown execution backend {backend!r}; available: "
+            f"{', '.join(EXECUTION_BACKENDS)}"
+        )
     say = echo or (lambda _msg: None)
     points = spec.expand()
 
     with obs.span("campaign.run", campaign=spec.name, kind=spec.kind,
-                  n_points=len(points),
+                  n_points=len(points), backend=backend,
+                  resume=bool(resume),
                   workers=workers) as run_span, obs.timed() as clock:
         known = {}
         if store is not None and not force:
-            known = {r["key"]: r for r in store.load(spec.name)
+            known = {r["key"]: r for r in store.iter_records(spec.name)
                      if r.get("outcome") == "ok"}
 
         records = [None] * len(points)
@@ -579,7 +619,12 @@ def _run_campaign(spec, workers, store, force, echo, retries, timeout_s,
             store.write_spec(spec)
 
         n_cached = len(points) - len(todo)
-        if n_cached:
+        if resume:
+            obs.event("campaign.resume", 0.0, campaign=spec.name,
+                      n_complete=n_cached, n_todo=len(todo))
+            say(f"{spec.name}: resuming — {n_cached}/{len(points)} points "
+                f"already complete, {len(todo)} to run")
+        elif n_cached:
             say(f"{spec.name}: {n_cached}/{len(points)} points cached")
 
         busy = {"s": 0.0}
@@ -606,29 +651,20 @@ def _run_campaign(spec, workers, store, force, echo, retries, timeout_s,
                 f"in {record['wall_time_s']:.2f}s "
                 f"(worker {record['worker']})")
 
-        if todo and workers > 1:
-            context = (multiprocessing.get_context(start_method)
-                       if start_method else None)
-            initializer, initargs = _worker_initializer(spec.kind)
-            with ProcessPoolExecutor(max_workers=int(workers),
-                                     mp_context=context,
-                                     initializer=initializer,
-                                     initargs=initargs) as pool:
-                futures = {}
-                for key, pt in todo:
-                    future = pool.submit(_execute_point, spec.kind,
-                                         spec.name, spec.base_seed,
-                                         pt.index, pt.params, key,
-                                         retries, timeout_s, trace_dir)
-                    futures[future] = (key, pt, clock.elapsed)
-                for future in as_completed(futures):
-                    key, pt, t_submit = futures[future]
-                    try:
-                        record = future.result()
-                    except Exception as exc:
-                        record = _pool_failure_record(spec, code_version,
-                                                      pt, key, exc)
-                    finish(record, t_submit)
+        extras = {}
+        if todo and backend == "local-queue":
+            from repro.campaign import queue as queue_backend
+
+            extras["queue"] = queue_backend.run_local_queue(
+                spec, code_version, todo, workers, retries, timeout_s,
+                start_method, trace_dir, finish, clock,
+                shard_size=shard_size)
+        elif todo and workers > 1:
+            from repro.campaign import queue as queue_backend
+
+            queue_backend.run_pool(spec, code_version, todo, workers,
+                                   retries, timeout_s, start_method,
+                                   trace_dir, finish, clock)
         else:
             for key, pt in todo:
                 t_submit = clock.elapsed
@@ -649,4 +685,26 @@ def _run_campaign(spec, workers, store, force, echo, retries, timeout_s,
         n_executed=len(todo),
         wall_time_s=clock.seconds,
         workers=int(workers),
+        extras=extras,
     )
+
+
+def resume_campaign(name, store, workers=1, echo=None, retries=None,
+                    timeout_s=None, start_method=None, trace=False,
+                    backend=None, shard_size=None):
+    """Pick up an interrupted campaign from its persisted spec + records.
+
+    Loads the spec the killed run saved alongside its records, then
+    re-runs the campaign against the same store: completed points are
+    served from their stored records, missing points re-execute from
+    their deterministic per-point substreams — so the finished record
+    set is bit-identical to a run that was never interrupted,
+    regardless of where the kill landed or which backend/worker count
+    finishes the job. Never forces recomputation.
+    """
+    spec = store.load_spec(name)
+    return run_campaign(spec, workers=workers, store=store, force=False,
+                        echo=echo, retries=retries, timeout_s=timeout_s,
+                        start_method=start_method, trace=trace,
+                        backend=backend, shard_size=shard_size,
+                        resume=True)

@@ -27,6 +27,14 @@ files and be re-run byte-for-byte later::
 how many extra deterministic attempts a failing point gets, and how
 long one point may run before being recorded as ``timeout``. Both are
 optional and both can be overridden per run from the CLI.
+
+``backend`` and ``store`` pick *how* the sweep executes and *where*
+records land (see :mod:`repro.campaign.queue` and
+:mod:`repro.campaign.store`). Neither enters the cache key or the
+per-point seeds, so the same spec run under any backend/store
+combination produces bit-identical records — which is what makes a
+killed run resumable under a different configuration than it started
+with.
 """
 
 from __future__ import annotations
@@ -41,6 +49,15 @@ from repro.errors import ConfigurationError
 
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 _SCALAR_TYPES = (str, int, float, bool, type(None))
+
+#: Execution backends: ``pool`` is the PR-1 ProcessPoolExecutor;
+#: ``local-queue`` shards the grid into leased work units (see
+#: :mod:`repro.campaign.queue`). Single source of truth — the store,
+#: queue, runner, and CLI all import these rather than re-listing them.
+EXECUTION_BACKENDS = ("pool", "local-queue")
+
+#: Results-store backends (see :mod:`repro.campaign.store`).
+STORE_BACKENDS = ("jsonl", "sqlite")
 
 
 def validate_campaign_name(name):
@@ -91,6 +108,13 @@ class CampaignSpec:
     #: A point still running at the deadline is recorded as ``timeout``
     #: and the sweep moves on (timeouts are not retried).
     timeout_s: float = None
+    #: Default execution backend for this sweep (``None`` = runner
+    #: default, currently ``pool``). Overridable with ``--backend``.
+    backend: str = None
+    #: Default results-store backend (``None`` = resolve from
+    #: environment / existing records / ``jsonl``). Overridable with
+    #: ``--store``.
+    store: str = None
 
     def __post_init__(self):
         validate_campaign_name(self.name)
@@ -132,6 +156,17 @@ class CampaignSpec:
                     f"timeout_s must be a positive finite number or None, "
                     f"got {self.timeout_s!r}"
                 )
+        if self.backend is not None and self.backend not in \
+                EXECUTION_BACKENDS:
+            raise ConfigurationError(
+                f"unknown execution backend {self.backend!r}; available: "
+                f"{', '.join(EXECUTION_BACKENDS)}"
+            )
+        if self.store is not None and self.store not in STORE_BACKENDS:
+            raise ConfigurationError(
+                f"unknown store backend {self.store!r}; available: "
+                f"{', '.join(STORE_BACKENDS)}"
+            )
 
     @staticmethod
     def _check_scalar(name, value):
@@ -192,6 +227,8 @@ class CampaignSpec:
             "meta": dict(self.meta),
             "retries": self.retries,
             "timeout_s": self.timeout_s,
+            "backend": self.backend,
+            "store": self.store,
         }
 
     @classmethod
@@ -199,7 +236,8 @@ class CampaignSpec:
         if not isinstance(data, dict):
             raise ConfigurationError("campaign spec must be a JSON object")
         unknown = set(data) - {"name", "kind", "factors", "fixed",
-                               "base_seed", "meta", "retries", "timeout_s"}
+                               "base_seed", "meta", "retries", "timeout_s",
+                               "backend", "store"}
         if unknown:
             raise ConfigurationError(
                 f"unknown campaign spec fields: {sorted(unknown)}"
@@ -214,6 +252,8 @@ class CampaignSpec:
                 meta=dict(data.get("meta", {})),
                 retries=data.get("retries", 0),
                 timeout_s=data.get("timeout_s"),
+                backend=data.get("backend"),
+                store=data.get("store"),
             )
         except KeyError as exc:
             raise ConfigurationError(

@@ -17,13 +17,19 @@ rates [STANDARD]
     Dump a generation's rate table (default 802.11a).
 experiment [ID | --list]
     Run one quick paper experiment, or enumerate them all.
-campaign run|ls|show|report
+campaign run|resume|ls|show|report
     Parallel sweep orchestrator over the persistent results store
     (``campaign run e3-dsss-cck --workers 4 --report``). ``run`` exits
     nonzero when points remain failed after the retry budget
     (``--retries``/``--timeout``); ``show --failures`` prints the
     per-point failure table. ``run --trace`` records structured
     telemetry (spans + counters) to ``results/<name>/trace/``.
+    ``--backend local-queue`` shards the grid into leased work units
+    that survive worker death; ``--store sqlite`` (or
+    ``REPRO_STORE=sqlite``) keeps records in an indexed WAL-journaled
+    database instead of JSONL. ``campaign resume NAME`` picks a killed
+    run back up from whatever its store already holds — the completed
+    grid is bit-identical to an uninterrupted run.
 trace report NAME
     Render a traced campaign's telemetry: per-point timing breakdown,
     MC trial throughput, slowest spans, cache/retry counters.
@@ -64,10 +70,10 @@ def _cmd_evolution(_args):
 
 def _cmd_link(args):
     if args.surrogate:
-        from repro.campaign import ResultsStore
+        from repro.campaign import make_store
         from repro.surrogate import AbstractLink, load_surface
 
-        surface = load_surface(ResultsStore(args.results), args.surrogate)
+        surface = load_surface(make_store(args.results), args.surrogate)
         sim = AbstractLink(surface, args.phy, rng=args.seed)
         if surface.channel != args.channel:
             print(f"note: surface {args.surrogate!r} was built over "
@@ -144,14 +150,56 @@ def _cmd_experiment(args):
     return 0
 
 
-def _cmd_campaign(args):
-    from repro.campaign import (ResultsStore, builtin_campaigns,
-                                failure_lines, format_pivot, load_spec,
-                                run_campaign, summary_lines)
+def _campaign_store(args, name=None, spec_default=None):
+    """The results store this campaign subcommand should talk to.
+
+    Resolution: ``--store`` flag > ``REPRO_STORE`` env > the spec's
+    ``store`` knob > whichever backend already holds records for
+    ``name`` > jsonl. The detection step is what makes
+    ``campaign resume NAME`` land on the store the killed run was
+    using, whatever the current default is.
+    """
+    from repro.campaign import make_store, resolve_store_backend
+
+    backend = resolve_store_backend(
+        root=args.results, name=name,
+        explicit=getattr(args, "store", None), spec_default=spec_default)
+    return make_store(args.results, backend)
+
+
+def _print_run_result(args, spec, result):
+    """Shared tail of ``campaign run``/``resume``: report + exit code."""
+    from repro.campaign import failure_lines, format_pivot
     from repro.campaign.report import result_lines
     from repro.errors import ConfigurationError
 
-    store = ResultsStore(args.results)
+    for line in result_lines(result):
+        print(line)
+    if getattr(args, "trace", False) and result.extras.get("trace_path"):
+        print(f"trace: {result.extras['trace_path']} "
+              f"(render with: repro trace report {spec.name})")
+    if getattr(args, "report", False):
+        report = spec.meta.get("report", {})
+        if report.get("value") and report.get("rows"):
+            try:
+                for line in format_pivot(result.records,
+                                         report["value"],
+                                         report["rows"],
+                                         report.get("cols")):
+                    print(line)
+            except ConfigurationError as exc:
+                # e.g. every point failed: there is no table, but the
+                # failure summary below is the useful report.
+                print(f"no report: {exc}")
+    for line in failure_lines(result.records):
+        print(line)
+    return 1 if result.n_failed else 0
+
+
+def _cmd_campaign(args):
+    from repro.campaign import (builtin_campaigns, failure_lines,
+                                format_pivot, load_spec, resume_campaign,
+                                run_campaign, scan_campaigns, summary_lines)
 
     if args.subcommand == "run":
         spec = load_spec(args.spec)
@@ -167,74 +215,85 @@ def _cmd_campaign(args):
             if args.max_trials is not None:
                 data["fixed"]["max_trials"] = args.max_trials
             spec = CampaignSpec.from_dict(data)
-        result = run_campaign(spec, workers=args.workers, store=store,
-                              force=args.force,
-                              echo=print if args.verbose else None,
-                              retries=args.retries, timeout_s=args.timeout,
-                              trace=args.trace)
-        for line in result_lines(result):
-            print(line)
-        if args.trace and result.extras.get("trace_path"):
-            print(f"trace: {result.extras['trace_path']} "
-                  f"(render with: repro trace report {spec.name})")
-        if args.report:
-            report = spec.meta.get("report", {})
-            if report.get("value") and report.get("rows"):
-                try:
-                    for line in format_pivot(result.records,
-                                             report["value"],
-                                             report["rows"],
-                                             report.get("cols")):
-                        print(line)
-                except ConfigurationError as exc:
-                    # e.g. every point failed: there is no table, but the
-                    # failure summary below is the useful report.
-                    print(f"no report: {exc}")
-        for line in failure_lines(result.records):
-            print(line)
-        return 1 if result.n_failed else 0
+        store = _campaign_store(args, name=spec.name,
+                                spec_default=spec.store)
+        try:
+            result = run_campaign(spec, workers=args.workers, store=store,
+                                  force=args.force,
+                                  echo=print if args.verbose else None,
+                                  retries=args.retries,
+                                  timeout_s=args.timeout,
+                                  trace=args.trace, backend=args.backend,
+                                  shard_size=args.shard_size)
+        finally:
+            store.close()
+        return _print_run_result(args, spec, result)
+
+    if args.subcommand == "resume":
+        store = _campaign_store(args, name=args.name)
+        try:
+            result = resume_campaign(
+                args.name, store, workers=args.workers,
+                echo=print if args.verbose else None,
+                retries=args.retries, timeout_s=args.timeout,
+                trace=args.trace, backend=args.backend,
+                shard_size=args.shard_size)
+        finally:
+            store.close()
+        return _print_run_result(args, result.spec, result)
 
     if args.subcommand == "ls":
-        campaigns = store.campaigns()
+        campaigns = scan_campaigns(args.results)
         if not campaigns:
-            print(f"no campaigns under {store.root!r}; built-ins you can "
+            print(f"no campaigns under {args.results!r}; built-ins you can "
                   "run: " + ", ".join(sorted(builtin_campaigns())))
             return 0
-        for name, n_records in campaigns:
-            print(f"{name:<24} {n_records:>5} record(s)")
+        for name, n_records, backend in campaigns:
+            print(f"{name:<24} {n_records:>5} record(s)  [{backend}]")
         return 0
 
     if args.subcommand == "show":
-        spec = store.load_spec(args.name)
-        records = store.load(args.name)
-        print(f"{spec.name}: kind={spec.kind} base_seed={spec.base_seed} "
-              f"({spec.n_points} grid points)")
-        for factor, values in spec.factors.items():
-            print(f"  factor {factor}: {list(values)}")
-        for key, value in spec.fixed.items():
-            print(f"  fixed  {key}: {value}")
-        for line in summary_lines(records, name=spec.name):
-            print(line)
-        if args.failures:
-            lines = failure_lines(records)
-            for line in lines or ["no failed points"]:
+        store = _campaign_store(args, name=args.name)
+        try:
+            spec = store.load_spec(args.name)
+            print(f"{spec.name}: kind={spec.kind} "
+                  f"base_seed={spec.base_seed} "
+                  f"({spec.n_points} grid points)")
+            for factor, values in spec.factors.items():
+                print(f"  factor {factor}: {list(values)}")
+            for key, value in spec.fixed.items():
+                print(f"  fixed  {key}: {value}")
+            # Each consumer streams its own cursor — records are never
+            # materialized as a list, whatever the campaign size.
+            for line in summary_lines(store.iter_records(args.name),
+                                      name=spec.name):
                 print(line)
+            if args.failures:
+                lines = failure_lines(store.iter_records(args.name))
+                for line in lines or ["no failed points"]:
+                    print(line)
+        finally:
+            store.close()
         return 0
 
     # report
-    spec = store.load_spec(args.name)
-    records = store.load(args.name)
-    defaults = spec.meta.get("report", {})
-    value = args.value or defaults.get("value")
-    rows = args.rows or defaults.get("rows")
-    cols = args.cols if args.cols is not None else defaults.get("cols")
-    if not value or not rows:
-        print("this campaign declares no default report; pass --value and "
-              "--rows (optionally --cols)")
-        return 2
-    title = f"{spec.name}: {value}"
-    for line in format_pivot(records, value, rows, cols, title=title):
-        print(line)
+    store = _campaign_store(args, name=args.name)
+    try:
+        spec = store.load_spec(args.name)
+        defaults = spec.meta.get("report", {})
+        value = args.value or defaults.get("value")
+        rows = args.rows or defaults.get("rows")
+        cols = args.cols if args.cols is not None else defaults.get("cols")
+        if not value or not rows:
+            print("this campaign declares no default report; pass --value "
+                  "and --rows (optionally --cols)")
+            return 2
+        title = f"{spec.name}: {value}"
+        for line in format_pivot(store.iter_records(args.name), value,
+                                 rows, cols, title=title):
+            print(line)
+    finally:
+        store.close()
     return 0
 
 
@@ -263,11 +322,11 @@ def _parse_value_list(text, name, cast):
 
 
 def _cmd_surface(args):
-    from repro.campaign import ResultsStore
+    from repro.campaign import make_store
     from repro.surrogate import (build_surface, list_surfaces, load_surface,
                                  validate_surface)
 
-    store = ResultsStore(args.results)
+    store = make_store(args.results)
 
     if args.subcommand == "build":
         phys = [p.strip() for p in args.phys.split(",") if p.strip()]
@@ -323,10 +382,12 @@ def _cmd_surface(args):
 
 
 def _cmd_trace(args):
-    from repro.campaign import ResultsStore
+    from repro.campaign import make_store
     from repro.errors import ConfigurationError
 
-    store = ResultsStore(args.results)
+    # Trace files live on the filesystem whatever holds the records, so
+    # any backend's trace_path works; make_store keeps env resolution.
+    store = make_store(args.results)
     path = store.trace_path(args.name)
     if path is None:
         raise ConfigurationError(
@@ -407,34 +468,67 @@ def build_parser():
         p.add_argument("--results", default="results",
                        help="results store directory (default: results/)")
 
+    def add_store_arg(p):
+        from repro.campaign.spec import STORE_BACKENDS
+
+        p.add_argument("--store", default=None, choices=STORE_BACKENDS,
+                       help="results store backend (default: $REPRO_STORE, "
+                            "else the spec's store knob, else whichever "
+                            "backend already holds this campaign's "
+                            "records, else jsonl)")
+
+    def add_backend_args(p):
+        from repro.campaign.spec import EXECUTION_BACKENDS
+
+        p.add_argument("--backend", default=None,
+                       choices=EXECUTION_BACKENDS,
+                       help="execution backend (default: the spec's "
+                            "backend knob, else pool); records are "
+                            "bit-identical either way")
+        p.add_argument("--shard-size", type=int, default=None,
+                       help="points per local-queue work unit "
+                            "(default: ~4 units per worker)")
+
+    def add_run_knobs(p):
+        p.add_argument("--workers", type=int, default=1,
+                       help="pool size; any value is bit-identical to 1")
+        p.add_argument("--report", action="store_true",
+                       help="print the spec's default pivot after running")
+        p.add_argument("--verbose", action="store_true",
+                       help="log per-point completions")
+        p.add_argument("--retries", type=int, default=None,
+                       help="extra attempts per failing point "
+                            "(default: the spec's retries)")
+        p.add_argument("--timeout", type=float, default=None,
+                       help="per-point wall-clock budget in seconds; "
+                            "0 disables (default: the spec's timeout_s)")
+        p.add_argument("--trace", action="store_true",
+                       help="record structured telemetry to "
+                            "results/<name>/trace/ (read it back with "
+                            "'repro trace report <name>')")
+        add_backend_args(p)
+        add_store_arg(p)
+        add_results_arg(p)
+
     p_run = camp_sub.add_parser("run", help="run a campaign spec")
     p_run.add_argument("spec",
                        help="built-in campaign name or path to a .json spec")
-    p_run.add_argument("--workers", type=int, default=1,
-                       help="pool size; any value is bit-identical to 1")
     p_run.add_argument("--force", action="store_true",
                        help="recompute points even when cached")
-    p_run.add_argument("--report", action="store_true",
-                       help="print the spec's default pivot after running")
-    p_run.add_argument("--verbose", action="store_true",
-                       help="log per-point completions")
-    p_run.add_argument("--retries", type=int, default=None,
-                       help="extra attempts per failing point "
-                            "(default: the spec's retries)")
-    p_run.add_argument("--timeout", type=float, default=None,
-                       help="per-point wall-clock budget in seconds; "
-                            "0 disables (default: the spec's timeout_s)")
     p_run.add_argument("--precision", type=float, default=None,
                        help="adaptive MC: per-point relative CI "
                             "half-width target (folded into the cache "
                             "key)")
     p_run.add_argument("--max-trials", type=int, default=None,
                        help="adaptive MC trial ceiling per point")
-    p_run.add_argument("--trace", action="store_true",
-                       help="record structured telemetry to "
-                            "results/<name>/trace/ (read it back with "
-                            "'repro trace report <name>')")
-    add_results_arg(p_run)
+    add_run_knobs(p_run)
+
+    p_resume = camp_sub.add_parser(
+        "resume", help="pick up an interrupted campaign from its store")
+    p_resume.add_argument("name",
+                          help="campaign whose spec + partial records are "
+                               "in the store")
+    add_run_knobs(p_resume)
 
     p_ls = camp_sub.add_parser("ls", help="list campaigns in the store")
     add_results_arg(p_ls)
@@ -443,6 +537,7 @@ def build_parser():
     p_show.add_argument("name")
     p_show.add_argument("--failures", action="store_true",
                         help="also print the per-point failure table")
+    add_store_arg(p_show)
     add_results_arg(p_show)
 
     p_rep = camp_sub.add_parser("report", help="pivot table over records")
@@ -451,6 +546,7 @@ def build_parser():
                        help="metric to tabulate (e.g. per)")
     p_rep.add_argument("--rows", default=None, help="row parameter")
     p_rep.add_argument("--cols", default=None, help="column parameter")
+    add_store_arg(p_rep)
     add_results_arg(p_rep)
 
     p_surf = sub.add_parser(

@@ -36,6 +36,10 @@ class DcfResult:
     drops: int
     per_station_successes: list
     delays_s: list = field(default_factory=list)
+    #: Per-station transmission attempts that ended in a collision. One
+    #: collision *event* involves >= 2 attempts, so this exceeds
+    #: ``collisions``; legacy results (built without it) carry 0.
+    collision_attempts: int = 0
 
     @property
     def throughput_mbps(self):
@@ -45,9 +49,23 @@ class DcfResult:
 
     @property
     def collision_probability(self):
-        """Fraction of transmission attempts ending in collision."""
-        attempts = self.successes + self.collisions
-        return self.collisions / attempts if attempts else 0.0
+        """Fraction of per-station transmission attempts that collided.
+
+        This is Bianchi's conditional collision probability p — the
+        chance that *a station's* transmission meets another — so the
+        denominator counts station attempts, not channel events.
+        Counting each collision event once (the old
+        ``successes + collisions``) undercounts the colliding attempts
+        and biases the estimate low, increasingly so at high station
+        counts where 3+-way collisions are common. For legacy results
+        without the per-attempt count, ``2 * collisions`` is the best
+        available reconstruction (every collision involves at least two
+        attempts).
+        """
+        colliding = self.collision_attempts if self.collision_attempts \
+            else 2 * self.collisions
+        attempts = self.successes + colliding
+        return colliding / attempts if attempts else 0.0
 
     @property
     def efficiency(self):
@@ -193,6 +211,7 @@ class DcfSimulator:
         now = 0.0
         successes = 0
         collisions = 0
+        collision_attempts = 0
         drops = 0
         per_station = [0] * self.n
         delays = []
@@ -224,6 +243,7 @@ class DcfSimulator:
                 now += self._t_success[st.index]
             else:
                 collisions += 1
+                collision_attempts += len(transmitters)
                 for st in transmitters:
                     if st.on_collision(self.max_retries):
                         drops += 1
@@ -243,4 +263,5 @@ class DcfSimulator:
             drops=drops,
             per_station_successes=per_station,
             delays_s=delays,
+            collision_attempts=collision_attempts,
         )

@@ -1,16 +1,18 @@
 """Tests for the repro.campaign sweep orchestrator."""
 
 import json
+import multiprocessing
 import os
 import time
 
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.campaign import (CampaignSpec, ResultsStore, builtin_campaign,
                             builtin_campaigns, failure_lines, format_pivot,
-                            load_spec, pivot, point_key, point_kinds,
-                            run_campaign)
+                            load_spec, make_store, pivot, point_key,
+                            point_kinds, run_campaign)
 from repro.campaign.runner import register_point_kind
 from repro.campaign.seeding import (attempt_generator, attempt_seed,
                                     point_generator, point_seed)
@@ -45,9 +47,43 @@ def _flaky_counted_point(params, rng):
     return {"draw": float(rng.integers(0, 1 << 30))}
 
 
+def _late_emitter_point(params, rng):
+    """x == 0 overruns its timeout, then emits telemetry after the fact."""
+    if params["x"] == 0:
+        time.sleep(0.4)
+        obs.counter("late.marker")
+        with obs.span("late.span"):
+            pass
+        return {"late": 1}
+    time.sleep(0.05)
+    return {"late": 0}
+
+
+def _append_stress_worker(root, backend, name, worker_id, n_records,
+                          pad_bytes):
+    """Append ``n_records`` oversized records from one child process.
+
+    The pad pushes every line far past any stdio buffer, so a store
+    whose append isn't a single atomic write interleaves torn lines
+    under this load.
+    """
+    from repro.campaign.store import make_store as _make_store
+    store = _make_store(root, backend)
+    pad = f"w{worker_id}-" + "x" * pad_bytes
+    for i in range(n_records):
+        store.append(name, {
+            "key": f"w{worker_id:02d}-r{i:03d}",
+            "index": worker_id * n_records + i,
+            "outcome": "ok",
+            "metrics": {"i": i, "pad": pad},
+        })
+    store.close()
+
+
 register_point_kind("test-double", _double_point, code_version="1")
 register_point_kind("test-chaos", _chaos_point, code_version="1")
 register_point_kind("test-flaky", _flaky_counted_point, code_version="1")
+register_point_kind("test-late", _late_emitter_point, code_version="1")
 
 
 def quick_spec(**overrides):
@@ -645,6 +681,30 @@ class TestStoreHardening:
         assert len(loaded) == 1
         assert loaded[0]["key"] == "k1"
 
+    def test_numpy_scalars_sanitized(self, tmp_path):
+        """Regression: ``np.float32("nan")`` is not a ``float`` subclass,
+        so the old finiteness check waved it through to
+        ``json.dumps(allow_nan=False)``, which raised and dropped the
+        record. Numpy leaves must normalize before the check."""
+        store = ResultsStore(tmp_path)
+        store.append("c", {"key": "k1", "index": 0, "outcome": "ok",
+                           "metrics": {"nan32": np.float32("nan"),
+                                       "inf32": np.float32("inf"),
+                                       "n": np.int64(7),
+                                       "flag": np.bool_(True),
+                                       "f64": np.float64(0.25),
+                                       "arr": np.array([1.0, np.nan])}})
+        metrics = store.load("c")[0]["metrics"]
+        assert metrics["nan32"] is None
+        assert metrics["inf32"] is None
+        assert metrics["n"] == 7
+        assert metrics["flag"] is True
+        assert metrics["f64"] == 0.25
+        assert metrics["arr"] == [1.0, None]
+        # And the persisted line is plain, strict JSON.
+        with open(store._records_path("c")) as fh:
+            json.loads(fh.read())
+
     def test_non_finite_metrics_stored_as_null(self, tmp_path):
         store = ResultsStore(tmp_path)
         store.append("c", {"key": "k1", "index": 0, "outcome": "ok",
@@ -660,6 +720,74 @@ class TestStoreHardening:
         assert metrics["inf"] is None
         assert metrics["fine"] == 1.5
         assert metrics["nested"] == [None, 2.0]
+
+
+class TestConcurrentAppend:
+    """Multi-process append stress: no torn lines, no lost records."""
+
+    @pytest.mark.parametrize("backend", ["jsonl", "sqlite"])
+    def test_parallel_appends_never_tear(self, tmp_path, backend):
+        n_workers, n_records, pad_bytes = 4, 20, 64_000
+        context = multiprocessing.get_context(
+            os.environ.get("REPRO_CAMPAIGN_START_METHOD") or None)
+        procs = [
+            context.Process(
+                target=_append_stress_worker,
+                args=(str(tmp_path), backend, "stress", w, n_records,
+                      pad_bytes))
+            for w in range(n_workers)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=120)
+            assert proc.exitcode == 0
+        store = make_store(str(tmp_path), backend)
+        try:
+            records = store.load("stress")
+            assert len(records) == n_workers * n_records
+            assert len({r["key"] for r in records}) == n_workers * n_records
+            assert all(len(r["metrics"]["pad"]) > pad_bytes
+                       for r in records)
+            if backend == "jsonl":
+                # Every non-empty raw line must be complete JSON — a
+                # buffered text handle tears 64KB lines under exactly
+                # this load. Blank lines are permitted: the appender's
+                # torn-tail healing can emit one when a concurrent
+                # writer's size update races its last-byte probe, and
+                # the reader skips them by design.
+                with open(store._records_path("stress")) as fh:
+                    payload_lines = [line for line in fh if line.strip()]
+                for line in payload_lines:
+                    json.loads(line)
+                assert len(payload_lines) == n_workers * n_records
+        finally:
+            store.close()
+
+
+class TestAbandonedTimeoutThread:
+    def test_overrunning_point_cannot_emit_late_telemetry(self, tmp_path):
+        """Regression: a timed-out point's thread keeps running after the
+        runner gives up on it. Its late counters/spans used to land in
+        the ambient tracer mid-run — phantom events attributed to
+        whatever point was current by then."""
+        from repro.obs import read_trace
+        spec = CampaignSpec(
+            name="late", kind="test-late",
+            factors={"x": list(range(13))}, base_seed=11,
+            timeout_s=0.15,
+        )
+        store = ResultsStore(tmp_path)
+        result = run_campaign(spec, store=store, trace=True)
+        by_x = {r["params"]["x"]: r for r in result.records}
+        assert by_x[0]["outcome"] == "timeout"
+        assert all(by_x[x]["outcome"] == "ok" for x in range(1, 13))
+        # The straggler emitted ~0.25s after its deadline, while later
+        # points were still tracing — none of it may reach the trace.
+        events = read_trace(store.trace_path("late"))
+        assert not [e for e in events if e["name"] == "late.span"]
+        counters = result.extras["trace"]["counters"]
+        assert "late.marker" not in counters
 
 
 class TestFailureReporting:

@@ -3,7 +3,8 @@
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.mac.dcf import DcfSimulator
+from repro.mac.bianchi import bianchi_tau
+from repro.mac.dcf import DcfResult, DcfSimulator
 
 
 class TestSingleStation:
@@ -93,6 +94,51 @@ class TestMultirate:
     def test_wrong_rate_count_rejected(self):
         with pytest.raises(ConfigurationError):
             DcfSimulator(3, "802.11a", [54, 6], 1500)
+
+
+class TestCollisionProbability:
+    """The simulator's p must match Bianchi's conditional collision
+    probability — the analysis both compute the same quantity, so the
+    two pin each other (benchmark E15)."""
+
+    @pytest.mark.parametrize("n", [5, 20])
+    def test_matches_bianchi_conditional_p(self, n):
+        """Regression for the collision-probability denominator.
+
+        A collision *event* involves >= 2 station attempts, so dividing
+        colliding events by ``successes + collisions`` (the old formula)
+        biased p low — by ~0.10 at n=5 and ~0.20 at n=20, far outside
+        this tolerance. Counting per-station attempts lands within a
+        few percent of the fixed-point analysis.
+        """
+        sim = DcfSimulator(n, "802.11a", 54, 1500, rng=1)
+        result = sim.run(duration_s=2.0)
+        _, p_analytic = bianchi_tau(n, cw_min=sim.timing.cw_min)
+        assert result.collision_probability == pytest.approx(
+            p_analytic, abs=0.05)
+
+    def test_counts_all_colliding_attempts(self):
+        result = DcfSimulator(30, "802.11a", 54, 1500, rng=2).run(0.5)
+        # Every collision event burns at least two attempts, and with 30
+        # saturated stations some involve three or more.
+        assert result.collision_attempts > 2 * result.collisions
+
+    def test_legacy_records_fall_back_to_two_per_event(self):
+        """Results built without the per-attempt count (old stored
+        records) reconstruct p as 2 attempts per collision event."""
+        legacy = DcfResult(
+            n_stations=2, duration_s=1.0, payload_bytes=1500,
+            rate_mbps=54.0, successes=6, collisions=2, drops=0,
+            per_station_successes=[3, 3])
+        assert legacy.collision_attempts == 0
+        assert legacy.collision_probability == pytest.approx(4 / 10)
+
+    def test_attempt_denominator_used_when_present(self):
+        counted = DcfResult(
+            n_stations=3, duration_s=1.0, payload_bytes=1500,
+            rate_mbps=54.0, successes=6, collisions=2, drops=0,
+            per_station_successes=[2, 2, 2], collision_attempts=5)
+        assert counted.collision_probability == pytest.approx(5 / 11)
 
 
 class TestValidation:

@@ -1,0 +1,268 @@
+"""Tests for the sqlite store backend and store-backend selection."""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign import (CampaignSpec, ResultsStore, run_campaign)
+from repro.campaign.store import (detect_store_backend, encode_record,
+                                  make_store, resolve_store_backend,
+                                  scan_campaigns)
+from repro.campaign.store_sqlite import DB_FILE, SqliteResultsStore
+from repro.errors import ConfigurationError
+
+
+def tiny_spec(**overrides):
+    """A four-point link campaign small enough for unit tests."""
+    fields = dict(
+        name="tiny", kind="link",
+        factors={"phy": ["dsss-1", "dsss-2"], "snr_db": [0.0, 8.0]},
+        fixed={"channel": "awgn", "n_packets": 3, "payload_bytes": 20},
+        base_seed=3,
+    )
+    fields.update(overrides)
+    return CampaignSpec(**fields)
+
+
+def sample_record(key="k1", index=0, **extra):
+    record = {"key": key, "index": index, "outcome": "ok",
+              "metrics": {"per": 0.5}}
+    record.update(extra)
+    return record
+
+
+class TestSqliteStore:
+    def test_append_load_roundtrip_dedupes(self, tmp_path):
+        store = SqliteResultsStore(tmp_path)
+        store.append("c", sample_record())
+        store.append("c", sample_record(metrics={"per": 0.25}))
+        loaded = store.load("c")
+        assert len(loaded) == 1
+        assert loaded[0]["metrics"]["per"] == 0.25  # upsert: last wins
+        assert "cached" not in loaded[0]
+        store.close()
+
+    def test_records_identical_to_jsonl_backend(self, tmp_path):
+        """Both backends persist the same canonical line, so a campaign
+        can move between them without records drifting."""
+        record = sample_record(metrics={"per": 0.5,
+                                        "nan": float("nan"),
+                                        "nested": [1.0, float("inf")]})
+        jsonl = ResultsStore(tmp_path / "j")
+        sqlite = SqliteResultsStore(tmp_path / "s")
+        jsonl.append("c", dict(record))
+        sqlite.append("c", dict(record))
+        assert jsonl.load("c") == sqlite.load("c")
+        # The sqlite row holds exactly the canonical encoded line.
+        raw = next(iter(sqlite.iter_records("c")))
+        assert encode_record(record) == encode_record(raw)
+        sqlite.close()
+
+    def test_iter_records_streams_in_grid_order(self, tmp_path):
+        store = SqliteResultsStore(tmp_path)
+        for index in (3, 0, 2, 1):
+            store.append("c", sample_record(key=f"k{index}", index=index))
+        cursor = store.iter_records("c")
+        assert [r["index"] for r in cursor] == [0, 1, 2, 3]
+        store.close()
+
+    def test_count_and_outcome_counts(self, tmp_path):
+        store = SqliteResultsStore(tmp_path)
+        store.append("c", sample_record(key="a", index=0))
+        store.append("c", sample_record(key="b", index=1,
+                                        outcome="error"))
+        store.append("c", sample_record(key="c", index=2,
+                                        outcome="timeout"))
+        assert store.count("c") == 3
+        assert store.outcome_counts("c") == {
+            "ok": 1, "error": 1, "timeout": 1}
+        store.close()
+
+    def test_append_many_is_one_transaction(self, tmp_path):
+        store = SqliteResultsStore(tmp_path)
+        store.append_many("c", [sample_record(key=f"k{i}", index=i)
+                                for i in range(50)])
+        assert store.count("c") == 50
+        store.close()
+
+    def test_keyless_record_rejected(self, tmp_path):
+        store = SqliteResultsStore(tmp_path)
+        with pytest.raises(ConfigurationError):
+            store.append("c", {"index": 0, "outcome": "ok"})
+        store.close()
+
+    def test_campaigns_listing_and_spec(self, tmp_path):
+        store = SqliteResultsStore(tmp_path)
+        assert store.campaigns() == []
+        run_campaign(tiny_spec(), store=store)
+        assert store.campaigns() == [("tiny", 4)]
+        assert store.load_spec("tiny") == tiny_spec()
+        assert os.path.exists(tmp_path / "tiny" / DB_FILE)
+        store.close()
+
+    def test_rejects_unsafe_campaign_names(self, tmp_path):
+        store = SqliteResultsStore(tmp_path)
+        with pytest.raises(ConfigurationError):
+            store.append("../evil", sample_record())
+        store.close()
+
+
+class TestSqliteCampaignRuns:
+    def test_bit_identical_to_jsonl_run(self, tmp_path):
+        spec = tiny_spec()
+        jsonl = run_campaign(spec, store=ResultsStore(tmp_path / "j"))
+        sqlite_store = SqliteResultsStore(tmp_path / "s")
+        sqlite = run_campaign(spec, store=sqlite_store)
+        assert jsonl.metrics_by_index() == sqlite.metrics_by_index()
+        sqlite_store.close()
+
+    def test_rerun_is_all_cache_hits(self, tmp_path):
+        spec = tiny_spec()
+        store = SqliteResultsStore(tmp_path)
+        first = run_campaign(spec, store=store)
+        second = run_campaign(spec, store=store)
+        assert second.n_executed == 0
+        assert second.n_cached == first.n_points
+        assert second.metrics_by_index() == first.metrics_by_index()
+        store.close()
+
+    def test_parallel_run_appends_through_parent(self, tmp_path):
+        spec = tiny_spec()
+        store = SqliteResultsStore(tmp_path)
+        result = run_campaign(spec, workers=2, store=store)
+        assert result.n_executed == 4
+        assert store.count("tiny") == 4
+        store.close()
+
+
+class TestBackendSelection:
+    def test_make_store_explicit(self, tmp_path):
+        assert make_store(tmp_path, "jsonl").backend == "jsonl"
+        store = make_store(tmp_path, "sqlite")
+        assert isinstance(store, SqliteResultsStore)
+        store.close()
+
+    def test_make_store_env_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", "sqlite")
+        store = make_store(tmp_path)
+        assert store.backend == "sqlite"
+        store.close()
+        monkeypatch.delenv("REPRO_STORE")
+        assert make_store(tmp_path).backend == "jsonl"
+
+    def test_make_store_rejects_unknown(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            make_store(tmp_path, "parquet")
+
+    def test_detect_store_backend(self, tmp_path):
+        assert detect_store_backend(tmp_path, "ghost") is None
+        sqlite = SqliteResultsStore(tmp_path)
+        sqlite.append("s-camp", sample_record())
+        sqlite.close()
+        ResultsStore(tmp_path).append("j-camp", sample_record())
+        assert detect_store_backend(tmp_path, "s-camp") == "sqlite"
+        assert detect_store_backend(tmp_path, "j-camp") == "jsonl"
+
+    def test_resolve_precedence(self, tmp_path, monkeypatch):
+        # Shed any ambient default (the CI matrix exports REPRO_STORE)
+        # so each precedence step below is exercised in isolation.
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        ResultsStore(tmp_path).append("c", sample_record())
+        # Detection of existing records beats the jsonl fallback...
+        assert resolve_store_backend(root=tmp_path, name="c") == "jsonl"
+        # ...the spec knob beats detection...
+        assert resolve_store_backend(root=tmp_path, name="c",
+                                     spec_default="sqlite") == "sqlite"
+        # ...the environment beats the spec...
+        monkeypatch.setenv("REPRO_STORE", "jsonl")
+        assert resolve_store_backend(spec_default="sqlite") == "jsonl"
+        # ...and an explicit flag beats everything.
+        assert resolve_store_backend(explicit="sqlite") == "sqlite"
+
+    def test_scan_campaigns_spans_backends(self, tmp_path):
+        sqlite = SqliteResultsStore(tmp_path)
+        run_campaign(tiny_spec(name="sq"), store=sqlite)
+        sqlite.close()
+        run_campaign(tiny_spec(name="js"),
+                     store=ResultsStore(tmp_path))
+        assert scan_campaigns(tmp_path) == [
+            ("js", 4, "jsonl"), ("sq", 4, "sqlite")]
+
+    def test_spec_store_knob_roundtrip(self, tmp_path):
+        spec = tiny_spec(store="sqlite", backend="local-queue")
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        loaded = CampaignSpec.from_json(path)
+        assert loaded.store == "sqlite"
+        assert loaded.backend == "local-queue"
+        # Old specs (no knobs) load with None defaults.
+        data = tiny_spec().to_dict()
+        del data["store"], data["backend"]
+        path.write_text(json.dumps(data))
+        loaded = CampaignSpec.from_json(path)
+        assert loaded.store is None and loaded.backend is None
+
+    @pytest.mark.parametrize("bad", [{"store": "parquet"},
+                                     {"backend": "slurm"}])
+    def test_spec_rejects_unknown_knobs(self, bad):
+        with pytest.raises(ConfigurationError):
+            tiny_spec(**bad)
+
+
+class TestStreamingReport:
+    def make_big_campaign(self, tmp_path, n_rows=100, n_cols=100):
+        """A 10^4-record campaign written directly (no simulation)."""
+        store = SqliteResultsStore(tmp_path)
+        records = []
+        index = 0
+        for a in range(n_rows):
+            for b in range(n_cols):
+                records.append({
+                    "key": f"k{index:05d}", "index": index,
+                    "outcome": "ok",
+                    "kind": "link", "campaign": "big",
+                    "params": {"a": a, "b": b},
+                    "metrics": {"v": float(a + b)},
+                })
+                index += 1
+        store.append_many("big", records)
+        store.write_spec(tiny_spec(
+            name="big", factors={"a": list(range(n_rows)),
+                                 "b": list(range(n_cols))},
+            fixed={"channel": "awgn", "n_packets": 1,
+                   "payload_bytes": 20},
+            meta={"report": {"value": "v", "rows": "a", "cols": "b"}}))
+        return store
+
+    def test_report_streams_without_loading_all(self, tmp_path,
+                                                monkeypatch, capsys):
+        """``report`` on a 10^4-record sqlite campaign must use the
+        streaming cursor — materializing the full record list is the
+        exact failure this backend exists to avoid."""
+        from repro.cli import main
+        store = self.make_big_campaign(tmp_path)
+        assert store.count("big") == 10_000
+        store.close()
+
+        def no_load(self, name):
+            raise AssertionError("report must not load() all records")
+
+        monkeypatch.setattr(SqliteResultsStore, "load", no_load)
+        assert main(["campaign", "report", "big",
+                     "--results", str(tmp_path),
+                     "--store", "sqlite"]) == 0
+        out = capsys.readouterr().out
+        assert "a \\ b" in out
+
+    def test_show_streams_too(self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+        store = self.make_big_campaign(tmp_path, n_rows=10, n_cols=10)
+        store.close()
+        monkeypatch.setattr(
+            SqliteResultsStore, "load",
+            lambda self, name: (_ for _ in ()).throw(AssertionError()))
+        assert main(["campaign", "show", "big",
+                     "--results", str(tmp_path),
+                     "--store", "sqlite"]) == 0
+        assert "100 points" in capsys.readouterr().out
