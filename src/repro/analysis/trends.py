@@ -35,3 +35,30 @@ def predict_next_generation(values):
     values = np.asarray(values, dtype=float)
     ratio, prefactor = fit_exponential_trend(np.arange(values.size), values)
     return float(prefactor * ratio ** values.size)
+
+
+def trend_departure(values, n_fit):
+    """How later points depart from a trend fitted on the first ``n_fit``.
+
+    Fits the geometric law on ``values[:n_fit]`` and returns, for every
+    point, the ratio of the actual value to the fitted/extrapolated one
+    (1.0 = exactly on trend, < 1 = below it). This is how the extended
+    generational arc quantifies the flattening after the paper's era:
+    the fivefold law extrapolated past 802.11n overshoots what 802.11ac
+    and 802.11ax actually shipped.
+
+    Returns
+    -------
+    (departures, predicted) : (numpy.ndarray, numpy.ndarray)
+    """
+    values = np.asarray(values, dtype=float)
+    n_fit = int(n_fit)
+    if not 2 <= n_fit <= values.size:
+        raise ConfigurationError(
+            f"n_fit must be 2..{values.size}, got {n_fit}"
+        )
+    ratio, prefactor = fit_exponential_trend(
+        np.arange(n_fit), values[:n_fit]
+    )
+    predicted = prefactor * ratio ** np.arange(values.size)
+    return values / predicted, predicted

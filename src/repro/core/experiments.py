@@ -184,11 +184,13 @@ def _e15_mac():
 def _e17_trend():
     from repro.analysis.trends import predict_next_generation
     from repro.core.evolution import spectral_efficiency_series
+    from repro.standards.registry import GENERATIONS
 
     _, effs = spectral_efficiency_series()
+    shipped = GENERATIONS["802.11ac"].spectral_efficiency
     return [f"next generation extrapolates to "
             f"{predict_next_generation(effs):.0f} bps/Hz "
-            "(802.11ac shipped ~43)"]
+            f"(802.11ac shipped {shipped:.0f}; see E25)"]
 
 
 def _e24_surrogate_mesh():
@@ -217,6 +219,66 @@ def _e24_surrogate_mesh():
     ]
 
 
+def _e25_extended_trend():
+    from repro.analysis.trends import trend_departure
+    from repro.core.evolution import (
+        fivefold_law,
+        format_evolution_table,
+        spectral_efficiency_series,
+    )
+
+    names, effs = spectral_efficiency_series(extended=True)
+    n_paper = names.index("802.11n") + 1
+    departures, predicted = trend_departure(effs, n_paper)
+    ratio_paper, _ = fivefold_law()
+    ratio_ext, _ = fivefold_law(extended=True)
+    lines = [format_evolution_table()]
+    lines.append(
+        f"paper-era fit (through 11n): {ratio_paper:.2f}x per generation"
+    )
+    lines.append(
+        f"extended fit (through 11ax): {ratio_ext:.2f}x per generation"
+    )
+    for name, eff, pred, dep in zip(
+        names[n_paper:], effs[n_paper:],
+        predicted[n_paper:], departures[n_paper:],
+    ):
+        lines.append(
+            f"{name}: fivefold law predicts {pred:.0f} bps/Hz, "
+            f"shipped {eff:.1f} ({dep:.0%} of trend)"
+        )
+    lines.append("the paper's 5x law held exactly for the era it described")
+    return lines
+
+
+def _e26_mu_vs_su():
+    import numpy as np
+
+    from repro.phy.mimo.mu import mu_su_throughput
+
+    rng = np.random.default_rng(26)
+    n_tx, snr_db, n_drops = 8, 30.0, 40
+    lines = [
+        f"{n_tx}-antenna AP, 80 MHz VHT, {snr_db:.0f} dB total SNR, "
+        f"{n_drops} Rayleigh drops:"
+    ]
+    for n_users in (2, 4, 8):
+        mu = su = 0.0
+        for _ in range(n_drops):
+            h = (rng.normal(size=(n_users, n_tx))
+                 + 1j * rng.normal(size=(n_users, n_tx))) / np.sqrt(2)
+            res = mu_su_throughput(h, snr_db, bandwidth_mhz=80)
+            mu += res["mu_mbps"]
+            su += res["su_mbps"]
+        lines.append(
+            f"  {n_users} users: MU-MIMO {mu / n_drops:7.0f} Mbps vs "
+            f"SU/TDMA {su / n_drops:6.0f} Mbps "
+            f"({mu / max(su, 1e-12):.1f}x)"
+        )
+    lines.append("(waveform-level ZF validation: tests/test_mu_ofdma.py)")
+    return lines
+
+
 _REGISTRY = {
     "E1": ("evolution table (0.1 -> 15 bps/Hz)", _e1_evolution),
     "E2": ("DSSS processing gain", _e2_processing_gain),
@@ -232,6 +294,8 @@ _REGISTRY = {
     "E15": ("DCF vs Bianchi", _e15_mac),
     "E17": ("fivefold-law extrapolation", _e17_trend),
     "E24": ("1000-station mesh off a PER surface", _e24_surrogate_mesh),
+    "E25": ("C6 trend extended through 802.11ax", _e25_extended_trend),
+    "E26": ("MU-MIMO vs single-user TDMA downlink", _e26_mu_vs_su),
 }
 
 

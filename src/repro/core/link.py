@@ -13,6 +13,8 @@ name                  meaning
 ``ofdm-R``            802.11a/g OFDM, R in {6,9,12,18,24,36,48,54}
 ``ht-M``              802.11n HT MCS M (0-31), 20 MHz
 ``ht40-M``            802.11n HT MCS M, 40 MHz
+``vht-M[-xS]``        802.11ac VHT MCS M (0-9), S streams (default 1), 20 MHz
+``vht80-M-xS``        802.11ac VHT at 80 MHz (also vht40-, vht160-)
 ====================  =====================================================
 
 Channels: ``awgn``, ``rayleigh`` (flat, per-packet) or ``tgn-X`` with X in
@@ -35,7 +37,7 @@ from repro.errors import ConfigurationError, ReproError
 from repro.phy.cck import CckPhy
 from repro.phy.dsss import DsssPhy
 from repro.phy.fhss import GfskModem
-from repro.phy.mimo.ht import HtPhy
+from repro.phy.mimo.ht import HtPhy, VhtPhy
 from repro.phy.ofdm import OfdmPhy
 from repro.utils.bits import bits_from_bytes, count_bit_errors
 from repro.utils.rng import as_generator
@@ -177,6 +179,18 @@ class LinkSimulator:
             streams = mcs // 8 + 1
             self._phy = HtPhy(mcs=mcs, bandwidth_mhz=bw,
                               n_rx=n_rx or streams, detector=detector)
+            self._kind = "ht"
+            self.n_tx = streams
+            self.n_rx = n_rx or streams
+            self.rate_mbps = self._phy.data_rate_mbps()
+            self.sample_rate = self._phy.sample_rate
+        elif kind in ("vht", "vht40", "vht80", "vht160"):
+            bw = int(kind[3:]) if len(kind) > 3 else 20
+            mcs = int(parts[1])
+            streams = int(parts[2].lstrip("x")) if len(parts) > 2 else 1
+            self._phy = VhtPhy(mcs=mcs, spatial_streams=streams,
+                               bandwidth_mhz=bw, n_rx=n_rx or streams,
+                               detector=detector)
             self._kind = "ht"
             self.n_tx = streams
             self.n_rx = n_rx or streams

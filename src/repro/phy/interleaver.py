@@ -68,19 +68,24 @@ def deinterleave(bits, n_cbps, n_bpsc):
 
 
 def ht_interleave_permutation(n_bpsc, bandwidth_mhz=20):
-    """The 802.11n per-stream interleaver permutation.
+    """The 802.11n/ac per-stream interleaver permutation.
 
-    Same two permutations as 802.11a but on a 13-column (20 MHz) or
-    18-column (40 MHz) array, matching the 52/108 data-subcarrier counts.
+    Same two permutations as 802.11a but on a wider array whose shape
+    comes from the channel's tone plan: 13 columns (20 MHz), 18 (40 MHz)
+    or 26 (80/160 MHz), matching the 52/108/234/468 data-subcarrier
+    counts.
     """
     return _cached_ht_permutation(int(n_bpsc), int(bandwidth_mhz))[0].copy()
 
 
 @lru_cache(maxsize=None)
 def _cached_ht_permutation(n_bpsc, bandwidth_mhz):
-    """``(perm, inverse)`` index arrays for one 802.11n geometry."""
-    n_col = 13 if bandwidth_mhz == 20 else 18
-    n_row = (4 if bandwidth_mhz == 20 else 6) * n_bpsc
+    """``(perm, inverse)`` index arrays for one 802.11n/ac geometry."""
+    from repro.standards.plans import tone_plan
+
+    plan = tone_plan(bandwidth_mhz)
+    n_col = plan.interleaver_cols
+    n_row = plan.interleaver_row_factor * n_bpsc
     n_cbpss = n_col * n_row
     s = max(n_bpsc // 2, 1)
     k = np.arange(n_cbpss)

@@ -16,8 +16,9 @@ beamforming
 capacity
     Deterministic, ergodic and outage MIMO channel capacity.
 ht
-    A complete HT (802.11n-class) MIMO-OFDM transceiver built on the
-    clause-17 OFDM engine with per-stream training symbols.
+    Complete HT (802.11n-class) and VHT (802.11ac-class) MIMO-OFDM
+    transceivers built on the clause-17 OFDM engine with per-stream
+    training symbols.
 """
 
 from repro.phy.mimo.beamforming import (
@@ -35,7 +36,7 @@ from repro.phy.mimo.detection import (
     detect_zero_forcing,
     maximum_ratio_combine,
 )
-from repro.phy.mimo.ht import HtPhy
+from repro.phy.mimo.ht import HtPhy, VhtPhy
 from repro.phy.mimo.stbc import alamouti_decode, alamouti_encode
 
 __all__ = [
@@ -49,6 +50,7 @@ __all__ = [
     "detect_zero_forcing",
     "maximum_ratio_combine",
     "HtPhy",
+    "VhtPhy",
     "alamouti_decode",
     "alamouti_encode",
 ]

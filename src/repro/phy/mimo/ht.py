@@ -1,9 +1,11 @@
-"""HT (802.11n-class) MIMO-OFDM transceiver.
+"""HT (802.11n-class) and VHT (802.11ac-class) MIMO-OFDM transceivers.
 
 Implements the High-Throughput PHY as the paper anticipated it: 1-4
 spatial streams, 20 or 40 MHz channels, the HT MCS table, per-stream
 orthogonal training (the P-matrix HT-LTFs), and linear MMSE/ZF or exact ML
-detection. Closed-loop SVD eigen-beamforming is supported by supplying
+detection — and, through the same generation-parameterized chain,
+:class:`VhtPhy`: up to 8 streams, 80/160 MHz tone plans, 256-QAM, and
+the 8-column LTF matrix. Closed-loop SVD eigen-beamforming is supported by supplying
 per-subcarrier precoders; channel estimation transparently learns the
 *effective* precoded channel, exactly as real closed-loop 11n does.
 (Alamouti transmit diversity lives in :mod:`repro.phy.mimo.stbc` and is
@@ -26,11 +28,15 @@ from repro.phy.interleaver import ht_deinterleave, ht_interleave
 from repro.phy.mimo.detection import detect_ml, detect_mmse, detect_zero_forcing
 from repro.phy.modulation import Modulator
 from repro.phy.scrambler import scramble
-from repro.standards.mcs import HT_MCS_TABLE
+from repro.standards.mcs import HT_MCS_TABLE, get_family
+from repro.standards.plans import tone_plan
 from repro.utils.bits import bits_from_bytes, bytes_from_bits
 
-#: Number of HT-LTF symbols per spatial-stream count.
-N_LTF = {1: 1, 2: 2, 3: 4, 4: 4}
+#: Number of LTF training symbols per spatial-stream count. 1-4 streams
+#: follow 802.11n; 5-8 streams use the full 8-column VHT matrix (see
+#: DESIGN.md — the real standard's 6-LTF option for 5-6 streams trades
+#: orthogonality bookkeeping for air time we don't model).
+N_LTF = {1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 6: 8, 7: 8, 8: 8}
 
 #: The HT-LTF mapping matrix (rows = streams, columns = LTF symbols).
 P_HTLTF = np.array(
@@ -43,22 +49,9 @@ P_HTLTF = np.array(
     dtype=float,
 )
 
-_GEOMETRY = {
-    20: {
-        "fft": 64,
-        "cp": 16,
-        "sample_rate": 20e6,
-        "pilots": (-21, -7, 7, 21),
-        "used": [k for k in range(-28, 29) if k != 0],
-    },
-    40: {
-        "fft": 128,
-        "cp": 32,
-        "sample_rate": 40e6,
-        "pilots": (-53, -25, -11, 11, 25, 53),
-        "used": [k for k in range(-58, 59) if k not in (-1, 0, 1)],
-    },
-}
+#: The 8-stream VHT-LTF mapping matrix: the standard's block extension
+#: [[P4, P4], [P4, -P4]], orthogonal (P8 P8^T = 8 I).
+P_VHTLTF = np.block([[P_HTLTF, P_HTLTF], [P_HTLTF, -P_HTLTF]])
 
 
 class HtPhy:
@@ -84,18 +77,44 @@ class HtPhy:
     >>> # apply channel externally, then:   phy.receive(rx, noise_var)
     """
 
+    #: MCS family whose tables and timing this chain uses.
+    FAMILY = "HT"
+    #: Preamble air time before the per-stream LTFs (L-STF + L-LTF +
+    #: L-SIG + HT-SIG + HT-STF = 8+8+4+8+4 us).
+    PREAMBLE_US = 32.0
+
     def __init__(self, mcs=0, bandwidth_mhz=20, n_rx=None, detector="mmse",
                  scrambler_seed=0x5D):
         if mcs not in HT_MCS_TABLE:
             raise ConfigurationError(f"MCS index must be 0-31, got {mcs}")
-        if bandwidth_mhz not in _GEOMETRY:
+        self._init_chain(
+            HT_MCS_TABLE[mcs], bandwidth_mhz, n_rx, detector, scrambler_seed
+        )
+
+    def _init_chain(self, entry, bandwidth_mhz, n_rx, detector,
+                    scrambler_seed):
+        """Shared constructor: geometry, MCS, and training parameters all
+        derive from the family's generation data plus the tone plan."""
+        family = get_family(self.FAMILY)
+        if bandwidth_mhz not in family.data_subcarriers:
             raise ConfigurationError(
-                f"bandwidth must be 20 or 40 MHz, got {bandwidth_mhz}"
+                f"{self.FAMILY} bandwidth must be one of "
+                f"{sorted(family.data_subcarriers)} MHz, got {bandwidth_mhz}"
             )
         if detector not in ("mmse", "zf", "ml"):
             raise ConfigurationError(f"unknown detector {detector!r}")
-        self.mcs = HT_MCS_TABLE[mcs]
-        self.n_ss = self.mcs.spatial_streams
+        num, den = (int(p) for p in entry.code_rate.split("/"))
+        if entry.n_cbps(bandwidth_mhz) * num % den:
+            # Mirrors the standard's excluded combinations (e.g. VHT
+            # MCS 9 at 20 MHz): the coded bits of one OFDM symbol must
+            # carry a whole number of data bits.
+            raise ConfigurationError(
+                f"{self.FAMILY} {entry.modulation} {entry.code_rate} x"
+                f"{entry.spatial_streams} is not valid at {bandwidth_mhz} "
+                f"MHz (non-integral data bits per symbol)"
+            )
+        self.mcs = entry
+        self.n_ss = entry.spatial_streams
         self.n_tx = self.n_ss
         self.n_rx = self.n_ss if n_rx is None else int(n_rx)
         if detector in ("mmse", "zf") and self.n_rx < self.n_ss:
@@ -105,15 +124,15 @@ class HtPhy:
             )
         self.detector = detector
         self.bandwidth_mhz = bandwidth_mhz
-        geo = _GEOMETRY[bandwidth_mhz]
-        self.fft_size = geo["fft"]
-        self.cp = geo["cp"]
-        self.sample_rate = geo["sample_rate"]
+        self._family = family
+        plan = tone_plan(bandwidth_mhz)
+        self.fft_size = plan.fft_size
+        self.cp = plan.cp
+        self.sample_rate = plan.sample_rate
         self.symbol_samples = self.fft_size + self.cp
-        used = geo["used"]
-        pilots = geo["pilots"]
-        self.data_indices = np.array([k for k in used if k not in pilots])
-        self.pilot_indices = np.array(pilots)
+        used = plan.used
+        self.data_indices = np.array(plan.data)
+        self.pilot_indices = np.array(plan.pilots)
         self.n_data_sc = len(self.data_indices)
         self.n_used = len(used)
         self._data_bins = np.array([k % self.fft_size for k in self.data_indices])
@@ -122,13 +141,14 @@ class HtPhy:
         # LTF values: reuse the legacy +/-1 pattern extended cyclically.
         rng = np.random.default_rng(0x11AC)
         self._ltf_freq = 1.0 - 2.0 * rng.integers(0, 2, self.n_used).astype(float)
-        self.modulator = Modulator(self.mcs.bits_per_subcarrier)
+        self.modulator = Modulator(entry.bits_per_subcarrier)
         self.scrambler_seed = scrambler_seed
-        self.n_cbpss = self.n_data_sc * self.mcs.bits_per_subcarrier  # per stream
+        self.n_cbpss = self.n_data_sc * entry.bits_per_subcarrier  # per stream
         self.n_cbps = self.n_cbpss * self.n_ss
-        self.n_dbps = self.mcs.n_dbps(bandwidth_mhz)
+        self.n_dbps = entry.n_dbps(bandwidth_mhz)
         self._n_ltf = N_LTF[self.n_ss]
-        self._p = P_HTLTF[: self.n_ss, : self._n_ltf]
+        p_full = P_HTLTF if self._n_ltf <= 4 else P_VHTLTF
+        self._p = p_full[: self.n_ss, : self._n_ltf]
 
     # -- sizing ------------------------------------------------------------
 
@@ -143,9 +163,8 @@ class HtPhy:
 
     def frame_duration_s(self, psdu_bytes, guard_interval="long"):
         """Air time including the standard's full preamble overhead."""
-        # L-STF + L-LTF + L-SIG + HT-SIG + HT-STF = 8+8+4+8+4 us, then LTFs.
-        preamble_us = 32.0 + 4.0 * self._n_ltf
-        sym_us = 4.0 if guard_interval == "long" else 3.6
+        preamble_us = self.PREAMBLE_US + 4.0 * self._n_ltf
+        sym_us = self._family.symbol_time(guard_interval)
         return (preamble_us + sym_us * self.n_symbols(psdu_bytes)) * 1e-6
 
     # -- waveform building ---------------------------------------------------
@@ -177,12 +196,17 @@ class HtPhy:
         so the receiver estimates the *effective* channel H V — exactly
         how closed-loop 11n sounding behaves. Pilot subcarriers keep the
         direct (identity) mapping.
+
+        A precoder may map onto more antennas than the chain's own
+        ``n_tx`` (an AP transmitting several users' streams from one
+        array); the waveform then has ``precoders.shape[1]`` rows.
         """
+        n_out = self.n_tx if precoders is None else int(precoders.shape[1])
         out = np.zeros(
-            (self.n_tx, self._n_ltf * self.symbol_samples), dtype=np.complex128
+            (n_out, self._n_ltf * self.symbol_samples), dtype=np.complex128
         )
         # Per-used-subcarrier spatial map: identity except on data bins.
-        maps = np.tile(np.eye(self.n_tx, self.n_ss, dtype=np.complex128),
+        maps = np.tile(np.eye(n_out, self.n_ss, dtype=np.complex128),
                        (self.n_used, 1, 1))
         if precoders is not None:
             used_pos = {b: i for i, b in enumerate(self._used_bins)}
@@ -192,7 +216,7 @@ class HtPhy:
             # Per-subcarrier TX vector: map @ (P column), scaled by LTF tone.
             tx_vec = np.einsum("uts,s->ut", maps, self._p[:, n])
             tx_vec = tx_vec * (self._ltf_freq / np.sqrt(self.n_ss))[:, None]
-            bins = np.zeros((self.n_tx, self.fft_size), dtype=np.complex128)
+            bins = np.zeros((n_out, self.fft_size), dtype=np.complex128)
             bins[:, self._used_bins] = tx_vec.T
             sym = self._freq_to_time(bins)
             start = n * self.symbol_samples
@@ -384,3 +408,42 @@ class HtPhy:
     def data_rate_mbps(self, guard_interval="long"):
         """PHY rate for this configuration."""
         return self.mcs.data_rate_mbps(self.bandwidth_mhz, guard_interval)
+
+
+class VhtPhy(HtPhy):
+    """802.11ac VHT MIMO-OFDM transceiver.
+
+    The HT chain with the VHT generation's parameters: MCS 0-9 signalled
+    independently of the stream count (1-8 streams), 20/40/80/160 MHz
+    tone plans, 256-QAM, and the 8-column LTF mapping matrix for 5-8
+    streams. All waveform machinery is inherited — only the generation
+    data differs.
+
+    Parameters
+    ----------
+    mcs : int
+        VHT MCS index 0-9.
+    spatial_streams : int
+        1-8.
+    bandwidth_mhz : int
+        20, 40, 80 or 160.
+    n_rx, detector, scrambler_seed :
+        As for :class:`HtPhy`.
+
+    Examples
+    --------
+    >>> phy = VhtPhy(mcs=8, spatial_streams=2, bandwidth_mhz=80, n_rx=2)
+    >>> round(phy.data_rate_mbps("short"), 1)
+    780.0
+    """
+
+    FAMILY = "VHT"
+    #: L-STF + L-LTF + L-SIG + VHT-SIG-A + VHT-STF + VHT-SIG-B
+    #: = 8+8+4+8+4+4 us, then the VHT-LTFs.
+    PREAMBLE_US = 36.0
+
+    def __init__(self, mcs=0, spatial_streams=1, bandwidth_mhz=20,
+                 n_rx=None, detector="mmse", scrambler_seed=0x5D):
+        entry = get_family(self.FAMILY).mcs(mcs, spatial_streams)
+        self._init_chain(entry, bandwidth_mhz, n_rx, detector,
+                         scrambler_seed)

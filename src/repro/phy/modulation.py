@@ -14,23 +14,43 @@ import numpy as np
 
 from repro.errors import ConfigurationError, DemodulationError
 
+def _kmod(bits_per_symbol):
+    """Amplitude normalisation giving the constellation unit mean power.
+
+    For square 2^b-QAM the mean symbol energy on the odd-integer grid is
+    2*(4^(b/2) - 1)/3 (the familiar 2, 10, 42, 170, 682 sequence), so the
+    scale is its inverse square root; BPSK is already unit energy.
+    """
+    if bits_per_symbol == 1:
+        return 1.0
+    return 1.0 / np.sqrt(2.0 * (4 ** (bits_per_symbol // 2) - 1) / 3.0)
+
+
+def _pam_levels(bits_on_rail):
+    """Gray-coded PAM levels of one rail: the odd integers, ascending."""
+    if bits_on_rail == 0:
+        return np.array([0.0])  # BPSK has no Q rail
+    m = 1 << bits_on_rail
+    return np.arange(-(m - 1), m, 2, dtype=float)
+
+
+def _gray_to_level(bits_on_rail):
+    """Bits value -> level index, binary-reflected Gray per 802.11."""
+    m = 1 << bits_on_rail
+    indices = np.arange(m)
+    table = np.empty(m, dtype=np.int64)
+    table[indices ^ (indices >> 1)] = indices
+    return table
+
+
 #: Per-rail amplitude normalisation so the constellation has unit mean power.
-_KMOD = {1: 1.0, 2: 1.0 / np.sqrt(2.0), 4: 1.0 / np.sqrt(10.0), 6: 1.0 / np.sqrt(42.0)}
+_KMOD = {b: _kmod(b) for b in (1, 2, 4, 6, 8, 10)}
 
 #: Gray-coded PAM levels per rail, indexed by bits-per-rail.
-_PAM_LEVELS = {
-    0: np.array([0.0]),  # BPSK has no Q rail
-    1: np.array([-1.0, 1.0]),
-    2: np.array([-3.0, -1.0, 1.0, 3.0]),
-    3: np.array([-7.0, -5.0, -3.0, -1.0, 1.0, 3.0, 5.0, 7.0]),
-}
+_PAM_LEVELS = {b: _pam_levels(b) for b in range(6)}
 
 #: Gray code order for each rail size: bits value -> level index.
-_GRAY_TO_LEVEL = {
-    1: np.array([0, 1]),
-    2: np.array([0, 1, 3, 2]),
-    3: np.array([0, 1, 3, 2, 7, 6, 4, 5]),
-}
+_GRAY_TO_LEVEL = {b: _gray_to_level(b) for b in range(1, 6)}
 
 
 class Modulator:
@@ -39,7 +59,8 @@ class Modulator:
     Parameters
     ----------
     bits_per_symbol : int
-        1 (BPSK), 2 (QPSK), 4 (16-QAM) or 6 (64-QAM).
+        1 (BPSK), 2 (QPSK), or an even order up to 10: 4 (16-QAM),
+        6 (64-QAM), 8 (256-QAM), 10 (1024-QAM).
 
     Examples
     --------
@@ -49,13 +70,22 @@ class Modulator:
     [0, 0, 1, 1]
     """
 
-    SUPPORTED = (1, 2, 4, 6)
+    SUPPORTED = (1, 2, 4, 6, 8, 10)
 
     def __init__(self, bits_per_symbol):
+        if not isinstance(bits_per_symbol, (int, np.integer)):
+            raise ConfigurationError(
+                f"bits_per_symbol must be an integer, got {bits_per_symbol!r}"
+            )
         if bits_per_symbol not in self.SUPPORTED:
+            detail = (
+                "square QAM needs an even number of bits"
+                if bits_per_symbol > 1 and bits_per_symbol % 2
+                else "order not supported"
+            )
             raise ConfigurationError(
                 f"bits_per_symbol must be one of {self.SUPPORTED}, "
-                f"got {bits_per_symbol}"
+                f"got {bits_per_symbol} ({detail})"
             )
         self.bits_per_symbol = bits_per_symbol
         self.kmod = _KMOD[bits_per_symbol]
@@ -71,6 +101,21 @@ class Modulator:
         #: Per-bit boolean masks over the constellation: mask[b] selects
         #: the points whose label has bit b equal to 0.
         self._bit0_masks = (self._labels == 0).T.copy()
+        #: High-order constellations (256-/1024-QAM) demap per I/Q rail —
+        #: exact for Gray-coded square QAM under the max-log metric, and
+        #: it keeps the distance matrix at n_levels instead of n_points
+        #: columns (32 vs 1024 for 1024-QAM) in batched Monte-Carlo runs.
+        self._use_rails = bits_per_symbol >= 8
+        if self._use_rails:
+            gray = np.arange(1 << self._bits_i)
+            gray ^= gray >> 1
+            #: level index -> Gray label of that PAM level, per rail.
+            self._level_to_gray = gray
+            #: Gray label bit b == 0 mask over the PAM levels, per bit.
+            self._rail_bit0 = np.array(
+                [(gray >> b) & 1 == 0 for b in range(self._bits_i)]
+            )
+            self._rail_levels = self.kmod * _PAM_LEVELS[self._bits_i]
 
     # -- construction --------------------------------------------------
 
@@ -121,12 +166,28 @@ class Modulator:
 
     # -- demodulation ----------------------------------------------------
 
+    # -- per-rail fast path (256-/1024-QAM) -----------------------------
+
+    def _rail_nearest(self, values):
+        """Nearest PAM level index on one rail for real ``values``."""
+        m = 1 << self._bits_i
+        scaled = (values / self.kmod + (m - 1)) / 2.0
+        return np.clip(np.rint(scaled), 0, m - 1).astype(np.int64)
+
+    def _nearest_point(self, symbols):
+        """Constellation table index of the nearest point per symbol."""
+        if self._use_rails:
+            i_idx = self._rail_nearest(symbols.real)
+            q_idx = self._rail_nearest(symbols.imag)
+            return (self._level_to_gray[i_idx]
+                    | self._level_to_gray[q_idx] << self._bits_i)
+        distances = np.abs(symbols[:, None] - self._constellation[None, :])
+        return np.argmin(distances, axis=1)
+
     def demodulate_hard(self, symbols):
         """Minimum-distance hard decisions, returned as a bit array."""
         symbols = np.asarray(symbols, dtype=np.complex128).ravel()
-        distances = np.abs(symbols[:, None] - self._constellation[None, :])
-        nearest = np.argmin(distances, axis=1)
-        return self._labels[nearest].ravel()
+        return self._labels[self._nearest_point(symbols)].ravel()
 
     def demodulate_soft(self, symbols, noise_var):
         """Max-log-MAP bit LLRs.
@@ -146,6 +207,8 @@ class Modulator:
         noise_var = np.broadcast_to(
             np.maximum(np.asarray(noise_var, dtype=float), 1e-12), symbols.shape
         )
+        if self._use_rails:
+            return self._demodulate_soft_rails(symbols, noise_var)
         # metric[n, m] = -|y_n - c_m|^2 / sigma_n^2
         sq = np.abs(symbols[:, None] - self._constellation[None, :]) ** 2
         metric = -sq / noise_var[:, None]
@@ -155,27 +218,53 @@ class Modulator:
             llrs[:, bit] = metric[:, mask0].max(axis=1) - metric[:, ~mask0].max(axis=1)
         return llrs.ravel()
 
+    def _demodulate_soft_rails(self, symbols, noise_var):
+        """Max-log LLRs computed independently per I/Q rail.
+
+        The 2D metric -|y - c|^2 / sigma^2 separates into rail terms, and
+        the max over the opposite rail cancels in every LLR difference, so
+        this equals the full-constellation max-log result exactly.
+        """
+        llrs = np.empty((symbols.size, self.bits_per_symbol))
+        for rail, values in ((0, symbols.real), (1, symbols.imag)):
+            # metric[n, l] = -(v_n - level_l)^2 / sigma_n^2
+            metric = -((values[:, None] - self._rail_levels[None, :]) ** 2)
+            metric /= noise_var[:, None]
+            offset = rail * self._bits_i
+            for bit in range(self._bits_i):
+                mask0 = self._rail_bit0[bit]
+                llrs[:, offset + bit] = (
+                    metric[:, mask0].max(axis=1) - metric[:, ~mask0].max(axis=1)
+                )
+        return llrs.ravel()
+
     def symbol_error_positions(self, sent_symbols, received_symbols):
         """Boolean array marking which hard-decided symbols are wrong."""
         sent_symbols = np.asarray(sent_symbols).ravel()
         received_symbols = np.asarray(received_symbols).ravel()
         if sent_symbols.shape != received_symbols.shape:
             raise DemodulationError("symbol arrays must have equal length")
-        d_sent = np.argmin(
-            np.abs(sent_symbols[:, None] - self._constellation[None, :]), axis=1
+        d_sent = self._nearest_point(
+            np.asarray(sent_symbols, dtype=np.complex128)
         )
-        d_recv = np.argmin(
-            np.abs(received_symbols[:, None] - self._constellation[None, :]), axis=1
+        d_recv = self._nearest_point(
+            np.asarray(received_symbols, dtype=np.complex128)
         )
         return d_sent != d_recv
 
 
 def modulation_name(bits_per_symbol):
-    """Human-readable name for a bits-per-symbol value."""
-    names = {1: "BPSK", 2: "QPSK", 4: "16-QAM", 6: "64-QAM"}
-    try:
-        return names[bits_per_symbol]
-    except KeyError:
+    """Human-readable name for a bits-per-symbol value.
+
+    Derived, not listed: 1 is BPSK, 2 is QPSK, and every larger even
+    order b up to 10 is square 2^b-QAM (16/64/256/1024-QAM).
+    """
+    if bits_per_symbol not in Modulator.SUPPORTED:
         raise ConfigurationError(
             f"no 802.11 modulation uses {bits_per_symbol} bits/symbol"
-        ) from None
+        )
+    if bits_per_symbol == 1:
+        return "BPSK"
+    if bits_per_symbol == 2:
+        return "QPSK"
+    return f"{1 << bits_per_symbol}-QAM"

@@ -1,0 +1,123 @@
+"""OFDMA resource-unit model (802.11ax-style scheduling).
+
+802.11ax subdivides a channel into resource units (RUs) of 26 to 2x996
+tones and serves one user per RU simultaneously. This module models that
+scheduler analytically: RU tone counts and per-bandwidth availability
+follow the published HE tone plans, and per-RU data rates use the HE MCS
+ladder on the RU's data tones with the 12.8 us symbol clock — the same
+``Nss * Nbpsc * Rcode * Nsd / Tsym`` formula as the full-channel tables.
+
+No OFDMA waveform chain is built (see DESIGN.md); the model feeds the
+generational-trend experiments and gives the registry's 11ax entry its
+multi-user story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.standards.mcs import get_family
+
+#: Data tones per RU size (RU size counts total tones incl. pilots).
+RU_DATA_TONES = {
+    26: 24,
+    52: 48,
+    106: 102,
+    242: 234,
+    484: 468,
+    996: 980,
+    1992: 1960,
+}
+
+#: How many RUs of each size fit in a channel, per the HE tone plans.
+RU_COUNTS = {
+    20: {26: 9, 52: 4, 106: 2, 242: 1},
+    40: {26: 18, 52: 8, 106: 4, 242: 2, 484: 1},
+    80: {26: 37, 52: 16, 106: 8, 242: 4, 484: 2, 996: 1},
+    160: {26: 74, 52: 32, 106: 16, 242: 8, 484: 4, 996: 2, 1992: 1},
+}
+
+
+def ru_data_rate_mbps(ru_tones, mcs, spatial_streams=1,
+                      guard_interval="short"):
+    """Data rate of one HE resource unit in Mbps."""
+    if ru_tones not in RU_DATA_TONES:
+        raise ConfigurationError(
+            f"RU size must be one of {sorted(RU_DATA_TONES)} tones, "
+            f"got {ru_tones}"
+        )
+    fam = get_family("HE")
+    entry = fam.mcs(mcs, spatial_streams)
+    n_dbps = int(round(
+        entry.spatial_streams * entry.bits_per_subcarrier
+        * entry.code_rate_value * RU_DATA_TONES[ru_tones]
+    ))
+    return n_dbps / fam.symbol_time(guard_interval)
+
+
+@dataclass(frozen=True)
+class RuAllocation:
+    """One user's resource-unit assignment."""
+
+    user: int
+    ru_tones: int
+    mcs: int
+    spatial_streams: int
+    data_rate_mbps: float
+
+
+def largest_equal_ru(bandwidth_mhz, n_users):
+    """The largest RU size that gives every user its own RU."""
+    if bandwidth_mhz not in RU_COUNTS:
+        raise ConfigurationError(
+            f"bandwidth must be one of {sorted(RU_COUNTS)} MHz, "
+            f"got {bandwidth_mhz}"
+        )
+    counts = RU_COUNTS[bandwidth_mhz]
+    fitting = [size for size, count in counts.items() if count >= n_users]
+    if not fitting:
+        raise ConfigurationError(
+            f"{bandwidth_mhz} MHz fits at most {max(counts.values())} "
+            f"users ({n_users} requested)"
+        )
+    return max(fitting)
+
+
+def schedule(bandwidth_mhz, user_mcs, spatial_streams=1,
+             guard_interval="short"):
+    """Assign equal-size RUs to users and compute per-user rates.
+
+    Parameters
+    ----------
+    bandwidth_mhz : int
+        20, 40, 80 or 160.
+    user_mcs : sequence of int
+        One HE MCS index per user (the scheduler's link adaptation
+        decision for that user's RU).
+
+    Returns
+    -------
+    list of :class:`RuAllocation`, one per user.
+    """
+    user_mcs = list(user_mcs)
+    if not user_mcs:
+        raise ConfigurationError("need at least one user")
+    ru = largest_equal_ru(bandwidth_mhz, len(user_mcs))
+    return [
+        RuAllocation(
+            user=u,
+            ru_tones=ru,
+            mcs=mcs,
+            spatial_streams=spatial_streams,
+            data_rate_mbps=ru_data_rate_mbps(
+                ru, mcs, spatial_streams, guard_interval
+            ),
+        )
+        for u, mcs in enumerate(user_mcs)
+    ]
+
+
+def aggregate_rate_mbps(allocations):
+    """Summed downlink rate of an RU allocation."""
+    return sum(a.data_rate_mbps for a in allocations)

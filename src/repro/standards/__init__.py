@@ -2,23 +2,51 @@
 
 This package is pure data + small helpers: PHY rate tables, MAC timing
 constants and spectral-efficiency bookkeeping for 802.11 (DSSS/FHSS),
-802.11b (CCK), 802.11a/g (OFDM) and 802.11n (MIMO-OFDM, as the paper
-anticipated it and as eventually standardised).
+802.11b (CCK), 802.11a/g (OFDM), 802.11n (MIMO-OFDM, as the paper
+anticipated it and as eventually standardised), and the two generations
+the paper's trend predicted: 802.11ac (VHT) and 802.11ax (HE/OFDMA).
+Rate tables derive from the generation-parameterized MCS families in
+:mod:`repro.standards.mcs`; OFDM geometry lives in
+:mod:`repro.standards.plans`.
 """
 
-from repro.standards.mcs import HT_MCS_TABLE, HtMcs, ht_data_rate_mbps
+from repro.standards.mcs import (
+    HE_MCS_TABLE,
+    HT_MCS_TABLE,
+    MCS_FAMILIES,
+    VHT_MCS_TABLE,
+    HtMcs,
+    McsEntry,
+    McsFamily,
+    get_family,
+    ht_data_rate_mbps,
+    mcs_entry,
+)
+from repro.standards.plans import TONE_PLANS, TonePlan, tone_plan
 from repro.standards.registry import (
     GENERATIONS,
     Standard,
     evolution_table,
+    generation_order,
     get_standard,
     rate_at_snr,
 )
 
 __all__ = [
+    "HE_MCS_TABLE",
     "HT_MCS_TABLE",
+    "MCS_FAMILIES",
+    "VHT_MCS_TABLE",
     "HtMcs",
+    "McsEntry",
+    "McsFamily",
+    "get_family",
     "ht_data_rate_mbps",
+    "mcs_entry",
+    "TONE_PLANS",
+    "TonePlan",
+    "tone_plan",
+    "generation_order",
     "GENERATIONS",
     "Standard",
     "evolution_table",

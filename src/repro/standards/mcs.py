@@ -1,25 +1,47 @@
-"""The 802.11n HT modulation-and-coding-scheme (MCS) table.
+"""Generation-parameterized 802.11 modulation-and-coding-scheme tables.
 
-Equal-modulation MCS 0-31: index mod 8 selects modulation + code rate,
-index // 8 + 1 is the number of spatial streams. Data rate:
+One :class:`McsFamily` per MIMO-OFDM generation describes everything the
+rate math needs — the modulation/code-rate ladder, data-subcarrier count
+per channel width, symbol time per guard interval, and the stream-count
+envelope. Data rates follow the standard formula
 
     R = Nss * Nbpsc * Rcode * Nsd / Tsym
 
-with Nsd = 52 data subcarriers at 20 MHz, 108 at 40 MHz; Tsym = 4 us for
-the 800 ns long guard interval, 3.6 us for the optional 400 ns short GI.
-MCS 31 at 40 MHz / short GI is the famous 600 Mbps headline rate.
+for every family; the families differ only in their parameters:
+
+``HT`` (802.11n)
+    Equal-modulation MCS 0-31: index mod 8 selects modulation + code
+    rate, index // 8 + 1 is the number of spatial streams. Nsd = 52
+    data subcarriers at 20 MHz, 108 at 40 MHz; Tsym = 4 us long GI /
+    3.6 us short GI. MCS 31 at 40 MHz short GI is the famous 600 Mbps
+    headline rate.
+
+``VHT`` (802.11ac)
+    MCS 0-9 independent of the stream count (1-8 streams signalled
+    separately), adding 256-QAM and 80/160 MHz channels (Nsd = 234 /
+    468). MCS 9 x8 streams at 160 MHz short GI is the 6.93 Gbps
+    headline rate.
+
+``HE`` (802.11ax)
+    MCS 0-11, adding 1024-QAM on a 4x longer OFDMA symbol (12.8 us
+    plus a 0.8/1.6/3.2 us guard; the ``short`` guard name maps to the
+    highest-rate 0.8 us choice). Nsd = 234 data tones already at
+    20 MHz. MCS 11 x8 streams at 160 MHz is the 9.6 Gbps headline.
+
+The modulation-order/code-rate ladder is shared: each family simply uses
+a longer prefix of it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
 
-DATA_SUBCARRIERS = {20: 52, 40: 108}
-SYMBOL_TIME_US = {"long": 4.0, "short": 3.6}
-
-_BASE_SCHEMES = (
+#: The shared modulation/coding ladder. Scheme index k of every family
+#: means the same (modulation, code rate) pair; families differ only in
+#: how far down the ladder they reach.
+MCS_SCHEMES = (
     # (modulation name, bits per subcarrier, code rate string, numeric rate)
     ("BPSK", 1, "1/2", 0.5),
     ("QPSK", 2, "1/2", 0.5),
@@ -29,12 +51,153 @@ _BASE_SCHEMES = (
     ("64-QAM", 6, "2/3", 2.0 / 3.0),
     ("64-QAM", 6, "3/4", 0.75),
     ("64-QAM", 6, "5/6", 5.0 / 6.0),
+    ("256-QAM", 8, "3/4", 0.75),
+    ("256-QAM", 8, "5/6", 5.0 / 6.0),
+    ("1024-QAM", 10, "3/4", 0.75),
+    ("1024-QAM", 10, "5/6", 5.0 / 6.0),
+)
+
+#: Single-stream required-SNR figure per scheme index (dB), derived from
+#: minimum receiver sensitivities over a -94 dBm noise floor — the same
+#: link abstraction the registry has always used for MCS 0-7; the
+#: 256-/1024-QAM points extend the ladder at the conventional ~2 dB per
+#: coding step / ~6 dB per two modulation orders spacing.
+SCHEME_REQUIRED_SNR_DB = (
+    12.0, 15.0, 17.0, 20.0, 24.0, 28.0, 29.0, 31.0, 34.0, 36.0, 40.0, 42.0,
 )
 
 
 @dataclass(frozen=True)
-class HtMcs:
-    """One row of the HT MCS table."""
+class McsFamily:
+    """Rate-table parameters of one MIMO-OFDM generation."""
+
+    name: str
+    standard: str
+    n_schemes: int
+    max_streams: int
+    #: bandwidth (MHz) -> data subcarriers per stream.
+    data_subcarriers: dict
+    #: guard-interval name -> OFDM symbol time (us).
+    symbol_time_us: dict
+    #: True when the MCS index encodes the stream count (802.11n style).
+    stream_indexed: bool = False
+    required_snr_db: tuple = field(default=SCHEME_REQUIRED_SNR_DB)
+
+    @property
+    def schemes(self):
+        """This family's prefix of the shared modulation ladder."""
+        return MCS_SCHEMES[: self.n_schemes]
+
+    @property
+    def widths_mhz(self):
+        """Channel widths of the family, ascending."""
+        return tuple(sorted(self.data_subcarriers))
+
+    @property
+    def peak_width_mhz(self):
+        """The family's widest channelisation."""
+        return max(self.data_subcarriers)
+
+    def n_sd(self, bandwidth_mhz):
+        """Data subcarriers per stream at ``bandwidth_mhz``."""
+        if bandwidth_mhz not in self.data_subcarriers:
+            raise ConfigurationError(
+                f"{self.name} bandwidth must be one of "
+                f"{sorted(self.data_subcarriers)} MHz, got {bandwidth_mhz}"
+            )
+        return self.data_subcarriers[bandwidth_mhz]
+
+    def symbol_time(self, guard_interval):
+        """OFDM symbol time (us) for a guard-interval name."""
+        if guard_interval not in self.symbol_time_us:
+            raise ConfigurationError(
+                f"{self.name} guard_interval must be one of "
+                f"{sorted(self.symbol_time_us)}, got {guard_interval!r}"
+            )
+        return self.symbol_time_us[guard_interval]
+
+    @property
+    def fastest_guard(self):
+        """The guard-interval name giving the highest data rate."""
+        return min(self.symbol_time_us, key=self.symbol_time_us.get)
+
+    def mcs(self, index, spatial_streams=None):
+        """The :class:`McsEntry` for an MCS index (and stream count).
+
+        For the stream-indexed HT family ``spatial_streams`` is implied
+        by the index and must be omitted or consistent; for VHT/HE it
+        defaults to 1.
+        """
+        index = int(index)
+        if self.stream_indexed:
+            n_total = self.n_schemes * self.max_streams
+            if not 0 <= index < n_total:
+                raise ConfigurationError(
+                    f"{self.name} MCS index must be 0-{n_total - 1}, "
+                    f"got {index}"
+                )
+            implied = index // self.n_schemes + 1
+            if spatial_streams is not None and int(spatial_streams) != implied:
+                raise ConfigurationError(
+                    f"{self.name} MCS {index} implies {implied} stream(s), "
+                    f"got spatial_streams={spatial_streams}"
+                )
+            streams = implied
+            scheme = index % self.n_schemes
+        else:
+            if not 0 <= index < self.n_schemes:
+                raise ConfigurationError(
+                    f"{self.name} MCS index must be 0-{self.n_schemes - 1}, "
+                    f"got {index}"
+                )
+            streams = 1 if spatial_streams is None else int(spatial_streams)
+            if not 1 <= streams <= self.max_streams:
+                raise ConfigurationError(
+                    f"{self.name} supports 1-{self.max_streams} spatial "
+                    f"streams, got {streams}"
+                )
+            scheme = index
+        name, bpsc, rate_str, rate_val = MCS_SCHEMES[scheme]
+        return McsEntry(
+            index=index,
+            spatial_streams=streams,
+            modulation=name,
+            bits_per_subcarrier=bpsc,
+            code_rate=rate_str,
+            code_rate_value=rate_val,
+            family=self.name,
+        )
+
+    def table(self):
+        """Every entry of the family, as a freshly built dict.
+
+        HT keys are the packed MCS index 0-31; VHT/HE keys are
+        ``(index, spatial_streams)`` tuples.
+        """
+        if self.stream_indexed:
+            return {i: self.mcs(i)
+                    for i in range(self.n_schemes * self.max_streams)}
+        return {(i, s): self.mcs(i, s)
+                for s in range(1, self.max_streams + 1)
+                for i in range(self.n_schemes)}
+
+    def required_snr(self, index, spatial_streams=None):
+        """System-level required SNR (dB) for an entry.
+
+        Spatial multiplexing with a linear receiver needs extra SNR per
+        added stream (inter-stream interference); 3 dB/stream is the
+        customary system-level assumption.
+        """
+        entry = self.mcs(index, spatial_streams)
+        scheme = (entry.index % self.n_schemes if self.stream_indexed
+                  else entry.index)
+        return (self.required_snr_db[scheme]
+                + 3.0 * (entry.spatial_streams - 1))
+
+
+@dataclass(frozen=True)
+class McsEntry:
+    """One row of a generation's MCS table."""
 
     index: int
     spatial_streams: int
@@ -42,13 +205,17 @@ class HtMcs:
     bits_per_subcarrier: int
     code_rate: str
     code_rate_value: float
+    family: str = "HT"
+
+    def _family(self):
+        return get_family(self.family)
 
     def n_cbps(self, bandwidth_mhz=20):
         """Coded bits per OFDM symbol across all streams."""
         return (
             self.spatial_streams
             * self.bits_per_subcarrier
-            * DATA_SUBCARRIERS[bandwidth_mhz]
+            * self._family().n_sd(bandwidth_mhz)
         )
 
     def n_dbps(self, bandwidth_mhz=20):
@@ -57,41 +224,101 @@ class HtMcs:
 
     def data_rate_mbps(self, bandwidth_mhz=20, guard_interval="long"):
         """PHY data rate in Mbps."""
-        if bandwidth_mhz not in DATA_SUBCARRIERS:
-            raise ConfigurationError(
-                f"bandwidth must be 20 or 40 MHz, got {bandwidth_mhz}"
-            )
-        if guard_interval not in SYMBOL_TIME_US:
-            raise ConfigurationError(
-                f"guard_interval must be 'long' or 'short', got {guard_interval!r}"
-            )
-        return self.n_dbps(bandwidth_mhz) / SYMBOL_TIME_US[guard_interval]
+        fam = self._family()
+        fam.n_sd(bandwidth_mhz)  # validates the width
+        return self.n_dbps(bandwidth_mhz) / fam.symbol_time(guard_interval)
 
     def spectral_efficiency(self, bandwidth_mhz=20, guard_interval="long"):
         """Spectral efficiency in bps/Hz."""
         return self.data_rate_mbps(bandwidth_mhz, guard_interval) / bandwidth_mhz
 
 
-def _build_table():
-    table = {}
-    for index in range(32):
-        name, bpsc, rate_str, rate_val = _BASE_SCHEMES[index % 8]
-        table[index] = HtMcs(
-            index=index,
-            spatial_streams=index // 8 + 1,
-            modulation=name,
-            bits_per_subcarrier=bpsc,
-            code_rate=rate_str,
-            code_rate_value=rate_val,
+#: Compatibility alias: the HT rows used to be a dedicated class.
+HtMcs = McsEntry
+
+
+MCS_FAMILIES = {
+    "HT": McsFamily(
+        name="HT",
+        standard="802.11n",
+        n_schemes=8,
+        max_streams=4,
+        data_subcarriers={20: 52, 40: 108},
+        symbol_time_us={"long": 4.0, "short": 3.6},
+        stream_indexed=True,
+    ),
+    "VHT": McsFamily(
+        name="VHT",
+        standard="802.11ac",
+        n_schemes=10,
+        max_streams=8,
+        data_subcarriers={20: 52, 40: 108, 80: 234, 160: 468},
+        symbol_time_us={"long": 4.0, "short": 3.6},
+    ),
+    # HE's 12.8 us OFDMA symbol takes a 0.8/1.6/3.2 us guard; the names
+    # keep the family-wide convention that "short" is the fastest choice.
+    "HE": McsFamily(
+        name="HE",
+        standard="802.11ax",
+        n_schemes=12,
+        max_streams=8,
+        data_subcarriers={20: 234, 40: 468, 80: 980, 160: 1960},
+        symbol_time_us={"long": 16.0, "medium": 14.4, "short": 13.6},
+    ),
+}
+
+
+def get_family(name):
+    """Look up an MCS family by name ('HT', 'VHT', 'HE')."""
+    if name not in MCS_FAMILIES:
+        raise ConfigurationError(
+            f"unknown MCS family {name!r}; choose from {sorted(MCS_FAMILIES)}"
         )
-    return table
+    return MCS_FAMILIES[name]
 
 
-HT_MCS_TABLE = _build_table()
+def mcs_entry(family, index, spatial_streams=None):
+    """The :class:`McsEntry` for ``(family, index, spatial_streams)``."""
+    return get_family(family).mcs(index, spatial_streams)
+
+
+def data_rate_mbps(family, index, spatial_streams=None, bandwidth_mhz=20,
+                   guard_interval="long"):
+    """Data rate of any generation's MCS in Mbps."""
+    entry = mcs_entry(family, index, spatial_streams)
+    return entry.data_rate_mbps(bandwidth_mhz, guard_interval)
+
+
+# ---------------------------------------------------------------------------
+# Concrete tables
+# ---------------------------------------------------------------------------
+
+#: HT MCS 0-31, keyed by the packed index.
+HT_MCS_TABLE = MCS_FAMILIES["HT"].table()
+
+#: VHT MCS 0-9 x 1-8 streams, keyed by ``(index, spatial_streams)``.
+VHT_MCS_TABLE = MCS_FAMILIES["VHT"].table()
+
+#: HE MCS 0-11 x 1-8 streams, keyed by ``(index, spatial_streams)``.
+HE_MCS_TABLE = MCS_FAMILIES["HE"].table()
+
+#: HT compatibility constants (the pre-refactor module-level tables).
+DATA_SUBCARRIERS = MCS_FAMILIES["HT"].data_subcarriers
+SYMBOL_TIME_US = MCS_FAMILIES["HT"].symbol_time_us
 
 
 def ht_data_rate_mbps(mcs_index, bandwidth_mhz=20, guard_interval="long"):
-    """Data rate for an MCS index (0-31)."""
+    """Data rate for an HT MCS index (0-31)."""
     if mcs_index not in HT_MCS_TABLE:
         raise ConfigurationError(f"MCS index must be 0-31, got {mcs_index}")
     return HT_MCS_TABLE[mcs_index].data_rate_mbps(bandwidth_mhz, guard_interval)
+
+
+def vht_mcs(index, spatial_streams=1):
+    """The VHT MCS entry for ``(index 0-9, 1-8 streams)``."""
+    return MCS_FAMILIES["VHT"].mcs(index, spatial_streams)
+
+
+def he_mcs(index, spatial_streams=1):
+    """The HE MCS entry for ``(index 0-11, 1-8 streams)``."""
+    return MCS_FAMILIES["HE"].mcs(index, spatial_streams)

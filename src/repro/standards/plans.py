@@ -1,0 +1,116 @@
+"""Per-bandwidth OFDM tone plans shared by the MIMO-OFDM chains.
+
+One :class:`TonePlan` per channel width holds the FFT geometry, the used
+and pilot subcarrier sets, and the block-interleaver shape. The 20/40 MHz
+plans are the 802.11n ones; 80/160 MHz follow the 802.11ac tone maps
+(256-/512-point FFT, 8/16 pilots, 234/468 data tones). The PHY chains
+read their geometry from here, so a generation adds channel widths by
+declaring them in its :class:`~repro.standards.mcs.McsFamily` — no PHY
+edits.
+
+Simplification vs the full standard (see DESIGN.md): the 160 MHz
+interleaver treats the channel as one 468-tone block (26 x 18*Nbpsc)
+instead of two segment-parsed 80 MHz blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TonePlan:
+    """OFDM geometry of one channel width."""
+
+    bandwidth_mhz: int
+    fft_size: int
+    cp: int
+    sample_rate: float
+    #: Pilot subcarrier indices (DC-relative).
+    pilots: tuple
+    #: All used subcarrier indices (pilots + data), ascending.
+    used: tuple
+    #: Block-interleaver shape: columns and the rows-per-Nbpsc factor.
+    interleaver_cols: int
+    interleaver_row_factor: int
+
+    @property
+    def n_used(self):
+        """Number of used subcarriers (data + pilots)."""
+        return len(self.used)
+
+    @property
+    def data(self):
+        """Data subcarrier indices (used minus pilots), ascending."""
+        pilots = set(self.pilots)
+        return tuple(k for k in self.used if k not in pilots)
+
+    @property
+    def n_data(self):
+        """Number of data subcarriers."""
+        return self.n_used - len(self.pilots)
+
+
+def _sym_range(lo, hi):
+    """Symmetric index set +/-(lo..hi), ascending."""
+    return tuple(range(-hi, -lo + 1)) + tuple(range(lo, hi + 1))
+
+
+TONE_PLANS = {
+    20: TonePlan(
+        bandwidth_mhz=20,
+        fft_size=64,
+        cp=16,
+        sample_rate=20e6,
+        pilots=(-21, -7, 7, 21),
+        used=tuple(k for k in range(-28, 29) if k != 0),
+        interleaver_cols=13,
+        interleaver_row_factor=4,
+    ),
+    40: TonePlan(
+        bandwidth_mhz=40,
+        fft_size=128,
+        cp=32,
+        sample_rate=40e6,
+        pilots=(-53, -25, -11, 11, 25, 53),
+        used=tuple(k for k in range(-58, 59) if k not in (-1, 0, 1)),
+        interleaver_cols=18,
+        interleaver_row_factor=6,
+    ),
+    80: TonePlan(
+        bandwidth_mhz=80,
+        fft_size=256,
+        cp=64,
+        sample_rate=80e6,
+        pilots=_sym_range(11, 11) + _sym_range(39, 39)
+        + _sym_range(75, 75) + _sym_range(103, 103),
+        used=tuple(k for k in range(-122, 123) if k not in (-1, 0, 1)),
+        interleaver_cols=26,
+        interleaver_row_factor=9,
+    ),
+    160: TonePlan(
+        bandwidth_mhz=160,
+        fft_size=512,
+        cp=128,
+        sample_rate=160e6,
+        pilots=_sym_range(25, 25) + _sym_range(53, 53)
+        + _sym_range(89, 89) + _sym_range(117, 117)
+        + _sym_range(139, 139) + _sym_range(167, 167)
+        + _sym_range(203, 203) + _sym_range(231, 231),
+        used=_sym_range(6, 126) + _sym_range(130, 250),
+        interleaver_cols=26,
+        interleaver_row_factor=18,
+    ),
+}
+
+
+def tone_plan(bandwidth_mhz):
+    """The :class:`TonePlan` for a channel width in MHz."""
+    if bandwidth_mhz not in TONE_PLANS:
+        raise ConfigurationError(
+            f"no tone plan for {bandwidth_mhz} MHz; "
+            f"choose from {sorted(TONE_PLANS)}"
+        )
+    return TONE_PLANS[bandwidth_mhz]

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
-from repro.standards.mcs import HT_MCS_TABLE
+from repro.standards.mcs import get_family
 
 NOISE_FLOOR_DBM_20MHZ = -94.0
 
@@ -41,6 +41,15 @@ class Standard:
     cw_min: int = 31
     preamble_s: float = 192e-6
     mandatory_spreading: bool = False
+    #: Channel widths the generation defines (empty = single-width).
+    channel_widths_mhz: tuple = field(default_factory=tuple)
+
+    @property
+    def peak_bandwidth_mhz(self):
+        """The widest channelisation the generation defines."""
+        if self.channel_widths_mhz:
+            return max(self.channel_widths_mhz)
+        return self.bandwidth_mhz
 
     @property
     def max_rate_mbps(self):
@@ -49,36 +58,50 @@ class Standard:
 
     @property
     def spectral_efficiency(self):
-        """Peak spectral efficiency in bps/Hz."""
-        return self.max_rate_mbps / self.bandwidth_mhz
+        """Peak spectral efficiency in bps/Hz.
+
+        The peak rate is achieved at the generation's *widest* channel,
+        so the efficiency divides by the peak width, not the base one.
+        """
+        return self.max_rate_mbps / self.peak_bandwidth_mhz
 
     def rate_at_snr(self, snr_db):
-        """Highest rate decodable at ``snr_db`` (None if below all)."""
+        """Highest rate decodable at ``snr_db`` (None if below all).
+
+        Ties on rate (e.g. the same Mbps reached by more streams of a
+        lower-order scheme) break toward the lower required SNR.
+        """
         usable = [r for r in self.rates if r.required_snr_db <= snr_db]
         if not usable:
             return None
-        return max(usable, key=lambda r: r.rate_mbps)
+        return max(usable, key=lambda r: (r.rate_mbps, -r.required_snr_db))
 
 
-def _ht_rates(bandwidth_mhz, guard_interval="long"):
-    """HT MCS 0-31 as RateEntry tuples at the given channelisation."""
-    base_snr = {0: 12.0, 1: 15.0, 2: 17.0, 3: 20.0, 4: 24.0, 5: 28.0,
-                6: 29.0, 7: 31.0}
+def _family_rates(family_name, bandwidth_mhz, guard_interval="long"):
+    """A whole MCS family as RateEntry tuples at one channelisation.
+
+    Rates and required SNR both come from the generation-parameterized
+    tables in :mod:`repro.standards.mcs`: the single-stream SNR ladder
+    plus the customary 3 dB per extra stream for linear detection.
+    """
+    family = get_family(family_name)
     entries = []
-    for index, mcs in HT_MCS_TABLE.items():
-        # Spatial multiplexing with a linear receiver needs extra SNR per
-        # added stream (inter-stream interference); 3 dB/stream is the
-        # customary system-level assumption.
-        snr = base_snr[index % 8] + 3.0 * (mcs.spatial_streams - 1)
+    for key, mcs in family.table().items():
+        spatial = None if family.stream_indexed else mcs.spatial_streams
         entries.append(
             RateEntry(
                 rate_mbps=mcs.data_rate_mbps(bandwidth_mhz, guard_interval),
-                required_snr_db=snr,
+                required_snr_db=family.required_snr(mcs.index, spatial),
                 modulation=f"{mcs.modulation} x{mcs.spatial_streams}",
                 code_rate=mcs.code_rate,
             )
         )
     return tuple(entries)
+
+
+def _ht_rates(bandwidth_mhz, guard_interval="long"):
+    """HT MCS 0-31 as RateEntry tuples at the given channelisation."""
+    return _family_rates("HT", bandwidth_mhz, guard_interval)
 
 
 GENERATIONS = {
@@ -168,6 +191,33 @@ GENERATIONS = {
         sifs_s=16e-6,
         cw_min=15,
         preamble_s=36e-6,
+        channel_widths_mhz=(20.0, 40.0),
+    ),
+    "802.11ac": Standard(
+        name="802.11ac",
+        year=2013,
+        phy_type="VHT MIMO-OFDM",
+        band_ghz=5.0,
+        bandwidth_mhz=160.0,
+        rates=_family_rates("VHT", 160, "short"),
+        slot_time_s=9e-6,
+        sifs_s=16e-6,
+        cw_min=15,
+        preamble_s=40e-6,  # VHT preamble incl. one VHT-LTF
+        channel_widths_mhz=(20.0, 40.0, 80.0, 160.0),
+    ),
+    "802.11ax": Standard(
+        name="802.11ax",
+        year=2019,
+        phy_type="HE OFDMA",
+        band_ghz=5.0,
+        bandwidth_mhz=160.0,
+        rates=_family_rates("HE", 160, "short"),
+        slot_time_s=9e-6,
+        sifs_s=16e-6,
+        cw_min=15,
+        preamble_s=48e-6,  # HE preamble incl. one 2x-clock HE-LTF
+        channel_widths_mhz=(20.0, 40.0, 80.0, 160.0),
     ),
 }
 
@@ -208,10 +258,10 @@ def evolution_table():
     efficiency, and the ratio to the previous generation (the paper's
     "fivefold increase with each new standard").
     """
-    order = ["802.11", "802.11b", "802.11a", "802.11g", "802.11n"]
+    order = generation_order()
     rows = []
     previous_eff = None
-    for name in order:
+    for pos, name in enumerate(order):
         std = GENERATIONS[name]
         eff = std.spectral_efficiency
         ratio = None if previous_eff is None else eff / previous_eff
@@ -221,13 +271,29 @@ def evolution_table():
                 "year": std.year,
                 "phy": std.phy_type,
                 "max_rate_mbps": std.max_rate_mbps,
-                "bandwidth_mhz": std.bandwidth_mhz,
+                "bandwidth_mhz": std.peak_bandwidth_mhz,
                 "spectral_efficiency_bps_hz": eff,
                 "ratio_to_previous": ratio,
             }
         )
-        # 802.11a and 802.11g share a PHY; the paper's 5x chain is
-        # 802.11 -> 802.11b -> 802.11a/g -> 802.11n.
-        if name != "802.11a":
+        # Generations sharing one PHY (802.11a and 802.11g) count as a
+        # single step of the ratio chain: the paper's 5x chain is
+        # 802.11 -> 802.11b -> 802.11a/g -> 802.11n -> ...
+        next_shares_phy = (
+            pos + 1 < len(order)
+            and GENERATIONS[order[pos + 1]].phy_type == std.phy_type
+        )
+        if not next_shares_phy:
             previous_eff = eff
     return rows
+
+
+def generation_order():
+    """Generation names in historical order, derived from the registry.
+
+    A stable sort on ratification year (registry insertion order breaks
+    ties, putting 802.11b's 2.4 GHz continuation before 802.11a's new
+    5 GHz PHY in 1999) — no hand-maintained list to update when a
+    generation is added.
+    """
+    return sorted(GENERATIONS, key=lambda name: GENERATIONS[name].year)

@@ -17,7 +17,7 @@ class TestParser:
 
     def test_rates_rejects_unknown_standard(self):
         with pytest.raises(SystemExit):
-            build_parser().parse_args(["rates", "802.11ax"])
+            build_parser().parse_args(["rates", "802.11zz"])
 
 
 class TestCommands:

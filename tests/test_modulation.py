@@ -7,7 +7,7 @@ from repro.errors import ConfigurationError
 from repro.phy.modulation import Modulator, modulation_name
 from repro.utils.bits import random_bits
 
-ALL_ORDERS = [1, 2, 4, 6]
+ALL_ORDERS = [1, 2, 4, 6, 8, 10]
 
 
 class TestConstellation:
@@ -30,11 +30,16 @@ class TestConstellation:
         const = Modulator(2).constellation
         assert np.allclose(np.abs(const), 1.0)
 
-    def test_invalid_order_rejected(self):
+    @pytest.mark.parametrize("bad", [0, 3, 5, 7, 9, 12])
+    def test_invalid_order_rejected(self, bad):
         with pytest.raises(ConfigurationError):
-            Modulator(3)
+            Modulator(bad)
 
-    @pytest.mark.parametrize("bps", [2, 4, 6])
+    def test_non_integer_order_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Modulator(2.0)
+
+    @pytest.mark.parametrize("bps", [2, 4, 6, 8])
     def test_gray_coding_single_bit_neighbours(self, bps):
         """Nearest horizontal/vertical neighbours differ in exactly one bit."""
         mod = Modulator(bps)
@@ -64,10 +69,10 @@ class TestRoundTrip:
     def test_soft_signs_match_hard(self, bps, rng):
         mod = Modulator(bps)
         bits = random_bits(bps * 100, rng)
-        noisy = mod.modulate(bits) + 0.01 * (
+        noisy = mod.modulate(bits) + 0.005 * (
             rng.normal(size=100) + 1j * rng.normal(size=100)
         )
-        llrs = mod.demodulate_soft(noisy, noise_var=0.0002)
+        llrs = mod.demodulate_soft(noisy, noise_var=0.00005)
         assert np.array_equal((llrs < 0).astype(np.int8), bits)
 
     def test_wrong_bit_count_raises(self):
@@ -114,8 +119,49 @@ class TestErrorPositions:
 class TestNames:
     def test_known_names(self):
         assert modulation_name(1) == "BPSK"
+        assert modulation_name(2) == "QPSK"
+        assert modulation_name(4) == "16-QAM"
         assert modulation_name(6) == "64-QAM"
 
-    def test_unknown_raises(self):
+    def test_derived_high_order_names(self):
+        assert modulation_name(8) == "256-QAM"
+        assert modulation_name(10) == "1024-QAM"
+
+    @pytest.mark.parametrize("bad", [0, 3, 5, 7, 9, 12])
+    def test_unknown_raises(self, bad):
         with pytest.raises(ConfigurationError):
-            modulation_name(5)
+            modulation_name(bad)
+
+
+class TestRailFastPath:
+    """256-/1024-QAM demap per I/Q rail; must equal the full-matrix path."""
+
+    @pytest.mark.parametrize("bps", [8, 10])
+    def test_rail_hard_equals_full_search(self, bps, rng):
+        mod = Modulator(bps)
+        bits = random_bits(bps * 64, rng)
+        noisy = mod.modulate(bits) + 0.02 * (
+            rng.normal(size=64) + 1j * rng.normal(size=64)
+        )
+        nearest = np.argmin(
+            np.abs(noisy[:, None] - mod.constellation[None, :]), axis=1
+        )
+        full = mod._labels[nearest].ravel()
+        assert np.array_equal(mod.demodulate_hard(noisy), full)
+
+    @pytest.mark.parametrize("bps", [8, 10])
+    def test_rail_soft_equals_full_maxlog(self, bps, rng):
+        mod = Modulator(bps)
+        bits = random_bits(bps * 64, rng)
+        noisy = mod.modulate(bits) + 0.02 * (
+            rng.normal(size=64) + 1j * rng.normal(size=64)
+        )
+        nv = np.full(64, 0.0008)
+        metric = -(np.abs(noisy[:, None] - mod.constellation[None, :]) ** 2)
+        metric = metric / nv[:, None]
+        ref = np.empty((64, bps))
+        for bit in range(bps):
+            mask0 = mod._bit0_masks[bit]
+            ref[:, bit] = (metric[:, mask0].max(axis=1)
+                           - metric[:, ~mask0].max(axis=1))
+        assert np.allclose(mod.demodulate_soft(noisy, nv), ref.ravel())

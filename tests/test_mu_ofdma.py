@@ -1,0 +1,206 @@
+"""Tests for MU-MIMO downlink (ZF precoding) and the OFDMA RU model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DemodulationError
+from repro.phy.mimo.mu import MuMimoDownlink, mu_su_throughput, zf_precoders
+from repro.phy.ofdma import (
+    RU_COUNTS,
+    RU_DATA_TONES,
+    aggregate_rate_mbps,
+    largest_equal_ru,
+    ru_data_rate_mbps,
+    schedule,
+)
+from repro.standards.mcs import get_family
+
+
+def _rayleigh(rng, shape):
+    return (rng.normal(size=shape)
+            + 1j * rng.normal(size=shape)) / np.sqrt(2)
+
+
+class TestZfPrecoders:
+    def test_zero_forcing_property(self, rng):
+        """H_u W_v is (a scaled) identity for v == u and ~0 otherwise."""
+        h = _rayleigh(rng, (3, 16, 1, 4))
+        w = zf_precoders(h)
+        for u in range(3):
+            for v in range(3):
+                prod = np.einsum("cst,ctu->csu", h[u], w[v])
+                if u == v:
+                    assert np.min(np.abs(prod)) > 1e-6
+                else:
+                    assert np.max(np.abs(prod)) < 1e-10
+
+    def test_unit_total_power(self, rng):
+        w = zf_precoders(_rayleigh(rng, (2, 8, 2, 4)))
+        # (n_users, n_sc, n_tx, s) -> per-subcarrier power over users.
+        power = np.sum(np.abs(w) ** 2, axis=(0, 2, 3))
+        assert np.allclose(power, 1.0)
+
+    def test_overloaded_array_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            zf_precoders(_rayleigh(rng, (3, 4, 2, 4)))
+
+    def test_bad_shape_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            zf_precoders(_rayleigh(rng, (3, 4, 4)))
+
+
+class TestMuMimoDownlink:
+    def test_three_users_decode_own_psdus(self, rng):
+        dl = MuMimoDownlink(n_users=3, n_tx=4, mcs=2)
+        h = _rayleigh(rng, (3, dl.n_data_sc, 1, 4))
+        psdus = [bytes(rng.integers(0, 256, 40, dtype=np.uint8))
+                 for _ in range(3)]
+        assert dl.transmit(psdus, h).shape[0] == 4
+        noise_var = 1e-7
+        # Frequency-flat channels so the channel can be applied in the
+        # time domain (a per-tone channel would need per-tone filtering).
+        flat = _rayleigh(rng, (3, 1, 1, 4))
+        h_flat = np.broadcast_to(flat, (3, dl.n_data_sc, 1, 4)).copy()
+        tx = dl.transmit(psdus, h_flat)
+        for u in range(3):
+            rx = flat[u, 0] @ tx  # (1, n_samples)
+            rx = rx + np.sqrt(noise_var / 2) * (
+                rng.normal(size=rx.shape) + 1j * rng.normal(size=rx.shape)
+            )
+            assert dl.receive_user(u, rx, noise_var,
+                                   psdu_bytes=40) == psdus[u]
+
+    def test_two_users_two_streams(self, rng):
+        dl = MuMimoDownlink(n_users=2, n_tx=4, mcs=3, spatial_streams=2)
+        flat = _rayleigh(rng, (2, 1, 2, 4))
+        h = np.broadcast_to(flat, (2, dl.n_data_sc, 2, 4)).copy()
+        psdus = [bytes(rng.integers(0, 256, 60, dtype=np.uint8))
+                 for _ in range(2)]
+        tx = dl.transmit(psdus, h)
+        noise_var = 1e-7
+        for u in range(2):
+            rx = flat[u, 0] @ tx
+            rx = rx + np.sqrt(noise_var / 2) * (
+                rng.normal(size=rx.shape) + 1j * rng.normal(size=rx.shape)
+            )
+            assert dl.receive_user(u, rx, noise_var,
+                                   psdu_bytes=60) == psdus[u]
+
+    def test_too_many_streams_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MuMimoDownlink(n_users=3, n_tx=4, spatial_streams=2)
+
+    def test_mismatched_psdu_count_rejected(self, rng):
+        dl = MuMimoDownlink(n_users=2, n_tx=4)
+        h = _rayleigh(rng, (2, dl.n_data_sc, 1, 4))
+        with pytest.raises(ConfigurationError):
+            dl.transmit([b"only one"], h)
+
+    def test_unequal_symbol_counts_rejected(self, rng):
+        dl = MuMimoDownlink(n_users=2, n_tx=4, mcs=0)
+        h = _rayleigh(rng, (2, dl.n_data_sc, 1, 4))
+        with pytest.raises(ConfigurationError):
+            dl.transmit([b"x", bytes(500)], h)
+
+    def test_bad_user_index_rejected(self):
+        dl = MuMimoDownlink(n_users=2, n_tx=4)
+        with pytest.raises(DemodulationError):
+            dl.receive_user(2, np.zeros((1, 10)), 1e-3)
+
+
+class TestMuSuThroughput:
+    def test_orthogonal_channels_favor_mu(self):
+        """With orthogonal user channels ZF costs nothing: MU serves
+        all users at once while TDMA pays the 1/U airtime split."""
+        h = np.eye(4)
+        out = mu_su_throughput(h, snr_db=40.0)
+        assert out["gain"] > 1.0
+        assert out["mu_mbps"] > out["su_mbps"]
+
+    def test_su_beats_mu_when_users_align(self):
+        # Nearly colinear channels make ZF pay a huge power penalty.
+        h = np.array([[1.0, 0.0, 0.0, 0.0],
+                      [0.999, 0.0447, 0.0, 0.0]])
+        out = mu_su_throughput(h, snr_db=20.0)
+        assert out["su_mbps"] >= out["mu_mbps"]
+
+    def test_per_user_snr_shapes(self, rng):
+        h = _rayleigh(rng, (3, 8))
+        out = mu_su_throughput(h, snr_db=30.0)
+        assert out["mu_user_snr_db"].shape == (3,)
+        assert out["su_user_snr_db"].shape == (3,)
+        # MRT SNR always beats the ZF post-precoding SNR per user.
+        assert np.all(out["su_user_snr_db"] >= out["mu_user_snr_db"])
+
+    def test_overloaded_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            mu_su_throughput(_rayleigh(rng, (5, 4)), snr_db=30.0)
+
+
+class TestOfdmaRates:
+    def test_ru26_mcs0_long_gi(self):
+        # 24 data tones x 1 bit x 1/2 over 16 us = 0.75 Mbps.
+        assert ru_data_rate_mbps(26, 0, guard_interval="long") == (
+            pytest.approx(0.75)
+        )
+
+    def test_ru242_mcs11(self):
+        # 234 x 10 x 5/6 / 13.6 us = 143.4 Mbps (the published figure).
+        assert ru_data_rate_mbps(242, 11) == pytest.approx(143.4, abs=0.1)
+
+    def test_full_channel_ru_matches_family_table(self):
+        fam = get_family("HE")
+        for ru, bw in ((242, 20), (484, 40), (996, 80), (1992, 160)):
+            assert ru_data_rate_mbps(ru, 7, 2) == pytest.approx(
+                fam.mcs(7, 2).data_rate_mbps(bw, "short")
+            )
+
+    def test_unknown_ru_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ru_data_rate_mbps(100, 0)
+
+    def test_ru_data_tone_consistency(self):
+        for size, data in RU_DATA_TONES.items():
+            assert data < size
+
+
+class TestOfdmaScheduler:
+    def test_largest_equal_ru(self):
+        assert largest_equal_ru(20, 1) == 242
+        assert largest_equal_ru(20, 2) == 106
+        assert largest_equal_ru(20, 9) == 26
+        assert largest_equal_ru(80, 8) == 106
+        assert largest_equal_ru(160, 2) == 996
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ConfigurationError):
+            largest_equal_ru(20, 10)
+        with pytest.raises(ConfigurationError):
+            largest_equal_ru(30, 2)
+
+    def test_schedule_per_user_mcs(self):
+        allocs = schedule(40, [11, 7, 0, 3])
+        assert [a.user for a in allocs] == [0, 1, 2, 3]
+        assert all(a.ru_tones == 106 for a in allocs)
+        rates = [a.data_rate_mbps for a in allocs]
+        assert rates[0] > rates[1] > rates[3] > rates[2]
+        assert aggregate_rate_mbps(allocs) == pytest.approx(sum(rates))
+
+    def test_empty_user_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            schedule(20, [])
+
+    def test_ofdma_splits_channel_rate(self):
+        """Four 106-tone RUs carry less than one 484-tone channel at the
+        same MCS (tone overheads), but within ~15% of it."""
+        whole = ru_data_rate_mbps(484, 7)
+        split = aggregate_rate_mbps(schedule(40, [7, 7, 7, 7]))
+        assert split < whole
+        assert split / whole > 0.85
+
+    def test_ru_counts_tile_the_channel(self):
+        # Equal-size RU tilings never exceed the channel's tone budget.
+        total_tones = {20: 242, 40: 484, 80: 996, 160: 1992}
+        for bw, counts in RU_COUNTS.items():
+            for size, count in counts.items():
+                assert size * count <= total_tones[bw] + 8 * (count - 1)

@@ -1,22 +1,33 @@
-"""Tests for the standards registry and the HT MCS table."""
+"""Tests for the standards registry and the generation MCS tables."""
 
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.standards.mcs import HT_MCS_TABLE, ht_data_rate_mbps
+from repro.standards.mcs import (
+    HE_MCS_TABLE,
+    HT_MCS_TABLE,
+    VHT_MCS_TABLE,
+    get_family,
+    ht_data_rate_mbps,
+)
 from repro.standards.registry import (
     DOT11N_20MHZ,
     GENERATIONS,
+    RateEntry,
+    Standard,
+    _family_rates,
     evolution_table,
+    generation_order,
     get_standard,
     rate_at_snr,
 )
 
 
 class TestGenerations:
-    def test_all_five_present(self):
+    def test_all_seven_present(self):
         assert set(GENERATIONS) == {
             "802.11", "802.11b", "802.11a", "802.11g", "802.11n",
+            "802.11ac", "802.11ax",
         }
 
     def test_paper_max_rates(self):
@@ -69,7 +80,24 @@ class TestGenerations:
 
     def test_unknown_standard_rejected(self):
         with pytest.raises(ConfigurationError):
-            get_standard("802.11ax")
+            get_standard("802.11zz")
+
+    def test_post_paper_headline_rates(self):
+        """The published VHT/HE headline rates: 6.93 and 9.6 Gbps."""
+        assert get_standard("802.11ac").max_rate_mbps == pytest.approx(
+            6933.3, abs=0.1
+        )
+        assert get_standard("802.11ax").max_rate_mbps == pytest.approx(
+            9607.8, abs=0.1
+        )
+
+    def test_post_paper_spectral_efficiencies(self):
+        assert get_standard("802.11ac").spectral_efficiency == (
+            pytest.approx(43.33, abs=0.01)
+        )
+        assert get_standard("802.11ax").spectral_efficiency == (
+            pytest.approx(60.05, abs=0.01)
+        )
 
 
 class TestRateAtSnr:
@@ -138,3 +166,141 @@ class TestHtMcs:
 
     def test_20mhz_registry_variant(self):
         assert DOT11N_20MHZ.max_rate_mbps == pytest.approx(260.0)
+
+
+class TestGenerationOrder:
+    def test_seed_five_order_matches_old_hand_list(self):
+        """Regression: the year-derived ordering reproduces the list
+        that used to be hand-maintained in evolution_table()."""
+        legacy = ["802.11", "802.11b", "802.11a", "802.11g", "802.11n"]
+        derived = [n for n in generation_order() if n in legacy]
+        assert derived == legacy
+
+    def test_new_generations_slot_in_after_11n(self):
+        order = generation_order()
+        assert order[-2:] == ["802.11ac", "802.11ax"]
+
+    def test_evolution_table_covers_every_generation(self):
+        assert [r["standard"] for r in evolution_table()] == (
+            generation_order()
+        )
+
+
+class TestRateAtSnrTieBreak:
+    def test_tie_breaks_toward_lower_required_snr(self):
+        std = Standard(
+            name="tie", year=2000, phy_type="X", band_ghz=5.0,
+            bandwidth_mhz=20.0,
+            rates=(
+                RateEntry(10.0, 20.0, "greedy"),
+                RateEntry(10.0, 12.0, "frugal"),
+                RateEntry(10.0, 15.0, "middling"),
+            ),
+        )
+        assert std.rate_at_snr(25.0).modulation == "frugal"
+
+    def test_real_tie_in_11n_table(self):
+        # At 34 dB the best 40 MHz SGI rate is 360 Mbps, reachable as
+        # both 16-QAM 3/4 x4 (33 dB) and 64-QAM 2/3 x3 (34 dB); the
+        # cheaper mode must win.
+        std = get_standard("802.11n")
+        chosen = std.rate_at_snr(34.0)
+        tied = [r for r in std.rates
+                if r.rate_mbps == chosen.rate_mbps
+                and r.required_snr_db <= 34.0]
+        assert len(tied) > 1, "expected a genuine tie at 34 dB"
+        assert chosen.rate_mbps == pytest.approx(360.0)
+        assert chosen.required_snr_db == min(
+            r.required_snr_db for r in tied
+        )
+        assert chosen.modulation == "16-QAM x4"
+
+
+class TestPeakWidthSpectralEfficiency:
+    def test_multi_width_generation_uses_peak_width(self):
+        ac = get_standard("802.11ac")
+        assert ac.channel_widths_mhz == (20.0, 40.0, 80.0, 160.0)
+        assert ac.peak_bandwidth_mhz == 160.0
+        assert ac.spectral_efficiency == pytest.approx(
+            ac.max_rate_mbps / 160.0
+        )
+
+    def test_single_width_generation_uses_base_width(self):
+        a = get_standard("802.11a")
+        assert a.channel_widths_mhz == ()
+        assert a.peak_bandwidth_mhz == 20.0
+        assert a.spectral_efficiency == pytest.approx(54.0 / 20.0)
+
+    def test_11n_widths_declared(self):
+        assert get_standard("802.11n").peak_bandwidth_mhz == 40.0
+
+
+class TestRegistryDeterminism:
+    @pytest.mark.parametrize("name,family,bw,gi", [
+        ("802.11n", "HT", 40, "short"),
+        ("802.11ac", "VHT", 160, "short"),
+        ("802.11ax", "HE", 160, "short"),
+    ])
+    def test_rates_rebuild_identically(self, name, family, bw, gi):
+        assert get_standard(name).rates == _family_rates(family, bw, gi)
+
+    def test_evolution_table_stable_across_calls(self):
+        assert evolution_table() == evolution_table()
+
+    @pytest.mark.parametrize("name", ["802.11ac", "802.11ax"])
+    def test_required_snr_monotone_per_stream(self, name):
+        std = get_standard(name)
+        streams = {int(r.modulation.rsplit("x", 1)[1])
+                   for r in std.rates}
+        for s in streams:
+            entries = sorted(
+                (r for r in std.rates
+                 if r.modulation.endswith(f"x{s}")),
+                key=lambda r: r.rate_mbps,
+            )
+            snrs = [r.required_snr_db for r in entries]
+            assert snrs == sorted(snrs), f"{name} x{s}"
+
+
+class TestVhtHeMcs:
+    def test_table_sizes(self):
+        assert len(VHT_MCS_TABLE) == 10 * 8
+        assert len(HE_MCS_TABLE) == 12 * 8
+
+    def test_vht_headline(self):
+        entry = VHT_MCS_TABLE[(9, 8)]
+        assert entry.data_rate_mbps(160, "short") == pytest.approx(
+            6933.3, abs=0.1
+        )
+
+    def test_he_headline(self):
+        entry = HE_MCS_TABLE[(11, 8)]
+        assert entry.data_rate_mbps(160, "short") == pytest.approx(
+            9607.8, abs=0.1
+        )
+
+    def test_he_symbol_time_4x(self):
+        he, vht = get_family("HE"), get_family("VHT")
+        assert he.symbol_time("long") == pytest.approx(
+            4 * vht.symbol_time("long")
+        )
+
+    def test_ht_family_reproduces_legacy_table(self):
+        fam = get_family("HT")
+        assert fam.table() == HT_MCS_TABLE
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_family("VHT").mcs(10)
+        with pytest.raises(ConfigurationError):
+            get_family("HE").mcs(12)
+        with pytest.raises(ConfigurationError):
+            get_family("VHT").mcs(0, 9)
+        with pytest.raises(ConfigurationError):
+            get_family("nope")
+
+    def test_vht_rate_scales_linearly_with_streams(self):
+        fam = get_family("VHT")
+        r1 = fam.mcs(7, 1).data_rate_mbps(80, "long")
+        r8 = fam.mcs(7, 8).data_rate_mbps(80, "long")
+        assert r8 == pytest.approx(8 * r1)

@@ -1,0 +1,153 @@
+"""Tests for the VHT (802.11ac-class) MIMO-OFDM chain and tone plans."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.interleaver import ht_deinterleave, ht_interleave
+from repro.phy.mimo.ht import N_LTF, P_HTLTF, P_VHTLTF, HtPhy, VhtPhy
+from repro.standards.mcs import get_family
+from repro.standards.plans import TONE_PLANS, tone_plan
+
+
+class TestTonePlans:
+    @pytest.mark.parametrize("bw,n_data", [(20, 52), (40, 108),
+                                           (80, 234), (160, 468)])
+    def test_data_tone_counts_match_mcs_tables(self, bw, n_data):
+        assert tone_plan(bw).n_data == n_data
+        assert get_family("VHT").n_sd(bw) == n_data
+
+    def test_pilots_are_used_tones(self):
+        for plan in TONE_PLANS.values():
+            assert set(plan.pilots) <= set(plan.used)
+
+    def test_dc_and_guards_unused(self):
+        for plan in TONE_PLANS.values():
+            assert 0 not in plan.used
+            assert max(plan.used) < plan.fft_size // 2
+
+    def test_unknown_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tone_plan(30)
+
+
+class TestWideInterleaver:
+    @pytest.mark.parametrize("bw", [80, 160])
+    @pytest.mark.parametrize("bpsc", [1, 2, 4, 6, 8])
+    def test_round_trip(self, bw, bpsc, rng):
+        n_cbpss = tone_plan(bw).n_data * bpsc
+        bits = rng.integers(0, 2, 3 * n_cbpss).astype(np.int8)
+        out = ht_deinterleave(ht_interleave(bits, bpsc, bw), bpsc, bw)
+        assert np.array_equal(out, bits)
+
+    def test_permutation_spreads_adjacent_bits(self):
+        n_cbpss = tone_plan(80).n_data * 8
+        bits = np.zeros(n_cbpss, dtype=np.int8)
+        bits[:16] = 1
+        spread = np.flatnonzero(ht_interleave(bits, 8, 80))
+        assert np.min(np.diff(np.sort(spread))) >= 1
+        assert np.max(spread) - np.min(spread) > n_cbpss // 2
+
+
+class TestLtfMatrices:
+    def test_p8_orthogonal(self):
+        assert np.allclose(P_VHTLTF @ P_VHTLTF.T, 8 * np.eye(8))
+
+    def test_p8_extends_p4(self):
+        assert np.array_equal(P_VHTLTF[:4, :4], P_HTLTF)
+
+    def test_ltf_counts_cover_8_streams(self):
+        assert set(N_LTF) == set(range(1, 9))
+        for n_ss, n_ltf in N_LTF.items():
+            assert n_ltf >= n_ss
+
+
+class TestVhtPhyConfig:
+    def test_invalid_mcs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VhtPhy(mcs=10)
+
+    def test_invalid_streams_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VhtPhy(mcs=0, spatial_streams=9)
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VhtPhy(mcs=0, bandwidth_mhz=30)
+
+    def test_excluded_combination_rejected(self):
+        """VHT MCS 9 x1 at 20 MHz is excluded (non-integral N_DBPS),
+        exactly as in the real standard — but valid with 3 streams."""
+        with pytest.raises(ConfigurationError):
+            VhtPhy(mcs=9, spatial_streams=1, bandwidth_mhz=20)
+        VhtPhy(mcs=9, spatial_streams=3, bandwidth_mhz=20)
+
+    def test_ht_still_rejects_wide_channels(self):
+        with pytest.raises(ConfigurationError):
+            HtPhy(mcs=0, bandwidth_mhz=80)
+
+    def test_headline_rate(self):
+        phy = VhtPhy(mcs=9, spatial_streams=8, bandwidth_mhz=160)
+        assert phy.data_rate_mbps("short") == pytest.approx(6933.3, abs=0.1)
+
+    def test_preamble_longer_than_ht(self):
+        ht = HtPhy(mcs=0)
+        vht = VhtPhy(mcs=0)
+        assert vht.frame_duration_s(100) > ht.frame_duration_s(100)
+
+
+class TestVhtLoopback:
+    @pytest.mark.parametrize("mcs,streams,bw", [
+        (0, 1, 20),    # BPSK baseline
+        (8, 1, 80),    # 256-QAM on a wide channel
+        (9, 2, 160),   # 256-QAM 5/6, widest channel
+        (7, 5, 40),    # 5 streams exercises the P8 matrix
+        (9, 8, 80),    # full 8-stream spatial multiplexing
+    ])
+    def test_noiseless_round_trip(self, mcs, streams, bw, rng):
+        phy = VhtPhy(mcs=mcs, spatial_streams=streams, bandwidth_mhz=bw)
+        psdu = bytes(rng.integers(0, 256, 60, dtype=np.uint8))
+        tx = phy.transmit(psdu)
+        noise_var = 1e-8
+        noise = np.sqrt(noise_var / 2) * (
+            rng.normal(size=tx.shape) + 1j * rng.normal(size=tx.shape)
+        )
+        assert phy.receive(tx + noise, noise_var,
+                           psdu_bytes=len(psdu)) == psdu
+
+    def test_flat_mimo_channel(self, rng):
+        phy = VhtPhy(mcs=8, spatial_streams=4, bandwidth_mhz=80, n_rx=6)
+        psdu = bytes(rng.integers(0, 256, 100, dtype=np.uint8))
+        tx = phy.transmit(psdu)
+        h = (rng.normal(size=(6, 4))
+             + 1j * rng.normal(size=(6, 4))) / np.sqrt(2)
+        noise_var = 1e-6
+        rx = h @ tx
+        rx = rx + np.sqrt(noise_var / 2) * (
+            rng.normal(size=rx.shape) + 1j * rng.normal(size=rx.shape)
+        )
+        assert phy.receive(rx, noise_var, psdu_bytes=len(psdu)) == psdu
+
+    def test_vht_20mhz_matches_ht_waveform(self, rng):
+        """At 20/40 MHz x 1-4 streams the chains share everything but
+        MCS indexing: identical configs give identical waveforms."""
+        psdu = bytes(rng.integers(0, 256, 40, dtype=np.uint8))
+        ht = HtPhy(mcs=11, bandwidth_mhz=40)  # 16-QAM 1/2 x2
+        vht = VhtPhy(mcs=3, spatial_streams=2, bandwidth_mhz=40)
+        assert np.array_equal(ht.transmit(psdu), vht.transmit(psdu))
+
+
+class TestVhtLinkSimulator:
+    def test_vht_names_parse_and_run(self, rng):
+        from repro.core.link import LinkSimulator
+
+        sim = LinkSimulator("vht80-8-x2", "awgn", rng=3)
+        assert sim.rate_mbps == pytest.approx(702.0)
+        result = sim.run(snr_db=45.0, n_packets=3, payload_bytes=50)
+        assert result.per == 0.0
+
+    def test_unknown_vht_width_rejected(self):
+        from repro.core.link import LinkSimulator
+
+        with pytest.raises(ConfigurationError):
+            LinkSimulator("vht30-0", "awgn")
