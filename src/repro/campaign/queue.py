@@ -44,12 +44,14 @@ import multiprocessing
 import os
 import queue as stdlib_queue
 import threading
+import time
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 
 from repro import obs
 from repro.errors import ConfigurationError
+from repro.obs import metrics as obs_metrics
 
 
 @dataclass(frozen=True)
@@ -164,8 +166,36 @@ class WorkQueue:
         return not self.pending and not self.leases
 
 
+def _heartbeat_loop(stop, result_q, pid, heartbeat_s, trace_dir,
+                    registry):
+    """Worker-side heartbeat: prove liveness, flush in-flight telemetry.
+
+    Every ``heartbeat_s`` the thread (1) flushes the worker's tracer so
+    counter deltas and closed child spans of a *still-running* point
+    reach the part file — before this, everything buffered until the
+    top-level span closed, so a worker grinding through one long point
+    was indistinguishable on disk from a hung one — and (2) sends the
+    worker's cumulative metrics snapshot to the parent, which folds it
+    into ``status.json``.
+    """
+    from repro.campaign import runner
+
+    while not stop.wait(heartbeat_s):
+        if trace_dir is not None:
+            tracer = runner._WORKER_TRACERS.get(trace_dir)
+            if tracer is not None:
+                tracer.flush()
+        try:
+            result_q.put(("heartbeat", -1, pid,
+                          {"t": time.time(),
+                           "metrics": registry.snapshot()}))
+        except (OSError, ValueError):
+            return  # parent went away; nothing left to tell it
+
+
 def _queue_worker(task_q, result_q, kind, campaign, base_seed, retries,
-                  timeout_s, trace_dir, initializer, initargs):
+                  timeout_s, trace_dir, initializer, initargs,
+                  heartbeat_s=None):
     """Worker loop: run assigned units, stream records, ack, exit on
     the ``None`` sentinel.
 
@@ -174,27 +204,53 @@ def _queue_worker(task_q, result_q, kind, campaign, base_seed, retries,
     "I took the unit" message exists to get lost in a dying worker's
     queue buffer — so record/ack messages only carry the unit id and
     pid for the parent's cross-checks.
+
+    With ``heartbeat_s`` set (live status active), a daemon thread
+    heartbeats the parent on that cadence; see :func:`_heartbeat_loop`.
     """
     if initializer is not None:
         initializer(*initargs)
     from repro.campaign import runner
 
     pid = os.getpid()
-    while True:
-        unit = task_q.get()
-        if unit is None:
-            break
-        for key, index, params in unit.jobs:
-            record = runner._execute_point(
-                kind, campaign, base_seed, index, params, key,
-                retries, timeout_s, trace_dir)
-            result_q.put(("record", unit.unit_id, pid, record))
-        result_q.put(("ack", unit.unit_id, pid, None))
+    stop_beat = None
+    if heartbeat_s:
+        registry = obs_metrics.set_registry(obs_metrics.MetricsRegistry())
+        result_q.put(("heartbeat", -1, pid,
+                      {"t": time.time(), "metrics": registry.snapshot()}))
+        stop_beat = threading.Event()
+        threading.Thread(
+            target=_heartbeat_loop, daemon=True, name="campaign-heartbeat",
+            args=(stop_beat, result_q, pid, float(heartbeat_s), trace_dir,
+                  registry)).start()
+    try:
+        while True:
+            unit = task_q.get()
+            if unit is None:
+                break
+            for key, index, params in unit.jobs:
+                record = runner._execute_point(
+                    kind, campaign, base_seed, index, params, key,
+                    retries, timeout_s, trace_dir)
+                result_q.put(("record", unit.unit_id, pid, record))
+            result_q.put(("ack", unit.unit_id, pid, None))
+    finally:
+        if stop_beat is not None:
+            stop_beat.set()
+            # Last will: a campaign faster than one heartbeat interval
+            # would otherwise never ship this worker's metrics.
+            try:
+                result_q.put(("heartbeat", -1, pid,
+                              {"t": time.time(),
+                               "metrics":
+                               obs_metrics.current_registry().snapshot()}))
+            except (OSError, ValueError):
+                pass
 
 
 def run_local_queue(spec, code_version, todo, workers, retries, timeout_s,
                     start_method, trace_dir, finish, clock,
-                    shard_size=None):
+                    shard_size=None, board=None):
     """Execute ``todo`` on the sharded local queue; returns stats.
 
     ``todo`` is the runner's ``(key, SweepPoint)`` list; ``finish`` is
@@ -202,6 +258,11 @@ def run_local_queue(spec, code_version, todo, workers, retries, timeout_s,
     crash-safety contract). Every point gets exactly one ``finish``
     call: normally its worker's record, or a synthesized failure record
     if every executor died with the point still outstanding.
+
+    ``board`` is the runner's live :class:`~repro.obs.live.StatusBoard`
+    (or ``None``): workers heartbeat on its cadence, and the control
+    loop feeds it lease-accurate in-flight counts, worker liveness, and
+    forfeited-lease (stall) events.
     """
     from repro.campaign import runner
 
@@ -246,6 +307,7 @@ def run_local_queue(spec, code_version, todo, workers, retries, timeout_s,
     pump.start()
 
     initializer, initargs = runner._worker_initializer(spec.kind)
+    heartbeat_s = board.heartbeat_s if board is not None else None
 
     #: pid -> (process, its private task queue). Each worker gets its
     #: own queue so the parent knows exactly which units it handed to
@@ -261,11 +323,25 @@ def run_local_queue(spec, code_version, todo, workers, retries, timeout_s,
             target=_queue_worker,
             args=(task_q, result_q, spec.kind, spec.name,
                   spec.base_seed, retries, timeout_s, trace_dir,
-                  initializer, initargs),
+                  initializer, initargs, heartbeat_s),
             daemon=True)
         proc.start()
         procs[proc.pid] = (proc, task_q)
+        if board is not None:
+            board.worker_spawned(proc.pid)
         return proc.pid
+
+    def update_board():
+        """Lease-accurate in-flight counts for the status snapshot."""
+        if board is None:
+            return
+        in_flight = sum(len(wq.remaining_jobs.get(uid, {}))
+                        for uid in wq.leases)
+        board.set_running(in_flight)
+        board.set_queue_stats(
+            leased_units=len(wq.leases), backlog=len(backlog),
+            n_units=len(wq.units), n_requeued=wq.n_requeued,
+            n_acks=wq.n_acks)
 
     def fill(pid):
         """Assign backlog units to ``pid`` up to the pipeline depth.
@@ -283,6 +359,7 @@ def run_local_queue(spec, code_version, todo, workers, retries, timeout_s,
 
     for _ in range(workers):
         fill(spawn())
+    update_board()  # leases exist before any message arrives
     # A replacement worker per original slot; past that, a crash loop
     # would burn CPU forever re-running whatever point kills workers.
     respawn_budget = workers
@@ -293,9 +370,17 @@ def run_local_queue(spec, code_version, todo, workers, retries, timeout_s,
     def handle(msg):
         nonlocal n_duplicates
         msg_type, unit_id, pid, payload = msg
+        if msg_type == "heartbeat":
+            if board is not None:
+                board.worker_heartbeat(pid, payload)
+                update_board()
+                board.maybe_write()
+            return
         if msg_type == "record":
             key = payload["key"]
             wq.record(unit_id, key)
+            if board is not None:
+                board.worker_heartbeat(pid)  # records prove liveness too
             if key in remaining:
                 remaining.discard(key)
                 finish(payload, t_enqueue)
@@ -309,6 +394,7 @@ def run_local_queue(spec, code_version, todo, workers, retries, timeout_s,
             obs.counter("campaign.queue.ack")
             if pid in procs:
                 fill(pid)
+        update_board()
 
     def reap_dead():
         nonlocal n_respawns
@@ -318,9 +404,13 @@ def run_local_queue(spec, code_version, todo, workers, retries, timeout_s,
             proc.join()
             task_q.close()
             task_q.cancel_join_thread()
+            forfeited = 0
             for unit in wq.requeue_for(pid):
                 backlog.append(unit)
+                forfeited += len(unit.jobs)
                 obs.counter("campaign.queue.requeue")
+            if board is not None:
+                board.worker_dead(pid, forfeited=forfeited)
             if respawn_budget - n_respawns > 0 and not wq.done():
                 n_respawns += 1
                 obs.counter("campaign.queue.respawn")
@@ -330,6 +420,7 @@ def run_local_queue(spec, code_version, todo, workers, retries, timeout_s,
         # remain) — fill here, not only on ack.
         for pid in list(procs):
             fill(pid)
+        update_board()
 
     try:
         while remaining:

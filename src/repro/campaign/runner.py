@@ -74,6 +74,8 @@ from repro.campaign.cache import point_key
 from repro.campaign.seeding import attempt_generator
 from repro.campaign.spec import EXECUTION_BACKENDS
 from repro.errors import ConfigurationError, PointExecutionError
+from repro.obs import live
+from repro.obs import metrics as obs_metrics
 
 # -- point-kind registry -----------------------------------------------------
 
@@ -480,7 +482,8 @@ def _pool_failure_record(spec, code_version, point, key, exc):
 
 def run_campaign(spec, workers=1, store=None, force=False, echo=None,
                  retries=None, timeout_s=None, start_method=None,
-                 trace=False, backend=None, shard_size=None, resume=False):
+                 trace=False, backend=None, shard_size=None, resume=False,
+                 heartbeat_s=None):
     """Execute a campaign, reusing cached points from ``store``.
 
     Parameters
@@ -519,8 +522,17 @@ def run_campaign(spec, workers=1, store=None, force=False, echo=None,
     resume : bool
         Mark this run as a resume of an interrupted campaign: emits a
         ``campaign.resume`` event carrying how much of the grid the
-        store already held. Purely observational — *every* store-backed
-        run already skips completed points via cache keys.
+        store already held, and — when tracing — *appends* to the
+        campaign's existing trace directory instead of resetting it,
+        so the finished trace covers the killed run plus the resume.
+        Otherwise observational — *every* store-backed run already
+        skips completed points via cache keys.
+    heartbeat_s : float or None
+        Live-status cadence: how often workers heartbeat (flushing
+        in-flight telemetry) and the parent refreshes
+        ``results/<name>/status.json`` (see :mod:`repro.obs.live`).
+        ``None`` uses ``$REPRO_HEARTBEAT_S``, default 1.0 s. Only
+        store-backed runs write a status file.
     trace : bool
         Collect :mod:`repro.obs` telemetry for this run. With a store,
         every process writes a JSONL part file under
@@ -546,10 +558,18 @@ def run_campaign(spec, workers=1, store=None, force=False, echo=None,
         return _run_campaign(spec, workers, store, force, echo, retries,
                              timeout_s, start_method, trace_dir=None,
                              backend=backend, shard_size=shard_size,
-                             resume=resume)
+                             resume=resume, heartbeat_s=heartbeat_s)
     trace_dir = None
     if store is not None:
-        trace_dir = obs.reset_trace_dir(store.trace_dir(spec.name))
+        trace_dir = store.trace_dir(spec.name)
+        if resume:
+            # A resumed run appends to the interrupted run's trace:
+            # stale part files (the kill landed before the merge) are
+            # folded in alongside this run's, and an already-merged
+            # trace.jsonl is kept and extended at merge time below.
+            os.makedirs(trace_dir, exist_ok=True)
+        else:
+            obs.reset_trace_dir(trace_dir)
         tracer = obs.Tracer(obs.TraceWriter(obs.part_path(trace_dir,
                                                           "main")))
     else:
@@ -558,17 +578,17 @@ def run_campaign(spec, workers=1, store=None, force=False, echo=None,
         result = _run_campaign(spec, workers, store, force, echo, retries,
                                timeout_s, start_method, trace_dir,
                                backend=backend, shard_size=shard_size,
-                               resume=resume)
+                               resume=resume, heartbeat_s=heartbeat_s)
     result.extras["trace"] = tracer.summary()
     if trace_dir is not None:
-        merged, _ = obs.merge_trace_dir(trace_dir)
+        merged, _ = obs.merge_trace_dir(trace_dir, fold_existing=resume)
         result.extras["trace_path"] = merged
     return result
 
 
 def _run_campaign(spec, workers, store, force, echo, retries, timeout_s,
                   start_method, trace_dir, backend=None, shard_size=None,
-                  resume=False):
+                  resume=False, heartbeat_s=None):
     """The sweep itself, emitting telemetry to the ambient tracer."""
     _, code_version = _lookup_kind(spec.kind)  # validate kind up front
     workers = max(1, int(workers))
@@ -585,6 +605,47 @@ def _run_campaign(spec, workers, store, force, echo, retries, timeout_s,
     say = echo or (lambda _msg: None)
     points = spec.expand()
 
+    # Live status: store-backed runs keep results/<name>/status.json
+    # fresh for `repro campaign watch`. The board owns a metrics
+    # registry (installed process-wide below so the MC engine's batch
+    # latency histograms land in it) and a ticker thread that re-writes
+    # the file every heartbeat even when nothing completes.
+    board = None
+    registry = None
+    if store is not None:
+        registry = obs_metrics.MetricsRegistry()
+        board = live.StatusBoard(
+            live.status_path(store.campaign_dir(spec.name)),
+            campaign=spec.name, total=len(points), workers=workers,
+            backend=backend, heartbeat_s=heartbeat_s, registry=registry)
+    try:
+        if registry is not None:
+            with obs_metrics.use_registry(registry):
+                result = _run_campaign_impl(
+                    spec, workers, store, force, say, retries, timeout_s,
+                    start_method, trace_dir, backend, shard_size, resume,
+                    code_version, points, board)
+        else:
+            result = _run_campaign_impl(
+                spec, workers, store, force, say, retries, timeout_s,
+                start_method, trace_dir, backend, shard_size, resume,
+                code_version, points, board)
+    except BaseException:
+        if board is not None:
+            board.finish("failed")
+        raise
+    if board is not None:
+        board.finish("failed" if result.n_failed else "done")
+    return result
+
+
+def _run_campaign_impl(spec, workers, store, force, say, retries,
+                       timeout_s, start_method, trace_dir, backend,
+                       shard_size, resume, code_version, points, board):
+
+    if board is not None:
+        board.start_ticker()
+        board.maybe_write(force=True)
     with obs.span("campaign.run", campaign=spec.name, kind=spec.kind,
                   n_points=len(points), backend=backend,
                   resume=bool(resume),
@@ -619,6 +680,8 @@ def _run_campaign(spec, workers, store, force, echo, retries, timeout_s,
             store.write_spec(spec)
 
         n_cached = len(points) - len(todo)
+        if board is not None:
+            board.point_cached(n_cached)
         if resume:
             obs.event("campaign.resume", 0.0, campaign=spec.name,
                       n_complete=n_cached, n_todo=len(todo))
@@ -628,13 +691,25 @@ def _run_campaign(spec, workers, store, force, echo, retries, timeout_s,
             say(f"{spec.name}: {n_cached}/{len(points)} points cached")
 
         busy = {"s": 0.0}
+        n_finished = {"n": 0}
 
         def finish(record, t_submit):
             record["cached"] = False
             records[record["index"]] = record
             busy["s"] += record["wall_time_s"] or 0.0
+            n_finished["n"] += 1
             if store is not None:
                 store.append(spec.name, record)
+            if board is not None:
+                board.point_done(outcome=record["outcome"],
+                                 worker=record["worker"],
+                                 wall_s=record["wall_time_s"])
+                if backend != "local-queue":
+                    # The queue loop reports lease-accurate in-flight
+                    # counts itself; pool/inline approximate with the
+                    # slots that can still be busy.
+                    board.set_running(min(workers,
+                                          len(todo) - n_finished["n"]))
             # The span's duration is submit-to-finish latency as the
             # orchestrator saw it; ``exec_s`` is the time the point
             # actually computed — the gap is queueing + transport.
@@ -652,13 +727,15 @@ def _run_campaign(spec, workers, store, force, echo, retries, timeout_s,
                 f"(worker {record['worker']})")
 
         extras = {}
+        if board is not None and todo and backend != "local-queue":
+            board.set_running(min(workers, len(todo)))
         if todo and backend == "local-queue":
             from repro.campaign import queue as queue_backend
 
             extras["queue"] = queue_backend.run_local_queue(
                 spec, code_version, todo, workers, retries, timeout_s,
                 start_method, trace_dir, finish, clock,
-                shard_size=shard_size)
+                shard_size=shard_size, board=board)
         elif todo and workers > 1:
             from repro.campaign import queue as queue_backend
 
@@ -691,7 +768,7 @@ def _run_campaign(spec, workers, store, force, echo, retries, timeout_s,
 
 def resume_campaign(name, store, workers=1, echo=None, retries=None,
                     timeout_s=None, start_method=None, trace=False,
-                    backend=None, shard_size=None):
+                    backend=None, shard_size=None, heartbeat_s=None):
     """Pick up an interrupted campaign from its persisted spec + records.
 
     Loads the spec the killed run saved alongside its records, then
@@ -707,4 +784,4 @@ def resume_campaign(name, store, workers=1, echo=None, retries=None,
                         echo=echo, retries=retries, timeout_s=timeout_s,
                         start_method=start_method, trace=trace,
                         backend=backend, shard_size=shard_size,
-                        resume=True)
+                        resume=True, heartbeat_s=heartbeat_s)

@@ -129,6 +129,16 @@ class ResultsStore:
         path = os.path.join(self.trace_dir(name), MERGED_TRACE_FILE)
         return path if os.path.exists(path) else None
 
+    def status_path(self, name):
+        """Where a live run writes its ``status.json`` snapshot.
+
+        Always returns the path (``repro campaign watch`` polls it into
+        existence); callers check ``os.path.exists`` themselves.
+        """
+        from repro.obs import live
+
+        return live.status_path(self.campaign_dir(name))
+
     # -- writing -------------------------------------------------------------
 
     def write_spec(self, spec):

@@ -17,7 +17,7 @@ rates [STANDARD]
     Dump a generation's rate table (default 802.11a).
 experiment [ID | --list]
     Run one quick paper experiment, or enumerate them all.
-campaign run|resume|ls|show|report
+campaign run|resume|watch|ls|show|report
     Parallel sweep orchestrator over the persistent results store
     (``campaign run e3-dsss-cck --workers 4 --report``). ``run`` exits
     nonzero when points remain failed after the retry budget
@@ -29,7 +29,15 @@ campaign run|resume|ls|show|report
     ``REPRO_STORE=sqlite``) keeps records in an indexed WAL-journaled
     database instead of JSONL. ``campaign resume NAME`` picks a killed
     run back up from whatever its store already holds — the completed
-    grid is bit-identical to an uninterrupted run.
+    grid is bit-identical to an uninterrupted run. Store-backed runs
+    keep ``results/<name>/status.json`` fresh while they execute;
+    ``campaign watch NAME`` tails it with a refreshing progress view
+    (``--once --json`` for scripting), ``--heartbeat`` tunes the
+    cadence.
+bench diff BASELINE CURRENT
+    Compare two ``--bench-json`` benchmark dumps metric by metric
+    against per-metric tolerances; exits nonzero on a regression in a
+    machine-independent (ratio/count) metric — the CI perf gate.
 trace report NAME
     Render a traced campaign's telemetry: per-point timing breakdown,
     MC trial throughput, slowest spans, cache/retry counters.
@@ -196,10 +204,85 @@ def _print_run_result(args, spec, result):
     return 1 if result.n_failed else 0
 
 
+def _cmd_campaign_watch(args):
+    import json as json_module
+    import time
+
+    from repro.campaign import make_store
+    from repro.errors import ConfigurationError
+    from repro.obs import live
+
+    store = make_store(args.results)
+    path = store.status_path(args.name)
+
+    def emit(status):
+        if args.json:
+            print(json_module.dumps(status, sort_keys=True,
+                                    indent=2 if args.once else None))
+        else:
+            print("\n".join(live.status_lines(status)))
+
+    if args.once:
+        emit(live.refresh_ages(live.read_status(path)))
+        return 0
+
+    interval = max(0.1, float(args.interval))
+    tty = sys.stdout.isatty()
+    erase = 0
+    try:
+        while True:
+            try:
+                status = live.refresh_ages(live.read_status(path))
+            except ConfigurationError:
+                if tty and erase:
+                    sys.stdout.write(f"\x1b[{erase}A\x1b[J")
+                print(f"waiting for {path} ...")
+                erase = 1 if tty else 0
+                time.sleep(interval)
+                continue
+            if tty and erase:
+                sys.stdout.write(f"\x1b[{erase}A\x1b[J")
+            if args.json:
+                emit(status)
+                erase = 0
+            else:
+                lines = live.status_lines(status)
+                print("\n".join(lines))
+                erase = len(lines)
+            if status.get("state") != "running":
+                return 0 if status.get("state") == "done" else 1
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        print()
+        return 130
+
+
+def _cmd_bench(args):
+    import json as json_module
+
+    from repro.obs import bench
+
+    report = bench.diff_benches(
+        bench.load_bench(args.baseline),
+        bench.load_bench(args.current),
+        tol_overrides=bench.parse_tol_overrides(args.tol),
+        gate_all=args.gate_all)
+    if args.json:
+        print(json_module.dumps(report, indent=2, sort_keys=True))
+        return 0 if report["ok"] else 1
+    print(f"bench diff: {args.baseline} (baseline) vs {args.current}")
+    for line in bench.diff_lines(report, verbose=args.verbose):
+        print(line)
+    return 0 if report["ok"] else 1
+
+
 def _cmd_campaign(args):
     from repro.campaign import (builtin_campaigns, failure_lines,
                                 format_pivot, load_spec, resume_campaign,
                                 run_campaign, scan_campaigns, summary_lines)
+
+    if args.subcommand == "watch":
+        return _cmd_campaign_watch(args)
 
     if args.subcommand == "run":
         spec = load_spec(args.spec)
@@ -224,7 +307,8 @@ def _cmd_campaign(args):
                                   retries=args.retries,
                                   timeout_s=args.timeout,
                                   trace=args.trace, backend=args.backend,
-                                  shard_size=args.shard_size)
+                                  shard_size=args.shard_size,
+                                  heartbeat_s=args.heartbeat)
         finally:
             store.close()
         return _print_run_result(args, spec, result)
@@ -237,7 +321,8 @@ def _cmd_campaign(args):
                 echo=print if args.verbose else None,
                 retries=args.retries, timeout_s=args.timeout,
                 trace=args.trace, backend=args.backend,
-                shard_size=args.shard_size)
+                shard_size=args.shard_size,
+                heartbeat_s=args.heartbeat)
         finally:
             store.close()
         return _print_run_result(args, result.spec, result)
@@ -383,18 +468,23 @@ def _cmd_surface(args):
 
 def _cmd_trace(args):
     from repro.campaign import make_store
-    from repro.errors import ConfigurationError
 
     # Trace files live on the filesystem whatever holds the records, so
     # any backend's trace_path works; make_store keeps env resolution.
     store = make_store(args.results)
     path = store.trace_path(args.name)
     if path is None:
-        raise ConfigurationError(
-            f"campaign {args.name!r} has no merged trace under "
-            f"{store.root!r}; run it with --trace first"
-        )
+        # A missing trace is an expected state (the campaign simply ran
+        # without --trace), not a usage error: say so plainly and exit 1
+        # so scripts can branch on it.
+        print(f"no trace recorded for campaign {args.name!r} under "
+              f"{store.root!r}; run it with --trace first")
+        return 1
     events = obs.read_trace(path)
+    if not any(e.get("type") == "span" for e in events):
+        print(f"no trace recorded for campaign {args.name!r}: "
+              f"{path} holds no spans (empty or truncated trace)")
+        return 1
     for line in obs.trace_report_lines(events, top=args.top,
                                        campaign=args.name):
         print(line)
@@ -506,6 +596,10 @@ def build_parser():
                        help="record structured telemetry to "
                             "results/<name>/trace/ (read it back with "
                             "'repro trace report <name>')")
+        p.add_argument("--heartbeat", type=float, default=None,
+                       help="live-status cadence in seconds: how often "
+                            "workers heartbeat and status.json refreshes "
+                            "(default: $REPRO_HEARTBEAT_S, else 1.0)")
         add_backend_args(p)
         add_store_arg(p)
         add_results_arg(p)
@@ -529,6 +623,18 @@ def build_parser():
                           help="campaign whose spec + partial records are "
                                "in the store")
     add_run_knobs(p_resume)
+
+    p_watch = camp_sub.add_parser(
+        "watch", help="tail a running campaign's live status")
+    p_watch.add_argument("name", help="campaign being run with a store")
+    p_watch.add_argument("--interval", type=float, default=2.0,
+                         help="refresh period in seconds (default 2)")
+    p_watch.add_argument("--once", action="store_true",
+                         help="print one snapshot and exit (scripting)")
+    p_watch.add_argument("--json", action="store_true",
+                         help="emit the raw status.json document instead "
+                              "of the rendered view")
+    add_results_arg(p_watch)
 
     p_ls = camp_sub.add_parser("ls", help="list campaigns in the store")
     add_results_arg(p_ls)
@@ -617,6 +723,31 @@ def build_parser():
                         help="how many slowest spans to list (default 10)")
     add_results_arg(p_trep)
 
+    p_bench = sub.add_parser(
+        "bench", help="benchmark dump tooling (perf-regression gate)")
+    bench_sub = p_bench.add_subparsers(dest="subcommand", required=True)
+    p_bdiff = bench_sub.add_parser(
+        "diff", help="compare two --bench-json dumps metric by metric")
+    p_bdiff.add_argument("baseline",
+                         help="committed baseline dump, e.g. BENCH_9.json")
+    p_bdiff.add_argument("current",
+                         help="fresh dump from 'pytest benchmarks/ "
+                              "--benchmark-only --bench-json PATH'")
+    p_bdiff.add_argument("--tol", action="append", default=None,
+                         metavar="NAME=REL",
+                         help="per-metric relative tolerance override "
+                              "(NAME matches the metric id or a suffix); "
+                              "repeatable")
+    p_bdiff.add_argument("--gate-all", action="store_true",
+                         help="also gate machine-dependent duration "
+                              "metrics (off by default: CI machines "
+                              "differ from baseline machines)")
+    p_bdiff.add_argument("--verbose", action="store_true",
+                         help="list every compared metric, not just "
+                              "regressions")
+    p_bdiff.add_argument("--json", action="store_true",
+                         help="emit the full diff report as JSON")
+
     p_rates = sub.add_parser("rates", help="dump a rate table")
     p_rates.add_argument("standard", nargs="?", default="802.11a",
                          choices=sorted(GENERATIONS))
@@ -632,6 +763,7 @@ _HANDLERS = {
     "campaign": _cmd_campaign,
     "surface": _cmd_surface,
     "trace": _cmd_trace,
+    "bench": _cmd_bench,
     "rates": _cmd_rates,
 }
 

@@ -42,11 +42,13 @@ object *and* ship error bars.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro import obs
+from repro.obs import metrics as obs_metrics
 from repro.core.mc.stats import (
     MeanAccumulator,
     QuantileAccumulator,
@@ -237,6 +239,18 @@ def run_trials(trial_fn, n_trials=None, *, target, rng=None,
                 )
             acc.add(values)
 
+    def run_batch(m):
+        """One traced batch; histograms its latency when metrics are on."""
+        registry = obs_metrics.current_registry()
+        with obs.span("mc.batch", n=m):
+            if registry is None:
+                consume(m)
+            else:
+                t0 = time.perf_counter()
+                consume(m)
+                registry.observe("mc.batch_s",
+                                 time.perf_counter() - t0)
+
     with obs.span("mc.run_trials", target=target, estimand=estimand,
                   mode="fixed" if precision is None
                   else "adaptive") as mc_span, obs.timed() as clock:
@@ -251,24 +265,26 @@ def run_trials(trial_fn, n_trials=None, *, target, rng=None,
                 remaining = budget
                 while remaining > 0:
                     m = min(int(batch_size), remaining)
-                    with obs.span("mc.batch", n=m):
-                        consume(m)
+                    run_batch(m)
                     remaining -= m
             else:
-                with obs.span("mc.batch", n=budget):
-                    consume(budget)
+                run_batch(budget)
             stop_reason = "budget"
         else:
             stop_reason = "max_trials"
             while acc.n_trials < ceiling:
                 m = min(int(batch_size), ceiling - acc.n_trials)
-                with obs.span("mc.batch", n=m):
-                    consume(m)
+                run_batch(m)
                 if acc.rel_half_width(confidence) <= precision:
                     stop_reason = "precision"
                     break
         obs.counter("mc.trials", acc.n_trials)
         obs.counter(f"mc.stop.{stop_reason}")
+        obs_metrics.count("mc.trials", acc.n_trials)
+        obs_metrics.count(f"mc.stop.{stop_reason}")
+        if clock.elapsed > 0:
+            obs_metrics.gauge("mc.trials_per_s",
+                              acc.n_trials / clock.elapsed)
         mc_span.set(n_trials=acc.n_trials, stop_reason=stop_reason,
                     trials_per_s=(acc.n_trials / clock.elapsed
                                   if clock.elapsed > 0 else 0.0))

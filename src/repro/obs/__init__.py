@@ -26,6 +26,10 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 
+from repro.obs import metrics
+from repro.obs import live
+from repro.obs.live import STATUS_FILE, StatusBoard
+from repro.obs.metrics import Histogram, MetricsRegistry, merge_snapshots
 from repro.obs.report import (aggregate, summary_table, trace_report_lines)
 from repro.obs.tracer import (NULL_SPAN, NullSpan, Span, StopWatch, Tracer)
 from repro.obs.writer import (MERGED_TRACE_FILE, TraceWriter,
@@ -33,10 +37,14 @@ from repro.obs.writer import (MERGED_TRACE_FILE, TraceWriter,
                               reset_trace_dir)
 
 __all__ = [
+    "Histogram",
     "MERGED_TRACE_FILE",
+    "MetricsRegistry",
     "NULL_SPAN",
     "NullSpan",
+    "STATUS_FILE",
     "Span",
+    "StatusBoard",
     "StopWatch",
     "TraceWriter",
     "Tracer",
@@ -46,7 +54,10 @@ __all__ = [
     "current_tracer",
     "enabled",
     "event",
+    "live",
+    "merge_snapshots",
     "merge_trace_dir",
+    "metrics",
     "part_path",
     "read_trace",
     "reset_trace_dir",

@@ -108,13 +108,18 @@ def reset_trace_dir(trace_dir):
     return trace_dir
 
 
-def merge_trace_dir(trace_dir, remove_parts=True):
+def merge_trace_dir(trace_dir, remove_parts=True, fold_existing=False):
     """Fold every part file in ``trace_dir`` into ``trace.jsonl``.
 
     Events are ordered by wall-clock start time (ties broken by pid and
     per-process sequence number) so the merged file reads as one
     timeline. Returns ``(merged_path, events)``. Part files are removed
     after a successful merge unless ``remove_parts=False``.
+
+    With ``fold_existing=True`` an already-merged ``trace.jsonl`` is
+    read back and folded in alongside the new part files — the resume
+    path: a resumed campaign appends its spans to the interrupted run's
+    trace instead of replacing it.
     """
     trace_dir = os.fspath(trace_dir)
     merged = os.path.join(trace_dir, MERGED_TRACE_FILE)
@@ -125,6 +130,8 @@ def merge_trace_dir(trace_dir, remove_parts=True):
         # already consumed): keep the existing merged trace intact.
         return merged, read_trace(merged)
     events = []
+    if fold_existing and os.path.exists(merged):
+        events.extend(read_trace(merged))
     for part in parts:
         events.extend(read_trace(part))
     events.sort(key=lambda e: (e.get("t_wall") or 0.0,

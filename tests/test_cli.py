@@ -117,13 +117,22 @@ class TestTraceCli:
         assert "slowest spans" in out
         assert "campaign.cache.miss" in out
 
-    def test_trace_report_without_trace_is_clean_error(self, tmp_path,
-                                                       capsys):
+    def test_trace_report_without_trace_says_so_and_exits_1(self, tmp_path,
+                                                            capsys):
         code = main(["trace", "report", "ghost",
                      "--results", str(tmp_path)])
-        assert code == 2
-        err = capsys.readouterr().err
-        assert "error:" in err and "--trace" in err
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "no trace recorded" in out and "--trace" in out
+
+    def test_trace_report_on_empty_trace_exits_1(self, tmp_path, capsys):
+        trace_dir = tmp_path / "ghost" / "trace"
+        trace_dir.mkdir(parents=True)
+        (trace_dir / "trace.jsonl").write_text("")  # zero spans
+        code = main(["trace", "report", "ghost",
+                     "--results", str(tmp_path)])
+        assert code == 1
+        assert "no trace recorded" in capsys.readouterr().out
 
     def test_link_trace_prints_summary(self, capsys):
         assert main(["link", "ofdm-6", "awgn", "20", "--packets", "3",
@@ -131,3 +140,110 @@ class TestTraceCli:
         out = capsys.readouterr().out
         assert "trace summary:" in out
         assert "mc.run_trials" in out
+
+
+class TestWatchCli:
+    def _run_campaign(self, tmp_path):
+        import json
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "name": "watched", "kind": "link",
+            "factors": {"phy": ["dsss-1"], "snr_db": [0.0, 8.0]},
+            "fixed": {"channel": "awgn", "n_packets": 3,
+                      "payload_bytes": 20},
+            "base_seed": 3,
+        }))
+        results = str(tmp_path / "results")
+        assert main(["campaign", "run", str(spec_path),
+                     "--results", results]) == 0
+        return results
+
+    def test_watch_once_renders_progress(self, tmp_path, capsys):
+        results = self._run_campaign(tmp_path)
+        capsys.readouterr()
+        assert main(["campaign", "watch", "watched", "--once",
+                     "--results", results]) == 0
+        out = capsys.readouterr().out
+        assert "campaign watched [done]" in out
+        assert "2/2" in out
+
+    def test_watch_once_json_is_the_raw_document(self, tmp_path, capsys):
+        import json
+
+        results = self._run_campaign(tmp_path)
+        capsys.readouterr()
+        assert main(["campaign", "watch", "watched", "--once", "--json",
+                     "--results", results]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["state"] == "done"
+        assert doc["points"]["done"] + doc["points"]["cached"] == 2
+        assert "workers" in doc and "t_read" in doc
+
+    def test_watch_once_without_status_is_clean_error(self, tmp_path,
+                                                      capsys):
+        code = main(["campaign", "watch", "ghost", "--once",
+                     "--results", str(tmp_path)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestBenchCli:
+    def _dump(self, path, rows):
+        import json
+
+        path.write_text(json.dumps({
+            "schema": 1,
+            "metrics": [dict(zip(("benchmark", "name", "value", "units"),
+                                 row)) for row in rows]}))
+        return str(path)
+
+    def test_identical_dumps_pass(self, tmp_path, capsys):
+        rows = [("b1", "speedup", 6.0, "x"), ("b1", "duration", 1.0, "s")]
+        a = self._dump(tmp_path / "a.json", rows)
+        assert main(["bench", "diff", a, a]) == 0
+        out = capsys.readouterr().out
+        assert "OK:" in out and "0 regression(s)" in out
+
+    def test_ratio_regression_fails_but_slower_seconds_do_not(
+            self, tmp_path, capsys):
+        base = self._dump(tmp_path / "a.json",
+                          [("b1", "speedup", 6.0, "x"),
+                           ("b1", "duration", 1.0, "s")])
+        cur = self._dump(tmp_path / "b.json",
+                         [("b1", "speedup", 2.0, "x"),      # regressed
+                          ("b1", "duration", 10.0, "s")])   # informational
+        assert main(["bench", "diff", base, cur]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out and "speedup" in out
+        assert "1 regression(s)" in out
+
+    def test_improvement_never_regresses(self, tmp_path, capsys):
+        base = self._dump(tmp_path / "a.json", [("b1", "speedup", 6.0, "x")])
+        cur = self._dump(tmp_path / "b.json", [("b1", "speedup", 60.0, "x")])
+        assert main(["bench", "diff", base, cur]) == 0
+        capsys.readouterr()
+
+    def test_tol_override_loosens_the_gate(self, tmp_path, capsys):
+        base = self._dump(tmp_path / "a.json", [("b1", "speedup", 6.0, "x")])
+        cur = self._dump(tmp_path / "b.json", [("b1", "speedup", 3.0, "x")])
+        assert main(["bench", "diff", base, cur]) == 1
+        capsys.readouterr()
+        assert main(["bench", "diff", base, cur,
+                     "--tol", "b1::speedup=0.9"]) == 0
+        capsys.readouterr()
+
+    def test_json_report_shape(self, tmp_path, capsys):
+        import json
+
+        rows = [("b1", "per", 0.2, "fraction")]
+        a = self._dump(tmp_path / "a.json", rows)
+        assert main(["bench", "diff", a, a, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] and report["n_compared"] == 1
+        assert report["rows"][0]["status"] == "ok"
+
+    def test_missing_dump_is_clean_error(self, tmp_path, capsys):
+        a = self._dump(tmp_path / "a.json", [("b1", "x", 1.0, "x")])
+        assert main(["bench", "diff", a, str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err

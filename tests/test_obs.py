@@ -129,6 +129,28 @@ class TestDisabledPath:
         # indistinguishable. Generous 2x-of-bound margin absorbs jitter.
         assert with_noop <= baseline * 1.10
 
+    def test_disabled_metrics_share_the_overhead_budget(self):
+        """The PR-9 metrics registry rides the same one-branch contract:
+        with no registry installed, the engine's per-batch observe and
+        end-of-run count/gauge calls must not slow run_trials."""
+        from repro.obs import metrics
+
+        assert metrics.current_registry() is None
+
+        def batch(rng, m):
+            return {"hit": int(rng.integers(0, m + 1))}
+
+        def timed_run():
+            t0 = time.perf_counter()
+            run_trials(batch, n_trials=20000, target="hit", rng=1,
+                       batch_size=200, vectorized=True)
+            return time.perf_counter() - t0
+
+        timed_run()
+        baseline = min(timed_run() for _ in range(3))
+        again = min(timed_run() for _ in range(3))
+        assert again <= baseline * 1.10
+
 
 class TestWriterAndMerge:
     def test_jsonl_round_trip(self, tmp_path):

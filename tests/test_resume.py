@@ -189,6 +189,65 @@ class TestSigkillResume:
         fresh.close()
 
 
+class TestResumeTraceAppend:
+    def test_resumed_run_appends_to_the_campaign_trace(self, tmp_path):
+        """A traced resume extends the interrupted run's trace instead
+        of replacing it: the merged trace.jsonl ends up holding both
+        runs' campaign.run spans plus the resume marker event."""
+        from repro import obs
+
+        spec = link_spec(n=6, name="tracer")
+        store = ResultsStore(tmp_path)
+        run_campaign(spec, store=store, trace=True)
+
+        path = os.path.join(store.campaign_dir("tracer"), RECORDS_FILE)
+        lines = open(path, "rb").read().splitlines(keepends=True)
+        with open(path, "wb") as fh:
+            fh.writelines(lines[:4])
+
+        resumed = resume_campaign("tracer", store, trace=True)
+        assert resumed.n_executed == 2
+
+        events = obs.read_trace(store.trace_path("tracer"))
+        runs = [e for e in events if e.get("type") == "span"
+                and e.get("name") == "campaign.run"]
+        assert len(runs) == 2, "resume replaced the first run's trace"
+        markers = [e for e in events if e.get("name") == "campaign.resume"]
+        assert len(markers) == 1
+        # Both runs' point executions are in the one timeline.
+        points = [e for e in events if e.get("type") == "span"
+                  and e.get("name") == "campaign.execute"]
+        assert len(points) == 6 + 2
+
+    def test_stale_part_files_survive_the_resume_merge(self, tmp_path):
+        """A SIGKILL can land before the parts merge: the resumed run
+        must fold the orphaned part files in, not delete them."""
+        from repro import obs
+
+        spec = link_spec(n=4, name="parts")
+        store = ResultsStore(tmp_path)
+        run_campaign(spec, store=store, trace=True)
+
+        # Un-merge: put the first run's events back as an orphan part,
+        # as if the kill hit between the last record and the merge.
+        trace_dir = store.trace_dir("parts")
+        merged = store.trace_path("parts")
+        os.rename(merged, os.path.join(trace_dir, "main-99999.jsonl"))
+
+        path = os.path.join(store.campaign_dir("parts"), RECORDS_FILE)
+        lines = open(path, "rb").read().splitlines(keepends=True)
+        with open(path, "wb") as fh:
+            fh.writelines(lines[:3])
+
+        resume_campaign("parts", store, trace=True)
+        events = obs.read_trace(store.trace_path("parts"))
+        runs = [e for e in events if e.get("type") == "span"
+                and e.get("name") == "campaign.run"]
+        assert len(runs) == 2
+        assert not [p for p in os.listdir(trace_dir)
+                    if p != "trace.jsonl"], "parts left unmerged"
+
+
 class TestCliResume:
     def test_resume_command_completes_the_grid(self, tmp_path, capsys,
                                                monkeypatch):
