@@ -8,7 +8,7 @@ check at the top rate.
 
 import time
 
-from repro.core.link import LinkSimulator
+from repro.core.link import LinkSimulator, run_link_grid
 from repro.phy.ofdm import OFDM_RATES
 
 SNRS = [4.0, 10.0, 16.0, 22.0, 28.0]
@@ -96,3 +96,62 @@ def test_bench_ofdm_batching_speedup(benchmark, report):
     assert table_scalar == table_batched
     # Loose CI floor; locally the batched path runs >5x faster.
     assert speedup >= 2.0
+
+
+def test_bench_ofdm_grid_fast_path(benchmark, report):
+    """Cross-point grid + analytic fast path vs the per-point waterfall.
+
+    Same E4c workload (8 rates x 5 SNRs x 12 packets), two executions:
+    the per-point batched waterfall (one ``sim.run`` per grid cell, the
+    fastest pre-grid path) against one ``run_link_grid`` call with the
+    union-bound fast path at a 1e-6 PER floor. The grid skips the
+    saturated high-SNR cells analytically and amortises each transmit
+    over all SNRs of its rate; only the waterfall knee still pays for
+    Monte Carlo packets. Timings take the best of two runs on both
+    sides so machine jitter does not masquerade as a speedup change.
+    """
+    phys = [f"ofdm-{r}" for r in sorted(OFDM_RATES)]
+
+    def grid():
+        return run_link_grid(phys, SNRS, n_packets=12, payload_bytes=60,
+                             rng=17, analytic_floor=1e-6)
+
+    _waterfall_timed(True)  # warm the cached kernels before timing
+    grid()
+
+    def both():
+        t_point = min(_waterfall_timed(True)[0] for _ in range(2))
+        samples = []
+        for _ in range(2):
+            t0 = time.perf_counter()
+            rows = grid()
+            samples.append(time.perf_counter() - t0)
+        return t_point, min(samples), rows
+
+    t_point, t_grid, rows = benchmark.pedantic(both, rounds=1,
+                                               iterations=1)
+    speedup = t_point / t_grid
+    flat = [r for row in rows for r in row]
+    n_analytic = sum(r.analytic for r in flat)
+    n_mc = len(flat) - n_analytic
+    report(
+        "E4c-grid: cross-point batching + analytic fast path",
+        [f"per-point  {t_point:.3f} s for the 8-rate x 5-SNR waterfall",
+         f"grid       {t_grid:.3f} s  ->  {speedup:.2f}x single-core",
+         f"{n_analytic}/{len(flat)} cells settled by the union bound "
+         f"(floor 1e-6), {n_mc} ran Monte Carlo"],
+        metrics=[
+            {"name": "pointwise_waterfall", "value": t_point, "units": "s"},
+            {"name": "grid_waterfall", "value": t_grid, "units": "s"},
+            {"name": "grid_speedup", "value": speedup, "units": "x"},
+            {"name": "analytic_points", "value": n_analytic,
+             "units": "points"},
+            {"name": "mc_points", "value": n_mc, "units": "points"},
+        ],
+    )
+    # The analytic cells really are below the floor, and the knee is
+    # still simulated: the bound never silently replaces a lossy cell.
+    assert all(r.per <= 1e-6 for r in flat if r.analytic)
+    assert n_mc > 0
+    # Loose CI floor; locally the grid runs >4x faster (BENCH_10.json).
+    assert speedup >= 3.0

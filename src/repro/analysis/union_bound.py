@@ -47,6 +47,22 @@ def union_bound_ber(ebn0_db, rate="1/2"):
     return total
 
 
+def union_bound_per(ebn0_db, n_bits, rate="1/2"):
+    """Union-bound PER for an ``n_bits`` payload.
+
+    Combines :func:`union_bound_ber` with the independent-bit-error
+    packet model ``1 - (1 - BER)^n``. Like the BER bound it is tight
+    only at high SNR — the low-SNR union bound can exceed 1, so the
+    result is clipped to [0, 1].
+    """
+    from repro.analysis.per import per_from_ber
+
+    if n_bits <= 0:
+        raise ConfigurationError(f"n_bits must be positive, got {n_bits}")
+    ber = np.minimum(union_bound_ber(ebn0_db, rate), 1.0)
+    return per_from_ber(ber, int(n_bits))
+
+
 def coding_gain_db(rate="1/2", target_ber=1e-5):
     """Asymptotic soft-decision coding gain: 10 log10(R * d_free)."""
     from repro.phy.convolutional import free_distance

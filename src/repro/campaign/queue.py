@@ -195,7 +195,7 @@ def _heartbeat_loop(stop, result_q, pid, heartbeat_s, trace_dir,
 
 def _queue_worker(task_q, result_q, kind, campaign, base_seed, retries,
                   timeout_s, trace_dir, initializer, initargs,
-                  heartbeat_s=None):
+                  heartbeat_s=None, pool_meta=None):
     """Worker loop: run assigned units, stream records, ack, exit on
     the ``None`` sentinel.
 
@@ -207,10 +207,23 @@ def _queue_worker(task_q, result_q, kind, campaign, base_seed, retries,
 
     With ``heartbeat_s`` set (live status active), a daemon thread
     heartbeats the parent on that cadence; see :func:`_heartbeat_loop`.
+
+    ``pool_meta`` names the parent's shared-memory draw pool
+    (:mod:`repro.campaign.shm`): the worker attaches once here — the
+    draws themselves never travel through the task queue — and point
+    functions slice from the mapping. Attach failure is harmless:
+    points regenerate the same draws locally, bit for bit.
     """
     if initializer is not None:
         initializer(*initargs)
     from repro.campaign import runner
+    from repro.campaign import shm
+
+    if pool_meta is not None:
+        try:
+            shm.attach_pool(pool_meta)
+        except Exception:
+            pass
 
     pid = os.getpid()
     stop_beat = None
@@ -235,6 +248,7 @@ def _queue_worker(task_q, result_q, kind, campaign, base_seed, retries,
                 result_q.put(("record", unit.unit_id, pid, record))
             result_q.put(("ack", unit.unit_id, pid, None))
     finally:
+        shm.detach_pool()
         if stop_beat is not None:
             stop_beat.set()
             # Last will: a campaign faster than one heartbeat interval
@@ -309,6 +323,22 @@ def run_local_queue(spec, code_version, todo, workers, retries, timeout_s,
     initializer, initargs = runner._worker_initializer(spec.kind)
     heartbeat_s = board.heartbeat_s if board is not None else None
 
+    # Shared-memory draw pool: when every point of a link-grid campaign
+    # opted in (same draw_seed), the base draws are materialised once
+    # here and workers attach by name at spawn. Failure to build one is
+    # never fatal — points regenerate identical draws locally.
+    from repro.campaign import shm
+
+    draw_pool = None
+    pool_plan = shm.plan_pool(spec, todo)
+    if pool_plan is not None:
+        try:
+            draw_pool = shm.SharedDrawPool.create(**pool_plan)
+            obs.counter("campaign.shm.pool")
+        except Exception:
+            draw_pool = None
+    pool_meta = draw_pool.meta if draw_pool is not None else None
+
     #: pid -> (process, its private task queue). Each worker gets its
     #: own queue so the parent knows exactly which units it handed to
     #: which pid; a shared queue would make leases guesswork again.
@@ -323,7 +353,7 @@ def run_local_queue(spec, code_version, todo, workers, retries, timeout_s,
             target=_queue_worker,
             args=(task_q, result_q, spec.kind, spec.name,
                   spec.base_seed, retries, timeout_s, trace_dir,
-                  initializer, initargs, heartbeat_s),
+                  initializer, initargs, heartbeat_s, pool_meta),
             daemon=True)
         proc.start()
         procs[proc.pid] = (proc, task_q)
@@ -471,11 +501,14 @@ def run_local_queue(spec, code_version, todo, workers, retries, timeout_s,
         result_q.close()
         # The pump stays parked on the (now closed) result_q until its
         # read fails; daemon=True keeps it from pinning the process.
+        if draw_pool is not None:
+            draw_pool.destroy()
 
     return {
         "backend": "local-queue",
         "n_units": len(units),
         "shard_size": size,
+        "draw_pool": pool_meta is not None,
         "n_leases": wq.n_leases,
         "n_acks": wq.n_acks,
         "n_requeued": wq.n_requeued,

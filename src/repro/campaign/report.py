@@ -199,6 +199,10 @@ def summary_lines(records, name=None):
             reason = metrics.get("stop_reason")
             if reason:
                 reasons[reason] = reasons.get(reason, 0) + 1
+            # Cross-point (link-grid) records carry one reason per SNR.
+            for sub in metrics.get("stop_reasons") or []:
+                if sub:
+                    reasons[sub] = reasons.get(sub, 0) + 1
         else:
             if outcome == "error":
                 n_error += 1

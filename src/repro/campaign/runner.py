@@ -119,6 +119,9 @@ def _run_link_point(params, rng):
     the underlying MC engine into adaptive mode; either way the record
     carries the Wilson CI on the PER, the consumed trial count and the
     engine's stop reason, so every stored point ships its error bars.
+    An ``analytic_floor`` param enables the union-bound fast path
+    (``stop_reason="analytic"``, zero packets sent); ``kernels``
+    selects the decoder backend.
     """
     from repro.core.link import LinkSimulator
 
@@ -128,9 +131,11 @@ def _run_link_point(params, rng):
         n_rx=params.get("n_rx"),
         detector=params.get("detector", "mmse"),
         rng=rng,
+        kernels=params.get("kernels"),
     )
     precision = params.get("precision")
     max_trials = params.get("max_trials")
+    floor = params.get("analytic_floor")
     confidence = float(params.get("confidence", 0.95))
     result = sim.run(
         float(params["snr_db"]),
@@ -139,6 +144,7 @@ def _run_link_point(params, rng):
         precision=float(precision) if precision is not None else None,
         max_trials=int(max_trials) if max_trials is not None else None,
         confidence=confidence,
+        analytic_floor=float(floor) if floor is not None else None,
     )
     per_lo, per_hi = result.per_ci(confidence)
     ber_lo, ber_hi = result.ber_ci(confidence)
@@ -156,6 +162,57 @@ def _run_link_point(params, rng):
         "n_bit_errors": result.n_bit_errors,
         "n_trials": result.mc.n_trials,
         "stop_reason": result.mc.stop_reason,
+        "confidence": confidence,
+    }
+
+
+def _run_link_grid_point(params, rng):
+    """One PHY row of a cross-point grid: every SNR in one kernel pass.
+
+    ``params["snrs"]`` is the SNR list; payloads/channels/noise are
+    shared across the row per trial index (common random numbers), so
+    the record's per-SNR lists are bit-identical to per-point runs of
+    the same scheme. With a ``draw_seed`` param the base draws come
+    from the campaign-wide stream — identical for every point, which
+    lets queue workers serve them from one shared-memory pool
+    (:mod:`repro.campaign.shm`) instead of regenerating; without one
+    the point's own ``rng`` seeds the stream. Either way an attached
+    pool is a pure optimisation: records match pool-less runs byte for
+    byte.
+    """
+    from repro.campaign import shm
+    from repro.core.link import run_link_grid
+
+    snrs = [float(s) for s in params["snrs"]]
+    draw_seed = params.get(shm.POOL_PARAM)
+    floor = params.get("analytic_floor")
+    confidence = float(params.get("confidence", 0.95))
+    row = run_link_grid(
+        params["phy"], snrs,
+        n_packets=int(params.get("n_packets", 100)),
+        payload_bytes=int(params.get("payload_bytes", 100)),
+        channel=params.get("channel", "awgn"),
+        analytic_floor=float(floor) if floor is not None else None,
+        confidence=confidence,
+        kernels=params.get("kernels"),
+        rng=int(draw_seed) if draw_seed is not None else rng,
+        draw_pool=shm.attached_pool(),
+    )[0]
+    per_ci = [r.per_ci(confidence) for r in row]
+    return {
+        "snrs": snrs,
+        "per": [r.per for r in row],
+        "per_ci_low": [lo for lo, _ in per_ci],
+        "per_ci_high": [hi for _, hi in per_ci],
+        "ber": [r.ber for r in row],
+        "goodput_mbps": [r.goodput_mbps for r in row],
+        "rate_mbps": row[0].rate_mbps,
+        "n_packets": [r.n_packets for r in row],
+        "n_packet_errors": [r.n_packet_errors for r in row],
+        "n_bit_errors": [r.n_bit_errors for r in row],
+        "stop_reasons": [r.mc.stop_reason for r in row],
+        "n_trials": sum(r.mc.n_trials for r in row),
+        "n_analytic": sum(1 for r in row if r.analytic),
         "confidence": confidence,
     }
 
@@ -209,6 +266,7 @@ def _run_dcf_point(params, rng):
 
 
 register_point_kind("link", _run_link_point, code_version="2")
+register_point_kind("link-grid", _run_link_grid_point, code_version="1")
 register_point_kind("mimo-range", _run_mimo_range_point, code_version="1")
 # v2: collision_probability switched to the per-attempt denominator
 # (Bianchi's conditional p); cached v1 records carry the biased ratio.

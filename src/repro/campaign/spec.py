@@ -139,7 +139,18 @@ class CampaignSpec:
                 "fixed"
             )
         for key, v in self.fixed.items():
-            self._check_scalar(key, v)
+            # Fixed params additionally allow flat lists of scalars —
+            # cross-point kinds (link-grid) take e.g. an SNR list as one
+            # parameter. Factors stay scalar: a list factor value would
+            # make grid axes ambiguous.
+            if isinstance(v, (list, tuple)):
+                if len(v) == 0:
+                    raise ConfigurationError(
+                        f"fixed parameter {key!r} is an empty list")
+                for item in v:
+                    self._check_scalar(key, item)
+            else:
+                self._check_scalar(key, v)
         if isinstance(self.retries, bool) or not isinstance(self.retries,
                                                             int) \
                 or self.retries < 0:

@@ -88,19 +88,20 @@ def _cmd_link(args):
                   f"{surface.channel!r}; the channel argument "
                   f"{args.channel!r} is ignored")
     else:
-        sim = LinkSimulator(args.phy, args.channel, rng=args.seed)
+        sim = LinkSimulator(args.phy, args.channel, rng=args.seed,
+                            kernels=getattr(args, "kernels", None))
+    run_kwargs = dict(n_packets=args.packets, payload_bytes=args.bytes,
+                      precision=args.precision,
+                      max_trials=args.max_trials)
+    if not args.surrogate:
+        run_kwargs["analytic_floor"] = getattr(args, "analytic_floor",
+                                               None)
     tracer = obs.Tracer() if args.trace else None
     if tracer is not None:
         with obs.use_tracer(tracer):
-            result = sim.run(args.snr, n_packets=args.packets,
-                             payload_bytes=args.bytes,
-                             precision=args.precision,
-                             max_trials=args.max_trials)
+            result = sim.run(args.snr, **run_kwargs)
     else:
-        result = sim.run(args.snr, n_packets=args.packets,
-                         payload_bytes=args.bytes,
-                         precision=args.precision,
-                         max_trials=args.max_trials)
+        result = sim.run(args.snr, **run_kwargs)
     mc = result.mc
     per_lo, per_hi = result.per_ci()
     budget = (f"adaptive to precision {args.precision:g}"
@@ -110,9 +111,14 @@ def _cmd_link(args):
                else "waveform")
     print(f"{args.phy} over {sim.channel_name} @ {args.snr:.1f} dB "
           f"({budget}, {args.bytes} B payloads, {backend}):")
-    print(f"  PER     : {result.per:.3f}  "
-          f"[{per_lo:.3f}, {per_hi:.3f}] @ {mc.confidence:.0%}")
-    print(f"  BER     : {result.ber:.2e}")
+    if getattr(result, "analytic", False):
+        print(f"  PER     : {result.per:.3e}  "
+              f"(union bound, no packets sent)")
+        print(f"  BER     : {result.ber:.2e}  (union bound)")
+    else:
+        print(f"  PER     : {result.per:.3f}  "
+              f"[{per_lo:.3f}, {per_hi:.3f}] @ {mc.confidence:.0%}")
+        print(f"  BER     : {result.ber:.2e}")
     print(f"  goodput : {result.goodput_mbps:.2f} Mbps "
           f"(PHY rate {result.rate_mbps:.1f})")
     print(f"  trials  : {mc.n_trials} ({mc.stop_reason})")
@@ -523,6 +529,14 @@ def build_parser():
     p_link.add_argument("--precision", type=float, default=None,
                         help="adaptive mode: stop when the relative CI "
                              "half-width on the PER drops below this")
+    p_link.add_argument("--kernels", default=None,
+                        choices=("auto", "numpy", "numba"),
+                        help="decoder kernel backend (default: "
+                             "REPRO_KERNELS or auto)")
+    p_link.add_argument("--analytic-floor", type=float, default=None,
+                        metavar="PER",
+                        help="skip Monte-Carlo when the union-bound PER "
+                             "is at or below this floor (OFDM on AWGN)")
     p_link.add_argument("--max-trials", type=int, default=None,
                         help="trial ceiling for adaptive mode")
     p_link.add_argument("--trace", action="store_true",

@@ -24,16 +24,23 @@ received signal power per RX antenna over complex noise variance.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro import obs
+from repro.analysis.union_bound import (
+    WEIGHT_SPECTRUM,
+    union_bound_ber,
+    union_bound_per,
+)
 from repro.channel.awgn import awgn_noise
 from repro.channel.models import TGN_PROFILES, tgn_channel
-from repro.core.mc import run_trials
+from repro.core.mc import analytic_result, run_grid_trials, run_trials
 from repro.core.mc.stats import rate_interval
 from repro.errors import ConfigurationError, ReproError
+from repro.phy import kernels as phy_kernels
 from repro.phy.cck import CckPhy
 from repro.phy.dsss import DsssPhy
 from repro.phy.fhss import GfskModem
@@ -67,20 +74,40 @@ class LinkResult:
     mc: object = None
 
     @property
+    def analytic(self):
+        """True when this point was resolved by a closed-form bound.
+
+        Analytic points send zero packets: ``mc`` carries an
+        :func:`~repro.core.mc.analytic_result` record
+        (``stop_reason="analytic"``) and ``per``/``ber`` report the
+        union-bound values instead of measurements.
+        """
+        return (self.mc is not None
+                and getattr(self.mc, "stop_reason", None) == "analytic")
+
+    @property
     def per(self):
         """Packet error rate (``nan`` when no packets were sent).
 
         A zero-trial result used to report 0.0 — indistinguishable from
         a genuinely error-free measurement; ``nan`` makes "no data"
-        loud instead of flattering.
+        loud instead of flattering. Analytic points report the
+        union-bound PER.
         """
+        if self.analytic:
+            return float(self.mc.estimate)
         if not self.n_packets:
             return float("nan")
         return self.n_packet_errors / self.n_packets
 
     @property
     def ber(self):
-        """Raw payload bit error rate (``nan`` when no bits were sent)."""
+        """Raw payload bit error rate (``nan`` when no bits were sent).
+
+        Analytic points report the union-bound BER.
+        """
+        if self.analytic:
+            return float(self.extras["analytic"]["ber"])
         if not self.n_bits:
             return float("nan")
         return self.n_bit_errors / self.n_bits
@@ -91,7 +118,13 @@ class LinkResult:
         return self.rate_mbps * (1.0 - self.per)
 
     def per_ci(self, confidence=0.95, method="wilson"):
-        """``(lo, hi)`` interval on the packet error rate."""
+        """``(lo, hi)`` interval on the packet error rate.
+
+        Analytic points report ``(0, bound)`` — the union bound is
+        one-sided, so the upper edge is the bound itself.
+        """
+        if self.analytic:
+            return 0.0, float(self.mc.ci_high)
         return rate_interval(self.n_packet_errors, self.n_packets,
                              confidence, method)
 
@@ -99,8 +132,11 @@ class LinkResult:
         """``(lo, hi)`` interval on the bit error rate.
 
         Treats payload bits as independent Bernoulli trials — optimistic
-        under bursty decoders, but a usable yardstick.
+        under bursty decoders, but a usable yardstick. Analytic points
+        report ``(0, bound)``.
         """
+        if self.analytic:
+            return 0.0, self.ber
         return rate_interval(self.n_bit_errors, self.n_bits,
                              confidence, method)
 
@@ -120,6 +156,12 @@ class LinkSimulator:
     detector : str
         HT detector ("mmse", "zf", "ml").
     rng : seed or Generator
+    kernels : str or None
+        Decoder kernel backend for this simulator's runs ("numpy",
+        "numba" or "auto"); ``None`` defers to ``REPRO_KERNELS`` / the
+        process-wide setting. Requesting "numba" without numba
+        installed fails here, up front, with a
+        :class:`~repro.errors.ConfigurationError`.
 
     Examples
     --------
@@ -130,13 +172,21 @@ class LinkSimulator:
     """
 
     def __init__(self, phy, channel="awgn", n_rx=None, detector="mmse",
-                 rng=None):
+                 rng=None, kernels=None):
         self.phy_name = phy
         self.channel_name = channel
         self.rng = as_generator(rng)
         self._detector = detector
         self._make_phy(phy, n_rx, detector)
         self._validate_channel(channel)
+        if kernels is not None:
+            phy_kernels.require_backend(kernels)
+        self.kernels = kernels
+
+    def _kernel_ctx(self):
+        if self.kernels is None:
+            return contextlib.nullcontext()
+        return phy_kernels.use_backend(self.kernels)
 
     # -- construction -------------------------------------------------------
 
@@ -339,11 +389,65 @@ class LinkSimulator:
             pkt_sum += int(errs > 0)
         return {"packet_error": pkt_sum, "bit_errors": bit_sum}
 
+    # -- analytic fast path -------------------------------------------------
+
+    def analytic_bounds(self, snr_db, payload_bytes=100):
+        """Closed-form PER/BER bounds at one operating point, or None.
+
+        Only OFDM PHYs on AWGN have a usable closed form: the union
+        bound over the (133, 171) distance spectrum at the point's
+        Eb/N0 (20 MHz channel, so ``Eb/N0 = SNR + 10 log10(20/rate)``).
+        The bound ignores channel-estimation noise and SIGNAL-field
+        decode failures, so it is trustworthy only where it is already
+        tiny — callers gate on a floor (see ``analytic_floor``) rather
+        than using it as a general-purpose PER model.
+        """
+        if self._kind != "ofdm" or self.channel_name != "awgn":
+            return None
+        code_rate = self._phy.rate.code_rate
+        if code_rate not in WEIGHT_SPECTRUM:
+            return None
+        ebn0_db = float(snr_db) + 10.0 * np.log10(20.0 / self.rate_mbps)
+        ber = float(min(union_bound_ber(ebn0_db, code_rate), 1.0))
+        per = float(union_bound_per(ebn0_db, 8 * int(payload_bytes),
+                                    code_rate))
+        return {"per": per, "ber": ber, "ebn0_db": ebn0_db,
+                "code_rate": code_rate, "method": "union-bound"}
+
+    def _analytic_short_circuit(self, snr_db, payload_bytes, floor,
+                                confidence):
+        """Analytic LinkResult when the bound clears the floor, else None."""
+        if floor is None:
+            return None
+        floor = float(floor)
+        if not 0.0 < floor < 1.0:
+            raise ConfigurationError(
+                f"analytic_floor must lie in (0, 1), got {floor}")
+        bounds = self.analytic_bounds(snr_db, payload_bytes)
+        if bounds is None or bounds["per"] > floor:
+            return None
+        mc = analytic_result(bounds["per"], target="packet_error",
+                             confidence=confidence)
+        obs.counter("link.analytic_points")
+        return LinkResult(
+            phy=self.phy_name,
+            channel=self.channel_name,
+            snr_db=float(snr_db),
+            n_packets=0,
+            n_packet_errors=0,
+            n_bits=0,
+            n_bit_errors=0,
+            payload_bytes=int(payload_bytes),
+            rate_mbps=self.rate_mbps,
+            extras={"analytic": dict(bounds, floor=floor)},
+            mc=mc,
+        )
+
     # -- batches ------------------------------------------------------------------
 
     def run(self, snr_db, n_packets=100, payload_bytes=100, *,
             precision=None, max_trials=None, confidence=0.95,
-            batch_size=50, vectorized=None):
+            batch_size=50, vectorized=None, analytic_floor=None):
         """Send random payloads at one SNR through the MC engine.
 
         With ``precision=None`` (the default) exactly ``n_packets`` are
@@ -358,9 +462,20 @@ class LinkSimulator:
         (default: on for OFDM PHYs, which support it; the per-packet RNG
         draw order is preserved, so results are bit-identical either
         way). Pass ``False`` to force the per-packet loop.
+
+        ``analytic_floor`` enables the analytic fast path: when the
+        union-bound PER at this point is at or below the floor, no
+        packets are sent at all — the result carries the bound with
+        ``stop_reason="analytic"`` and consumes no RNG draws. Points
+        the bound cannot cover (non-OFDM PHYs, fading channels, or
+        bound above the floor) fall through to Monte-Carlo unchanged.
         """
         snr_db, n_packets, payload_bytes = validate_link_run_args(
             snr_db, n_packets, payload_bytes)
+        shortcut = self._analytic_short_circuit(
+            snr_db, payload_bytes, analytic_floor, confidence)
+        if shortcut is not None:
+            return shortcut
         if vectorized is None:
             vectorized = self._kind == "ofdm"
         vectorized = bool(vectorized) and self._kind == "ofdm"
@@ -377,7 +492,8 @@ class LinkSimulator:
 
         with obs.span("link.run", phy=self.phy_name,
                       channel=self.channel_name,
-                      snr_db=float(snr_db)) as span, obs.timed() as clock:
+                      snr_db=float(snr_db)) as span, obs.timed() as clock, \
+                self._kernel_ctx():
             mc = run_trials(trial_batch if vectorized else trial,
                             n_trials=int(n_packets),
                             target="packet_error", rng=self.rng,
@@ -417,6 +533,26 @@ class LinkSimulator:
             return [self.run(snr, n_packets, payload_bytes, **mc_kwargs)
                     for snr in snrs]
 
+    def run_grid(self, snr_values_db, n_packets=100, payload_bytes=100, *,
+                 cross_point=True, analytic_floor=None, confidence=0.95,
+                 batch_size=50):
+        """Cross-point sweep: all SNRs of this PHY in one kernel pass.
+
+        Unlike :meth:`waterfall` (which runs the points one after the
+        other, each with its own draws), a grid shares one payload /
+        channel / noise realisation per trial index across every SNR
+        (common random numbers) and amortises each transmit over all of
+        them. Consumes exactly one draw from ``self.rng`` regardless of
+        grid shape, so ``cross_point=True`` and the per-point reference
+        ``cross_point=False`` are bit-identical. OFDM PHYs on
+        awgn/rayleigh channels only; returns one result per SNR.
+        """
+        return run_link_grid(
+            [self.phy_name], snr_values_db, n_packets, payload_bytes,
+            channel=self.channel_name, cross_point=cross_point,
+            analytic_floor=analytic_floor, confidence=confidence,
+            batch_size=batch_size, rng=self.rng, kernels=self.kernels)[0]
+
     def snr_for_per(self, target_per=0.1, lo_db=-5.0, hi_db=45.0,
                     n_packets=100, payload_bytes=100, tolerance_db=0.5,
                     **mc_kwargs):
@@ -451,3 +587,228 @@ class LinkSimulator:
                     hi = mid
             span.set(snr_db=0.5 * (lo + hi))
         return 0.5 * (lo + hi)
+
+
+# -- cross-point grids -------------------------------------------------------
+
+def grid_trial_draws(entropy, t, payload_bytes, n_max, channel):
+    """Base draws for grid trial ``t``: (payload, h, noise).
+
+    One substream per trial index, derived only from ``entropy`` — the
+    property every grid execution mode (cross-point, per-point,
+    shared-memory pool) relies on for bit-identity. The noise normals
+    are drawn interleaved (re, im) per sample so that a shorter PHY's
+    noise vector is an exact prefix of a longer draw from the same
+    substream: a pool materialised at the campaign's maximum sample
+    count serves every rate in it.
+    """
+    g = np.random.default_rng(
+        np.random.SeedSequence(entropy, spawn_key=(int(t),)))
+    payload = bytes(g.integers(0, 256, payload_bytes,
+                               dtype=np.uint8).tolist())
+    h = 1.0 + 0.0j
+    if channel == "rayleigh":
+        h = complex((g.normal() + 1j * g.normal()) / np.sqrt(2))
+    raw = g.normal(size=(int(n_max), 2))
+    return payload, h, raw[:, 0] + 1j * raw[:, 1]
+
+
+def run_link_grid(phys, snr_values_db, n_packets=100, payload_bytes=100, *,
+                  channel="awgn", cross_point=True, analytic_floor=None,
+                  confidence=0.95, batch_size=50, rng=None, kernels=None,
+                  draw_pool=None):
+    """Run a whole (rate, SNR) grid through shared kernel invocations.
+
+    The cross-point batcher behind :meth:`LinkSimulator.run_grid`. Trial
+    ``i`` draws one payload, one channel realisation and one (maximum
+    length) noise vector from a per-trial substream and reuses them at
+    **every** grid point — payload bit generation and scrambling /
+    coding / modulation happen once per rate (not once per SNR), and
+    noise scaling is the only per-SNR work. Because draws hang off the
+    trial index rather than a generator threaded through the points,
+    ``cross_point=False`` (the per-point reference execution, one
+    engine run per grid point) is bit-identical to the batched path —
+    the property the grid tests pin down.
+
+    Parameters
+    ----------
+    phys : str or list of str
+        OFDM PHY names (e.g. ``["ofdm-6", "ofdm-54"]``).
+    snr_values_db : array-like
+        SNR points shared by every PHY.
+    channel : str
+        "awgn" or "rayleigh" (flat per-packet). TGN channels consume
+        RNG inside the tap generator and cannot share draws; use
+        :meth:`LinkSimulator.waterfall` for those.
+    analytic_floor : float or None
+        Union-bound fast path: grid points whose bound is at or below
+        the floor send no packets and come back flagged
+        ``stop_reason="analytic"``.
+    kernels : str or None
+        Decoder backend for the whole grid ("numpy"/"numba"/"auto").
+    rng : seed or Generator
+        Consumed exactly once (for the per-trial substream entropy).
+    draw_pool : SharedDrawPool or None
+        Pre-materialised base draws (see :mod:`repro.campaign.shm`).
+        Used only when its entropy/shape match this grid — otherwise
+        the draws are regenerated locally from the same substreams, so
+        results are bit-identical with or without a pool.
+
+    Returns
+    -------
+    list of lists of :class:`LinkResult`: ``results[p][s]`` for PHY
+    ``p`` at SNR ``s``.
+    """
+    if isinstance(phys, str):
+        phys = [phys]
+    if not phys:
+        raise ConfigurationError("phys must name at least one PHY")
+    snrs = require_snr_array("snr_values_db", snr_values_db)
+    _, n_packets, payload_bytes = validate_link_run_args(
+        0.0, n_packets, payload_bytes)
+    if channel not in ("awgn", "rayleigh"):
+        raise ConfigurationError(
+            f"cross-point grids support 'awgn' or 'rayleigh' channels, "
+            f"got {channel!r}; run TGN sweeps through waterfall()")
+    if kernels is not None:
+        phy_kernels.require_backend(kernels)
+    sims = [LinkSimulator(p, channel, kernels=kernels) for p in phys]
+    for sim in sims:
+        if sim._kind != "ofdm":
+            raise ConfigurationError(
+                f"cross-point grids support OFDM PHYs only, got "
+                f"{sim.phy_name!r}; run it through waterfall()")
+    if analytic_floor is not None:
+        analytic_floor = float(analytic_floor)
+        if not 0.0 < analytic_floor < 1.0:
+            raise ConfigurationError(
+                f"analytic_floor must lie in (0, 1), got {analytic_floor}")
+
+    n_snr = len(snrs)
+    n_points = len(sims) * n_snr
+    snr_lin = 10.0 ** (snrs / 10.0)
+    lengths = [sim._phy.n_samples(payload_bytes) for sim in sims]
+    n_max = max(lengths)
+    # One draw regardless of grid shape or execution mode: the entropy
+    # seeds per-trial substreams, so draws depend only on the trial index.
+    entropy = int(as_generator(rng).integers(0, 2 ** 63))
+    if draw_pool is not None and not draw_pool.covers(
+            entropy, n_packets, payload_bytes, n_max, channel):
+        obs.counter("link.grid.pool_miss")
+        draw_pool = None
+
+    def batch_draws(lo, hi):
+        m = hi - lo
+        if draw_pool is not None:
+            pay, hs_all, nz_all = draw_pool.arrays()
+            payloads = [pay[t].tobytes() for t in range(lo, hi)]
+            return payloads, hs_all[lo:hi], nz_all[lo:hi, :n_max]
+        payloads = []
+        hs = np.empty(m, dtype=np.complex128)
+        noise = np.empty((m, n_max), dtype=np.complex128)
+        for j, t in enumerate(range(lo, hi)):
+            payload, h, nz = grid_trial_draws(entropy, t, payload_bytes,
+                                              n_max, channel)
+            payloads.append(payload)
+            hs[j] = h
+            noise[j] = nz
+        return payloads, hs, noise
+
+    def grid_fn(lo, hi, points):
+        m = hi - lo
+        payloads, hs, noise = batch_draws(lo, hi)
+        pkt = np.zeros(points.size, dtype=np.int64)
+        bits = np.zeros(points.size, dtype=np.int64)
+        by_phy = {}
+        for k, idx in enumerate(points):
+            p, s = divmod(int(idx), n_snr)
+            by_phy.setdefault(p, []).append((k, s))
+        for p, cols in sorted(by_phy.items()):
+            phy = sims[p]._phy
+            n = lengths[p]
+            tx = phy.transmit_batch(payloads)  # (m, n), shared by SNRs
+            power = np.mean(np.abs(tx) ** 2, axis=1)
+            rx_clean = hs[:, None] * tx if channel == "rayleigh" else tx
+            for k, s in cols:
+                noise_var = power / snr_lin[s]
+                rx = (rx_clean
+                      + np.sqrt(noise_var / 2.0)[:, None] * noise[:, :n])
+                psdus = phy.receive_batch(rx, noise_var)
+                for payload, got in zip(payloads, psdus):
+                    if got is None:
+                        errs = 8 * len(payload)
+                    else:
+                        errs = LinkSimulator._byte_errors(payload, got)
+                    bits[k] += errs
+                    pkt[k] += int(errs > 0)
+            obs.counter("link.packets", m * len(cols))
+        return {"packet_error": pkt, "bit_errors": bits}
+
+    analytic = {}
+    bounds_by_point = {}
+    if analytic_floor is not None:
+        for p, sim in enumerate(sims):
+            for s, snr in enumerate(snrs):
+                bounds = sim.analytic_bounds(snr, payload_bytes)
+                if bounds is not None and bounds["per"] <= analytic_floor:
+                    idx = p * n_snr + s
+                    analytic[idx] = bounds["per"]
+                    bounds_by_point[idx] = bounds
+
+    with obs.span("link.grid", n_phys=len(sims), n_snrs=n_snr,
+                  cross_point=bool(cross_point),
+                  n_analytic=len(analytic)) as span, obs.timed() as clock, \
+            (phy_kernels.use_backend(kernels) if kernels is not None
+             else contextlib.nullcontext()):
+        if cross_point:
+            mcs = run_grid_trials(
+                grid_fn, n_packets, n_points, target="packet_error",
+                batch_size=batch_size, analytic=analytic,
+                confidence=confidence)
+        else:
+            # Per-point reference execution: same draws, one engine run
+            # per grid point. Exists to *prove* the batched path right.
+            mcs = []
+            for idx in range(n_points):
+                def one_point(lo, hi, points, _idx=idx):
+                    out = grid_fn(lo, hi,
+                                  np.array([_idx], dtype=np.int64))
+                    return out
+                mcs.extend(run_grid_trials(
+                    one_point, n_packets, 1, target="packet_error",
+                    batch_size=batch_size,
+                    analytic=({0: analytic[idx]} if idx in analytic
+                              else None),
+                    confidence=confidence))
+        sent = sum(mc.n_trials for mc in mcs)
+        span.set(n_packets=sent,
+                 packets_per_s=(sent / clock.elapsed
+                                if clock.elapsed > 0 else 0.0))
+        if analytic:
+            obs.counter("link.analytic_points", len(analytic))
+
+    results = []
+    for p, sim in enumerate(sims):
+        row = []
+        for s, snr in enumerate(snrs):
+            idx = p * n_snr + s
+            mc = mcs[idx]
+            if mc.stop_reason == "analytic":
+                row.append(LinkResult(
+                    phy=sim.phy_name, channel=channel, snr_db=float(snr),
+                    n_packets=0, n_packet_errors=0, n_bits=0,
+                    n_bit_errors=0, payload_bytes=payload_bytes,
+                    rate_mbps=sim.rate_mbps,
+                    extras={"analytic": dict(bounds_by_point[idx],
+                                             floor=analytic_floor)},
+                    mc=mc))
+            else:
+                row.append(LinkResult(
+                    phy=sim.phy_name, channel=channel, snr_db=float(snr),
+                    n_packets=mc.n_trials, n_packet_errors=mc.n_events,
+                    n_bits=8 * payload_bytes * mc.n_trials,
+                    n_bit_errors=int(mc.totals.get("bit_errors", 0)),
+                    payload_bytes=payload_bytes, rate_mbps=sim.rate_mbps,
+                    mc=mc))
+        results.append(row)
+    return results

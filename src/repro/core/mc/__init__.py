@@ -21,6 +21,8 @@ from repro.core.mc.engine import (
     DEFAULT_MAX_TRIALS,
     McResult,
     STOP_REASONS,
+    analytic_result,
+    run_grid_trials,
     run_trials,
 )
 from repro.core.mc.stats import (
@@ -36,6 +38,8 @@ __all__ = [
     "DEFAULT_MAX_TRIALS",
     "McResult",
     "STOP_REASONS",
+    "analytic_result",
+    "run_grid_trials",
     "run_trials",
     "MeanAccumulator",
     "QuantileAccumulator",

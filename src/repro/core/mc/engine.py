@@ -60,8 +60,11 @@ from repro.utils.rng import as_generator
 #: Default trial ceiling for adaptive runs that never reach precision.
 DEFAULT_MAX_TRIALS = 100_000
 
-#: Stop reasons an :class:`McResult` may carry.
-STOP_REASONS = ("budget", "precision", "max_trials")
+#: Stop reasons an :class:`McResult` may carry. ``analytic`` marks a
+#: point that never ran a trial: a closed-form bound already pinned the
+#: target below the caller's confidence floor (see
+#: :func:`analytic_result`).
+STOP_REASONS = ("budget", "precision", "max_trials", "analytic")
 
 
 @dataclass
@@ -104,6 +107,38 @@ class McResult:
     def ci(self):
         """The ``(lo, hi)`` interval as a tuple."""
         return self.ci_low, self.ci_high
+
+
+def analytic_result(estimate, *, target, method="union-bound",
+                    confidence=0.95, totals=None):
+    """An :class:`McResult` for a point resolved without any MC trials.
+
+    The caller's closed-form bound stands in for the estimate: the
+    interval is ``[0, bound]`` (the bound is an upper bound, so the
+    truth lies below it), ``n_trials`` is 0 and the stop reason is
+    ``"analytic"`` — stores, reports and the CLI all surface the flag,
+    and trial-count summaries fold the point in at zero cost.
+    """
+    estimate = float(estimate)
+    if not 0.0 <= estimate <= 1.0:
+        raise ConfigurationError(
+            f"analytic rate estimate must be in [0, 1], got {estimate}")
+    obs.counter("mc.stop.analytic")
+    obs_metrics.count("mc.stop.analytic")
+    return McResult(
+        estimate=estimate,
+        ci_low=0.0,
+        ci_high=estimate,
+        n_trials=0,
+        confidence=float(confidence),
+        stop_reason="analytic",
+        method=str(method),
+        target=target,
+        estimand="rate",
+        n_events=0,
+        precision=None,
+        totals=dict(totals or {}),
+    )
 
 
 def _make_accumulator(estimand, method, quantile):
@@ -305,3 +340,129 @@ def run_trials(trial_fn, n_trials=None, *, target, rng=None,
         precision=precision,
         totals=totals,
     )
+
+
+def run_grid_trials(grid_fn, n_trials, n_points, *, target,
+                    batch_size=100, analytic=None, confidence=0.95,
+                    method="wilson"):
+    """Fixed-budget Bernoulli trials for *many* grid points at once.
+
+    Cross-point batching: one ``grid_fn`` invocation covers a slice of
+    the trial budget for **every** still-active point, so a sweep's
+    kernels (transmit, channel, decode) amortise across its whole
+    (SNR, rate) grid instead of one operating point at a time.
+
+    Parameters
+    ----------
+    grid_fn : callable
+        ``grid_fn(lo, hi, points) -> dict`` running trials ``lo..hi-1``
+        for each point index in ``points`` (a 1-D int array). Values
+        are per-point *batch sums*, shape ``(len(points),)`` — the
+        ``target`` entry counts Bernoulli events. The trial index, not
+        a generator, carries the randomness: trial ``i`` must use the
+        same underlying draws for every point (common random numbers),
+        which is what makes cross-point and per-point execution of the
+        same scheme bit-identical.
+    n_trials : int
+        Fixed per-point trial budget.
+    n_points : int
+        Grid size; results come back as a list of this length.
+    batch_size : int
+        Trials per ``grid_fn`` invocation.
+    analytic : dict or None
+        ``{point_index: bound}`` for points a closed-form bound already
+        resolved below the caller's confidence floor: they are excluded
+        from every ``grid_fn`` call and returned as
+        :func:`analytic_result` records (``stop_reason="analytic"``).
+    confidence, method
+        Per-point Wilson (or Clopper-Pearson) interval parameters.
+
+    Returns
+    -------
+    list of :class:`McResult`, one per point in index order.
+    """
+    n_points = int(n_points)
+    if n_points < 1:
+        raise ConfigurationError(f"n_points must be >= 1, got {n_points}")
+    budget = int(n_trials)
+    if budget < 1:
+        raise ConfigurationError(f"n_trials must be >= 1, got {budget}")
+    if int(batch_size) < 1:
+        raise ConfigurationError(
+            f"batch_size must be >= 1, got {batch_size}")
+    analytic = {int(i): float(v) for i, v in (analytic or {}).items()}
+    for i in analytic:
+        if not 0 <= i < n_points:
+            raise ConfigurationError(
+                f"analytic point index {i} outside grid of {n_points}")
+    active = np.array([i for i in range(n_points) if i not in analytic],
+                      dtype=np.int64)
+    accs = {int(i): RateAccumulator(method=method) for i in active}
+    totals = {int(i): {} for i in active}
+
+    with obs.span("mc.run_grid", target=target, n_points=n_points,
+                  n_analytic=len(analytic)) as span, obs.timed() as clock:
+        done = 0
+        while active.size and done < budget:
+            m = min(int(batch_size), budget - done)
+            registry = obs_metrics.current_registry()
+            with obs.span("mc.batch", n=m * active.size):
+                t0 = time.perf_counter()
+                out = dict(grid_fn(done, done + m, active))
+                if registry is not None:
+                    registry.observe("mc.batch_s",
+                                     time.perf_counter() - t0)
+            if target not in out:
+                raise ConfigurationError(
+                    f"grid function never produced target metric "
+                    f"{target!r}; got keys {sorted(out)}")
+            for key, vals in out.items():
+                vals = np.asarray(vals)
+                if vals.shape[:1] != (active.size,):
+                    raise ConfigurationError(
+                        f"grid metric {key!r} must carry one value per "
+                        f"active point (expected leading dimension "
+                        f"{active.size}, got shape {vals.shape})")
+                for j, i in enumerate(active):
+                    i = int(i)
+                    if key == target:
+                        accs[i].add(vals[j], m)
+                        totals[i][target] = accs[i].n_events
+                    else:
+                        totals[i][key] = totals[i].get(key, 0) + vals[j]
+            done += m
+        n_run = done * active.size
+        obs.counter("mc.trials", n_run)
+        obs_metrics.count("mc.trials", n_run)
+        if active.size:
+            obs.counter("mc.stop.budget", active.size)
+            obs_metrics.count("mc.stop.budget", active.size)
+        if clock.elapsed > 0:
+            obs_metrics.gauge("mc.trials_per_s", n_run / clock.elapsed)
+        span.set(n_trials=n_run,
+                 trials_per_s=(n_run / clock.elapsed
+                               if clock.elapsed > 0 else 0.0))
+
+    results = []
+    for i in range(n_points):
+        if i in analytic:
+            results.append(analytic_result(
+                analytic[i], target=target, confidence=confidence))
+            continue
+        acc = accs[i]
+        lo, hi = acc.interval(confidence)
+        results.append(McResult(
+            estimate=acc.estimate(),
+            ci_low=lo,
+            ci_high=hi,
+            n_trials=acc.n_trials,
+            confidence=float(confidence),
+            stop_reason="budget",
+            method=method,
+            target=target,
+            estimand="rate",
+            n_events=acc.n_events,
+            precision=None,
+            totals=totals[i],
+        ))
+    return results

@@ -41,9 +41,12 @@ DEFAULT_RATIO_TOL = 0.35
 #: throughputs) — informational unless ``gate_all``.
 TIME_UNITS = frozenset({"s", "us", "ms", "1/s"})
 
-#: Per-units default tolerances for gated metrics.
+#: Per-units default tolerances for gated metrics. Exact-count units
+#: ("packets", "points") gate at zero: the kernel-parity and
+#: cross-point benches emit deterministic counts, and any drift there
+#: is a semantics change, not noise.
 UNIT_TOLS = {"x": DEFAULT_RATIO_TOL, "fraction": DEFAULT_TOL,
-             "packets": 0.0}
+             "packets": 0.0, "points": 0.0}
 
 
 def load_bench(path):

@@ -16,6 +16,7 @@ from functools import lru_cache
 import numpy as np
 
 from repro.errors import CodingError, ConfigurationError
+from repro.phy import kernels
 
 CONSTRAINT_LENGTH = 7
 N_STATES = 64
@@ -211,7 +212,26 @@ def coded_length(n_info_bits, rate="1/2", terminate=True):
     return int(mask.sum())
 
 
-def viterbi_decode(soft_bits, n_info_bits, rate="1/2", terminated=True):
+@lru_cache(maxsize=512)
+def _decode_plan(n_info_bits, rate, terminated):
+    """Cached per-(length, rate, termination) decode tables.
+
+    Everything ``viterbi_decode`` needs beyond the soft bits themselves
+    — the expected input length, the trellis depth and the depuncture
+    scatter mask — is a pure function of these three arguments, so
+    repeated decodes of the same frame geometry (every packet of a
+    Monte-Carlo run) do no table construction work at all. A
+    micro-benchmark assertion in ``tests/test_convolutional.py`` keeps
+    it that way.
+    """
+    expected = coded_length(n_info_bits, rate=rate, terminate=terminated)
+    n_steps = n_info_bits + (6 if terminated else 0)
+    keep = _puncture_mask(2 * n_steps, rate)
+    return expected, n_steps, keep
+
+
+def viterbi_decode(soft_bits, n_info_bits, rate="1/2", terminated=True,
+                   kernels_backend=None):
     """Maximum-likelihood sequence decoding of the (133, 171) code.
 
     Parameters
@@ -226,6 +246,10 @@ def viterbi_decode(soft_bits, n_info_bits, rate="1/2", terminated=True):
     terminated : bool
         Whether the encoder appended six tail zeros (forces the traceback
         to end in state 0).
+    kernels_backend : str or None
+        Kernel backend override (``"numpy"`` / ``"numba"``); ``None``
+        follows :func:`repro.phy.kernels.resolve_backend`. Both
+        backends are bit-identical.
 
     Returns
     -------
@@ -236,66 +260,38 @@ def viterbi_decode(soft_bits, n_info_bits, rate="1/2", terminated=True):
     """
     soft = np.asarray(soft_bits, dtype=float)
     if soft.ndim == 1:
-        return _viterbi_2d(soft[None, :], n_info_bits, rate, terminated)[0]
+        return _viterbi_2d(soft[None, :], n_info_bits, rate, terminated,
+                           kernels_backend)[0]
     if soft.ndim != 2:
         raise CodingError(f"soft bits must be 1-D or 2-D, got shape {soft.shape}")
-    return _viterbi_2d(soft, n_info_bits, rate, terminated)
+    return _viterbi_2d(soft, n_info_bits, rate, terminated, kernels_backend)
 
 
-def _viterbi_2d(soft, n_info_bits, rate, terminated):
+def _viterbi_2d(soft, n_info_bits, rate, terminated, backend=None):
     """One add-compare-select sweep shared by a whole batch of frames."""
-    expected = coded_length(n_info_bits, rate=rate, terminate=terminated)
+    expected, n_steps, keep = _decode_plan(int(n_info_bits), rate,
+                                           bool(terminated))
     if soft.shape[1] != expected:
         raise CodingError(
             f"expected {expected} coded bits for {n_info_bits} info bits at "
             f"rate {rate}, got {soft.shape[1]}"
         )
     batch = soft.shape[0]
-    n_steps = n_info_bits + (6 if terminated else 0)
-    keep = _puncture_mask(2 * n_steps, rate)
     mother = np.zeros((batch, 2 * n_steps))
     mother[:, keep] = soft
     llr_a = mother[:, 0::2]
     llr_b = mother[:, 1::2]
 
-    metrics = np.full((batch, N_STATES), -np.inf)
-    metrics[:, 0] = 0.0
-    decisions = np.empty((n_steps, batch, N_STATES), dtype=bool)
-    # Both predecessor candidates of every state are carried in one
-    # (batch, 2, 32, 2) block — [half of the state space, i, predecessor] —
-    # so each trellis step is a handful of whole-array ufunc calls with no
-    # gather: state h*32+i has predecessors (2i, 2i+1) regardless of h, so
-    # the predecessor metrics are just metrics.reshape(batch, 32, 2)
-    # broadcast over both halves. Additions stay in the exact
-    # (metric + a-branch) + b-branch order of the scalar formulation, so
-    # path metrics are bit-identical to it.
-    sign_a = _SIGN_A.reshape(2, 32, 2)
-    sign_b = _SIGN_B.reshape(2, 32, 2)
-    bm = np.empty((batch, 2, 32, 2))
-    cand = np.empty((batch, 2, 32, 2))
-    for t in range(n_steps):
-        la = llr_a[:, t, None, None, None]
-        lb = llr_b[:, t, None, None, None]
-        np.multiply(sign_a, la, out=bm)
-        np.add(metrics.reshape(batch, 1, 32, 2), bm, out=cand)
-        np.multiply(sign_b, lb, out=bm)
-        np.add(cand, bm, out=cand)
-        take1 = cand[:, :, :, 1] > cand[:, :, :, 0]
-        decisions[t] = take1.reshape(batch, N_STATES)
-        metrics = np.where(
-            take1, cand[:, :, :, 1], cand[:, :, :, 0]
-        ).reshape(batch, N_STATES)
-
+    # The ACS sweep and traceback run on the selected kernels backend;
+    # see repro.phy.kernels for the (bit-identical) implementations.
+    decisions, metrics = kernels.viterbi_forward(llr_a, llr_b,
+                                                 _SIGN_A, _SIGN_B,
+                                                 backend=backend)
     if terminated:
         state = np.zeros(batch, dtype=np.int64)
     else:
         state = np.argmax(metrics, axis=1)
-    rows = np.arange(batch)
-    decoded = np.empty((batch, n_steps), dtype=np.int8)
-    for t in range(n_steps - 1, -1, -1):
-        decoded[:, t] = _INPUT_OF_STATE[state]
-        taken = decisions[t, rows, state] != 0
-        state = np.where(taken, _PRED1[state], _PRED0[state])
+    decoded = kernels.viterbi_traceback(decisions, state, backend=backend)
     return decoded[:, :n_info_bits]
 
 

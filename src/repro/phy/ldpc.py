@@ -24,6 +24,7 @@ from functools import lru_cache
 import numpy as np
 
 from repro.errors import CodingError, ConfigurationError
+from repro.phy import kernels
 from repro.utils.rng import as_generator
 
 #: Block lengths standardised by 802.11n.
@@ -358,6 +359,7 @@ class LdpcCode:
         max_iterations=50,
         algorithm="min-sum",
         normalisation=0.8,
+        kernels_backend=None,
     ):
         """Belief-propagation decoding.
 
@@ -371,6 +373,11 @@ class LdpcCode:
             "min-sum" (normalised) or "sum-product".
         normalisation : float
             Scaling factor for normalised min-sum (ignored by sum-product).
+        kernels_backend : str or None
+            Kernel backend for the min-sum check update (``"numpy"`` /
+            ``"numba"``, bit-identical); ``None`` follows
+            :func:`repro.phy.kernels.resolve_backend`. Sum-product
+            always runs the numpy path.
 
         Returns
         -------
@@ -390,7 +397,8 @@ class LdpcCode:
             return hard, True, 0
 
         for iteration in range(1, max_iterations + 1):
-            m_cv = self._check_update(m_vc, algorithm, normalisation)
+            m_cv = self._check_update(m_vc, algorithm, normalisation,
+                                      kernels_backend)
             totals = llrs + np.add.reduceat(
                 m_cv[self._to_var_order], self._var_starts
             )
@@ -400,30 +408,14 @@ class LdpcCode:
                 return hard, True, iteration
         return hard, False, max_iterations
 
-    def _check_update(self, m_vc, algorithm, normalisation):
+    def _check_update(self, m_vc, algorithm, normalisation, backend=None):
         starts = self._check_starts
         if algorithm == "min-sum":
-            mags = np.abs(m_vc)
-            signs = np.where(m_vc < 0, -1.0, 1.0)
-            sign_prod = np.multiply.reduceat(signs, starts)
-            # min and second-min magnitude per check
-            min1 = np.minimum.reduceat(mags, starts)
-            min1_full = np.repeat(min1, self._check_counts)
-            is_min = mags == min1_full
-            # Mask out one occurrence of the minimum to find the runner-up.
-            masked = np.where(is_min, np.inf, mags)
-            min2 = np.minimum.reduceat(masked, starts)
-            # A check where the minimum occurs twice has min-of-others equal
-            # to min1 for every edge.
-            min_count = np.add.reduceat(is_min.astype(float), starts)
-            min2 = np.where(min_count > 1, min1, min2)
-            min2_full = np.repeat(min2, self._check_counts)
-            others_min = np.where(is_min & np.repeat(min_count == 1,
-                                                     self._check_counts),
-                                  min2_full, min1_full)
-            sign_full = np.repeat(sign_prod, self._check_counts) * signs
-            return np.clip(normalisation * sign_full * others_min,
-                           -_MSG_CLIP, _MSG_CLIP)
+            # Hot BP kernel: dispatched to the selected (numpy or
+            # numba, bit-identical) backend in repro.phy.kernels.
+            return kernels.min_sum_check_update(
+                m_vc, starts, self._check_counts, normalisation,
+                _MSG_CLIP, backend=backend)
         # sum-product via tanh rule, excluding self by division in the
         # magnitude-log domain to stay numerically safe.
         t = np.tanh(np.clip(m_vc, -_MSG_CLIP, _MSG_CLIP) / 2.0)

@@ -1,0 +1,361 @@
+"""Cross-point grids, the analytic fast path, and shared draw pools.
+
+The contract under test, end to end: fixed-budget results are
+bit-identical across cross-point vs per-point execution, batch shapes,
+worker counts, and shared-memory vs locally regenerated draws — and
+``stop_reason="analytic"`` records flow through engine, link, store,
+report and CLI without losing their meaning.
+"""
+
+import numpy as np
+import pytest
+
+from repro.campaign import make_store, shm, summary_lines
+from repro.campaign.runner import run_campaign
+from repro.campaign.spec import CampaignSpec
+from repro.core.link import LinkSimulator, run_link_grid
+from repro.core.mc import analytic_result, run_grid_trials
+from repro.errors import ConfigurationError
+
+SNRS = [4.0, 10.0]
+PHYS = ["ofdm-6", "ofdm-24"]
+
+
+def _counts(results):
+    return [(r.n_packets, r.n_packet_errors, r.n_bit_errors)
+            for r in results]
+
+
+class TestRunGridTrials:
+    def _events(self):
+        events = np.zeros((3, 30), dtype=bool)
+        events[0, :3] = True
+        events[1, 5:20] = True
+        return events
+
+    def _grid_fn(self, events):
+        def fn(lo, hi, points):
+            return {"per": np.array([events[int(i), lo:hi].sum()
+                                     for i in points]),
+                    "bits": np.array([(hi - lo) * 4 for _ in points])}
+        return fn
+
+    def test_budget_counts(self):
+        rs = run_grid_trials(self._grid_fn(self._events()), 30, 3,
+                             target="per", batch_size=7)
+        assert [r.n_events for r in rs] == [3, 15, 0]
+        assert all(r.n_trials == 30 for r in rs)
+        assert all(r.stop_reason == "budget" for r in rs)
+        assert all(r.totals["bits"] == 120 for r in rs)
+
+    def test_batch_size_invariance(self):
+        fn = self._grid_fn(self._events())
+        a = run_grid_trials(fn, 30, 3, target="per", batch_size=1)
+        b = run_grid_trials(fn, 30, 3, target="per", batch_size=30)
+        assert [(r.n_events, r.n_trials, r.estimate) for r in a] == \
+               [(r.n_events, r.n_trials, r.estimate) for r in b]
+
+    def test_analytic_points_skipped(self):
+        calls = []
+        fn = self._grid_fn(self._events())
+
+        def spy(lo, hi, points):
+            calls.append(list(points))
+            return fn(lo, hi, points)
+
+        rs = run_grid_trials(spy, 30, 3, target="per", batch_size=30,
+                             analytic={1: 1e-8})
+        assert all(1 not in pts for pts in calls)
+        assert rs[1].stop_reason == "analytic"
+        assert rs[1].n_trials == 0
+        assert rs[1].estimate == 1e-8
+        assert rs[0].stop_reason == "budget"
+
+    def test_all_analytic_runs_nothing(self):
+        def boom(lo, hi, points):
+            raise AssertionError("no MC should run")
+
+        rs = run_grid_trials(boom, 10, 2, target="per",
+                             analytic={0: 0.0, 1: 1e-9})
+        assert [r.stop_reason for r in rs] == ["analytic", "analytic"]
+
+    def test_validation(self):
+        fn = self._grid_fn(self._events())
+        with pytest.raises(ConfigurationError, match="n_points"):
+            run_grid_trials(fn, 10, 0, target="per")
+        with pytest.raises(ConfigurationError, match="n_trials"):
+            run_grid_trials(fn, 0, 2, target="per")
+        with pytest.raises(ConfigurationError, match="analytic point"):
+            run_grid_trials(fn, 10, 2, target="per", analytic={5: 0.1})
+        with pytest.raises(ConfigurationError, match="target metric"):
+            run_grid_trials(lambda lo, hi, p: {"other": np.zeros(len(p))},
+                            10, 2, target="per")
+        with pytest.raises(ConfigurationError, match="one value per"):
+            run_grid_trials(lambda lo, hi, p: {"per": np.zeros(len(p) + 1)},
+                            10, 2, target="per")
+
+    def test_analytic_result_validation(self):
+        r = analytic_result(1e-7, target="packet_error")
+        assert r.stop_reason == "analytic"
+        assert r.n_trials == 0 and r.n_events == 0
+        assert r.ci() == (0.0, 1e-7)
+        with pytest.raises(ConfigurationError):
+            analytic_result(1.5, target="packet_error")
+        with pytest.raises(ConfigurationError):
+            analytic_result(-0.1, target="packet_error")
+
+
+class TestCrossPointIdentity:
+    def test_awgn_multi_phy(self):
+        a = run_link_grid(PHYS, SNRS, n_packets=6, payload_bytes=40,
+                          rng=7, cross_point=True)
+        b = run_link_grid(PHYS, SNRS, n_packets=6, payload_bytes=40,
+                          rng=7, cross_point=False)
+        assert _counts(sum(a, [])) == _counts(sum(b, []))
+
+    def test_rayleigh(self):
+        a = run_link_grid("ofdm-12", [8.0, 20.0], n_packets=6,
+                          payload_bytes=30, channel="rayleigh", rng=5)
+        b = run_link_grid("ofdm-12", [8.0, 20.0], n_packets=6,
+                          payload_bytes=30, channel="rayleigh", rng=5,
+                          cross_point=False)
+        assert _counts(a[0]) == _counts(b[0])
+
+    def test_batch_size_invariance(self):
+        a = run_link_grid("ofdm-24", SNRS, n_packets=7, payload_bytes=30,
+                          rng=3, batch_size=2)
+        b = run_link_grid("ofdm-24", SNRS, n_packets=7, payload_bytes=30,
+                          rng=3, batch_size=50)
+        assert _counts(a[0]) == _counts(b[0])
+
+    def test_simulator_method_matches_function(self):
+        sim = LinkSimulator("ofdm-24", "awgn", rng=9)
+        via_method = sim.run_grid(SNRS, n_packets=5, payload_bytes=30)
+        via_fn = run_link_grid("ofdm-24", SNRS, n_packets=5,
+                               payload_bytes=30, rng=9)[0]
+        assert _counts(via_method) == _counts(via_fn)
+
+    def test_grid_validation(self):
+        with pytest.raises(ConfigurationError, match="OFDM"):
+            run_link_grid("dsss-1", SNRS, n_packets=2, payload_bytes=20,
+                          rng=0)
+        with pytest.raises(ConfigurationError, match="channel"):
+            run_link_grid("ofdm-6", SNRS, n_packets=2, payload_bytes=20,
+                          channel="tgn-B", rng=0)
+        with pytest.raises(ConfigurationError, match="at least one"):
+            run_link_grid([], SNRS, rng=0)
+        with pytest.raises(ConfigurationError, match="analytic_floor"):
+            run_link_grid("ofdm-6", SNRS, n_packets=2, payload_bytes=20,
+                          analytic_floor=2.0, rng=0)
+
+
+class TestAnalyticFastPath:
+    def test_grid_flags_high_snr_points(self):
+        rows = run_link_grid("ofdm-6", [4.0, 28.0], n_packets=5,
+                             payload_bytes=40, rng=7,
+                             analytic_floor=1e-6)
+        for r in rows[0]:
+            assert r.analytic
+            assert r.mc.stop_reason == "analytic"
+            assert r.n_packets == 0
+            assert 0.0 <= r.per <= 1e-6
+            lo, hi = r.per_ci()
+            assert (lo, hi) == (0.0, r.per)
+            assert r.extras["analytic"]["method"] == "union-bound"
+            assert r.goodput_mbps == pytest.approx(
+                r.rate_mbps * (1.0 - r.per))
+
+    def test_low_floor_keeps_mc(self):
+        rows = run_link_grid("ofdm-54", [2.0], n_packets=4,
+                             payload_bytes=40, rng=7,
+                             analytic_floor=1e-12)
+        r = rows[0][0]
+        assert not r.analytic
+        assert r.n_packets == 4
+
+    def test_run_short_circuit(self):
+        sim = LinkSimulator("ofdm-6", rng=3)
+        r = sim.run(28.0, n_packets=10, payload_bytes=40,
+                    analytic_floor=1e-6)
+        assert r.analytic and r.mc.n_trials == 0
+        assert r.ber == r.extras["analytic"]["ber"]
+
+    def test_run_floor_not_met_falls_through(self):
+        sim = LinkSimulator("ofdm-6", rng=3)
+        r = sim.run(-2.0, n_packets=4, payload_bytes=40,
+                    analytic_floor=1e-6)
+        assert not r.analytic
+        assert r.mc.n_trials == 4
+
+    def test_non_ofdm_has_no_bounds(self):
+        assert LinkSimulator("dsss-1", rng=0).analytic_bounds(30.0) is None
+        assert LinkSimulator("ofdm-6", "rayleigh",
+                             rng=0).analytic_bounds(30.0) is None
+
+    def test_waterfall_passthrough(self):
+        sim = LinkSimulator("ofdm-6", rng=3)
+        results = sim.waterfall([28.0, 30.0], n_packets=4,
+                                payload_bytes=40, analytic_floor=1e-6)
+        assert all(r.analytic for r in results)
+
+    def test_identity_holds_with_floor(self):
+        kwargs = dict(n_packets=5, payload_bytes=40, rng=7,
+                      analytic_floor=1e-9)
+        a = run_link_grid(PHYS, [2.0, 28.0], cross_point=True, **kwargs)
+        b = run_link_grid(PHYS, [2.0, 28.0], cross_point=False, **kwargs)
+        for ra, rb in zip(sum(a, []), sum(b, [])):
+            assert ra.mc.stop_reason == rb.mc.stop_reason
+            assert (ra.n_packets, ra.n_packet_errors, ra.n_bit_errors) == \
+                   (rb.n_packets, rb.n_packet_errors, rb.n_bit_errors)
+
+
+class TestSharedDrawPool:
+    def test_pool_matches_local_regeneration(self):
+        seed = 42
+        plan = {"draw_seed": seed, "n_trials": 6, "payload_bytes": 30,
+                "n_max": LinkSimulator("ofdm-6",
+                                       rng=0)._phy.n_samples(30),
+                "channel": "awgn"}
+        pool = shm.SharedDrawPool.create(**plan)
+        try:
+            with_pool = run_link_grid(PHYS, SNRS, n_packets=6,
+                                      payload_bytes=30, rng=seed,
+                                      draw_pool=pool)
+            without = run_link_grid(PHYS, SNRS, n_packets=6,
+                                    payload_bytes=30, rng=seed)
+            assert _counts(sum(with_pool, [])) == _counts(sum(without, []))
+        finally:
+            pool.destroy()
+
+    def test_mismatched_pool_falls_back(self):
+        pool = shm.SharedDrawPool.create(1, 4, 30, 64)
+        try:
+            # Different rng seed -> different entropy; pool must be
+            # ignored, not misapplied.
+            rows = run_link_grid("ofdm-24", [10.0], n_packets=4,
+                                 payload_bytes=30, rng=999,
+                                 draw_pool=pool)
+            plain = run_link_grid("ofdm-24", [10.0], n_packets=4,
+                                  payload_bytes=30, rng=999)
+            assert _counts(rows[0]) == _counts(plain[0])
+        finally:
+            pool.destroy()
+
+    def test_attach_roundtrip(self):
+        pool = shm.SharedDrawPool.create(7, 3, 20, 32)
+        try:
+            attached = shm.SharedDrawPool.attach(pool.meta)
+            pa, ha, na = pool.arrays()
+            ab, hb, nb = attached.arrays()
+            np.testing.assert_array_equal(pa, ab)
+            np.testing.assert_array_equal(ha, hb)
+            np.testing.assert_array_equal(na, nb)
+            attached.close()
+        finally:
+            pool.destroy()
+
+    def test_covers(self):
+        pool = shm.SharedDrawPool.create(7, 5, 20, 32)
+        try:
+            entropy = shm.pool_entropy(7)
+            assert pool.covers(entropy, 5, 20, 32, "awgn")
+            assert pool.covers(entropy, 3, 20, 16, "awgn")  # prefixes
+            assert not pool.covers(entropy + 1, 5, 20, 32, "awgn")
+            assert not pool.covers(entropy, 6, 20, 32, "awgn")
+            assert not pool.covers(entropy, 5, 21, 32, "awgn")
+            assert not pool.covers(entropy, 5, 20, 32, "rayleigh")
+        finally:
+            pool.destroy()
+
+    def test_create_validation(self):
+        with pytest.raises(ConfigurationError):
+            shm.SharedDrawPool.create(1, 0, 10, 10)
+        with pytest.raises(ConfigurationError):
+            shm.SharedDrawPool.create(1, 4, 10, 10, channel="tgn-B")
+        with pytest.raises(ConfigurationError, match="cap"):
+            shm.SharedDrawPool.create(1, 10 ** 6, 1500, 10 ** 5)
+
+
+def _grid_spec(name, backend, draw_seed=99, floor=None):
+    fixed = {"snrs": [4.0, 28.0], "n_packets": 4, "payload_bytes": 30,
+             "draw_seed": draw_seed}
+    if floor is not None:
+        fixed["analytic_floor"] = floor
+    return CampaignSpec(name=name, kind="link-grid", base_seed=11,
+                        factors={"phy": ["ofdm-6", "ofdm-24"]},
+                        fixed=fixed, backend=backend)
+
+
+class TestLinkGridCampaign:
+    def test_plan_pool(self):
+        spec = _grid_spec("p1", "local-queue")
+        todo = [(str(i), pt) for i, pt in enumerate(spec.expand())]
+        plan = shm.plan_pool(spec, todo)
+        assert plan is not None
+        assert plan["n_trials"] == 4 and plan["payload_bytes"] == 30
+
+    def test_plan_pool_requires_common_seed(self):
+        spec = _grid_spec("p2", "local-queue")
+        todo = [(str(i), pt) for i, pt in enumerate(spec.expand())]
+        todo[0][1].params.pop("draw_seed")
+        assert shm.plan_pool(spec, todo) is None
+
+    def test_queue_shm_matches_inline(self):
+        r1 = run_campaign(_grid_spec("q1", "local-queue"), workers=2)
+        r2 = run_campaign(_grid_spec("q2", "pool"), workers=1)
+        assert r1.extras["queue"]["draw_pool"] is True
+        for a, b in zip(r1.records, r2.records):
+            assert a["metrics"] == b["metrics"]
+
+    def test_report_folds_stop_reasons(self):
+        result = run_campaign(_grid_spec("q3", "pool", floor=1e-6),
+                              workers=1)
+        lines = "\n".join(summary_lines(result.records, name="q3"))
+        assert "analytic" in lines
+
+
+class TestAnalyticStoreRoundTrip:
+    def _link_spec(self, name):
+        return CampaignSpec(
+            name=name, kind="link", base_seed=5,
+            factors={"snr_db": [-2.0, 28.0]},
+            fixed={"phy": "ofdm-6", "n_packets": 4, "payload_bytes": 30,
+                   "analytic_floor": 1e-6})
+
+    @pytest.mark.parametrize("backend", ["jsonl", "sqlite"])
+    def test_round_trip(self, tmp_path, backend):
+        store = make_store(str(tmp_path / "results"), backend)
+        try:
+            run_campaign(self._link_spec(f"an-{backend}"), store=store)
+            records = list(store.iter_records(f"an-{backend}"))
+        finally:
+            store.close()
+        assert len(records) == 2
+        by_snr = {r["params"]["snr_db"]: r for r in records}
+        low, high = by_snr[-2.0], by_snr[28.0]
+        assert high["metrics"]["stop_reason"] == "analytic"
+        assert high["metrics"]["n_trials"] == 0
+        assert high["metrics"]["per_ci_low"] == 0.0
+        assert low["metrics"]["stop_reason"] == "budget"
+        assert low["metrics"]["n_trials"] == 4
+        # Summary folds the analytic point into the reasons line and
+        # the trial count sum counts only real packets.
+        text = "\n".join(summary_lines(records, name="x"))
+        assert "analytic" in text and "budget" in text
+
+    def test_cli_show_and_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        results = str(tmp_path / "results")
+        store = make_store(results, "jsonl")
+        try:
+            run_campaign(self._link_spec("an-cli"), store=store)
+        finally:
+            store.close()
+        assert main(["campaign", "show", "an-cli",
+                     "--results", results]) == 0
+        out = capsys.readouterr().out
+        assert "analytic" in out
+        assert main(["campaign", "report", "an-cli", "--results", results,
+                     "--value", "per", "--rows", "snr_db"]) == 0
+        assert "per" in capsys.readouterr().out
